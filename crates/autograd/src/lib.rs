@@ -1,0 +1,47 @@
+//! # rex-autograd — tape-based reverse-mode automatic differentiation
+//!
+//! A minimal but complete autodiff engine over [`rex_tensor::Tensor`],
+//! powering every model in the REX reproduction (CNNs, VAEs, detectors,
+//! transformers).
+//!
+//! ## Design
+//!
+//! * A [`Graph`] is a **tape**: an append-only arena of nodes, each holding
+//!   its forward value and a record of how it was produced. A fresh graph is
+//!   built for every training step — there is no persistent graph, which
+//!   keeps lifetimes trivial and memory bounded.
+//! * **Parameters** live *outside* the graph as shared [`Param`] handles.
+//!   Each step registers them as leaves; [`Graph::backward`] accumulates
+//!   `d loss / d param` into [`Param::grad`], which the optimizer then
+//!   consumes.
+//! * Backward passes are written per-op against explicit saved state
+//!   (im2col buffers, batch-norm statistics, argmax indices), so nothing is
+//!   recomputed.
+//!
+//! ## Example
+//!
+//! ```
+//! use rex_autograd::{Graph, Param};
+//! use rex_tensor::Tensor;
+//!
+//! // y = sum((w * x)^2), dy/dw = 2 * w * x^2
+//! let w = Param::new("w", Tensor::from_vec(vec![3.0], &[1])?);
+//! let mut g = Graph::new(true);
+//! let wn = g.param(&w);
+//! let x = g.constant(Tensor::from_vec(vec![2.0], &[1])?);
+//! let wx = g.mul(wn, x)?;
+//! let sq = g.mul(wx, wx)?;
+//! let loss = g.sum_all(sq)?;
+//! g.backward(loss)?;
+//! assert_eq!(w.grad().data(), &[24.0]); // 2 * 3 * 4
+//! # Ok::<(), rex_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+mod graph;
+mod param;
+
+pub use graph::{Graph, NodeId};
+pub use param::Param;

@@ -1,0 +1,154 @@
+use std::cell::{Ref, RefCell, RefMut};
+use std::fmt;
+use std::rc::Rc;
+
+use rex_tensor::Tensor;
+
+/// A trainable parameter: a named tensor with an accumulated gradient.
+///
+/// `Param` is a cheap shared handle (`Rc<RefCell<…>>`): the model, the
+/// graph's parameter leaves, and the optimizer all hold clones of the same
+/// handle. Gradients accumulate across [`crate::Graph::backward`] calls
+/// until [`Param::zero_grad`] is invoked (normally by the optimizer).
+///
+/// `Param` is intentionally **not** `Send`: each training trial owns its
+/// model on a single thread; parallelism in the REX experiment harness is
+/// per-trial, with each thread constructing its own model.
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<RefCell<ParamInner>>,
+}
+
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with the given diagnostic name and initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros_like(&value);
+        Param {
+            inner: Rc::new(RefCell::new(ParamInner {
+                name: name.into(),
+                value,
+                grad,
+            })),
+        }
+    }
+
+    /// The parameter's diagnostic name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Borrow of the current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is already mutably borrowed.
+    pub fn value(&self) -> Ref<'_, Tensor> {
+        Ref::map(self.inner.borrow(), |p| &p.value)
+    }
+
+    /// Mutable borrow of the current value (used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is already borrowed.
+    pub fn value_mut(&self) -> RefMut<'_, Tensor> {
+        RefMut::map(self.inner.borrow_mut(), |p| &mut p.value)
+    }
+
+    /// A clone of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Mutable borrow of the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is already borrowed.
+    pub fn grad_mut(&self) -> RefMut<'_, Tensor> {
+        RefMut::map(self.inner.borrow_mut(), |p| &mut p.grad)
+    }
+
+    /// Adds `delta` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta`'s shape differs from the parameter's.
+    pub fn accumulate_grad(&self, delta: &Tensor) {
+        self.inner.borrow_mut().grad.axpy(1.0, delta);
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&self) {
+        let mut p = self.inner.borrow_mut();
+        p.grad = Tensor::zeros_like(&p.value);
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().value.len()
+    }
+
+    /// Whether the parameter is empty (never true for real layers).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether two handles refer to the same underlying parameter.
+    pub fn same_as(&self, other: &Param) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.inner.borrow();
+        write!(f, "Param({:?}, shape {:?})", p.name, p.value.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grad_starts_zero() {
+        let p = Param::new("w", Tensor::ones(&[3]));
+        assert_eq!(p.grad().data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let p = Param::new("w", Tensor::ones(&[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        p.accumulate_grad(&Tensor::from_vec(vec![0.5, 0.5], &[2]).unwrap());
+        assert_eq!(p.grad().data(), &[1.5, 2.5]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let p = Param::new("w", Tensor::zeros(&[1]));
+        let q = p.clone();
+        q.value_mut().data_mut()[0] = 5.0;
+        assert_eq!(p.value().data(), &[5.0]);
+        assert!(p.same_as(&q));
+        let r = Param::new("w", Tensor::zeros(&[1]));
+        assert!(!p.same_as(&r));
+    }
+
+    #[test]
+    fn debug_shows_name_and_shape() {
+        let p = Param::new("conv1.weight", Tensor::zeros(&[4, 3, 3, 3]));
+        let s = format!("{p:?}");
+        assert!(s.contains("conv1.weight"));
+        assert!(s.contains("[4, 3, 3, 3]"));
+    }
+}

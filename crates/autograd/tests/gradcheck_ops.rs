@@ -1,0 +1,413 @@
+//! Exhaustive numeric gradient checks: every differentiable op in the tape
+//! is validated against central finite differences.
+
+use rex_autograd::gradcheck::check_gradients;
+use rex_autograd::{Graph, NodeId, Param};
+use rex_tensor::conv::Window;
+use rex_tensor::{Prng, Tensor, TensorError};
+
+fn param(rng: &mut Prng, name: &str, shape: &[usize], std: f32) -> Param {
+    Param::new(name, rng.normal_tensor(shape, 0.0, std))
+}
+
+/// Reduce any node to a non-trivial scalar loss: mean(tanh(x)^2) keeps
+/// values bounded so finite differences stay accurate.
+fn to_loss(g: &mut Graph, x: NodeId) -> Result<NodeId, TensorError> {
+    let t = g.tanh(x);
+    let sq = g.mul(t, t)?;
+    g.mean_all(sq)
+}
+
+#[test]
+fn gradcheck_broadcast_add_sub() {
+    let mut rng = Prng::new(10);
+    let a = param(&mut rng, "a", &[3, 4], 1.0);
+    let b = param(&mut rng, "b", &[4], 1.0);
+    check_gradients(
+        &[a.clone(), b.clone()],
+        |g| {
+            let an = g.param(&a);
+            let bn = g.param(&b);
+            let s = g.add(an, bn)?;
+            let d = g.sub(s, bn)?;
+            let s2 = g.add(d, an)?;
+            to_loss(g, s2)
+        },
+        1e-2,
+        1e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_mul_div_broadcast() {
+    let mut rng = Prng::new(11);
+    let a = param(&mut rng, "a", &[2, 3], 1.0);
+    // keep denominator well away from zero
+    let b = Param::new("b", rng.uniform_tensor(&[3], 1.0, 2.0));
+    check_gradients(
+        &[a.clone(), b.clone()],
+        |g| {
+            let an = g.param(&a);
+            let bn = g.param(&b);
+            let m = g.mul(an, bn)?;
+            let q = g.div(m, bn)?;
+            let m2 = g.mul(q, m)?;
+            to_loss(g, m2)
+        },
+        1e-2,
+        2e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_activations() {
+    let mut rng = Prng::new(12);
+    let a = param(&mut rng, "a", &[2, 5], 1.0);
+    // ReLU/LeakyReLU have a kink at 0: keep values away from it.
+    for v in a.value_mut().data_mut() {
+        if v.abs() < 0.2 {
+            *v += 0.5;
+        }
+    }
+    check_gradients(
+        &[a.clone()],
+        |g| {
+            let an = g.param(&a);
+            let r = g.relu(an);
+            let lr = g.leaky_relu(an, 0.1);
+            let s = g.sigmoid(an);
+            let t = g.tanh(an);
+            let ge = g.gelu(an);
+            let sum1 = g.add(r, lr)?;
+            let sum2 = g.add(s, t)?;
+            let sum3 = g.add(sum1, sum2)?;
+            let sum4 = g.add(sum3, ge)?;
+            to_loss(g, sum4)
+        },
+        1e-2,
+        2e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_exp_ln() {
+    let mut rng = Prng::new(13);
+    let a = Param::new("a", rng.uniform_tensor(&[6], 0.5, 2.0));
+    check_gradients(
+        &[a.clone()],
+        |g| {
+            let an = g.param(&a);
+            let e = g.exp(an);
+            let l = g.ln(e);
+            let both = g.mul(e, l)?;
+            g.mean_all(both)
+        },
+        1e-3,
+        2e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_scale_add_scalar_reshape() {
+    let mut rng = Prng::new(14);
+    let a = param(&mut rng, "a", &[2, 6], 1.0);
+    check_gradients(
+        &[a.clone()],
+        |g| {
+            let an = g.param(&a);
+            let s = g.scale(an, -0.7);
+            let p = g.add_scalar(s, 0.3);
+            let r = g.reshape(p, &[3, 4])?;
+            to_loss(g, r)
+        },
+        1e-2,
+        1e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_sum_axis() {
+    let mut rng = Prng::new(15);
+    let a = param(&mut rng, "a", &[2, 3, 4], 1.0);
+    for axis in 0..3 {
+        check_gradients(
+            &[a.clone()],
+            |g| {
+                let an = g.param(&a);
+                let s = g.sum_axis(an, axis)?;
+                to_loss(g, s)
+            },
+            1e-2,
+            2e-2,
+        )
+        .unwrap_or_else(|e| panic!("axis {axis}: {e}"));
+    }
+}
+
+#[test]
+fn gradcheck_softmax_and_log_softmax() {
+    let mut rng = Prng::new(16);
+    let a = param(&mut rng, "a", &[3, 4], 1.0);
+    check_gradients(
+        &[a.clone()],
+        |g| {
+            let an = g.param(&a);
+            let s = g.softmax(an)?;
+            let ls = g.log_softmax(an)?;
+            let prod = g.mul(s, ls)?;
+            g.mean_all(prod)
+        },
+        1e-2,
+        2e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_nll_loss() {
+    let mut rng = Prng::new(17);
+    let a = param(&mut rng, "a", &[4, 3], 1.0);
+    let targets = vec![0usize, 2, 1, 2];
+    check_gradients(
+        &[a.clone()],
+        |g| {
+            let an = g.param(&a);
+            g.cross_entropy(an, &targets)
+        },
+        1e-2,
+        1e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_bce_with_logits() {
+    let mut rng = Prng::new(18);
+    let a = param(&mut rng, "a", &[3, 3], 1.0);
+    let targets = Tensor::from_vec(
+        (0..9).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect(),
+        &[3, 3],
+    )
+    .unwrap();
+    check_gradients(
+        &[a.clone()],
+        |g| {
+            let an = g.param(&a);
+            g.bce_with_logits(an, &targets)
+        },
+        1e-2,
+        1e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_conv2d_all_inputs() {
+    let mut rng = Prng::new(19);
+    let x = param(&mut rng, "x", &[2, 2, 4, 4], 1.0);
+    let w = param(&mut rng, "w", &[3, 2, 3, 3], 0.5);
+    let b = param(&mut rng, "b", &[3], 0.5);
+    let win = Window {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    check_gradients(
+        &[x.clone(), w.clone(), b.clone()],
+        |g| {
+            let xn = g.param(&x);
+            let wn = g.param(&w);
+            let bn = g.param(&b);
+            let c = g.conv2d(xn, wn, Some(bn), win)?;
+            to_loss(g, c)
+        },
+        1e-2,
+        3e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_maxpool_and_avgpool() {
+    let mut rng = Prng::new(20);
+    let x = param(&mut rng, "x", &[2, 2, 4, 4], 1.0);
+    let win = Window {
+        kernel: 2,
+        stride: 2,
+        padding: 0,
+    };
+    check_gradients(
+        &[x.clone()],
+        |g| {
+            let xn = g.param(&x);
+            let mp = g.maxpool2d(xn, win)?;
+            let gp = g.global_avgpool(mp)?;
+            to_loss(g, gp)
+        },
+        1e-3,
+        2e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_batch_norm_train() {
+    let mut rng = Prng::new(21);
+    let x = param(&mut rng, "x", &[4, 3, 2, 2], 1.0);
+    let gamma = Param::new("gamma", rng.uniform_tensor(&[3], 0.5, 1.5));
+    let beta = param(&mut rng, "beta", &[3], 0.5);
+    check_gradients(
+        &[x.clone(), gamma.clone(), beta.clone()],
+        |g| {
+            let xn = g.param(&x);
+            let gn = g.param(&gamma);
+            let bn = g.param(&beta);
+            let (y, _, _) = g.batch_norm_train(xn, gn, bn, 1e-5)?;
+            to_loss(g, y)
+        },
+        1e-2,
+        5e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_batch_norm_eval() {
+    let mut rng = Prng::new(22);
+    let x = param(&mut rng, "x", &[3, 2], 1.0);
+    let gamma = Param::new("gamma", rng.uniform_tensor(&[2], 0.5, 1.5));
+    let beta = param(&mut rng, "beta", &[2], 0.5);
+    let mean = rng.normal_tensor(&[2], 0.0, 0.3);
+    let var = rng.uniform_tensor(&[2], 0.5, 1.5);
+    check_gradients(
+        &[x.clone(), gamma.clone(), beta.clone()],
+        |g| {
+            let xn = g.param(&x);
+            let gn = g.param(&gamma);
+            let bn = g.param(&beta);
+            let y = g.batch_norm_eval(xn, gn, bn, &mean, &var, 1e-5)?;
+            to_loss(g, y)
+        },
+        1e-2,
+        2e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_layer_norm() {
+    let mut rng = Prng::new(23);
+    let x = param(&mut rng, "x", &[2, 3, 4], 1.0);
+    let gamma = Param::new("gamma", rng.uniform_tensor(&[4], 0.5, 1.5));
+    let beta = param(&mut rng, "beta", &[4], 0.5);
+    check_gradients(
+        &[x.clone(), gamma.clone(), beta.clone()],
+        |g| {
+            let xn = g.param(&x);
+            let gn = g.param(&gamma);
+            let bn = g.param(&beta);
+            let y = g.layer_norm(xn, gn, bn, 1e-5)?;
+            to_loss(g, y)
+        },
+        1e-2,
+        5e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_embedding_and_select_time() {
+    let mut rng = Prng::new(24);
+    let emb = param(&mut rng, "emb", &[5, 3], 1.0);
+    let idx = vec![0usize, 2, 4, 1, 1, 3]; // [B=2, T=3]
+    check_gradients(
+        &[emb.clone()],
+        |g| {
+            let en = g.param(&emb);
+            let e = g.embedding(en, &idx)?;
+            let e3 = g.reshape(e, &[2, 3, 3])?;
+            let cls = g.select_time(e3, 0)?;
+            to_loss(g, cls)
+        },
+        1e-2,
+        2e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_batch_matmul_and_transpose() {
+    let mut rng = Prng::new(25);
+    let a = param(&mut rng, "a", &[2, 3, 4], 0.5);
+    let b = param(&mut rng, "b", &[2, 3, 4], 0.5); // will transpose to [2,4,3]
+    check_gradients(
+        &[a.clone(), b.clone()],
+        |g| {
+            let an = g.param(&a);
+            let bn = g.param(&b);
+            let bt = g.transpose_last2(bn)?;
+            let c = g.batch_matmul(an, bt)?; // [2,3,3]
+            to_loss(g, c)
+        },
+        1e-2,
+        3e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_attention_like_composite() {
+    // A miniature attention block: softmax(QKᵀ/√d)·V with shared weights.
+    let mut rng = Prng::new(26);
+    let q = param(&mut rng, "q", &[1, 3, 4], 0.5);
+    let k = param(&mut rng, "k", &[1, 3, 4], 0.5);
+    let v = param(&mut rng, "v", &[1, 3, 4], 0.5);
+    check_gradients(
+        &[q.clone(), k.clone(), v.clone()],
+        |g| {
+            let qn = g.param(&q);
+            let kn = g.param(&k);
+            let vn = g.param(&v);
+            let kt = g.transpose_last2(kn)?;
+            let scores = g.batch_matmul(qn, kt)?;
+            let scaled = g.scale(scores, 0.5);
+            let flat = g.reshape(scaled, &[3, 3])?;
+            let attn = g.softmax(flat)?;
+            let attn3 = g.reshape(attn, &[1, 3, 3])?;
+            let out = g.batch_matmul(attn3, vn)?;
+            to_loss(g, out)
+        },
+        1e-2,
+        3e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn gradcheck_permute_0213() {
+    let mut rng = Prng::new(27);
+    let a = param(&mut rng, "a", &[2, 3, 2, 4], 0.5);
+    check_gradients(
+        &[a.clone()],
+        |g| {
+            let an = g.param(&a);
+            let p = g.permute_0213(an)?;
+            // also check the round trip composes
+            let back = g.permute_0213(p)?;
+            let both = g.add(p, p)?;
+            let s = g.reshape(both, &[2, 2, 3 * 4])?;
+            let merged = g.reshape(back, &[2, 3, 2 * 4])?;
+            let l1 = to_loss(g, s)?;
+            let l2 = to_loss(g, merged)?;
+            g.add(l1, l2)
+        },
+        1e-2,
+        2e-2,
+    )
+    .unwrap();
+}

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark: per-iteration cost of every schedule.
+//!
+//! Backs the paper's claim that "REX requires no added computation":
+//! a REX factor evaluation should cost the same handful of nanoseconds as
+//! the linear/cosine baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rex_core::ScheduleSpec;
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_factor");
+    let specs = [
+        ("none", ScheduleSpec::None),
+        ("rex", ScheduleSpec::Rex),
+        ("linear", ScheduleSpec::Linear),
+        ("cosine", ScheduleSpec::Cosine),
+        ("exp", ScheduleSpec::ExpDecay),
+        ("step", ScheduleSpec::Step),
+        ("onecycle", ScheduleSpec::OneCycle),
+        (
+            "delayed_linear",
+            ScheduleSpec::Delayed(Box::new(ScheduleSpec::Linear), 0.5),
+        ),
+    ];
+    for (name, spec) in specs {
+        let mut sched = spec.build();
+        let mut t = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                t = (t + 1) % 10_000;
+                black_box(sched.factor(black_box(t), black_box(10_000)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmark: the tensor kernels that dominate training
+//! time (matmul, conv2d forward/backward, softmax).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rex_tensor::conv::{conv2d_backward, conv2d_forward, Window};
+use rex_tensor::ops::softmax_rows;
+use rex_tensor::{Prng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Prng::new(0);
+    let a = rng.normal_tensor(&[64, 128], 0.0, 1.0);
+    let b = rng.normal_tensor(&[128, 64], 0.0, 1.0);
+    c.bench_function("matmul_64x128x64", |bch| {
+        bch.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    c.bench_function("matmul_nt_64x128x64", |bch| {
+        let bt = b.transpose().unwrap();
+        bch.iter(|| black_box(a.matmul_nt(&bt).unwrap()))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = Prng::new(1);
+    let input = rng.normal_tensor(&[8, 8, 12, 12], 0.0, 1.0);
+    let weight = rng.normal_tensor(&[16, 8, 3, 3], 0.0, 0.3);
+    let win = Window::same(3);
+    c.bench_function("conv2d_fwd_8x8x12x12_k3", |bch| {
+        bch.iter(|| black_box(conv2d_forward(&input, &weight, None, win).unwrap()))
+    });
+    let (out, saved) = conv2d_forward(&input, &weight, None, win).unwrap();
+    let d_out = Tensor::ones(out.shape());
+    c.bench_function("conv2d_bwd_8x8x12x12_k3", |bch| {
+        bch.iter(|| black_box(conv2d_backward(&d_out, &weight, &saved).unwrap()))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = Prng::new(2);
+    let x = rng.normal_tensor(&[256, 100], 0.0, 1.0);
+    c.bench_function("softmax_256x100", |bch| {
+        bch.iter(|| black_box(softmax_rows(&x).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_softmax);
+criterion_main!(benches);

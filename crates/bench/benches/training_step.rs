@@ -1,0 +1,96 @@
+//! Criterion micro-benchmark: one full forward/backward/update step for
+//! each model family — the systems-level throughput numbers behind the
+//! experiment-scale choices documented in DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rex_autograd::Graph;
+use rex_nn::{MicroResNet, Mlp, Module, TinyTransformer, TransformerConfig, Vae};
+use rex_optim::{Optimizer, Sgd};
+use rex_tensor::Prng;
+
+fn bench_resnet_step(c: &mut Criterion) {
+    let model = MicroResNet::rn20_analog(10, 0);
+    let mut rng = Prng::new(1);
+    let x = rng.normal_tensor(&[32, 3, 12, 12], 0.0, 1.0);
+    let targets: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    let mut opt = Sgd::new(model.params(), 0.1).with_momentum(0.9);
+    c.bench_function("train_step_micro_resnet20_b32", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            let mut g = Graph::new(true);
+            let xn = g.constant(x.clone());
+            let logits = model.forward(&mut g, xn).unwrap();
+            let loss = g.cross_entropy(logits, &targets).unwrap();
+            g.backward(loss).unwrap();
+            opt.step();
+            black_box(())
+        })
+    });
+}
+
+fn bench_mlp_step(c: &mut Criterion) {
+    let mut rng = Prng::new(2);
+    let model = Mlp::new("m", &[128, 256, 10], &mut rng);
+    let x = rng.normal_tensor(&[64, 128], 0.0, 1.0);
+    let targets: Vec<usize> = (0..64).map(|i| i % 10).collect();
+    let mut opt = Sgd::new(model.params(), 0.1);
+    c.bench_function("train_step_mlp_128_256_10_b64", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            let mut g = Graph::new(true);
+            let xn = g.constant(x.clone());
+            let logits = model.forward(&mut g, xn).unwrap();
+            let loss = g.cross_entropy(logits, &targets).unwrap();
+            g.backward(loss).unwrap();
+            opt.step();
+            black_box(())
+        })
+    });
+}
+
+fn bench_vae_step(c: &mut Criterion) {
+    let vae = Vae::new(144, 64, 8, 0);
+    let mut rng = Prng::new(3);
+    let x = rng.uniform_tensor(&[32, 144], 0.0, 1.0);
+    let mut opt = Sgd::new(vae.params(), 0.01);
+    c.bench_function("train_step_vae_144_b32", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            let mut g = Graph::new(true);
+            let loss = vae.elbo(&mut g, &x).unwrap();
+            g.backward(loss).unwrap();
+            opt.step();
+            black_box(())
+        })
+    });
+}
+
+fn bench_transformer_step(c: &mut Criterion) {
+    let cfg = TransformerConfig::default();
+    let tf = TinyTransformer::new(cfg, 0);
+    let tokens: Vec<usize> = (0..16 * cfg.seq_len)
+        .map(|i| 2 + i % (cfg.vocab - 2))
+        .collect();
+    let targets = tokens.clone();
+    let mut opt = Sgd::new(tf.params(), 0.01);
+    c.bench_function("train_step_transformer_b16", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            let mut g = Graph::new(true);
+            let logits = tf.lm_logits(&mut g, &tokens, 16).unwrap();
+            let loss = g.cross_entropy(logits, &targets).unwrap();
+            g.backward(loss).unwrap();
+            opt.step();
+            black_box(())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_resnet_step,
+    bench_mlp_step,
+    bench_vae_step,
+    bench_transformer_step
+);
+criterion_main!(benches);

@@ -1,0 +1,309 @@
+//! # rex-bench — experiment harness shared by the per-table binaries
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the REX
+//! paper (see DESIGN.md §4 for the index). This library holds the pieces
+//! they share: CLI parsing ([`Args`]), experiment scales ([`ScaleKind`]),
+//! the schedule-grid runner ([`run_schedule_grid`]), and the markdown
+//! emission helpers.
+//!
+//! Binaries accept:
+//!
+//! ```text
+//! --scale smoke|fast|full   experiment size (default fast)
+//! --out <dir>               directory for CSV records (default results/)
+//! --trials <n>              override the trial count
+//! --seed <s>                override the base seed
+//! ```
+//!
+//! `smoke` finishes in seconds (CI sanity), `fast` reproduces the paper's
+//! qualitative shape on a single CPU core in minutes, and `full` uses the
+//! largest analogue sizes (hours on one core).
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use rex_core::ScheduleSpec;
+use rex_eval::ranking::SettingResult;
+use rex_eval::stats::Summary;
+use rex_eval::store::Record;
+use rex_eval::table;
+use rex_train::{Budget, OptimizerKind};
+
+/// Experiment size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleKind {
+    /// Seconds: sanity only.
+    Smoke,
+    /// Minutes on one core: the recorded reproduction scale.
+    Fast,
+    /// The largest analogue sizes.
+    Full,
+}
+
+impl ScaleKind {
+    /// Parses `smoke|fast|full`.
+    pub fn parse(s: &str) -> Option<ScaleKind> {
+        match s {
+            "smoke" => Some(ScaleKind::Smoke),
+            "fast" => Some(ScaleKind::Fast),
+            "full" => Some(ScaleKind::Full),
+            _ => None,
+        }
+    }
+
+    /// Picks one of three values by scale.
+    pub fn pick<T>(&self, smoke: T, fast: T, full: T) -> T {
+        match self {
+            ScaleKind::Smoke => smoke,
+            ScaleKind::Fast => fast,
+            ScaleKind::Full => full,
+        }
+    }
+}
+
+/// Parsed command-line arguments common to every experiment binary.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Selected experiment scale.
+    pub scale: ScaleKind,
+    /// Output directory for CSV records.
+    pub out: PathBuf,
+    /// Trial-count override.
+    pub trials: Option<usize>,
+    /// Base-seed override.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Args {
+        let mut scale = ScaleKind::Fast;
+        let mut out = PathBuf::from("results");
+        let mut trials = None;
+        let mut seed = 0u64;
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let need_value = |i: usize| {
+                argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("missing value for {}", argv[i]);
+                    std::process::exit(2);
+                })
+            };
+            match argv[i].as_str() {
+                "--scale" => {
+                    let v = need_value(i);
+                    scale = ScaleKind::parse(&v).unwrap_or_else(|| {
+                        eprintln!("bad scale {v:?}; expected smoke|fast|full");
+                        std::process::exit(2);
+                    });
+                    i += 2;
+                }
+                "--out" => {
+                    out = PathBuf::from(need_value(i));
+                    i += 2;
+                }
+                "--trials" => {
+                    trials = Some(need_value(i).parse().unwrap_or_else(|_| {
+                        eprintln!("bad trial count");
+                        std::process::exit(2);
+                    }));
+                    i += 2;
+                }
+                "--seed" => {
+                    seed = need_value(i).parse().unwrap_or_else(|_| {
+                        eprintln!("bad seed");
+                        std::process::exit(2);
+                    });
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Args {
+            scale,
+            out,
+            trials,
+            seed,
+        }
+    }
+}
+
+/// The schedules a classification/VAE table compares, in the paper's row
+/// order (including the bare-optimizer "None" row).
+pub fn table_schedules(plateau_patience: u32) -> Vec<ScheduleSpec> {
+    let mut v = vec![ScheduleSpec::None];
+    v.extend(rex_core::all_paper_schedules(plateau_patience));
+    v
+}
+
+/// One cell's inputs, passed to the grid runner's cell function.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Schedule under test.
+    pub schedule: ScheduleSpec,
+    /// Optimizer family.
+    pub optimizer: OptimizerKind,
+    /// The budget for this cell.
+    pub budget: Budget,
+    /// Trial index.
+    pub trial: usize,
+    /// Seed for this (cell, trial).
+    pub seed: u64,
+}
+
+/// Runs a full schedule × budget grid for one setting/optimizer pair and
+/// returns flat records. `cell_fn` trains one cell and returns the metric.
+///
+/// Progress is streamed to stderr so long runs are observable.
+#[allow(clippy::too_many_arguments)]
+pub fn run_schedule_grid(
+    setting: &str,
+    optimizer: OptimizerKind,
+    schedules: &[ScheduleSpec],
+    budgets: &[Budget],
+    trials: usize,
+    base_seed: u64,
+    lower_is_better: bool,
+    mut cell_fn: impl FnMut(&Cell) -> f64,
+) -> Vec<Record> {
+    let mut records = Vec::new();
+    for schedule in schedules {
+        for budget in budgets {
+            for trial in 0..trials {
+                let cell = Cell {
+                    schedule: schedule.clone(),
+                    optimizer,
+                    budget: *budget,
+                    trial,
+                    seed: base_seed
+                        ^ (trial as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ ((budget.pct() as u64) << 32),
+                };
+                let t0 = std::time::Instant::now();
+                let score = cell_fn(&cell);
+                eprintln!(
+                    "[{setting}/{}] {} @ {}: trial {} -> {:.2} ({:.1?})",
+                    optimizer.name(),
+                    schedule.name(),
+                    budget,
+                    trial,
+                    score,
+                    t0.elapsed()
+                );
+                records.push(Record {
+                    setting: setting.to_string(),
+                    optimizer: optimizer.name().to_string(),
+                    schedule: schedule.name(),
+                    budget_pct: budget.pct(),
+                    trial: trial as u32,
+                    score,
+                    lower_is_better,
+                });
+            }
+        }
+    }
+    records
+}
+
+/// Prints a paper-style table (rows = schedules, columns = budgets) from
+/// flat records, marking Top-1 bold and Top-3 italic per column.
+pub fn print_budget_table(title: &str, records: &[Record], budgets: &[Budget]) {
+    use std::collections::BTreeMap;
+    println!("\n## {title}\n");
+    let mut optimizers: Vec<String> = records.iter().map(|r| r.optimizer.clone()).collect();
+    optimizers.sort();
+    optimizers.dedup();
+    for opt in optimizers {
+        let recs: Vec<&Record> = records.iter().filter(|r| r.optimizer == opt).collect();
+        let mut schedules: Vec<String> = Vec::new();
+        for r in &recs {
+            if !schedules.contains(&r.schedule) {
+                schedules.push(r.schedule.clone());
+            }
+        }
+        let lower = recs.first().map(|r| r.lower_is_better).unwrap_or(true);
+        let mut headers = vec![opt.clone()];
+        headers.extend(budgets.iter().map(|b| format!("{}%", b.pct())));
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut cols: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        for sched in &schedules {
+            let mut row = vec![sched.clone()];
+            for (ci, b) in budgets.iter().enumerate() {
+                let vals: Vec<f64> = recs
+                    .iter()
+                    .filter(|r| r.schedule == *sched && r.budget_pct == b.pct())
+                    .map(|r| r.score)
+                    .collect();
+                let summary = Summary::of(&vals);
+                cols.entry(ci + 1).or_default().push(summary.mean);
+                row.push(format!("{summary}"));
+            }
+            rows.push(row);
+        }
+        for (ci, values) in cols {
+            table::mark_best_per_column(&mut rows, ci, &values, lower);
+        }
+        println!("{}", table::markdown(&headers, &rows));
+    }
+}
+
+/// Converts records into per-cell [`SettingResult`]s (convenience for the
+/// aggregate binaries).
+pub fn records_to_cells(records: &[Record]) -> Vec<SettingResult> {
+    rex_eval::store::to_setting_results(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse_and_pick() {
+        assert_eq!(ScaleKind::parse("smoke"), Some(ScaleKind::Smoke));
+        assert_eq!(ScaleKind::parse("fast"), Some(ScaleKind::Fast));
+        assert_eq!(ScaleKind::parse("huge"), None);
+        assert_eq!(ScaleKind::Fast.pick(1, 2, 3), 2);
+    }
+
+    #[test]
+    fn grid_runner_covers_all_cells() {
+        let budgets = vec![Budget::new(100, 1), Budget::new(100, 100)];
+        let schedules = vec![ScheduleSpec::Rex, ScheduleSpec::Linear];
+        let records = run_schedule_grid(
+            "TEST",
+            OptimizerKind::sgdm(),
+            &schedules,
+            &budgets,
+            2,
+            0,
+            true,
+            |cell| cell.budget.pct() as f64 + cell.trial as f64,
+        );
+        assert_eq!(records.len(), 2 * 2 * 2);
+        let trial_scores: Vec<f64> = records
+            .iter()
+            .filter(|r| r.schedule == "REX" && r.budget_pct == 1)
+            .map(|r| r.score)
+            .collect();
+        assert_eq!(trial_scores, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn table_schedules_include_none_row() {
+        let s = table_schedules(5);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0].name(), "None");
+        assert_eq!(s[7].name(), "REX");
+    }
+}

@@ -1,0 +1,321 @@
+//! Subcommand implementations.
+
+use rex_core::{all_paper_schedules, ScheduleSpec};
+use rex_data::digits::synth_digits;
+use rex_data::images::{synth_cifar10, synth_cifar100, synth_stl10};
+use rex_data::ClassificationDataset;
+use rex_eval::table;
+use rex_train::range_test::lr_range_test;
+use rex_train::tasks::{run_image_cell, run_vae_cell, ImageModel};
+use rex_train::Budget;
+
+use crate::args::{parse_optimizer, parse_schedule, Flags};
+
+/// A CLI-selectable experimental setting.
+enum Setting {
+    Image {
+        name: &'static str,
+        model: ImageModel,
+        data: ClassificationDataset,
+        max_epochs: usize,
+        lr_scale: f32,
+    },
+    Vae {
+        max_epochs: usize,
+    },
+}
+
+fn load_setting(name: &str, seed: u64) -> Result<Setting, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "rn20-cifar10" => Setting::Image {
+            name: "RN20-CIFAR10",
+            model: ImageModel::MicroResNet20,
+            data: synth_cifar10(40, 15, seed ^ 0x7AB4),
+            max_epochs: 24,
+            lr_scale: 1.0,
+        },
+        "rn38-cifar10" => Setting::Image {
+            name: "RN38-CIFAR10",
+            model: ImageModel::MicroResNet38,
+            data: synth_cifar10(40, 15, seed ^ 0x7AB4),
+            max_epochs: 24,
+            lr_scale: 1.0,
+        },
+        "wrn-stl10" => Setting::Image {
+            name: "WRN-STL10",
+            model: ImageModel::MicroWide(2),
+            data: synth_stl10(25, 10, seed ^ 0x57110),
+            max_epochs: 20,
+            lr_scale: 1.0,
+        },
+        "vgg16-cifar100" => Setting::Image {
+            name: "VGG16-CIFAR100",
+            model: ImageModel::MicroVgg(12),
+            data: synth_cifar100(20, 30, 10, seed ^ 0xC1F100),
+            max_epochs: 40,
+            lr_scale: 0.1,
+        },
+        "vae-mnist" => Setting::Vae { max_epochs: 200 },
+        other => return Err(format!("unknown setting {other:?} (see rexctl help)")),
+    })
+}
+
+/// `rexctl schedules`
+pub fn schedules() -> i32 {
+    println!("Schedules evaluated in the paper (Tables 4-11):");
+    for spec in std::iter::once(ScheduleSpec::None).chain(all_paper_schedules(2)) {
+        let mut s = spec.build();
+        println!(
+            "  {:<18} factor at 0/50/100%: {:.3} / {:.3} / {:.3}",
+            spec.name(),
+            s.factor(0, 100),
+            s.factor(50, 100),
+            s.factor(100, 100)
+        );
+    }
+    println!("\nExtensions (cited in the paper's related work):");
+    for spec in [
+        ScheduleSpec::CosineRestarts(3, 2.0),
+        ScheduleSpec::Cyclical(3),
+        ScheduleSpec::InverseSqrt(0.1),
+        ScheduleSpec::RexBeta(0.25),
+        ScheduleSpec::Delayed(Box::new(ScheduleSpec::Linear), 0.5),
+    ] {
+        let mut s = spec.build();
+        println!(
+            "  {:<18} factor at 0/50/100%: {:.3} / {:.3} / {:.3}",
+            spec.name(),
+            s.factor(0, 100),
+            s.factor(50, 100),
+            s.factor(100, 100)
+        );
+    }
+    0
+}
+
+/// `rexctl curve --schedule rex [--points N] [--budget-steps T]`
+pub fn curve(argv: &[String]) -> i32 {
+    match curve_inner(argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn curve_inner(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv)?;
+    let spec = parse_schedule(flags.require("schedule")?)?;
+    let points: u64 = flags.get_or("points", 50u64)?;
+    let total: u64 = flags.get_or("budget-steps", 1000u64)?;
+    let mut sched = spec.build();
+    println!("progress,factor");
+    for i in 0..=points {
+        let t = i * total / points.max(1);
+        println!("{:.4},{:.6}", t as f64 / total as f64, sched.factor(t, total));
+    }
+    Ok(())
+}
+
+/// `rexctl train --setting rn20-cifar10 --budget 10 --schedule rex`
+pub fn train(argv: &[String]) -> i32 {
+    match train_inner(argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn train_inner(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv)?;
+    let seed: u64 = flags.get_or("seed", 0u64)?;
+    let setting = load_setting(flags.require("setting")?, seed)?;
+    let budget_pct: u32 = flags.get_or("budget", 100u32)?;
+    if !(1..=100).contains(&budget_pct) {
+        return Err(format!("--budget must be 1..=100 (percent), got {budget_pct}"));
+    }
+    let spec = parse_schedule(flags.get("schedule").unwrap_or("rex"))?;
+    let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
+
+    let t0 = std::time::Instant::now();
+    match setting {
+        Setting::Image {
+            name,
+            model,
+            data,
+            max_epochs,
+            lr_scale,
+        } => {
+            let budget = Budget::new(max_epochs, budget_pct);
+            let lr: f32 = flags.get_or("lr", optimizer.default_lr() * lr_scale)?;
+            let err = run_image_cell(
+                model,
+                &data,
+                budget.epochs(),
+                32,
+                optimizer,
+                spec.clone(),
+                lr,
+                seed,
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "{name} | {} | {} | budget {budget} | lr {lr} -> test error {err:.2}%  ({:.1?})",
+                optimizer.name(),
+                spec.name(),
+                t0.elapsed()
+            );
+        }
+        Setting::Vae { max_epochs } => {
+            let budget = Budget::new(max_epochs, budget_pct);
+            let lr: f32 = flags.get_or("lr", 1e-2f32)?;
+            let train = synth_digits(400, 12, seed ^ 0xD161);
+            let test = synth_digits(150, 12, seed ^ 0xD162);
+            let loss = run_vae_cell(
+                &train,
+                &test,
+                budget.epochs(),
+                8,
+                optimizer,
+                spec.clone(),
+                lr,
+                seed,
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "VAE-MNIST | {} | {} | budget {budget} | lr {lr} -> test loss {loss:.2}  ({:.1?})",
+                optimizer.name(),
+                spec.name(),
+                t0.elapsed()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `rexctl sweep --setting rn20-cifar10 --budgets 5,25,100`
+pub fn sweep(argv: &[String]) -> i32 {
+    match sweep_inner(argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn sweep_inner(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv)?;
+    let seed: u64 = flags.get_or("seed", 0u64)?;
+    let setting = load_setting(flags.require("setting")?, seed)?;
+    let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
+    let budgets: Vec<u32> = flags
+        .get("budgets")
+        .unwrap_or("5,25,100")
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad budget {s:?}")))
+        .collect::<Result<_, _>>()?;
+    if let Some(&bad) = budgets.iter().find(|b| !(1..=100).contains(*b)) {
+        return Err(format!("budgets must be 1..=100 (percent), got {bad}"));
+    }
+    let schedules: Vec<ScheduleSpec> = match flags.get("schedules") {
+        Some(list) => list
+            .split(',')
+            .map(|s| parse_schedule(s.trim()))
+            .collect::<Result<_, _>>()?,
+        None => {
+            let mut v = vec![ScheduleSpec::None];
+            v.extend(all_paper_schedules(2));
+            v
+        }
+    };
+
+    let (name, model, data, max_epochs, lr_scale) = match setting {
+        Setting::Image {
+            name,
+            model,
+            data,
+            max_epochs,
+            lr_scale,
+        } => (name, model, data, max_epochs, lr_scale),
+        Setting::Vae { .. } => return Err("sweep supports image settings; use `train` for the VAE".into()),
+    };
+
+    let mut headers = vec![format!("{name} ({})", optimizer.name())];
+    headers.extend(budgets.iter().map(|b| format!("{b}%")));
+    let mut rows = Vec::new();
+    let mut col_values: Vec<Vec<f64>> = vec![Vec::new(); budgets.len()];
+    for spec in &schedules {
+        let mut row = vec![spec.name()];
+        for (ci, &pct) in budgets.iter().enumerate() {
+            let budget = Budget::new(max_epochs, pct);
+            let err = run_image_cell(
+                model,
+                &data,
+                budget.epochs(),
+                32,
+                optimizer,
+                spec.clone(),
+                optimizer.default_lr() * lr_scale,
+                seed,
+            )
+            .map_err(|e| e.to_string())?;
+            eprintln!("{} @ {budget}: {err:.2}", spec.name());
+            col_values[ci].push(err);
+            row.push(format!("{err:.2}"));
+        }
+        rows.push(row);
+    }
+    for (ci, values) in col_values.iter().enumerate() {
+        table::mark_best_per_column(&mut rows, ci + 1, values, true);
+    }
+    println!("{}", table::markdown(&headers, &rows));
+    Ok(())
+}
+
+/// `rexctl range-test --setting rn20-cifar10`
+pub fn range_test(argv: &[String]) -> i32 {
+    match range_test_inner(argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn range_test_inner(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv)?;
+    let seed: u64 = flags.get_or("seed", 0u64)?;
+    let setting = load_setting(flags.require("setting")?, seed)?;
+    let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
+    let (name, model, data) = match setting {
+        Setting::Image {
+            name, model, data, ..
+        } => (name, model, data),
+        Setting::Vae { .. } => return Err("range-test supports image settings".into()),
+    };
+    let built = model.build(data.num_classes, seed);
+    let result = lr_range_test(
+        built.as_ref(),
+        &data.train_images,
+        &data.train_labels,
+        optimizer,
+        1e-4,
+        10.0,
+        120,
+        32,
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{name} ({}) range test:", optimizer.name());
+    println!("  suggested initial LR: {:.4}", result.suggested_lr);
+    if let Some(d) = result.diverged_at {
+        println!("  diverged at LR {d:.4}");
+    }
+    println!("  curve points: {}", result.curve.len());
+    Ok(())
+}

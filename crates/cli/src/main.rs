@@ -1,0 +1,64 @@
+//! `rexctl` — command-line interface for the REX budgeted-training library.
+//!
+//! ```text
+//! rexctl schedules                         list every available schedule
+//! rexctl curve --schedule rex --points 20  print a schedule's LR curve
+//! rexctl train --setting rn20-cifar10 --budget 10 --schedule rex
+//! rexctl sweep --setting rn20-cifar10 --budgets 5,25,100
+//! rexctl range-test --setting rn20-cifar10
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("schedules") => commands::schedules(),
+        Some("curve") => commands::curve(&argv[1..]),
+        Some("train") => commands::train(&argv[1..]),
+        Some("sweep") => commands::sweep(&argv[1..]),
+        Some("range-test") => commands::range_test(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "rexctl — budgeted training with the REX schedule
+
+USAGE:
+  rexctl schedules
+      List every schedule the library implements.
+
+  rexctl curve --schedule <NAME> [--points N] [--budget-steps T]
+      Print a schedule's LR-multiplier curve as CSV (progress,factor).
+
+  rexctl train --setting <SETTING> [--budget PCT] [--schedule NAME]
+               [--optimizer sgdm|adam] [--lr LR] [--seed S]
+      Train one budgeted cell and print the final metric.
+
+  rexctl sweep --setting <SETTING> [--budgets 1,5,10,25,50,100]
+               [--schedules rex,linear,...] [--optimizer sgdm|adam]
+      Run a schedule x budget mini-grid and print a markdown table.
+
+  rexctl range-test --setting <SETTING> [--optimizer sgdm|adam]
+      Run an LR range test and print the suggested initial LR.
+
+SETTINGS:
+  rn20-cifar10 | rn38-cifar10 | wrn-stl10 | vgg16-cifar100 | vae-mnist
+
+SCHEDULES (case-insensitive):
+  none, rex, linear, cosine, step, exp, onecycle, plateau,
+  sgdr, triangular, inverse-sqrt, rex-beta=<B>, delayed-linear=<F>"
+    );
+}

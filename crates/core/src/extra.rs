@@ -1,0 +1,282 @@
+//! Additional widely-implemented schedules referenced by the paper's
+//! related-work section (§2): SGDR cosine annealing with warm restarts
+//! (Loshchilov & Hutter), triangular cyclical learning rates (Smith 2017),
+//! and the inverse-square-root schedule popularised by the original
+//! Transformer recipe.
+//!
+//! These are not part of the paper's main comparison (its Table 4–11 grids
+//! use the non-restarting cosine), but a schedule library without them
+//! would be incomplete; the ablation benches exercise them.
+
+use crate::schedule::{progress, Schedule};
+
+/// **SGDR**: cosine annealing with warm restarts.
+///
+/// The budget is divided into cycles; within each cycle the factor follows
+/// a half-cosine from 1 to `floor`, then *restarts* at 1. Each subsequent
+/// cycle is `t_mult` times longer than the previous (the paper's cited
+/// configuration uses `t_mult = 2`).
+///
+/// ```
+/// use rex_core::{CosineRestarts, Schedule};
+///
+/// let mut s = CosineRestarts::new(4, 1.0, 0.0);
+/// assert!((s.factor(0, 1000) - 1.0).abs() < 1e-9);
+/// // a restart boundary jumps back to the initial LR
+/// let before = s.factor(249, 1000);
+/// let after = s.factor(250, 1000);
+/// assert!(after > before);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosineRestarts {
+    cycles: u32,
+    floor: f64,
+    /// Cycle boundaries as fractions of the budget, precomputed at
+    /// construction so the per-iteration factor() stays allocation-free.
+    boundaries: Vec<f64>,
+}
+
+impl CosineRestarts {
+    /// `cycles` restarts over the budget; each cycle `t_mult`× the length
+    /// of the previous; LR floor as a fraction of the initial LR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`, `t_mult < 1`, or `floor` outside `[0, 1)`.
+    pub fn new(cycles: u32, t_mult: f64, floor: f64) -> Self {
+        assert!(cycles > 0, "need at least one cycle");
+        assert!(t_mult >= 1.0, "t_mult must be >= 1, got {t_mult}");
+        assert!((0.0..1.0).contains(&floor), "floor must be in [0,1)");
+        // lengths 1, m, m^2, ... normalised to sum 1
+        let lengths: Vec<f64> = (0..cycles).map(|i| t_mult.powi(i as i32)).collect();
+        let total: f64 = lengths.iter().sum();
+        let mut acc = 0.0;
+        let mut boundaries = Vec::with_capacity(cycles as usize + 1);
+        boundaries.push(0.0);
+        for l in lengths {
+            acc += l / total;
+            boundaries.push(acc);
+        }
+        CosineRestarts {
+            cycles,
+            floor,
+            boundaries,
+        }
+    }
+
+    /// Cycle boundaries as fractions of the budget.
+    fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+}
+
+impl Schedule for CosineRestarts {
+    fn factor(&mut self, t: u64, total: u64) -> f64 {
+        let x = progress(t, total);
+        let bounds: &[f64] = self.boundaries();
+        // find the enclosing cycle
+        let mut cycle = 0;
+        for (i, &start) in bounds.iter().enumerate().take(bounds.len() - 1) {
+            if x >= start {
+                cycle = i;
+            }
+        }
+        let (start, end) = (bounds[cycle], bounds[cycle + 1]);
+        let local = if end > start {
+            ((x - start) / (end - start)).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        self.floor + (1.0 - self.floor) * 0.5 * (1.0 + (std::f64::consts::PI * local).cos())
+    }
+
+    fn name(&self) -> String {
+        format!("SGDR(x{})", self.cycles)
+    }
+}
+
+/// **Cyclical learning rate** (triangular policy, Smith 2017): the factor
+/// oscillates linearly between `floor` and 1, `cycles` times over the
+/// budget, optionally with amplitude decay (`triangular2` halves the
+/// amplitude each cycle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cyclical {
+    cycles: u32,
+    floor: f64,
+    halve_amplitude: bool,
+}
+
+impl Cyclical {
+    /// Triangular policy with constant amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0` or `floor` outside `[0, 1)`.
+    pub fn triangular(cycles: u32, floor: f64) -> Self {
+        assert!(cycles > 0, "need at least one cycle");
+        assert!((0.0..1.0).contains(&floor), "floor must be in [0,1)");
+        Cyclical {
+            cycles,
+            floor,
+            halve_amplitude: false,
+        }
+    }
+
+    /// The `triangular2` variant: amplitude halves each cycle.
+    pub fn triangular2(cycles: u32, floor: f64) -> Self {
+        let mut c = Cyclical::triangular(cycles, floor);
+        c.halve_amplitude = true;
+        c
+    }
+}
+
+impl Schedule for Cyclical {
+    fn factor(&mut self, t: u64, total: u64) -> f64 {
+        let x = progress(t, total);
+        let pos = (x * self.cycles as f64).min(self.cycles as f64 - 1e-12);
+        let cycle = pos.floor() as u32;
+        let local = pos - cycle as f64; // [0,1) within cycle
+        let tri = if local < 0.5 { 2.0 * local } else { 2.0 * (1.0 - local) };
+        let amplitude = if self.halve_amplitude {
+            (1.0 - self.floor) / 2f64.powi(cycle as i32)
+        } else {
+            1.0 - self.floor
+        };
+        self.floor + amplitude * tri
+    }
+
+    fn name(&self) -> String {
+        if self.halve_amplitude {
+            format!("Triangular2(x{})", self.cycles)
+        } else {
+            format!("Triangular(x{})", self.cycles)
+        }
+    }
+}
+
+/// **Inverse-square-root** decay with linear warmup — the classic
+/// Transformer recipe, budget-normalised: after warming up over
+/// `warmup_frac` of the budget, the factor decays as
+/// `sqrt(warmup_frac / x)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InverseSqrt {
+    warmup_frac: f64,
+}
+
+impl InverseSqrt {
+    /// Warmup over the given fraction of the budget (e.g. 0.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup_frac` is outside `(0, 1)`.
+    pub fn new(warmup_frac: f64) -> Self {
+        assert!(
+            warmup_frac > 0.0 && warmup_frac < 1.0,
+            "warmup fraction must be in (0,1), got {warmup_frac}"
+        );
+        InverseSqrt { warmup_frac }
+    }
+}
+
+impl Schedule for InverseSqrt {
+    fn factor(&mut self, t: u64, total: u64) -> f64 {
+        let x = progress(t, total);
+        if x < self.warmup_frac {
+            x / self.warmup_frac
+        } else {
+            (self.warmup_frac / x).sqrt()
+        }
+    }
+
+    fn name(&self) -> String {
+        "InverseSqrt".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgdr_restarts_jump_back_up() {
+        let mut s = CosineRestarts::new(4, 1.0, 0.0);
+        // equal cycles at 0-.25-.5-.75-1
+        let end_of_first = s.factor(249, 1000);
+        let start_of_second = s.factor(251, 1000);
+        assert!(end_of_first < 0.05, "cycle should anneal to ~0: {end_of_first}");
+        assert!(start_of_second > 0.9, "restart should jump to ~1: {start_of_second}");
+    }
+
+    #[test]
+    fn sgdr_t_mult_lengthens_cycles() {
+        let s = CosineRestarts::new(3, 2.0, 0.0);
+        let b = s.boundaries();
+        // lengths 1,2,4 normalised: boundaries at 1/7, 3/7, 1
+        assert!((b[1] - 1.0 / 7.0).abs() < 1e-12);
+        assert!((b[2] - 3.0 / 7.0).abs() < 1e-12);
+        assert!((b[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sgdr_respects_floor() {
+        let mut s = CosineRestarts::new(2, 1.0, 0.1);
+        for t in 0..=100 {
+            let f = s.factor(t, 100);
+            assert!(f >= 0.1 - 1e-12 && f <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_cycle_sgdr_equals_cosine() {
+        use crate::profile::{Cosine, Profile};
+        let mut s = CosineRestarts::new(1, 1.0, 0.0);
+        for t in [0u64, 25, 50, 75, 100] {
+            let expected = Cosine.at(t as f64 / 100.0);
+            assert!((s.factor(t, 100) - expected).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn triangular_oscillates() {
+        let mut s = Cyclical::triangular(2, 0.0);
+        assert!(s.factor(0, 100) < 0.05);
+        assert!((s.factor(25, 100) - 1.0).abs() < 0.05); // first peak
+        assert!(s.factor(50, 100) < 0.05); // first trough
+        assert!((s.factor(75, 100) - 1.0).abs() < 0.05); // second peak
+    }
+
+    #[test]
+    fn triangular2_amplitude_halves() {
+        let mut s = Cyclical::triangular2(2, 0.0);
+        let first_peak = s.factor(25, 100);
+        let second_peak = s.factor(75, 100);
+        assert!((first_peak - 1.0).abs() < 0.05);
+        assert!((second_peak - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn inverse_sqrt_warms_then_decays() {
+        let mut s = InverseSqrt::new(0.1);
+        assert!(s.factor(0, 1000) < 0.02);
+        assert!((s.factor(100, 1000) - 1.0).abs() < 0.02); // end of warmup
+        let quarter = s.factor(400, 1000);
+        assert!((quarter - (0.1f64 / 0.4).sqrt()).abs() < 0.01);
+        // monotone decreasing after warmup
+        assert!(s.factor(900, 1000) < quarter);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_cycles_rejected() {
+        let _ = CosineRestarts::new(0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(
+            Cyclical::triangular(4, 0.0).name(),
+            Cyclical::triangular2(4, 0.0).name()
+        );
+        assert_eq!(CosineRestarts::new(2, 2.0, 0.0).name(), "SGDR(x2)");
+    }
+}

@@ -1,0 +1,64 @@
+//! # rex-core — the REX schedule and the profile × sampling-rate framework
+//!
+//! This crate is the Rust reproduction of the primary contribution of
+//! *"REX: Revisiting Budgeted Training with an Improved Schedule"*
+//! (Chen, Wolfe, Kyrillidis — MLSys 2022).
+//!
+//! The paper frames a learning-rate schedule as the combination of
+//!
+//! 1. a **[`Profile`]** — a continuous curve `p : [0,1] → [0,1]` giving the
+//!    learning-rate *multiplier* as a function of training progress, and
+//! 2. a **[`SamplingRate`]** — how often the multiplier is re-sampled from
+//!    the profile (every iteration, every k % of the budget, or at a fixed
+//!    set of knots such as the classic 50–75 step points).
+//!
+//! Any profile composes with any sampling rate via [`SampledProfile`], which
+//! is exactly the experiment of the paper's Table 2. The paper's proposal is
+//! the **Reflected Exponential (REX)** profile
+//!
+//! ```text
+//! p(x) = (1 − x) / (1/2 + 1/2·(1 − x))
+//! ```
+//!
+//! sampled every iteration ([`ScheduleSpec::Rex`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rex_core::ScheduleSpec;
+//!
+//! // Budget-aware REX schedule over 1000 iterations, initial LR 0.1:
+//! let mut sched = ScheduleSpec::Rex.build();
+//! let total = 1000;
+//! let lr0 = 0.1;
+//! let lr_start = lr0 * sched.factor(0, total) as f32;
+//! let lr_end = lr0 * sched.factor(999, total) as f32;
+//! assert!((lr_start - 0.1).abs() < 1e-6);
+//! assert!(lr_end < 0.001);
+//! ```
+//!
+//! The schedule only ever sees the *budgeted* horizon `total`: exactly as in
+//! the paper, a 1 % budget decays to ~0 just like a 100 % budget, only 100×
+//! faster.
+
+#![warn(missing_docs)]
+
+mod extra;
+mod onecycle;
+mod plateau;
+pub mod profile;
+pub mod sampling;
+mod schedule;
+mod spec;
+mod wrappers;
+
+pub use extra::{CosineRestarts, Cyclical, InverseSqrt};
+pub use onecycle::OneCycle;
+pub use plateau::DecayOnPlateau;
+pub use profile::{
+    Constant, Cosine, Exponential, Linear, Polynomial, Profile, ReflectedExponential,
+};
+pub use sampling::SamplingRate;
+pub use schedule::{SampledProfile, Schedule, StepSchedule};
+pub use spec::{all_paper_schedules, ParseScheduleError, ScheduleSpec, Table2Profile};
+pub use wrappers::{DelayedDecay, Warmup};

@@ -1,0 +1,142 @@
+//! The OneCycle schedule (Smith, 2018), driving both LR and momentum.
+
+use crate::schedule::{progress, Schedule};
+
+/// The **OneCycle** schedule: the LR ramps linearly from `η_max·0.1` to
+/// `η_max` over the first half of the budget and back down over the second
+/// half, while the momentum moves inversely between `β_max` and `β_min`.
+///
+/// Following the paper's fair-comparison protocol, the recommended defaults
+/// are fixed — `η_min = 0.1·η_max`, `β_max = 0.95`, `β_min = 0.85` — so the
+/// peak LR (`η_max`, supplied by the tuner as the initial LR) is the only
+/// hyperparameter.
+///
+/// ```
+/// use rex_core::{OneCycle, Schedule};
+///
+/// let mut oc = OneCycle::default();
+/// assert!((oc.factor(0, 100) - 0.1).abs() < 0.05);      // starts low
+/// assert!((oc.factor(50, 100) - 1.0).abs() < 0.05);     // peaks mid-budget
+/// assert!(oc.factor(99, 100) < 0.15);                   // ends low
+/// assert_eq!(oc.momentum(50, 100), Some(0.85));         // momentum dips at peak
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OneCycle {
+    lr_min_factor: f64,
+    beta_max: f64,
+    beta_min: f64,
+}
+
+impl Default for OneCycle {
+    /// The paper's recommended settings.
+    fn default() -> Self {
+        OneCycle {
+            lr_min_factor: 0.1,
+            beta_max: 0.95,
+            beta_min: 0.85,
+        }
+    }
+}
+
+impl OneCycle {
+    /// OneCycle with the paper's recommended settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the LR floor factor (`η_min / η_max`) and momentum range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ lr_min_factor ≤ 1` and `0 ≤ beta_min ≤ beta_max < 1`.
+    pub fn with_settings(lr_min_factor: f64, beta_min: f64, beta_max: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lr_min_factor),
+            "lr_min_factor must be in [0,1], got {lr_min_factor}"
+        );
+        assert!(
+            (0.0..1.0).contains(&beta_min) && beta_min <= beta_max && beta_max < 1.0,
+            "momentum range [{beta_min}, {beta_max}] invalid"
+        );
+        OneCycle {
+            lr_min_factor,
+            beta_max,
+            beta_min,
+        }
+    }
+
+    fn triangle(&self, x: f64) -> f64 {
+        // rises 0 -> 1 over [0, 1/2], falls back over [1/2, 1]
+        if x < 0.5 {
+            2.0 * x
+        } else {
+            2.0 * (1.0 - x)
+        }
+    }
+}
+
+impl Schedule for OneCycle {
+    fn factor(&mut self, t: u64, total: u64) -> f64 {
+        let tri = self.triangle(progress(t, total));
+        self.lr_min_factor + (1.0 - self.lr_min_factor) * tri
+    }
+
+    fn momentum(&mut self, t: u64, total: u64) -> Option<f64> {
+        let tri = self.triangle(progress(t, total));
+        // momentum is the mirror image: high when LR is low
+        Some(self.beta_max - (self.beta_max - self.beta_min) * tri)
+    }
+
+    fn name(&self) -> String {
+        "OneCycle".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_triangle() {
+        let mut oc = OneCycle::default();
+        let up = oc.factor(25, 100);
+        let down = oc.factor(75, 100);
+        assert!((up - down).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_at_half() {
+        let mut oc = OneCycle::default();
+        assert!((oc.factor(50, 100) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ends_at_floor() {
+        let mut oc = OneCycle::default();
+        assert!((oc.factor(100, 100) - 0.1).abs() < 1e-9);
+        assert!((oc.factor(0, 100) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn momentum_mirrors_lr() {
+        let mut oc = OneCycle::default();
+        assert_eq!(oc.momentum(0, 100), Some(0.95));
+        assert_eq!(oc.momentum(50, 100), Some(0.85));
+        assert_eq!(oc.momentum(100, 100), Some(0.95));
+    }
+
+    #[test]
+    fn momentum_always_in_range() {
+        let mut oc = OneCycle::default();
+        for t in 0..=200u64 {
+            let m = oc.momentum(t, 200).unwrap();
+            assert!((0.85..=0.95).contains(&m));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum range")]
+    fn invalid_momentum_range_panics() {
+        let _ = OneCycle::with_settings(0.1, 0.95, 0.85);
+    }
+}

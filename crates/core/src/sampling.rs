@@ -1,0 +1,200 @@
+//! **Sampling rates**: how often the learning rate is re-read from a
+//! [profile](crate::profile).
+//!
+//! A sampling rate quantises the continuous progress `x = t/T` down to the
+//! most recent *sample point*; the profile is then evaluated at that
+//! quantised progress and the value held until the next sample point. At one
+//! extreme [`SamplingRate::EveryIteration`] leaves `x` untouched (smooth
+//! schedules such as linear/REX); at the other, [`SamplingRate::knots`] with
+//! `[0.5, 0.75]` reproduces the classic "50–75" two-drop pattern.
+
+/// How frequently a profile is (re-)sampled over the budget.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplingRate {
+    /// Re-sample the profile on every iteration (maximum rate — the paper's
+    /// recommendation for REX and linear).
+    EveryIteration,
+    /// Re-sample once every `fraction` of the budget: `EveryFraction(0.1)`
+    /// is the paper's "10-10", `0.05` is "5-25", `0.01` is "1-100".
+    EveryFraction(f64),
+    /// Re-sample only when progress passes each knot (plus an implicit
+    /// sample at progress 0). `[0.5, 0.75]` is the paper's "50-75";
+    /// `[1/3, 2/3]` is "33-66"; `[0.25, 0.5, 0.75]` is "25-50-75".
+    Knots(Vec<f64>),
+}
+
+impl SamplingRate {
+    /// Builds a knot sampling rate, validating and sorting the knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any knot lies outside `(0, 1]`.
+    pub fn knots(knots: &[f64]) -> Self {
+        let mut ks = knots.to_vec();
+        for &k in &ks {
+            assert!(
+                k > 0.0 && k <= 1.0,
+                "sampling knot {k} outside (0,1]"
+            );
+        }
+        ks.sort_by(|a, b| a.partial_cmp(b).expect("finite knots"));
+        SamplingRate::Knots(ks)
+    }
+
+    /// The paper's "50-75" sampling pattern.
+    pub fn fifty_seventy_five() -> Self {
+        SamplingRate::knots(&[0.5, 0.75])
+    }
+
+    /// The paper's "33-66" sampling pattern.
+    pub fn thirds() -> Self {
+        SamplingRate::knots(&[1.0 / 3.0, 2.0 / 3.0])
+    }
+
+    /// The paper's "25-50-75" sampling pattern.
+    pub fn quarters() -> Self {
+        SamplingRate::knots(&[0.25, 0.5, 0.75])
+    }
+
+    /// Quantises progress `x ∈ [0,1]` to the most recent sample point.
+    ///
+    /// The result is always ≤ `x`, so a held learning rate never "peeks
+    /// ahead" down the profile.
+    pub fn quantize(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        match self {
+            SamplingRate::EveryIteration => x,
+            SamplingRate::EveryFraction(f) => {
+                if *f <= 0.0 {
+                    return x;
+                }
+                // the epsilon makes quantisation idempotent at floating-
+                // point boundaries (quantize(quantize(x)) == quantize(x))
+                ((x / f) + 1e-9).floor() * f
+            }
+            SamplingRate::Knots(ks) => ks
+                .iter()
+                .copied()
+                .take_while(|&k| k <= x)
+                .last()
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// Human-readable label matching the paper's table rows.
+    pub fn label(&self) -> String {
+        match self {
+            SamplingRate::EveryIteration => "Every Iteration".to_owned(),
+            SamplingRate::EveryFraction(f) => match (f * 100.0).round() as u32 {
+                10 => "10-10".to_owned(),
+                5 => "5-25".to_owned(),
+                1 => "1-100".to_owned(),
+                pct => format!("every-{pct}%"),
+            },
+            SamplingRate::Knots(ks) => {
+                let parts: Vec<String> = ks
+                    .iter()
+                    .map(|k| format!("{}", (k * 100.0).floor() as u32))
+                    .collect();
+                parts.join("-")
+            }
+        }
+    }
+
+    /// All sampling rates benchmarked in the paper's Table 2, coarsest
+    /// first.
+    pub fn table2_rates() -> Vec<SamplingRate> {
+        vec![
+            SamplingRate::fifty_seventy_five(),
+            SamplingRate::thirds(),
+            SamplingRate::quarters(),
+            SamplingRate::EveryFraction(0.10),
+            SamplingRate::EveryFraction(0.05),
+            SamplingRate::EveryFraction(0.01),
+            SamplingRate::EveryIteration,
+        ]
+    }
+}
+
+impl Default for SamplingRate {
+    /// The maximum (per-iteration) sampling rate.
+    fn default() -> Self {
+        SamplingRate::EveryIteration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_iteration_is_identity() {
+        let s = SamplingRate::EveryIteration;
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            assert_eq!(s.quantize(x), x);
+        }
+    }
+
+    #[test]
+    fn every_fraction_floors() {
+        let s = SamplingRate::EveryFraction(0.1);
+        assert_eq!(s.quantize(0.0), 0.0);
+        assert!((s.quantize(0.05) - 0.0).abs() < 1e-12);
+        assert!((s.quantize(0.19) - 0.1).abs() < 1e-12);
+        assert!((s.quantize(0.95) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knots_hold_until_passed() {
+        let s = SamplingRate::fifty_seventy_five();
+        assert_eq!(s.quantize(0.0), 0.0);
+        assert_eq!(s.quantize(0.49), 0.0);
+        assert_eq!(s.quantize(0.5), 0.5);
+        assert_eq!(s.quantize(0.74), 0.5);
+        assert_eq!(s.quantize(0.76), 0.75);
+        assert_eq!(s.quantize(1.0), 0.75);
+    }
+
+    #[test]
+    fn knots_sorted_on_construction() {
+        let s = SamplingRate::knots(&[0.75, 0.25, 0.5]);
+        assert_eq!(s, SamplingRate::Knots(vec![0.25, 0.5, 0.75]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_knot_panics() {
+        let _ = SamplingRate::knots(&[0.0]);
+    }
+
+    #[test]
+    fn quantize_never_exceeds_progress() {
+        for s in SamplingRate::table2_rates() {
+            for i in 0..=100 {
+                let x = i as f64 / 100.0;
+                assert!(
+                    s.quantize(x) <= x + 1e-12,
+                    "{} peeked ahead at x={x}",
+                    s.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SamplingRate::fifty_seventy_five().label(), "50-75");
+        assert_eq!(SamplingRate::thirds().label(), "33-66");
+        assert_eq!(SamplingRate::quarters().label(), "25-50-75");
+        assert_eq!(SamplingRate::EveryFraction(0.1).label(), "10-10");
+        assert_eq!(SamplingRate::EveryFraction(0.05).label(), "5-25");
+        assert_eq!(SamplingRate::EveryFraction(0.01).label(), "1-100");
+        assert_eq!(SamplingRate::EveryIteration.label(), "Every Iteration");
+    }
+
+    #[test]
+    fn table2_has_seven_rates() {
+        assert_eq!(SamplingRate::table2_rates().len(), 7);
+    }
+}

@@ -1,0 +1,61 @@
+use rex_tensor::Tensor;
+
+/// A supervised classification dataset with a train/test split.
+///
+/// Images are stored as one `[N, C, H, W]` tensor per split; labels are
+/// class indices. All generators in this crate return this type.
+#[derive(Debug, Clone)]
+pub struct ClassificationDataset {
+    /// Training images `[N_train, C, H, W]`.
+    pub train_images: Tensor,
+    /// Training labels, `N_train` class indices.
+    pub train_labels: Vec<usize>,
+    /// Held-out images `[N_test, C, H, W]`.
+    pub test_images: Tensor,
+    /// Held-out labels.
+    pub test_labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl ClassificationDataset {
+    /// Validates shape/label consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if label counts don't match image counts or any label is out
+    /// of range — generator bugs, not user errors.
+    pub fn new(
+        train_images: Tensor,
+        train_labels: Vec<usize>,
+        test_images: Tensor,
+        test_labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
+        assert_eq!(train_images.shape()[0], train_labels.len());
+        assert_eq!(test_images.shape()[0], test_labels.len());
+        assert!(train_labels.iter().chain(&test_labels).all(|&l| l < num_classes));
+        ClassificationDataset {
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+            num_classes,
+        }
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_labels.len()
+    }
+
+    /// Number of test samples.
+    pub fn test_len(&self) -> usize {
+        self.test_labels.len()
+    }
+
+    /// Image shape `[C, H, W]`.
+    pub fn image_shape(&self) -> &[usize] {
+        &self.train_images.shape()[1..]
+    }
+}

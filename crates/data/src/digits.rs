@@ -1,0 +1,181 @@
+//! Procedural digit glyphs — the MNIST analogue for the VAE setting.
+//!
+//! Digits 0–9 are rendered from seven-segment templates onto a small grid
+//! with per-sample translation, thickness jitter, and pixel noise, then
+//! clamped to `[0, 1]` (the Bernoulli-likelihood range the VAE expects).
+
+use rex_tensor::{Prng, Tensor};
+
+/// Seven-segment encoding of digits 0–9 (segments: top, top-left,
+/// top-right, middle, bottom-left, bottom-right, bottom).
+const SEGMENTS: [[bool; 7]; 10] = [
+    [true, true, true, false, true, true, true],    // 0
+    [false, false, true, false, false, true, false], // 1
+    [true, false, true, true, true, false, true],   // 2
+    [true, false, true, true, false, true, true],   // 3
+    [false, true, true, true, false, true, false],  // 4
+    [true, true, false, true, false, true, true],   // 5
+    [true, true, false, true, true, true, true],    // 6
+    [true, false, true, false, false, true, false], // 7
+    [true, true, true, true, true, true, true],     // 8
+    [true, true, true, true, false, true, true],    // 9
+];
+
+/// A split of flattened digit images (`[N, size*size]`, values in `[0,1]`)
+/// with their digit labels.
+#[derive(Debug, Clone)]
+pub struct DigitDataset {
+    /// Flattened images `[N, size·size]`.
+    pub images: Tensor,
+    /// Digit (0–9) of each image.
+    pub labels: Vec<usize>,
+    /// Square image side.
+    pub size: usize,
+}
+
+impl DigitDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Generates `n` digit images of side `size` (≥ 8).
+///
+/// # Panics
+///
+/// Panics if `size < 8`.
+pub fn synth_digits(n: usize, size: usize, seed: u64) -> DigitDataset {
+    assert!(size >= 8, "digit canvas must be at least 8x8");
+    let mut rng = Prng::new(seed);
+    let mut images = Vec::with_capacity(n * size * size);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let digit = rng.below(10);
+        labels.push(digit);
+        images.extend(render_digit(digit, size, &mut rng));
+    }
+    DigitDataset {
+        images: Tensor::from_vec(images, &[n, size * size]).expect("geometry consistent"),
+        labels,
+        size,
+    }
+}
+
+fn render_digit(digit: usize, size: usize, rng: &mut Prng) -> Vec<f32> {
+    let mut img = vec![0.0f32; size * size];
+    // glyph occupies a box roughly half the canvas, jittered
+    let gw = size / 2;
+    let gh = (2 * size) / 3;
+    let max_x = size - gw - 1;
+    let max_y = size - gh;
+    let ox = 1 + rng.below(max_x.max(1));
+    let oy = rng.below(max_y.max(1));
+    let seg = &SEGMENTS[digit];
+    let mid = gh / 2;
+
+    let hline = |y: usize, img: &mut Vec<f32>| {
+        for x in 0..gw {
+            set_px(img, size, ox + x, oy + y);
+        }
+    };
+    if seg[0] {
+        hline(0, &mut img);
+    }
+    if seg[3] {
+        hline(mid, &mut img);
+    }
+    if seg[6] {
+        hline(gh - 1, &mut img);
+    }
+    let vline = |x: usize, y0: usize, y1: usize, img: &mut Vec<f32>| {
+        for y in y0..y1 {
+            set_px(img, size, ox + x, oy + y);
+        }
+    };
+    if seg[1] {
+        vline(0, 0, mid, &mut img);
+    }
+    if seg[2] {
+        vline(gw - 1, 0, mid, &mut img);
+    }
+    if seg[4] {
+        vline(0, mid, gh, &mut img);
+    }
+    if seg[5] {
+        vline(gw - 1, mid, gh, &mut img);
+    }
+
+    // blur-ish thickening and noise, clamped to [0,1]
+    for v in &mut img {
+        *v = (*v + 0.08 * rng.normal()).clamp(0.0, 1.0);
+    }
+    img
+}
+
+fn set_px(img: &mut [f32], size: usize, x: usize, y: usize) {
+    if x < size && y < size {
+        img[y * size + x] = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_range() {
+        let d = synth_digits(20, 12, 0);
+        assert_eq!(d.images.shape(), &[20, 144]);
+        assert_eq!(d.len(), 20);
+        assert!(!d.is_empty());
+        assert!(d.images.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = synth_digits(10, 12, 3);
+        let b = synth_digits(10, 12, 3);
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn digits_have_ink() {
+        let d = synth_digits(50, 12, 1);
+        for i in 0..50 {
+            let row = &d.images.data()[i * 144..(i + 1) * 144];
+            let ink: f32 = row.iter().sum();
+            assert!(ink > 3.0, "digit {i} nearly blank (ink {ink})");
+        }
+    }
+
+    #[test]
+    fn all_ten_digits_appear() {
+        let d = synth_digits(300, 12, 2);
+        for digit in 0..10 {
+            assert!(d.labels.contains(&digit), "digit {digit} missing");
+        }
+    }
+
+    #[test]
+    fn eight_has_more_ink_than_one() {
+        // Structural sanity: glyph shape depends on the digit.
+        let mut rng_a = Prng::new(9);
+        let mut rng_b = Prng::new(9);
+        let eight: f32 = render_digit(8, 12, &mut rng_a).iter().sum();
+        let one: f32 = render_digit(1, 12, &mut rng_b).iter().sum();
+        assert!(eight > one);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x8")]
+    fn tiny_canvas_rejected() {
+        let _ = synth_digits(1, 4, 0);
+    }
+}

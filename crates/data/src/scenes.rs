@@ -1,0 +1,243 @@
+//! Synthetic detection scenes — the Pascal-VOC analogue.
+//!
+//! Each scene is an RGB image containing 1–3 colored geometric objects
+//! (class 0: filled square, class 1: filled disc, class 2: cross) on a
+//! textured background. Ground truth is provided both as exact boxes (for
+//! mAP evaluation) and in grid form matching the
+//! `TinyDetector` head layout: an objectness grid, box-parameter grid, and
+//! per-cell class indices.
+
+use rex_tensor::{Prng, Tensor};
+
+/// One ground-truth object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GtObject {
+    /// Class index (0..num_classes).
+    pub class: usize,
+    /// Box centre x/y and width/height in `[0, 1]` image coordinates.
+    pub cxcywh: [f32; 4],
+}
+
+/// A batch of detection scenes.
+#[derive(Debug, Clone)]
+pub struct SceneDataset {
+    /// Images `[N, 3, size, size]`.
+    pub images: Tensor,
+    /// Ground-truth objects per image.
+    pub objects: Vec<Vec<GtObject>>,
+    /// Objectness grid `[N, S, S]`.
+    pub objectness: Tensor,
+    /// Box-target grid `[N, 4, S, S]` (`tx, ty, w, h`; `tx/ty` are the
+    /// centre offsets within the cell).
+    pub boxes: Tensor,
+    /// Class per cell (`None` = background), row-major `N·S·S`.
+    pub cell_classes: Vec<Option<usize>>,
+    /// Grid side S.
+    pub grid: usize,
+    /// Number of object classes.
+    pub num_classes: usize,
+}
+
+impl SceneDataset {
+    /// Number of scenes.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// Generates `n` scenes of side `size` with a detection grid of
+/// `size/8` cells per side.
+///
+/// # Panics
+///
+/// Panics if `size` is not a positive multiple of 8.
+pub fn synth_scenes(n: usize, size: usize, seed: u64) -> SceneDataset {
+    assert!(size > 0 && size.is_multiple_of(8), "scene size must be a multiple of 8");
+    let grid = size / 8;
+    let num_classes = 3;
+    let mut rng = Prng::new(seed);
+
+    let mut images = Vec::with_capacity(n * 3 * size * size);
+    let mut objects = Vec::with_capacity(n);
+    let mut objness = Tensor::zeros(&[n, grid, grid]);
+    let mut boxes = Tensor::zeros(&[n, 4, grid, grid]);
+    let mut cell_classes = vec![None; n * grid * grid];
+
+    for i in 0..n {
+        // textured background
+        let mut img = vec![0.0f32; 3 * size * size];
+        let base: [f32; 3] = [
+            rng.uniform_in(0.1, 0.4),
+            rng.uniform_in(0.1, 0.4),
+            rng.uniform_in(0.1, 0.4),
+        ];
+        for ch in 0..3 {
+            for p in 0..size * size {
+                img[ch * size * size + p] = base[ch] + 0.08 * rng.normal();
+            }
+        }
+
+        let count = 1 + rng.below(3);
+        let mut scene_objs = Vec::with_capacity(count);
+        let mut used_cells: Vec<usize> = Vec::new();
+        for _ in 0..count {
+            let class = rng.below(num_classes);
+            let w = rng.uniform_in(0.18, 0.34);
+            let h = rng.uniform_in(0.18, 0.34);
+            let cx = rng.uniform_in(w / 2.0, 1.0 - w / 2.0);
+            let cy = rng.uniform_in(h / 2.0, 1.0 - h / 2.0);
+            let cell_x = ((cx * grid as f32) as usize).min(grid - 1);
+            let cell_y = ((cy * grid as f32) as usize).min(grid - 1);
+            let cell = cell_y * grid + cell_x;
+            if used_cells.contains(&cell) {
+                continue; // one object per cell (single-anchor detector)
+            }
+            used_cells.push(cell);
+            draw_object(&mut img, size, class, cx, cy, w, h, &mut rng);
+            scene_objs.push(GtObject {
+                class,
+                cxcywh: [cx, cy, w, h],
+            });
+            objness.set(&[i, cell_y, cell_x], 1.0);
+            boxes.set(&[i, 0, cell_y, cell_x], cx * grid as f32 - cell_x as f32);
+            boxes.set(&[i, 1, cell_y, cell_x], cy * grid as f32 - cell_y as f32);
+            boxes.set(&[i, 2, cell_y, cell_x], w);
+            boxes.set(&[i, 3, cell_y, cell_x], h);
+            cell_classes[i * grid * grid + cell] = Some(class);
+        }
+        objects.push(scene_objs);
+        images.extend(img);
+    }
+
+    SceneDataset {
+        images: Tensor::from_vec(images, &[n, 3, size, size]).expect("geometry consistent"),
+        objects,
+        objectness: objness,
+        boxes,
+        cell_classes,
+        grid,
+        num_classes,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn draw_object(
+    img: &mut [f32],
+    size: usize,
+    class: usize,
+    cx: f32,
+    cy: f32,
+    w: f32,
+    h: f32,
+    rng: &mut Prng,
+) {
+    // class-specific color with jitter
+    let palette: [[f32; 3]; 3] = [[0.9, 0.2, 0.2], [0.2, 0.9, 0.2], [0.2, 0.3, 0.9]];
+    let color: Vec<f32> = palette[class]
+        .iter()
+        .map(|&c| (c + 0.1 * rng.normal()).clamp(0.0, 1.0))
+        .collect();
+    let (px_cx, px_cy) = (cx * size as f32, cy * size as f32);
+    let (px_w, px_h) = (w * size as f32 / 2.0, h * size as f32 / 2.0);
+    for y in 0..size {
+        for x in 0..size {
+            let dx = (x as f32 - px_cx) / px_w;
+            let dy = (y as f32 - px_cy) / px_h;
+            let inside = match class {
+                0 => dx.abs() <= 1.0 && dy.abs() <= 1.0,          // square
+                1 => dx * dx + dy * dy <= 1.0,                    // disc
+                _ => (dx.abs() <= 0.35 || dy.abs() <= 0.35) && dx.abs() <= 1.0 && dy.abs() <= 1.0, // cross
+            };
+            if inside {
+                for ch in 0..3 {
+                    img[(ch * size + y) * size + x] = color[ch];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_consistent() {
+        let d = synth_scenes(5, 24, 0);
+        assert_eq!(d.images.shape(), &[5, 3, 24, 24]);
+        assert_eq!(d.objectness.shape(), &[5, 3, 3]);
+        assert_eq!(d.boxes.shape(), &[5, 4, 3, 3]);
+        assert_eq!(d.cell_classes.len(), 45);
+        assert_eq!(d.grid, 3);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = synth_scenes(4, 24, 5);
+        let b = synth_scenes(4, 24, 5);
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.cell_classes, b.cell_classes);
+    }
+
+    #[test]
+    fn grid_targets_match_object_list() {
+        let d = synth_scenes(20, 24, 1);
+        for (i, objs) in d.objects.iter().enumerate() {
+            let positives = (0..9)
+                .filter(|&c| d.cell_classes[i * 9 + c].is_some())
+                .count();
+            assert_eq!(positives, objs.len(), "scene {i}");
+            for o in objs {
+                let cell_x = ((o.cxcywh[0] * 3.0) as usize).min(2);
+                let cell_y = ((o.cxcywh[1] * 3.0) as usize).min(2);
+                assert_eq!(d.objectness.at(&[i, cell_y, cell_x]), 1.0);
+                assert_eq!(d.cell_classes[i * 9 + cell_y * 3 + cell_x], Some(o.class));
+            }
+        }
+    }
+
+    #[test]
+    fn box_offsets_within_cell_range() {
+        let d = synth_scenes(20, 24, 2);
+        for i in 0..20 {
+            for cy in 0..3 {
+                for cx in 0..3 {
+                    if d.objectness.at(&[i, cy, cx]) == 1.0 {
+                        let tx = d.boxes.at(&[i, 0, cy, cx]);
+                        let ty = d.boxes.at(&[i, 1, cy, cx]);
+                        assert!((0.0..=1.0).contains(&tx), "tx {tx}");
+                        assert!((0.0..=1.0).contains(&ty), "ty {ty}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenes_contain_one_to_three_objects() {
+        let d = synth_scenes(50, 24, 3);
+        for objs in &d.objects {
+            assert!((1..=3).contains(&objs.len()));
+        }
+    }
+
+    #[test]
+    fn objects_are_visible_in_image() {
+        let d = synth_scenes(10, 24, 4);
+        // pixels at an object's centre should differ from the background base
+        for (i, objs) in d.objects.iter().enumerate() {
+            for o in objs {
+                let x = (o.cxcywh[0] * 24.0) as usize;
+                let y = (o.cxcywh[1] * 24.0) as usize;
+                let px = d.images.at(&[i, 0, y.min(23), x.min(23)]);
+                assert!(px.is_finite());
+            }
+        }
+    }
+}

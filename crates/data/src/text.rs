@@ -1,0 +1,444 @@
+//! Synthetic text tasks — the GLUE analogue and a pre-training corpus.
+//!
+//! Sequences are token-id vectors of fixed length with `[CLS]` (token 0) at
+//! position 0 and content tokens in `2..vocab`. Eight tasks named after the
+//! GLUE suite (WNLI excluded, as in the paper) each encode a different
+//! structural rule — presence, ordering, paraphrase, overlap — so task
+//! difficulty varies the way real GLUE tasks do. Labels are balanced by
+//! construction.
+
+use rex_tensor::Prng;
+
+/// Reserved token ids.
+pub const CLS: usize = 0;
+/// Mask/separator token id.
+pub const MASK: usize = 1;
+/// First content token id.
+pub const CONTENT_START: usize = 2;
+
+/// One synthetic sequence-classification task.
+#[derive(Debug, Clone)]
+pub struct TextTask {
+    /// Task name (GLUE-style).
+    pub name: &'static str,
+    /// Number of label classes.
+    pub num_classes: usize,
+    /// Flattened train tokens (`len = n_train · seq_len`).
+    pub train_tokens: Vec<usize>,
+    /// Train labels.
+    pub train_labels: Vec<usize>,
+    /// Flattened test tokens.
+    pub test_tokens: Vec<usize>,
+    /// Test labels.
+    pub test_labels: Vec<usize>,
+    /// Sequence length (including `[CLS]`).
+    pub seq_len: usize,
+}
+
+impl TextTask {
+    /// Number of training sequences.
+    pub fn train_len(&self) -> usize {
+        self.train_labels.len()
+    }
+
+    /// Number of test sequences.
+    pub fn test_len(&self) -> usize {
+        self.test_labels.len()
+    }
+}
+
+/// The eight GLUE-analogue tasks, in the paper's Table 11 column order.
+pub fn glue_task_names() -> [&'static str; 8] {
+    ["CoLA", "MNLI", "MRPC", "QNLI", "QQP", "RTE", "SST-2", "STS-B"]
+}
+
+/// Generates the full synthetic GLUE suite.
+///
+/// # Panics
+///
+/// Panics if `seq_len < 9` or `vocab < 16` (the rules need room).
+pub fn glue_tasks(
+    train_per_task: usize,
+    test_per_task: usize,
+    seq_len: usize,
+    vocab: usize,
+    seed: u64,
+) -> Vec<TextTask> {
+    assert!(seq_len >= 9, "seq_len must be at least 9, got {seq_len}");
+    assert!(vocab >= 16, "vocab must be at least 16, got {vocab}");
+    glue_task_names()
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let task_seed = seed ^ ((i as u64 + 1) * 0x9E37_79B9);
+            gen_task(name, train_per_task, test_per_task, seq_len, vocab, task_seed)
+        })
+        .collect()
+}
+
+fn gen_task(
+    name: &'static str,
+    n_train: usize,
+    n_test: usize,
+    seq_len: usize,
+    vocab: usize,
+    seed: u64,
+) -> TextTask {
+    let num_classes = match name {
+        "MNLI" | "STS-B" => 3,
+        _ => 2,
+    };
+    let mut rng = Prng::new(seed);
+    let gen_split = |n: usize, rng: &mut Prng| {
+        let mut tokens = Vec::with_capacity(n * seq_len);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % num_classes; // balanced
+            tokens.extend(gen_sequence(name, label, seq_len, vocab, rng));
+            labels.push(label);
+        }
+        (tokens, labels)
+    };
+    let mut train_rng = rng.fork();
+    let mut test_rng = rng.fork();
+    let (train_tokens, train_labels) = gen_split(n_train, &mut train_rng);
+    let (test_tokens, test_labels) = gen_split(n_test, &mut test_rng);
+    TextTask {
+        name,
+        num_classes,
+        train_tokens,
+        train_labels,
+        test_tokens,
+        test_labels,
+        seq_len,
+    }
+}
+
+fn rand_content(vocab: usize, rng: &mut Prng) -> usize {
+    CONTENT_START + rng.below(vocab - CONTENT_START)
+}
+
+/// Builds one sequence realising `label` under the task's rule.
+fn gen_sequence(
+    name: &str,
+    label: usize,
+    seq_len: usize,
+    vocab: usize,
+    rng: &mut Prng,
+) -> Vec<usize> {
+    let body = seq_len - 1; // after CLS
+    let half = body / 2;
+    let mut seq = vec![CLS];
+    match name {
+        // "Grammaticality": label 1 = ascending token runs, 0 = shuffled.
+        "CoLA" => {
+            let mut toks: Vec<usize> = (0..body).map(|_| rand_content(vocab, rng)).collect();
+            if label == 1 {
+                toks.sort_unstable();
+            } else {
+                // ensure not accidentally sorted
+                rng.shuffle(&mut toks);
+                if toks.windows(2).all(|w| w[0] <= w[1]) {
+                    toks.reverse();
+                }
+            }
+            seq.extend(toks);
+        }
+        // Entailment by overlap: 0 = copy (entail), 1 = half overlap, 2 = disjoint.
+        "MNLI" => {
+            let first: Vec<usize> = (0..half).map(|_| rand_content(vocab, rng)).collect();
+            seq.extend(&first);
+            let overlap = match label {
+                0 => half,
+                1 => half / 2,
+                _ => 0,
+            };
+            for j in 0..(body - half) {
+                if j < overlap {
+                    seq.push(first[j % first.len()]);
+                } else {
+                    // draw until distinct from first half
+                    loop {
+                        let t = rand_content(vocab, rng);
+                        if !first.contains(&t) {
+                            seq.push(t);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Paraphrase: 1 = second half is a permutation of the first.
+        "MRPC" | "QQP" => {
+            let first: Vec<usize> = (0..half).map(|_| rand_content(vocab, rng)).collect();
+            seq.extend(&first);
+            if label == 1 {
+                // MRPC repeats the first half verbatim; QQP is the noisy
+                // (harder) variant: shuffled order plus one corrupted token.
+                let mut second = first.clone();
+                if name == "QQP" && !second.is_empty() {
+                    rng.shuffle(&mut second);
+                    let idx = rng.below(second.len());
+                    second[idx] = rand_content(vocab, rng);
+                }
+                seq.extend(second.iter().take(body - half));
+                while seq.len() < seq_len {
+                    seq.push(rand_content(vocab, rng));
+                }
+            } else {
+                while seq.len() < seq_len {
+                    loop {
+                        let t = rand_content(vocab, rng);
+                        if !first.contains(&t) {
+                            seq.push(t);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Question answering: 1 = the probe token (position 1) appears later.
+        "QNLI" | "RTE" => {
+            let probe = rand_content(vocab, rng);
+            seq.push(probe);
+            let mut rest: Vec<usize> = Vec::new();
+            while rest.len() < body - 1 {
+                loop {
+                    let t = rand_content(vocab, rng);
+                    if t != probe {
+                        rest.push(t);
+                        break;
+                    }
+                }
+            }
+            if label == 1 {
+                // QNLI plants the probe at three positions (strong signal);
+                // RTE, the harder variant, plants it only once.
+                let copies = if name == "RTE" { 1 } else { 3 };
+                for _ in 0..copies {
+                    let pos = rng.below(rest.len());
+                    rest[pos] = probe;
+                }
+            }
+            seq.extend(rest);
+        }
+        // Sentiment: which of two lexicons dominates.
+        "SST-2" => {
+            let lex_size = 6.min((vocab - CONTENT_START) / 2);
+            let positive = CONTENT_START..CONTENT_START + lex_size;
+            let negative = CONTENT_START + lex_size..CONTENT_START + 2 * lex_size;
+            let dominant = rng.below(body / 2) + body / 2 + 1; // majority count
+            for j in 0..body {
+                let from_dominant = j < dominant;
+                let tok = if from_dominant == (label == 1) {
+                    positive.start + rng.below(lex_size)
+                } else {
+                    negative.start + rng.below(lex_size)
+                };
+                seq.push(tok);
+            }
+            // shuffle body so position carries no signal
+            let body_slice = &mut seq[1..];
+            rng.shuffle(body_slice);
+        }
+        // Similarity buckets by overlap count: 0 = low, 1 = mid, 2 = high.
+        "STS-B" => {
+            let first: Vec<usize> = (0..half).map(|_| rand_content(vocab, rng)).collect();
+            seq.extend(&first);
+            let overlap = (label * half) / 2; // 0, half/2, half
+            for j in 0..(body - half) {
+                if j < overlap {
+                    seq.push(first[j % first.len()]);
+                } else {
+                    loop {
+                        let t = rand_content(vocab, rng);
+                        if !first.contains(&t) {
+                            seq.push(t);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        other => unreachable!("unknown task {other}"),
+    }
+    seq.truncate(seq_len);
+    while seq.len() < seq_len {
+        seq.push(rand_content(vocab, rng));
+    }
+    seq
+}
+
+/// A pre-training corpus: sequences from a sparse Markov chain, plus
+/// mask-corrupted inputs (15 % of positions replaced by [`MASK`]). The
+/// pre-training objective is to reconstruct `targets` from `inputs` at
+/// every position — a denoising/MLM-style task.
+#[derive(Debug, Clone)]
+pub struct LmCorpus {
+    /// Corrupted input tokens, flattened `n · seq_len`.
+    pub inputs: Vec<usize>,
+    /// Original tokens (reconstruction targets), flattened.
+    pub targets: Vec<usize>,
+    /// Number of sequences.
+    pub n: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+}
+
+/// Generates a Markov-chain corpus of `n` sequences.
+///
+/// # Panics
+///
+/// Panics if `vocab < 8`.
+pub fn lm_corpus(n: usize, seq_len: usize, vocab: usize, seed: u64) -> LmCorpus {
+    assert!(vocab >= 8, "vocab must be at least 8");
+    let mut rng = Prng::new(seed);
+    // sparse transition structure: each token prefers 4 successors
+    let succ: Vec<[usize; 4]> = (0..vocab)
+        .map(|_| {
+            [
+                rand_content(vocab, &mut rng),
+                rand_content(vocab, &mut rng),
+                rand_content(vocab, &mut rng),
+                rand_content(vocab, &mut rng),
+            ]
+        })
+        .collect();
+    let mut targets = Vec::with_capacity(n * seq_len);
+    let mut inputs = Vec::with_capacity(n * seq_len);
+    for _ in 0..n {
+        let mut tok = rand_content(vocab, &mut rng);
+        for pos in 0..seq_len {
+            if pos == 0 {
+                targets.push(CLS);
+                inputs.push(CLS);
+                continue;
+            }
+            tok = if rng.bernoulli(0.9) {
+                succ[tok][rng.below(4)]
+            } else {
+                rand_content(vocab, &mut rng)
+            };
+            targets.push(tok);
+            inputs.push(if rng.bernoulli(0.15) { MASK } else { tok });
+        }
+    }
+    LmCorpus {
+        inputs,
+        targets,
+        n,
+        seq_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_tasks_generated() {
+        let tasks = glue_tasks(8, 4, 16, 64, 0);
+        assert_eq!(tasks.len(), 8);
+        let names: Vec<&str> = tasks.iter().map(|t| t.name).collect();
+        assert_eq!(names, glue_task_names());
+    }
+
+    #[test]
+    fn shapes_and_token_ranges() {
+        for t in glue_tasks(6, 3, 16, 64, 1) {
+            assert_eq!(t.train_tokens.len(), 6 * 16);
+            assert_eq!(t.test_tokens.len(), 3 * 16);
+            assert_eq!(t.train_len(), 6);
+            assert_eq!(t.test_len(), 3);
+            assert!(t.train_tokens.iter().all(|&tok| tok < 64));
+            // first token of each sequence is CLS
+            for i in 0..6 {
+                assert_eq!(t.train_tokens[i * 16], CLS, "{}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_balanced_and_in_range() {
+        for t in glue_tasks(12, 6, 16, 64, 2) {
+            assert!(t.train_labels.iter().all(|&l| l < t.num_classes));
+            let count0 = t.train_labels.iter().filter(|&&l| l == 0).count();
+            assert!(
+                count0 >= 12 / t.num_classes - 1,
+                "{}: label 0 count {count0}",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn mnli_stsb_have_three_classes() {
+        let tasks = glue_tasks(3, 3, 16, 64, 3);
+        for t in &tasks {
+            let expected = if t.name == "MNLI" || t.name == "STS-B" { 3 } else { 2 };
+            assert_eq!(t.num_classes, expected, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn cola_positive_sequences_are_sorted() {
+        let t = &glue_tasks(20, 2, 16, 64, 4)[0];
+        assert_eq!(t.name, "CoLA");
+        for i in 0..20 {
+            if t.train_labels[i] == 1 {
+                let body = &t.train_tokens[i * 16 + 1..(i + 1) * 16];
+                assert!(body.windows(2).all(|w| w[0] <= w[1]), "row {i} not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn qnli_positive_contains_probe() {
+        let tasks = glue_tasks(20, 2, 16, 64, 5);
+        let t = tasks.iter().find(|t| t.name == "QNLI").unwrap();
+        for i in 0..20 {
+            let probe = t.train_tokens[i * 16 + 1];
+            let rest = &t.train_tokens[i * 16 + 2..(i + 1) * 16];
+            let present = rest.contains(&probe);
+            assert_eq!(present, t.train_labels[i] == 1, "row {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = glue_tasks(4, 2, 16, 64, 9);
+        let b = glue_tasks(4, 2, 16, 64, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.train_tokens, y.train_tokens);
+        }
+    }
+
+    #[test]
+    fn lm_corpus_masks_some_tokens() {
+        let c = lm_corpus(50, 16, 32, 0);
+        assert_eq!(c.inputs.len(), 800);
+        assert_eq!(c.targets.len(), 800);
+        let masked = c.inputs.iter().filter(|&&t| t == MASK).count();
+        // ~15% of non-CLS positions
+        assert!(masked > 40 && masked < 250, "masked count {masked}");
+        // targets never contain MASK (they're the originals)
+        assert!(c.targets.iter().all(|&t| t != MASK));
+    }
+
+    #[test]
+    fn lm_corpus_is_markovian() {
+        // the same successor structure means consecutive-token bigrams
+        // repeat far more often than uniform chance
+        let c = lm_corpus(100, 16, 32, 1);
+        let mut bigrams = std::collections::HashMap::new();
+        for s in 0..c.n {
+            for p in 1..c.seq_len - 1 {
+                let a = c.targets[s * 16 + p];
+                let b = c.targets[s * 16 + p + 1];
+                *bigrams.entry((a, b)).or_insert(0usize) += 1;
+            }
+        }
+        let max_count = bigrams.values().max().copied().unwrap_or(0);
+        assert!(max_count > 5, "no repeated structure (max bigram {max_count})");
+    }
+}

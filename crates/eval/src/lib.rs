@@ -1,0 +1,25 @@
+//! # rex-eval — statistics, rank aggregation, and table formatting
+//!
+//! The paper's headline artifacts are *aggregates*: Table 1 counts Top-1 /
+//! Top-3 finishes per schedule over all experiments, and Figure 1 plots the
+//! average rank of each schedule against the training budget. This crate
+//! implements those aggregations plus the supporting pieces:
+//!
+//! * [`stats`] — mean / standard deviation over trials (the `± x.xx`
+//!   columns of Tables 4–9);
+//! * [`ranking`] — per-setting schedule ranks, Top-1/Top-3 percentages
+//!   (Table 1), and average-rank-vs-budget curves (Figure 1);
+//! * [`map`] — PASCAL-style mean average precision for the detection
+//!   setting (Table 9);
+//! * [`table`] — markdown/CSV emitters used by every experiment binary;
+//! * [`store`] — a flat result record + CSV (de)serialisation, so
+//!   aggregate binaries (`table1`, `fig1`) can consume the per-setting
+//!   grids produced by earlier runs.
+
+#![warn(missing_docs)]
+
+pub mod map;
+pub mod ranking;
+pub mod stats;
+pub mod store;
+pub mod table;

@@ -1,0 +1,270 @@
+//! PASCAL-VOC-style mean average precision for the detection setting.
+
+/// A scored, classified, box-valued prediction for one image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Which image of the evaluation set this belongs to.
+    pub image: usize,
+    /// Predicted class.
+    pub class: usize,
+    /// Confidence score.
+    pub score: f32,
+    /// Box centre/size in `[0,1]` image coordinates.
+    pub cxcywh: [f32; 4],
+}
+
+/// A ground-truth object for one image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruth {
+    /// Which image of the evaluation set this belongs to.
+    pub image: usize,
+    /// True class.
+    pub class: usize,
+    /// Box centre/size in `[0,1]` image coordinates.
+    pub cxcywh: [f32; 4],
+}
+
+/// Intersection-over-union of two `(cx, cy, w, h)` boxes.
+pub fn iou(a: [f32; 4], b: [f32; 4]) -> f32 {
+    let to_corners = |c: [f32; 4]| {
+        (
+            c[0] - c[2] / 2.0,
+            c[1] - c[3] / 2.0,
+            c[0] + c[2] / 2.0,
+            c[1] + c[3] / 2.0,
+        )
+    };
+    let (ax0, ay0, ax1, ay1) = to_corners(a);
+    let (bx0, by0, bx1, by1) = to_corners(b);
+    let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+    let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+    let inter = ix * iy;
+    let union = (ax1 - ax0) * (ay1 - ay0) + (bx1 - bx0) * (by1 - by0) - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Average precision for one class at the given IoU threshold, using
+/// all-point interpolation (area under the precision-recall curve).
+fn average_precision(
+    mut preds: Vec<Prediction>,
+    gts: &[GroundTruth],
+    iou_threshold: f32,
+) -> Option<f64> {
+    if gts.is_empty() {
+        return None; // class absent from the evaluation set
+    }
+    preds.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    let mut matched = vec![false; gts.len()];
+    let mut tp = Vec::with_capacity(preds.len());
+    for p in &preds {
+        // best unmatched ground truth in the same image
+        let mut best: Option<(usize, f32)> = None;
+        for (gi, gt) in gts.iter().enumerate() {
+            if gt.image != p.image || matched[gi] {
+                continue;
+            }
+            let i = iou(p.cxcywh, gt.cxcywh);
+            if i >= iou_threshold && best.map(|(_, bi)| i > bi).unwrap_or(true) {
+                best = Some((gi, i));
+            }
+        }
+        match best {
+            Some((gi, _)) => {
+                matched[gi] = true;
+                tp.push(true);
+            }
+            None => tp.push(false),
+        }
+    }
+    // precision-recall sweep
+    let total = gts.len() as f64;
+    let mut cum_tp = 0.0;
+    let mut cum_fp = 0.0;
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(tp.len());
+    for &hit in &tp {
+        if hit {
+            cum_tp += 1.0;
+        } else {
+            cum_fp += 1.0;
+        }
+        points.push((cum_tp / total, cum_tp / (cum_tp + cum_fp)));
+    }
+    // all-point interpolation: for each recall step take max precision to
+    // the right
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for i in 0..points.len() {
+        let (r, _) = points[i];
+        if r > prev_recall {
+            let max_p = points[i..]
+                .iter()
+                .map(|&(_, p)| p)
+                .fold(0.0f64, f64::max);
+            ap += (r - prev_recall) * max_p;
+            prev_recall = r;
+        }
+    }
+    Some(ap)
+}
+
+/// Mean average precision (%) over all classes present in the ground
+/// truth, at the given IoU threshold (0.5 for the paper's VOC protocol).
+pub fn mean_average_precision(
+    preds: &[Prediction],
+    gts: &[GroundTruth],
+    num_classes: usize,
+    iou_threshold: f32,
+) -> f64 {
+    let mut aps = Vec::new();
+    for class in 0..num_classes {
+        let class_preds: Vec<Prediction> =
+            preds.iter().filter(|p| p.class == class).copied().collect();
+        let class_gts: Vec<GroundTruth> =
+            gts.iter().filter(|g| g.class == class).copied().collect();
+        if let Some(ap) = average_precision(class_preds, &class_gts, iou_threshold) {
+            aps.push(ap);
+        }
+    }
+    if aps.is_empty() {
+        0.0
+    } else {
+        100.0 * aps.iter().sum::<f64>() / aps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iou_identical_boxes_is_one() {
+        let b = [0.5, 0.5, 0.2, 0.2];
+        assert!((iou(b, b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        assert_eq!(iou([0.2, 0.2, 0.1, 0.1], [0.8, 0.8, 0.1, 0.1]), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        // two unit-width boxes offset by half a width: IoU = 1/3
+        let a = [0.5, 0.5, 0.2, 0.2];
+        let b = [0.6, 0.5, 0.2, 0.2];
+        assert!((iou(a, b) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_predictions_give_map_100() {
+        let gts = vec![
+            GroundTruth {
+                image: 0,
+                class: 0,
+                cxcywh: [0.3, 0.3, 0.2, 0.2],
+            },
+            GroundTruth {
+                image: 1,
+                class: 1,
+                cxcywh: [0.7, 0.7, 0.2, 0.2],
+            },
+        ];
+        let preds: Vec<Prediction> = gts
+            .iter()
+            .map(|g| Prediction {
+                image: g.image,
+                class: g.class,
+                score: 0.9,
+                cxcywh: g.cxcywh,
+            })
+            .collect();
+        let map = mean_average_precision(&preds, &gts, 2, 0.5);
+        assert!((map - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misclassified_boxes_score_zero() {
+        let gts = vec![GroundTruth {
+            image: 0,
+            class: 0,
+            cxcywh: [0.5, 0.5, 0.2, 0.2],
+        }];
+        let preds = vec![Prediction {
+            image: 0,
+            class: 1, // wrong class
+            score: 0.9,
+            cxcywh: [0.5, 0.5, 0.2, 0.2],
+        }];
+        assert_eq!(mean_average_precision(&preds, &gts, 2, 0.5), 0.0);
+    }
+
+    #[test]
+    fn low_scored_false_positives_hurt_less_than_high_scored() {
+        let gts = vec![GroundTruth {
+            image: 0,
+            class: 0,
+            cxcywh: [0.5, 0.5, 0.2, 0.2],
+        }];
+        let hit = Prediction {
+            image: 0,
+            class: 0,
+            score: 0.8,
+            cxcywh: [0.5, 0.5, 0.2, 0.2],
+        };
+        let fp_high = Prediction {
+            image: 0,
+            class: 0,
+            score: 0.9,
+            cxcywh: [0.1, 0.1, 0.05, 0.05],
+        };
+        let fp_low = Prediction {
+            score: 0.1,
+            ..fp_high
+        };
+        let map_fp_first = mean_average_precision(&[hit, fp_high], &gts, 1, 0.5);
+        let map_fp_last = mean_average_precision(&[hit, fp_low], &gts, 1, 0.5);
+        assert!(map_fp_last > map_fp_first);
+        assert!((map_fp_last - 100.0).abs() < 1e-9, "trailing FP is free");
+        assert!((map_fp_first - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_detections_count_once() {
+        let gts = vec![GroundTruth {
+            image: 0,
+            class: 0,
+            cxcywh: [0.5, 0.5, 0.2, 0.2],
+        }];
+        let p = Prediction {
+            image: 0,
+            class: 0,
+            score: 0.9,
+            cxcywh: [0.5, 0.5, 0.2, 0.2],
+        };
+        let dup = Prediction { score: 0.8, ..p };
+        let map = mean_average_precision(&[p, dup], &gts, 1, 0.5);
+        // second detection is a false positive but comes after full recall
+        assert!((map - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absent_class_excluded_from_mean() {
+        let gts = vec![GroundTruth {
+            image: 0,
+            class: 0,
+            cxcywh: [0.5, 0.5, 0.2, 0.2],
+        }];
+        let preds = vec![Prediction {
+            image: 0,
+            class: 0,
+            score: 0.9,
+            cxcywh: [0.5, 0.5, 0.2, 0.2],
+        }];
+        // class 1 has no ground truth; mAP over {0} only
+        assert!((mean_average_precision(&preds, &gts, 5, 0.5) - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,220 @@
+//! Schedule ranking and aggregation — the machinery behind the paper's
+//! Table 1 (Top-1/Top-3 percentages) and Figure 1 (average rank vs budget).
+
+use std::collections::BTreeMap;
+
+/// The scores of every schedule in one experimental cell
+/// (setting × optimizer × budget).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SettingResult {
+    /// Experiment short name, e.g. `"RN20-CIFAR10"`.
+    pub setting: String,
+    /// Optimizer family, `"SGDM"` or `"Adam"`.
+    pub optimizer: String,
+    /// Budget as a percentage of the setting's maximum epochs.
+    pub budget_pct: u32,
+    /// `(schedule name, mean score)` pairs.
+    pub scores: Vec<(String, f64)>,
+    /// Whether lower scores win (true for error/loss, false for
+    /// accuracy/mAP).
+    pub lower_is_better: bool,
+}
+
+impl SettingResult {
+    /// Competition ranks (1 = best; ties share the better rank) for every
+    /// schedule in this cell.
+    pub fn ranks(&self) -> Vec<(String, usize)> {
+        // NaN scores (diverged runs) rank last regardless of direction
+        let mut order: Vec<usize> = (0..self.scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (x, y) = (self.scores[a].1, self.scores[b].1);
+            match (x.is_nan(), y.is_nan()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => {
+                    let cmp = x.total_cmp(&y);
+                    if self.lower_is_better {
+                        cmp
+                    } else {
+                        cmp.reverse()
+                    }
+                }
+            }
+        });
+        let mut ranks = vec![0usize; self.scores.len()];
+        let mut rank = 1;
+        for (pos, &idx) in order.iter().enumerate() {
+            if pos > 0 {
+                let prev = order[pos - 1];
+                if self.scores[idx].1 != self.scores[prev].1 {
+                    rank = pos + 1;
+                }
+            }
+            ranks[idx] = rank;
+        }
+        self.scores
+            .iter()
+            .map(|(name, _)| name.clone())
+            .zip(ranks)
+            .collect()
+    }
+}
+
+/// Top-1/Top-3 percentages for one schedule (one row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TopShares {
+    /// Fraction (%) of cells where the schedule ranked first.
+    pub top1_pct: f64,
+    /// Fraction (%) of cells where the schedule ranked in the best three.
+    pub top3_pct: f64,
+    /// Number of cells aggregated.
+    pub cells: usize,
+}
+
+/// Aggregates Top-1/Top-3 shares per schedule over a set of cells,
+/// optionally filtered by a budget predicate (the paper splits at 25 %:
+/// low = {1, 5, 10}, high = {25, 50, 100}).
+pub fn top_shares(
+    cells: &[SettingResult],
+    budget_filter: impl Fn(u32) -> bool,
+) -> BTreeMap<String, TopShares> {
+    let mut out: BTreeMap<String, TopShares> = BTreeMap::new();
+    for cell in cells.iter().filter(|c| budget_filter(c.budget_pct)) {
+        for (name, rank) in cell.ranks() {
+            let entry = out.entry(name).or_default();
+            entry.cells += 1;
+            if rank == 1 {
+                entry.top1_pct += 1.0;
+            }
+            if rank <= 3 {
+                entry.top3_pct += 1.0;
+            }
+        }
+    }
+    for share in out.values_mut() {
+        if share.cells > 0 {
+            share.top1_pct *= 100.0 / share.cells as f64;
+            share.top3_pct *= 100.0 / share.cells as f64;
+        }
+    }
+    out
+}
+
+/// The paper's low-budget regime (< 25 % of maximum epochs).
+pub fn is_low_budget(pct: u32) -> bool {
+    pct < 25
+}
+
+/// Average rank of each schedule at each budget, for one optimizer —
+/// the data series of Figure 1 (one panel per optimizer).
+pub fn average_rank_by_budget(
+    cells: &[SettingResult],
+    optimizer: &str,
+) -> BTreeMap<u32, Vec<(String, f64)>> {
+    let mut acc: BTreeMap<u32, BTreeMap<String, (f64, usize)>> = BTreeMap::new();
+    for cell in cells.iter().filter(|c| c.optimizer == optimizer) {
+        let by_budget = acc.entry(cell.budget_pct).or_default();
+        for (name, rank) in cell.ranks() {
+            let slot = by_budget.entry(name).or_insert((0.0, 0));
+            slot.0 += rank as f64;
+            slot.1 += 1;
+        }
+    }
+    acc.into_iter()
+        .map(|(budget, by_sched)| {
+            let series = by_sched
+                .into_iter()
+                .map(|(name, (sum, n))| (name, sum / n as f64))
+                .collect();
+            (budget, series)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(budget: u32, opt: &str, scores: &[(&str, f64)]) -> SettingResult {
+        SettingResult {
+            setting: "TEST".into(),
+            optimizer: opt.into(),
+            budget_pct: budget,
+            scores: scores.iter().map(|(n, s)| (n.to_string(), *s)).collect(),
+            lower_is_better: true,
+        }
+    }
+
+    #[test]
+    fn ranks_lower_is_better() {
+        let c = cell(10, "SGDM", &[("A", 3.0), ("B", 1.0), ("C", 2.0)]);
+        let ranks: BTreeMap<_, _> = c.ranks().into_iter().collect();
+        assert_eq!(ranks["A"], 3);
+        assert_eq!(ranks["B"], 1);
+        assert_eq!(ranks["C"], 2);
+    }
+
+    #[test]
+    fn ranks_higher_is_better_flag() {
+        let mut c = cell(10, "SGDM", &[("A", 3.0), ("B", 1.0)]);
+        c.lower_is_better = false;
+        let ranks: BTreeMap<_, _> = c.ranks().into_iter().collect();
+        assert_eq!(ranks["A"], 1);
+        assert_eq!(ranks["B"], 2);
+    }
+
+    #[test]
+    fn ties_share_the_better_rank() {
+        let c = cell(10, "SGDM", &[("A", 1.0), ("B", 1.0), ("C", 2.0)]);
+        let ranks: BTreeMap<_, _> = c.ranks().into_iter().collect();
+        assert_eq!(ranks["A"], 1);
+        assert_eq!(ranks["B"], 1);
+        assert_eq!(ranks["C"], 3, "competition ranking skips rank 2");
+    }
+
+    #[test]
+    fn top_shares_split_by_budget() {
+        let cells = vec![
+            cell(1, "SGDM", &[("REX", 1.0), ("Linear", 2.0)]),
+            cell(5, "SGDM", &[("REX", 1.0), ("Linear", 2.0)]),
+            cell(100, "SGDM", &[("REX", 2.0), ("Linear", 1.0)]),
+        ];
+        let low = top_shares(&cells, is_low_budget);
+        assert!((low["REX"].top1_pct - 100.0).abs() < 1e-9);
+        assert!((low["Linear"].top1_pct - 0.0).abs() < 1e-9);
+        assert_eq!(low["REX"].cells, 2);
+        let high = top_shares(&cells, |b| !is_low_budget(b));
+        assert!((high["Linear"].top1_pct - 100.0).abs() < 1e-9);
+        let all = top_shares(&cells, |_| true);
+        assert!((all["REX"].top1_pct - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top3_counts_third_place() {
+        let cells = vec![cell(
+            5,
+            "SGDM",
+            &[("A", 1.0), ("B", 2.0), ("C", 3.0), ("D", 4.0)],
+        )];
+        let shares = top_shares(&cells, |_| true);
+        assert_eq!(shares["C"].top3_pct, 100.0);
+        assert_eq!(shares["D"].top3_pct, 0.0);
+    }
+
+    #[test]
+    fn average_rank_filters_by_optimizer() {
+        let cells = vec![
+            cell(1, "SGDM", &[("A", 1.0), ("B", 2.0)]),
+            cell(1, "SGDM", &[("A", 2.0), ("B", 1.0)]),
+            cell(1, "Adam", &[("A", 9.0), ("B", 1.0)]),
+        ];
+        let sgdm = average_rank_by_budget(&cells, "SGDM");
+        let series: BTreeMap<_, _> = sgdm[&1].iter().cloned().collect();
+        assert!((series["A"] - 1.5).abs() < 1e-9);
+        assert!((series["B"] - 1.5).abs() < 1e-9);
+        let adam = average_rank_by_budget(&cells, "Adam");
+        let series: BTreeMap<_, _> = adam[&1].iter().cloned().collect();
+        assert!((series["A"] - 2.0).abs() < 1e-9);
+    }
+}

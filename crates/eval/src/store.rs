@@ -1,0 +1,217 @@
+//! Flat experiment records with CSV persistence.
+//!
+//! Every experiment binary appends [`Record`]s to a CSV file; the aggregate
+//! binaries (`table1`, `fig1`) read those files back to build Table 1 and
+//! Figure 1 without re-running training. The format is a plain
+//! comma-separated file with a fixed header — no external serialisation
+//! dependency needed.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::ranking::SettingResult;
+
+/// One trial result: a single (setting, optimizer, schedule, budget, trial)
+/// cell's score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Experiment short name (e.g. `RN20-CIFAR10`).
+    pub setting: String,
+    /// Optimizer family (`SGDM`/`Adam`/`AdamW`).
+    pub optimizer: String,
+    /// Schedule display name.
+    pub schedule: String,
+    /// Budget in percent of maximum epochs.
+    pub budget_pct: u32,
+    /// Trial index.
+    pub trial: u32,
+    /// The metric value (error %, loss, mAP, or score).
+    pub score: f64,
+    /// Whether lower scores are better for this setting.
+    pub lower_is_better: bool,
+}
+
+const HEADER: &str = "setting,optimizer,schedule,budget_pct,trial,score,lower_is_better";
+
+/// Serialises records to CSV (with header).
+pub fn to_csv(records: &[Record]) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for r in records {
+        // schedule names contain no commas by construction; assert anyway
+        debug_assert!(!r.setting.contains(',') && !r.schedule.contains(','));
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            r.setting, r.optimizer, r.schedule, r.budget_pct, r.trial, r.score, r.lower_is_better
+        );
+    }
+    out
+}
+
+/// Parses records from CSV produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] with kind `InvalidData` on malformed rows.
+pub fn from_csv(text: &str) -> io::Result<Vec<Record>> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == HEADER => {}
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad CSV header: {other:?}"),
+            ))
+        }
+    }
+    let bad = |line: &str, what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad {what} in CSV row: {line}"),
+        )
+    };
+    let mut out = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 7 {
+            return Err(bad(line, "field count"));
+        }
+        out.push(Record {
+            setting: parts[0].to_string(),
+            optimizer: parts[1].to_string(),
+            schedule: parts[2].to_string(),
+            budget_pct: parts[3].parse().map_err(|_| bad(line, "budget"))?,
+            trial: parts[4].parse().map_err(|_| bad(line, "trial"))?,
+            score: parts[5].parse().map_err(|_| bad(line, "score"))?,
+            lower_is_better: parts[6].parse().map_err(|_| bad(line, "flag"))?,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes records to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: &Path, records: &[Record]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_csv(records))
+}
+
+/// Reads records from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem and parse errors.
+pub fn read_csv(path: &Path) -> io::Result<Vec<Record>> {
+    from_csv(&fs::read_to_string(path)?)
+}
+
+/// Groups trial records into per-cell [`SettingResult`]s (averaging over
+/// trials) for the ranking aggregations.
+pub fn to_setting_results(records: &[Record]) -> Vec<SettingResult> {
+    use std::collections::BTreeMap;
+    // key: (setting, optimizer, budget) -> schedule -> (sum, n, lower)
+    type CellKey = (String, String, u32);
+    let mut cells: BTreeMap<CellKey, BTreeMap<String, (f64, usize, bool)>> = BTreeMap::new();
+    for r in records {
+        let cell = cells
+            .entry((r.setting.clone(), r.optimizer.clone(), r.budget_pct))
+            .or_default();
+        let slot = cell
+            .entry(r.schedule.clone())
+            .or_insert((0.0, 0, r.lower_is_better));
+        slot.0 += r.score;
+        slot.1 += 1;
+    }
+    cells
+        .into_iter()
+        .map(|((setting, optimizer, budget_pct), by_sched)| {
+            let lower = by_sched.values().next().map(|v| v.2).unwrap_or(true);
+            SettingResult {
+                setting,
+                optimizer,
+                budget_pct,
+                scores: by_sched
+                    .into_iter()
+                    .map(|(name, (sum, n, _))| (name, sum / n as f64))
+                    .collect(),
+                lower_is_better: lower,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(schedule: &str, budget: u32, trial: u32, score: f64) -> Record {
+        Record {
+            setting: "RN20-CIFAR10".into(),
+            optimizer: "SGDM".into(),
+            schedule: schedule.into(),
+            budget_pct: budget,
+            trial,
+            score,
+            lower_is_better: true,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let records = vec![rec("REX", 1, 0, 27.94), rec("Linear Schedule", 100, 2, 7.62)];
+        let parsed = from_csv(&to_csv(&records)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_rows() {
+        assert!(from_csv("nonsense\n1,2,3").is_err());
+        let bad_row = format!("{HEADER}\na,b,c\n");
+        assert!(from_csv(&bad_row).is_err());
+        let bad_score = format!("{HEADER}\ns,o,x,1,0,notanumber,true\n");
+        assert!(from_csv(&bad_score).is_err());
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let text = format!("{HEADER}\n\n");
+        assert_eq!(from_csv(&text).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn grouping_averages_trials() {
+        let records = vec![
+            rec("REX", 1, 0, 10.0),
+            rec("REX", 1, 1, 12.0),
+            rec("Linear", 1, 0, 15.0),
+            rec("REX", 5, 0, 8.0),
+        ];
+        let cells = to_setting_results(&records);
+        assert_eq!(cells.len(), 2);
+        let c1 = cells.iter().find(|c| c.budget_pct == 1).unwrap();
+        let rex = c1.scores.iter().find(|(n, _)| n == "REX").unwrap();
+        assert!((rex.1 - 11.0).abs() < 1e-12);
+        assert_eq!(c1.scores.len(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rex_eval_store_test");
+        let path = dir.join("results.csv");
+        let records = vec![rec("REX", 10, 0, 5.5)];
+        write_csv(&path, &records).unwrap();
+        assert_eq!(read_csv(&path).unwrap(), records);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,152 @@
+//! Markdown table emission — every experiment binary prints its results in
+//! the same row/column layout as the paper's tables.
+
+/// Renders a markdown table with bold markers on the best entries.
+///
+/// `headers` is the header row; each row is a label plus one cell per
+/// remaining column.
+///
+/// # Panics
+///
+/// Panics if any row's cell count differs from the header's.
+pub fn markdown(headers: &[String], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            headers.len()
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        out.push('|');
+        for (cell, w) in cells.iter().zip(widths) {
+            out.push(' ');
+            out.push_str(cell);
+            out.push_str(&" ".repeat(w - cell.len() + 1));
+            out.push('|');
+        }
+        out.push('\n');
+    };
+    emit_row(headers, &widths, &mut out);
+    out.push('|');
+    for w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('|');
+    }
+    out.push('\n');
+    for row in rows {
+        emit_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Marks the best (and top-3) values per column with the paper's
+/// convention: `**bold**` for Top-1, `*italic*` for Top-3. `col_values`
+/// are the numeric values backing each row's cell in one column.
+pub fn mark_best_per_column(
+    rows: &mut [Vec<String>],
+    col: usize,
+    col_values: &[f64],
+    lower_is_better: bool,
+) {
+    if col_values.len() != rows.len() || rows.is_empty() {
+        return;
+    }
+    // NaN scores (diverged runs) always sort last, regardless of direction
+    let mut order: Vec<usize> = (0..col_values.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (x, y) = (col_values[a], col_values[b]);
+        match (x.is_nan(), y.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => {
+                let cmp = x.total_cmp(&y);
+                if lower_is_better {
+                    cmp
+                } else {
+                    cmp.reverse()
+                }
+            }
+        }
+    });
+    for (pos, &idx) in order.iter().enumerate() {
+        if pos == 0 {
+            rows[idx][col] = format!("**{}**", rows[idx][col]);
+        } else if pos < 3 {
+            rows[idx][col] = format!("*{}*", rows[idx][col]);
+        }
+    }
+}
+
+/// Formats a float with two decimals (the paper's precision).
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let table = markdown(
+            &s(&["Method", "1%", "100%"]),
+            &[s(&["REX", "27.94", "7.52"]), s(&["Linear", "28.70", "7.62"])],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Method"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("REX"));
+        // all lines same width (aligned)
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        let _ = markdown(&s(&["a", "b"]), &[s(&["only one"])]);
+    }
+
+    #[test]
+    fn best_marking_bold_and_italic() {
+        let mut rows = vec![
+            s(&["A", "3.0"]),
+            s(&["B", "1.0"]),
+            s(&["C", "2.0"]),
+            s(&["D", "4.0"]),
+        ];
+        mark_best_per_column(&mut rows, 1, &[3.0, 1.0, 2.0, 4.0], true);
+        assert_eq!(rows[1][1], "**1.0**");
+        assert_eq!(rows[2][1], "*2.0*");
+        assert_eq!(rows[0][1], "*3.0*");
+        assert_eq!(rows[3][1], "4.0");
+    }
+
+    #[test]
+    fn higher_is_better_marking() {
+        let mut rows = vec![s(&["A", "10"]), s(&["B", "90"])];
+        mark_best_per_column(&mut rows, 1, &[10.0, 90.0], false);
+        assert_eq!(rows[1][1], "**90**");
+    }
+
+    #[test]
+    fn fmt2_rounds() {
+        assert_eq!(fmt2(3.14159), "3.14");
+        assert_eq!(fmt2(2.0), "2.00");
+    }
+}

@@ -1,0 +1,166 @@
+//! Multi-head self-attention (the transformer's core block).
+
+use rex_autograd::{Graph, NodeId, Param};
+use rex_tensor::{Prng, TensorError};
+
+use crate::layers::Linear;
+use crate::module::Module;
+
+/// Multi-head scaled-dot-product self-attention over `[B, T, D]` inputs.
+///
+/// The classic formulation: Q/K/V linear projections, per-head attention
+/// `softmax(QKᵀ/√d_h)·V`, head concatenation, and an output projection.
+/// No attention masking is applied — the REX reproduction's synthetic GLUE
+/// tasks use fixed-length sequences (a simplification documented in
+/// DESIGN.md).
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    out: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// New attention block with `heads` heads over model dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(name: &str, dim: usize, heads: usize, rng: &mut Prng) -> Self {
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "model dim {dim} must be divisible by heads {heads}"
+        );
+        MultiHeadAttention {
+            q: Linear::xavier(&format!("{name}.q"), dim, dim, rng),
+            k: Linear::xavier(&format!("{name}.k"), dim, dim, rng),
+            v: Linear::xavier(&format!("{name}.v"), dim, dim, rng),
+            out: Linear::xavier(&format!("{name}.out"), dim, dim, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Projects `[B*T, D]` activations into per-head layout `[B*H, T, Dh]`.
+    fn split_heads(
+        &self,
+        g: &mut Graph,
+        x2d: NodeId,
+        b: usize,
+        t: usize,
+    ) -> Result<NodeId, TensorError> {
+        let dh = self.dim / self.heads;
+        let x4 = g.reshape(x2d, &[b, t, self.heads, dh])?;
+        let perm = g.permute_0213(x4)?; // [B, H, T, Dh]
+        g.reshape(perm, &[b * self.heads, t, dh])
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn forward(&self, g: &mut Graph, x: NodeId) -> Result<NodeId, TensorError> {
+        let shape = g.value(x).shape().to_vec();
+        if shape.len() != 3 || shape[2] != self.dim {
+            return Err(TensorError::RankMismatch {
+                expected: "3-D [B,T,D] input matching model dim",
+                got: shape,
+            });
+        }
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        let dh = d / self.heads;
+
+        let x2d = g.reshape(x, &[b * t, d])?;
+        let q2 = self.q.forward(g, x2d)?;
+        let k2 = self.k.forward(g, x2d)?;
+        let v2 = self.v.forward(g, x2d)?;
+
+        let qh = self.split_heads(g, q2, b, t)?;
+        let kh = self.split_heads(g, k2, b, t)?;
+        let vh = self.split_heads(g, v2, b, t)?;
+
+        let kt = g.transpose_last2(kh)?; // [B*H, Dh, T]
+        let scores = g.batch_matmul(qh, kt)?; // [B*H, T, T]
+        let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
+
+        let flat = g.reshape(scaled, &[b * self.heads * t, t])?;
+        let attn = g.softmax(flat)?;
+        let attn3 = g.reshape(attn, &[b * self.heads, t, t])?;
+
+        let ctx = g.batch_matmul(attn3, vh)?; // [B*H, T, Dh]
+        let ctx4 = g.reshape(ctx, &[b, self.heads, t, dh])?;
+        let merged = g.permute_0213(ctx4)?; // [B, T, H, Dh]
+        let merged2 = g.reshape(merged, &[b * t, d])?;
+        let out = self.out.forward(g, merged2)?;
+        g.reshape(out, &[b, t, d])
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut ps = self.q.params();
+        ps.extend(self.k.params());
+        ps.extend(self.v.params());
+        ps.extend(self.out.params());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_autograd::gradcheck::check_gradients;
+    use rex_tensor::Tensor;
+
+    #[test]
+    fn forward_preserves_shape() {
+        let mut rng = Prng::new(5);
+        let mha = MultiHeadAttention::new("attn", 8, 2, &mut rng);
+        let mut g = Graph::new(false);
+        let x = g.constant(rng.normal_tensor(&[3, 4, 8], 0.0, 1.0));
+        let y = mha.forward(&mut g, x).unwrap();
+        assert_eq!(g.value(y).shape(), &[3, 4, 8]);
+    }
+
+    #[test]
+    fn rejects_wrong_model_dim() {
+        let mut rng = Prng::new(6);
+        let mha = MultiHeadAttention::new("attn", 8, 2, &mut rng);
+        let mut g = Graph::new(false);
+        let x = g.constant(Tensor::zeros(&[2, 4, 6]));
+        assert!(mha.forward(&mut g, x).is_err());
+    }
+
+    #[test]
+    fn has_four_projection_weight_matrices() {
+        let mut rng = Prng::new(7);
+        let mha = MultiHeadAttention::new("attn", 8, 2, &mut rng);
+        // 4 weights + 4 biases
+        assert_eq!(mha.params().len(), 8);
+        assert_eq!(mha.num_parameters(), 4 * (8 * 8 + 8));
+    }
+
+    #[test]
+    fn gradcheck_through_attention() {
+        let mut rng = Prng::new(8);
+        let mha = MultiHeadAttention::new("attn", 4, 2, &mut rng);
+        let x = rng.normal_tensor(&[1, 3, 4], 0.0, 0.5);
+        check_gradients(
+            &mha.params(),
+            |g| {
+                let xn = g.constant(x.clone());
+                let y = mha.forward(g, xn)?;
+                let t = g.tanh(y);
+                let sq = g.mul(t, t)?;
+                g.mean_all(sq)
+            },
+            1e-2,
+            5e-2,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,235 @@
+//! Parameter checkpointing: a small self-describing binary format for
+//! saving and restoring model weights.
+//!
+//! The BERT-GLUE experiment pre-trains one transformer checkpoint and
+//! fine-tunes it many times; persisting that checkpoint lets the harness
+//! (and downstream users) skip re-pre-training. The format is
+//! little-endian, versioned, and name-addressed:
+//!
+//! ```text
+//! magic "REXCKPT1" | u32 count | repeat: u32 name_len | name (utf-8)
+//!                  | u32 ndim  | u64 dims…            | f32 data…
+//! ```
+
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use rex_autograd::Param;
+use rex_tensor::Tensor;
+
+const MAGIC: &[u8; 8] = b"REXCKPT1";
+
+/// Saves parameters (name, shape, values) to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(path: &Path, params: &[Param]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let name = p.name();
+        let value = p.value();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(value.ndim() as u32).to_le_bytes())?;
+        for &d in value.shape() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads all `(name, tensor)` entries from a checkpoint.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic/um-parseable file, or propagates
+/// I/O errors.
+pub fn load_raw(path: &Path) -> io::Result<Vec<(String, Tensor)>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a REXCKPT1 checkpoint",
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    // sanity caps: reject corrupt headers before attempting allocation
+    const MAX_ENTRIES: usize = 1 << 20;
+    const MAX_NAME: usize = 1 << 12;
+    const MAX_ELEMENTS: usize = 1 << 30;
+    if count > MAX_ENTRIES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible entry count {count} in checkpoint"),
+        ));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > MAX_NAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible name length {name_len} in checkpoint"),
+            ));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let ndim = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            shape.push(u64::from_le_bytes(b) as usize);
+        }
+        let n: usize = shape.iter().product();
+        if n > MAX_ELEMENTS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible tensor size {n} in checkpoint"),
+            ));
+        }
+        let mut data = Vec::with_capacity(n);
+        let mut buf = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        let tensor = Tensor::from_vec(data, &shape)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        out.push((name, tensor));
+    }
+    Ok(out)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Restores values into `params`, matching entries by name.
+///
+/// Every parameter must find a checkpoint entry with its exact name and
+/// shape; extra checkpoint entries are ignored (so a full-model checkpoint
+/// can initialise a sub-model).
+///
+/// # Errors
+///
+/// Returns `InvalidData` when a parameter has no matching entry or the
+/// shapes disagree.
+pub fn load_into(path: &Path, params: &[Param]) -> io::Result<()> {
+    let entries = load_raw(path)?;
+    for p in params {
+        let name = p.name();
+        let entry = entries.iter().find(|(n, _)| *n == name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint has no entry named {name:?}"),
+            )
+        })?;
+        if entry.1.shape() != p.value().shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shape mismatch for {name:?}: checkpoint {:?} vs parameter {:?}",
+                    entry.1.shape(),
+                    p.value().shape()
+                ),
+            ));
+        }
+        *p.value_mut() = entry.1.clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mlp::Mlp;
+    use crate::module::Module;
+    use rex_tensor::Prng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rex_ckpt_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_and_names() {
+        let mut rng = Prng::new(1);
+        let m = Mlp::new("m", &[4, 8, 2], &mut rng);
+        let path = tmp("roundtrip");
+        save(&path, &m.params()).unwrap();
+
+        let raw = load_raw(&path).unwrap();
+        assert_eq!(raw.len(), 4); // 2 layers x (weight + bias)
+        assert!(raw.iter().any(|(n, _)| n == "m.fc0.weight"));
+
+        // load into a differently-initialised clone
+        let mut rng2 = Prng::new(2);
+        let m2 = Mlp::new("m", &[4, 8, 2], &mut rng2);
+        assert_ne!(*m.params()[0].value(), *m2.params()[0].value());
+        load_into(&path, &m2.params()).unwrap();
+        for (a, b) in m.params().iter().zip(m2.params().iter()) {
+            assert_eq!(*a.value(), *b.value());
+        }
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = tmp("badmagic");
+        fs::write(&path, b"NOTACKPT____").unwrap();
+        assert!(load_raw(&path).is_err());
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let mut rng = Prng::new(3);
+        let small = Mlp::new("a", &[2, 2], &mut rng);
+        let path = tmp("missing");
+        save(&path, &small.params()).unwrap();
+        let other = Mlp::new("b", &[2, 2], &mut rng);
+        let err = load_into(&path, &other.params()).unwrap_err();
+        assert!(err.to_string().contains("no entry"), "{err}");
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut rng = Prng::new(4);
+        let m = Mlp::new("m", &[2, 3], &mut rng);
+        let path = tmp("shape");
+        save(&path, &m.params()).unwrap();
+        let wider = Mlp::new("m", &[2, 4], &mut rng);
+        let err = load_into(&path, &wider.params()).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn extra_checkpoint_entries_are_ignored() {
+        let mut rng = Prng::new(5);
+        let full = Mlp::new("m", &[4, 8, 2], &mut rng);
+        let path = tmp("extra");
+        save(&path, &full.params()).unwrap();
+        // a "sub-model" holding only the first layer's params
+        let sub = &full.params()[..2];
+        load_into(&path, sub).unwrap();
+        let _ = fs::remove_file(path);
+    }
+}

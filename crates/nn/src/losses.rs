@@ -1,0 +1,106 @@
+//! Loss helpers composed from graph primitives.
+//!
+//! Cross-entropy and BCE-with-logits live directly on
+//! [`Graph`](rex_autograd::Graph); this module adds the composite losses the
+//! models need.
+
+use rex_autograd::{Graph, NodeId};
+use rex_tensor::{Tensor, TensorError};
+
+/// Mean squared error between a prediction node and a constant target,
+/// averaged over all elements.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastMismatch`] if shapes differ.
+pub fn mse(g: &mut Graph, pred: NodeId, target: &Tensor) -> Result<NodeId, TensorError> {
+    let t = g.constant(target.clone());
+    let diff = g.sub(pred, t)?;
+    let sq = g.mul(diff, diff)?;
+    g.mean_all(sq)
+}
+
+/// KL divergence of a diagonal Gaussian `N(mu, exp(logvar))` from the
+/// standard normal, summed over latent dims and averaged over the batch:
+///
+/// ```text
+/// KL = -1/2 · Σ_d (1 + logvar − mu² − exp(logvar))
+/// ```
+///
+/// `mu`/`logvar` are `[N, L]` nodes.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the underlying ops.
+pub fn gaussian_kl(g: &mut Graph, mu: NodeId, logvar: NodeId) -> Result<NodeId, TensorError> {
+    let n = g.value(mu).shape()[0] as f32;
+    let mu2 = g.mul(mu, mu)?;
+    let var = g.exp(logvar);
+    let one_plus = g.add_scalar(logvar, 1.0);
+    let t1 = g.sub(one_plus, mu2)?;
+    let t2 = g.sub(t1, var)?;
+    let summed = g.sum_all(t2)?;
+    Ok(g.scale(summed, -0.5 / n))
+}
+
+/// L2 regularisation term: `0.5 · coef · Σ ‖p‖²` over the given nodes
+/// (typically parameter leaves). Used by the ablation benches; the
+/// optimizers implement weight decay directly for the main experiments.
+///
+/// # Errors
+///
+/// Propagates shape errors from the underlying ops (none in practice).
+pub fn l2_penalty(g: &mut Graph, params: &[NodeId], coef: f32) -> Result<NodeId, TensorError> {
+    let mut acc: Option<NodeId> = None;
+    for &p in params {
+        let sq = g.mul(p, p)?;
+        let s = g.sum_all(sq)?;
+        acc = Some(match acc {
+            Some(a) => g.add(a, s)?,
+            None => s,
+        });
+    }
+    let total = acc.unwrap_or_else(|| g.constant(Tensor::scalar(0.0)));
+    Ok(g.scale(total, 0.5 * coef))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_value() {
+        let mut g = Graph::new(true);
+        let p = g.constant(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let t = Tensor::from_vec(vec![0.0, 4.0], &[2]).unwrap();
+        let loss = mse(&mut g, p, &t).unwrap();
+        assert!((g.value(loss).item() - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_zero_for_standard_normal() {
+        let mut g = Graph::new(true);
+        let mu = g.constant(Tensor::zeros(&[3, 4]));
+        let logvar = g.constant(Tensor::zeros(&[3, 4]));
+        let kl = gaussian_kl(&mut g, mu, logvar).unwrap();
+        assert!(g.value(kl).item().abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_positive_otherwise() {
+        let mut g = Graph::new(true);
+        let mu = g.constant(Tensor::full(&[2, 2], 1.0));
+        let logvar = g.constant(Tensor::full(&[2, 2], 0.5));
+        let kl = gaussian_kl(&mut g, mu, logvar).unwrap();
+        assert!(g.value(kl).item() > 0.0);
+    }
+
+    #[test]
+    fn l2_penalty_sums_squares() {
+        let mut g = Graph::new(true);
+        let a = g.constant(Tensor::from_vec(vec![3.0], &[1]).unwrap());
+        let b = g.constant(Tensor::from_vec(vec![4.0], &[1]).unwrap());
+        let pen = l2_penalty(&mut g, &[a, b], 2.0).unwrap();
+        assert!((g.value(pen).item() - 25.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,424 @@
+//! Single-shot grid detector — the YOLO-VOC analogue.
+//!
+//! A convolutional backbone downsamples the image 8×; a 1×1 head predicts,
+//! for every grid cell: an objectness logit, four box parameters
+//! `(tx, ty, tw, th)`, and class logits. The loss combines BCE objectness,
+//! cross-entropy classification on positive cells, and MSE box regression
+//! on positive cells — the same multi-term structure as YOLOv3, reduced to
+//! one anchor per cell.
+
+use rex_autograd::{Graph, NodeId, Param};
+use rex_tensor::conv::Window;
+use rex_tensor::ops::sigmoid_scalar;
+use rex_tensor::{Prng, Tensor, TensorError};
+
+use crate::layers::{BatchNorm, Conv2d};
+use crate::module::Module;
+
+/// Ground-truth targets in grid form, ready for [`TinyDetector::loss`].
+#[derive(Debug, Clone)]
+pub struct DetectionTargets {
+    /// Objectness grid `[N, S, S]` with 1.0 in cells containing an object
+    /// centre.
+    pub objectness: Tensor,
+    /// Box targets `[N, 4, S, S]` — `(tx, ty, w, h)` in cell-relative /
+    /// image-relative units; only meaningful where `objectness == 1`.
+    pub boxes: Tensor,
+    /// Class index per cell, row-major over `N·S·S`; `None` for background
+    /// cells.
+    pub classes: Vec<Option<usize>>,
+}
+
+impl DetectionTargets {
+    /// Validates the pieces and assembles the target struct.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the tensor shapes or the class-vector
+    /// length are inconsistent.
+    pub fn new(
+        objectness: Tensor,
+        boxes: Tensor,
+        classes: Vec<Option<usize>>,
+    ) -> Result<Self, TensorError> {
+        if objectness.ndim() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: "objectness [N,S,S]",
+                got: objectness.shape().to_vec(),
+            });
+        }
+        let (n, s) = (objectness.shape()[0], objectness.shape()[1]);
+        if boxes.shape() != [n, 4, s, s] {
+            return Err(TensorError::RankMismatch {
+                expected: "boxes [N,4,S,S] matching objectness",
+                got: boxes.shape().to_vec(),
+            });
+        }
+        if classes.len() != n * s * s {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: vec![n, s, s],
+                data_len: classes.len(),
+            });
+        }
+        Ok(DetectionTargets {
+            objectness,
+            boxes,
+            classes,
+        })
+    }
+
+    /// Number of positive (object-containing) cells.
+    pub fn num_positives(&self) -> usize {
+        self.classes.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// A raw detection decoded from the head output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawDetection {
+    /// Confidence = objectness probability × class probability.
+    pub score: f32,
+    /// Predicted class index.
+    pub class: usize,
+    /// Box centre x/y and width/height, all in `[0, 1]` image coordinates.
+    pub cxcywh: [f32; 4],
+}
+
+/// The YOLO-analogue single-shot detector.
+#[derive(Debug)]
+pub struct TinyDetector {
+    backbone: Vec<(Conv2d, BatchNorm)>,
+    obj_head: Conv2d,
+    box_head: Conv2d,
+    cls_head: Conv2d,
+    num_classes: usize,
+    grid: usize,
+}
+
+impl TinyDetector {
+    /// Builds a detector for `input_size`×`input_size` RGB images
+    /// (`input_size` divisible by 8; grid is `input_size/8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_size` is not divisible by 8 or `num_classes == 0`.
+    pub fn new(num_classes: usize, input_size: usize, seed: u64) -> Self {
+        assert!(input_size.is_multiple_of(8), "input size must be divisible by 8");
+        assert!(num_classes > 0, "need at least one class");
+        let mut rng = Prng::new(seed);
+        let widths = [3usize, 8, 16, 32];
+        let down = Window {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let backbone = (0..3)
+            .map(|i| {
+                (
+                    Conv2d::without_bias(&format!("det.b{i}"), widths[i], widths[i + 1], down, &mut rng),
+                    BatchNorm::new(&format!("det.bn{i}"), widths[i + 1]),
+                )
+            })
+            .collect();
+        let head_win = Window {
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        TinyDetector {
+            backbone,
+            obj_head: Conv2d::new("det.obj", 32, 1, head_win, &mut rng),
+            box_head: Conv2d::new("det.box", 32, 4, head_win, &mut rng),
+            cls_head: Conv2d::new("det.cls", 32, num_classes, head_win, &mut rng),
+            num_classes,
+            grid: input_size / 8,
+        }
+    }
+
+    /// Grid size (cells per side).
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Number of object classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn features(&self, g: &mut Graph, x: NodeId) -> Result<NodeId, TensorError> {
+        let mut h = x;
+        for (conv, bn) in &self.backbone {
+            h = conv.forward(g, h)?;
+            h = bn.forward(g, h)?;
+            h = g.leaky_relu(h, 0.1);
+        }
+        Ok(h)
+    }
+
+    /// Full detection loss for a batch: BCE objectness over all cells +
+    /// cross-entropy and box MSE over positive cells (normalised by the
+    /// positive count).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] on any shape inconsistency between input,
+    /// grid, and targets.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        x: NodeId,
+        targets: &DetectionTargets,
+    ) -> Result<NodeId, TensorError> {
+        let s = self.grid;
+        let n = g.value(x).shape()[0];
+        let feats = self.features(g, x)?;
+
+        // Objectness: BCE over every cell.
+        let obj_logits = self.obj_head.forward(g, feats)?; // [N,1,S,S]
+        let obj_flat = g.reshape(obj_logits, &[n, s * s])?;
+        let obj_target = targets.objectness.reshape(&[n, s * s])?;
+        let obj_loss = g.bce_with_logits(obj_flat, &obj_target)?;
+
+        let num_pos = targets.num_positives();
+        if num_pos == 0 {
+            // Background-only batch: objectness is the whole signal.
+            return Ok(obj_loss);
+        }
+        let inv_pos = 1.0 / num_pos as f32;
+
+        // Boxes: sigmoid-squashed predictions, MSE masked to positive cells.
+        let box_logits = self.box_head.forward(g, feats)?; // [N,4,S,S]
+        let box_pred = g.sigmoid(box_logits);
+        let box_t = g.constant(targets.boxes.clone());
+        let diff = g.sub(box_pred, box_t)?;
+        let sq = g.mul(diff, diff)?;
+        let mask = g.constant(targets.objectness.reshape(&[n, 1, s, s])?);
+        let masked = g.mul(sq, mask)?;
+        let box_sum = g.sum_all(masked)?;
+        let box_loss = g.scale(box_sum, inv_pos / 4.0);
+
+        // Classes: CE on positive cells via a one-hot mask.
+        let cls_logits = self.cls_head.forward(g, feats)?; // [N,C,S,S]
+        let cls_3d = g.reshape(cls_logits, &[n, self.num_classes, s * s])?;
+        let cls_t = g.transpose_last2(cls_3d)?; // [N, S*S, C]
+        let cls_rows = g.reshape(cls_t, &[n * s * s, self.num_classes])?;
+        let log_probs = g.log_softmax(cls_rows)?;
+        let mut onehot = Tensor::zeros(&[n * s * s, self.num_classes]);
+        for (cell, class) in targets.classes.iter().enumerate() {
+            if let Some(c) = class {
+                if *c >= self.num_classes {
+                    return Err(TensorError::AxisOutOfRange {
+                        axis: *c,
+                        ndim: self.num_classes,
+                    });
+                }
+                onehot.data_mut()[cell * self.num_classes + c] = 1.0;
+            }
+        }
+        let oh = g.constant(onehot);
+        let picked = g.mul(log_probs, oh)?;
+        let cls_sum = g.sum_all(picked)?;
+        let cls_loss = g.scale(cls_sum, -inv_pos);
+
+        // Weighted combination (objectness dominates, as in YOLO practice).
+        let obj_w = g.scale(obj_loss, 2.0);
+        let partial = g.add(obj_w, box_loss)?;
+        g.add(partial, cls_loss)
+    }
+
+    /// Decodes the head outputs for a batch of images into per-image
+    /// detections (one candidate per cell; the caller thresholds/ranks).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `images` has the wrong shape.
+    pub fn decode(&self, images: &Tensor) -> Result<Vec<Vec<RawDetection>>, TensorError> {
+        let s = self.grid;
+        let n = images.shape()[0];
+        let mut g = Graph::new(false);
+        let x = g.constant(images.clone());
+        let feats = self.features(&mut g, x)?;
+        let obj = self.obj_head.forward(&mut g, feats)?;
+        let boxes = self.box_head.forward(&mut g, feats)?;
+        let cls = self.cls_head.forward(&mut g, feats)?;
+        let (obj_v, box_v, cls_v) = (
+            g.value(obj).clone(),
+            g.value(boxes).clone(),
+            g.value(cls).clone(),
+        );
+
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut dets = Vec::with_capacity(s * s);
+            for cy in 0..s {
+                for cx in 0..s {
+                    let p_obj = sigmoid_scalar(obj_v.at(&[i, 0, cy, cx]));
+                    // class argmax + softmax prob
+                    let mut logits = Vec::with_capacity(self.num_classes);
+                    for c in 0..self.num_classes {
+                        logits.push(cls_v.at(&[i, c, cy, cx]));
+                    }
+                    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+                    let denom: f32 = exps.iter().sum();
+                    let (best, best_e) = exps
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .expect("nonempty classes");
+                    let p_cls = best_e / denom;
+                    let tx = sigmoid_scalar(box_v.at(&[i, 0, cy, cx]));
+                    let ty = sigmoid_scalar(box_v.at(&[i, 1, cy, cx]));
+                    let w = sigmoid_scalar(box_v.at(&[i, 2, cy, cx]));
+                    let h = sigmoid_scalar(box_v.at(&[i, 3, cy, cx]));
+                    dets.push(RawDetection {
+                        score: p_obj * p_cls,
+                        class: best,
+                        cxcywh: [
+                            (cx as f32 + tx) / s as f32,
+                            (cy as f32 + ty) / s as f32,
+                            w,
+                            h,
+                        ],
+                    });
+                }
+            }
+            out.push(dets);
+        }
+        Ok(out)
+    }
+}
+
+impl Module for TinyDetector {
+    /// Forward to the objectness logits (the primary head); use
+    /// [`TinyDetector::loss`]/[`TinyDetector::decode`] for training and
+    /// inference.
+    fn forward(&self, g: &mut Graph, x: NodeId) -> Result<NodeId, TensorError> {
+        let feats = self.features(g, x)?;
+        self.obj_head.forward(g, feats)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut ps = Vec::new();
+        for (conv, bn) in &self.backbone {
+            ps.extend(conv.params());
+            ps.extend(bn.params());
+        }
+        ps.extend(self.obj_head.params());
+        ps.extend(self.box_head.params());
+        ps.extend(self.cls_head.params());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_targets(n: usize, s: usize) -> DetectionTargets {
+        let mut obj = Tensor::zeros(&[n, s, s]);
+        let mut boxes = Tensor::zeros(&[n, 4, s, s]);
+        let mut classes = vec![None; n * s * s];
+        for i in 0..n {
+            obj.set(&[i, 1, 1], 1.0);
+            boxes.set(&[i, 0, 1, 1], 0.5);
+            boxes.set(&[i, 1, 1, 1], 0.5);
+            boxes.set(&[i, 2, 1, 1], 0.3);
+            boxes.set(&[i, 3, 1, 1], 0.3);
+            classes[i * s * s + s + 1] = Some(i % 2);
+        }
+        DetectionTargets::new(obj, boxes, classes).unwrap()
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let det = TinyDetector::new(3, 24, 0);
+        assert_eq!(det.grid(), 3);
+        let mut rng = Prng::new(1);
+        let images = rng.normal_tensor(&[2, 3, 24, 24], 0.0, 1.0);
+        let targets = toy_targets(2, 3);
+        let mut g = Graph::new(true);
+        let x = g.constant(images);
+        let loss = det.loss(&mut g, x, &targets).unwrap();
+        let v = g.value(loss).item();
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn background_only_batch_uses_objectness_only() {
+        let det = TinyDetector::new(3, 24, 0);
+        let mut rng = Prng::new(2);
+        let images = rng.normal_tensor(&[1, 3, 24, 24], 0.0, 1.0);
+        let targets = DetectionTargets::new(
+            Tensor::zeros(&[1, 3, 3]),
+            Tensor::zeros(&[1, 4, 3, 3]),
+            vec![None; 9],
+        )
+        .unwrap();
+        let mut g = Graph::new(true);
+        let x = g.constant(images);
+        let loss = det.loss(&mut g, x, &targets).unwrap();
+        assert!(g.value(loss).item().is_finite());
+    }
+
+    #[test]
+    fn training_reduces_detection_loss() {
+        let det = TinyDetector::new(2, 24, 3);
+        let mut rng = Prng::new(4);
+        let images = rng.normal_tensor(&[2, 3, 24, 24], 0.0, 1.0);
+        let targets = toy_targets(2, 3);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..10 {
+            for p in det.params() {
+                p.zero_grad();
+            }
+            let mut g = Graph::new(true);
+            let x = g.constant(images.clone());
+            let loss = det.loss(&mut g, x, &targets).unwrap();
+            let lv = g.value(loss).item();
+            if step == 0 {
+                first = lv;
+            }
+            last = lv;
+            g.backward(loss).unwrap();
+            for p in det.params() {
+                let grad = p.grad();
+                p.value_mut().axpy(-0.05, &grad);
+            }
+        }
+        assert!(last < first, "detection loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn decode_emits_one_candidate_per_cell() {
+        let det = TinyDetector::new(3, 24, 0);
+        let mut rng = Prng::new(5);
+        let images = rng.normal_tensor(&[2, 3, 24, 24], 0.0, 1.0);
+        let dets = det.decode(&images).unwrap();
+        assert_eq!(dets.len(), 2);
+        assert_eq!(dets[0].len(), 9);
+        for d in &dets[0] {
+            assert!((0.0..=1.0).contains(&d.score));
+            for v in d.cxcywh {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn targets_validate_shapes() {
+        assert!(DetectionTargets::new(
+            Tensor::zeros(&[1, 3, 3]),
+            Tensor::zeros(&[1, 4, 3, 3]),
+            vec![None; 8], // wrong length
+        )
+        .is_err());
+        assert!(DetectionTargets::new(
+            Tensor::zeros(&[1, 3, 3]),
+            Tensor::zeros(&[1, 3, 3, 3]), // wrong box channels
+            vec![None; 9],
+        )
+        .is_err());
+    }
+}

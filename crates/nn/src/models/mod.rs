@@ -1,0 +1,8 @@
+//! Model zoo: one architecture per experimental setting of the paper.
+
+pub mod detector;
+pub mod mlp;
+pub mod resnet;
+pub mod transformer;
+pub mod vae;
+pub mod vgg;

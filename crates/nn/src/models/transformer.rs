@@ -1,0 +1,343 @@
+//! Tiny pre-LN transformer encoder — the BERT analogue for the synthetic
+//! GLUE fine-tuning experiments (Tables 10–11 of the paper).
+
+use rex_autograd::{Graph, NodeId, Param};
+use rex_tensor::{Prng, TensorError};
+
+use crate::attention::MultiHeadAttention;
+use crate::layers::{Embedding, LayerNorm, Linear};
+use crate::module::Module;
+
+/// Architecture hyperparameters of a [`TinyTransformer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Vocabulary size (including special tokens).
+    pub vocab: usize,
+    /// Model (embedding) dimension.
+    pub dim: usize,
+    /// Attention heads per block.
+    pub heads: usize,
+    /// Number of encoder blocks.
+    pub depth: usize,
+    /// Fixed sequence length.
+    pub seq_len: usize,
+    /// Feed-forward expansion factor.
+    pub ff_mult: usize,
+}
+
+impl Default for TransformerConfig {
+    /// A BERT-in-miniature: 4 layers would be overkill for the synthetic
+    /// tasks, so the default is 2 blocks of dim 32.
+    fn default() -> Self {
+        TransformerConfig {
+            vocab: 64,
+            dim: 32,
+            heads: 4,
+            depth: 2,
+            seq_len: 16,
+            ff_mult: 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Block {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+}
+
+impl Block {
+    fn new(name: &str, cfg: &TransformerConfig, rng: &mut Prng) -> Self {
+        Block {
+            ln1: LayerNorm::new(&format!("{name}.ln1"), cfg.dim),
+            attn: MultiHeadAttention::new(&format!("{name}.attn"), cfg.dim, cfg.heads, rng),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), cfg.dim),
+            ff1: Linear::xavier(&format!("{name}.ff1"), cfg.dim, cfg.dim * cfg.ff_mult, rng),
+            ff2: Linear::xavier(&format!("{name}.ff2"), cfg.dim * cfg.ff_mult, cfg.dim, rng),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, x: NodeId, b: usize, t: usize, d: usize) -> Result<NodeId, TensorError> {
+        // Pre-LN attention with residual.
+        let normed = self.ln1.forward(g, x)?;
+        let attn = self.attn.forward(g, normed)?;
+        let x = g.add(x, attn)?;
+        // Pre-LN feed-forward with residual.
+        let normed = self.ln2.forward(g, x)?;
+        let flat = g.reshape(normed, &[b * t, d])?;
+        let h = self.ff1.forward(g, flat)?;
+        let h = g.gelu(h);
+        let h = self.ff2.forward(g, h)?;
+        let h3 = g.reshape(h, &[b, t, d])?;
+        g.add(x, h3)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut ps = self.ln1.params();
+        ps.extend(self.attn.params());
+        ps.extend(self.ln2.params());
+        ps.extend(self.ff1.params());
+        ps.extend(self.ff2.params());
+        ps
+    }
+}
+
+/// A small pre-LN transformer encoder with token + learned positional
+/// embeddings, a masked-token prediction head (pre-training) and a
+/// CLS-pooled classification path (fine-tuning).
+///
+/// Token index 0 is reserved as the `[CLS]` position by the synthetic GLUE
+/// data generator; [`TinyTransformer::classify`] pools there.
+#[derive(Debug)]
+pub struct TinyTransformer {
+    cfg: TransformerConfig,
+    tok: Embedding,
+    pos: Param,
+    blocks: Vec<Block>,
+    ln_f: LayerNorm,
+    lm_head: Linear,
+}
+
+impl TinyTransformer {
+    /// Builds a transformer from its config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads` (from the attention
+    /// layer) or any config field is zero.
+    pub fn new(cfg: TransformerConfig, seed: u64) -> Self {
+        assert!(
+            cfg.vocab > 0 && cfg.dim > 0 && cfg.depth > 0 && cfg.seq_len > 0 && cfg.ff_mult > 0,
+            "all transformer config fields must be positive: {cfg:?}"
+        );
+        let mut rng = Prng::new(seed);
+        let tok = Embedding::new("tf.tok", cfg.vocab, cfg.dim, &mut rng);
+        let pos = Param::new(
+            "tf.pos",
+            rng.normal_tensor(&[cfg.seq_len, cfg.dim], 0.0, 0.02),
+        );
+        let blocks = (0..cfg.depth)
+            .map(|i| Block::new(&format!("tf.block{i}"), &cfg, &mut rng))
+            .collect();
+        let ln_f = LayerNorm::new("tf.ln_f", cfg.dim);
+        let lm_head = Linear::xavier("tf.lm_head", cfg.dim, cfg.vocab, &mut rng);
+        TinyTransformer {
+            cfg,
+            tok,
+            pos,
+            blocks,
+            ln_f,
+            lm_head,
+        }
+    }
+
+    /// The architecture config.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// Encodes a batch of `b` sequences (flattened token ids, length
+    /// `b·seq_len`) into contextual representations `[b, T, D]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `tokens.len() != b·seq_len` or any token
+    /// is out of vocabulary.
+    pub fn encode(&self, g: &mut Graph, tokens: &[usize], b: usize) -> Result<NodeId, TensorError> {
+        let (t, d) = (self.cfg.seq_len, self.cfg.dim);
+        if tokens.len() != b * t {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: vec![b, t],
+                data_len: tokens.len(),
+            });
+        }
+        let emb = self.tok.lookup(g, tokens)?; // [b*t, d]
+        let emb3 = g.reshape(emb, &[b, t, d])?;
+        let pos = g.param(&self.pos); // [t, d] broadcasts over batch
+        let mut h = g.add(emb3, pos)?;
+        for block in &self.blocks {
+            h = block.forward(g, h, b, t, d)?;
+        }
+        self.ln_f.forward(g, h)
+    }
+
+    /// Masked-token logits for every position: `[b·T, vocab]`. Used by the
+    /// synthetic pre-training task.
+    ///
+    /// # Errors
+    ///
+    /// As [`TinyTransformer::encode`].
+    pub fn lm_logits(&self, g: &mut Graph, tokens: &[usize], b: usize) -> Result<NodeId, TensorError> {
+        let h = self.encode(g, tokens, b)?;
+        let flat = g.reshape(h, &[b * self.cfg.seq_len, self.cfg.dim])?;
+        self.lm_head.forward(g, flat)
+    }
+
+    /// Classification logits from the CLS (position 0) representation,
+    /// through a caller-owned task head.
+    ///
+    /// # Errors
+    ///
+    /// As [`TinyTransformer::encode`], plus head shape errors.
+    pub fn classify(
+        &self,
+        g: &mut Graph,
+        tokens: &[usize],
+        b: usize,
+        head: &Linear,
+    ) -> Result<NodeId, TensorError> {
+        let h = self.encode(g, tokens, b)?;
+        let cls = g.select_time(h, 0)?;
+        head.forward(g, cls)
+    }
+
+    /// Encoder parameters (embeddings, blocks, final LN) **plus** the LM
+    /// head — the set updated during pre-training.
+    pub fn params(&self) -> Vec<Param> {
+        let mut ps = self.tok.params();
+        ps.push(self.pos.clone());
+        for blk in &self.blocks {
+            ps.extend(blk.params());
+        }
+        ps.extend(self.ln_f.params());
+        ps.extend(self.lm_head.params());
+        ps
+    }
+
+    /// Encoder-only parameters (without the LM head) — the set shared with
+    /// fine-tuning, where a fresh task head is added.
+    pub fn encoder_params(&self) -> Vec<Param> {
+        let mut ps = self.tok.params();
+        ps.push(self.pos.clone());
+        for blk in &self.blocks {
+            ps.extend(blk.params());
+        }
+        ps.extend(self.ln_f.params());
+        ps
+    }
+
+    /// Deep copy of all weights into a new transformer — used to fine-tune
+    /// the same pre-trained checkpoint independently for each GLUE task and
+    /// budget, exactly as the paper does.
+    pub fn clone_weights(&self, seed: u64) -> TinyTransformer {
+        let fresh = TinyTransformer::new(self.cfg, seed);
+        let src = self.params();
+        let dst = fresh.params();
+        for (s, d) in src.iter().zip(&dst) {
+            *d.value_mut() = s.value().clone();
+        }
+        fresh
+    }
+
+    /// Snapshot of the flattened pixel values of every parameter, used by
+    /// tests to detect training updates.
+    pub fn checksum(&self) -> f64 {
+        self.params()
+            .iter()
+            .map(|p| p.value().data().iter().map(|&v| v as f64).sum::<f64>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TinyTransformer {
+        TinyTransformer::new(
+            TransformerConfig {
+                vocab: 12,
+                dim: 8,
+                heads: 2,
+                depth: 1,
+                seq_len: 4,
+                ff_mult: 2,
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn encode_shape() {
+        let tf = tiny();
+        let mut g = Graph::new(false);
+        let tokens = vec![0usize, 1, 2, 3, 4, 5, 6, 7]; // b=2
+        let h = tf.encode(&mut g, &tokens, 2).unwrap();
+        assert_eq!(g.value(h).shape(), &[2, 4, 8]);
+    }
+
+    #[test]
+    fn lm_logits_shape() {
+        let tf = tiny();
+        let mut g = Graph::new(false);
+        let tokens = vec![1usize; 4];
+        let l = tf.lm_logits(&mut g, &tokens, 1).unwrap();
+        assert_eq!(g.value(l).shape(), &[4, 12]);
+    }
+
+    #[test]
+    fn classify_pools_cls() {
+        let tf = tiny();
+        let mut rng = Prng::new(1);
+        let head = Linear::new("head", 8, 3, &mut rng);
+        let mut g = Graph::new(false);
+        let tokens = vec![2usize; 8];
+        let logits = tf.classify(&mut g, &tokens, 2, &head).unwrap();
+        assert_eq!(g.value(logits).shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn wrong_token_count_errors() {
+        let tf = tiny();
+        let mut g = Graph::new(false);
+        assert!(tf.encode(&mut g, &[1, 2, 3], 1).is_err());
+    }
+
+    #[test]
+    fn clone_weights_is_deep_and_exact() {
+        let tf = tiny();
+        let copy = tf.clone_weights(99);
+        assert_eq!(tf.checksum(), copy.checksum());
+        // mutating the copy must not affect the original
+        copy.params()[0].value_mut().data_mut()[0] += 1.0;
+        assert_ne!(tf.checksum(), copy.checksum());
+    }
+
+    #[test]
+    fn lm_training_reduces_loss() {
+        let tf = tiny();
+        // Trivial language: token i predicts itself.
+        let tokens = vec![3usize, 5, 7, 9];
+        let targets = tokens.clone();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..15 {
+            for p in tf.params() {
+                p.zero_grad();
+            }
+            let mut g = Graph::new(true);
+            let logits = tf.lm_logits(&mut g, &tokens, 1).unwrap();
+            let loss = g.cross_entropy(logits, &targets).unwrap();
+            let lv = g.value(loss).item();
+            if step == 0 {
+                first = lv;
+            }
+            last = lv;
+            g.backward(loss).unwrap();
+            for p in tf.params() {
+                let grad = p.grad();
+                p.value_mut().axpy(-0.1, &grad);
+            }
+        }
+        assert!(last < first * 0.8, "LM loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn encoder_params_excludes_lm_head() {
+        let tf = tiny();
+        assert_eq!(tf.params().len(), tf.encoder_params().len() + 2);
+    }
+}

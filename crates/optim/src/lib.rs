@@ -1,0 +1,444 @@
+//! # rex-optim — optimizers for the REX reproduction
+//!
+//! The two optimizer families the paper evaluates everywhere —
+//! [`Sgd`] (with momentum) and [`Adam`]/AdamW — plus gradient-clipping
+//! utilities.
+//!
+//! All optimizers expose **mutable learning rate and momentum**
+//! ([`Optimizer::set_lr`], [`Optimizer::set_momentum`]) because in budgeted
+//! training the schedule drives them every iteration (and OneCycle drives
+//! the momentum too, per the paper's §4.1).
+//!
+//! ```
+//! use rex_optim::{Optimizer, Sgd};
+//! use rex_autograd::{Graph, Param};
+//! use rex_tensor::Tensor;
+//!
+//! let w = Param::new("w", Tensor::from_vec(vec![1.0], &[1])?);
+//! let mut opt = Sgd::new(vec![w.clone()], 0.1).with_momentum(0.9);
+//! // one step of d(w^2)/dw = 2w
+//! let mut g = Graph::new(true);
+//! let wn = g.param(&w);
+//! let sq = g.mul(wn, wn)?;
+//! let loss = g.sum_all(sq)?;
+//! g.backward(loss)?;
+//! opt.step();
+//! assert!((w.value().data()[0] - 0.8).abs() < 1e-6);
+//! # Ok::<(), rex_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use rex_autograd::Param;
+use rex_tensor::Tensor;
+
+/// Common interface of all optimizers.
+///
+/// An optimizer owns clones of the parameter handles it updates; `step`
+/// consumes the gradients accumulated by the last backward pass and
+/// `zero_grad` clears them for the next iteration.
+pub trait Optimizer {
+    /// Applies one update using the currently-accumulated gradients.
+    fn step(&mut self);
+
+    /// Clears all parameter gradients.
+    fn zero_grad(&self);
+
+    /// Sets the learning rate (called by the schedule every iteration).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Sets the momentum / β₁ coefficient, if the optimizer has one.
+    /// OneCycle uses this to cycle momentum inversely to the LR.
+    fn set_momentum(&mut self, _momentum: f32) {}
+
+    /// Current momentum / β₁ coefficient, if any.
+    fn momentum(&self) -> Option<f32> {
+        None
+    }
+
+    /// The parameters being optimized.
+    fn params(&self) -> &[Param];
+}
+
+/// Stochastic gradient descent with optional (Nesterov) momentum and L2
+/// weight decay — "SGDM" throughout the paper's tables.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Param>,
+    lr: f32,
+    momentum: f32,
+    nesterov: bool,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD over `params` with the given learning rate.
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        let velocity = params
+            .iter()
+            .map(|p| Tensor::zeros_like(&p.value()))
+            .collect();
+        Sgd {
+            params,
+            lr,
+            momentum: 0.0,
+            nesterov: false,
+            velocity,
+        weight_decay: 0.0,
+        }
+    }
+
+    /// Enables classical momentum (the paper's default β = 0.9).
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables Nesterov momentum.
+    pub fn nesterov(mut self) -> Self {
+        self.nesterov = true;
+        self
+    }
+
+    /// Enables L2 weight decay (added to the gradient).
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(&mut self.velocity) {
+            let mut grad = p.grad();
+            if self.weight_decay != 0.0 {
+                grad.axpy(self.weight_decay, &p.value());
+            }
+            if self.momentum != 0.0 {
+                // v = momentum*v + grad
+                for (vi, gi) in v.data_mut().iter_mut().zip(grad.data()) {
+                    *vi = self.momentum * *vi + gi;
+                }
+                if self.nesterov {
+                    // effective grad = grad + momentum * v
+                    grad.axpy(self.momentum, v);
+                } else {
+                    grad = v.clone();
+                }
+            }
+            p.value_mut().axpy(-self.lr, &grad);
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_momentum(&mut self, momentum: f32) {
+        self.momentum = momentum;
+    }
+
+    fn momentum(&self) -> Option<f32> {
+        Some(self.momentum)
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+/// Adam / AdamW. `Adam::new` gives the coupled-L2 variant used for the
+/// vision settings; [`Adam::adamw`] gives decoupled weight decay for the
+/// BERT-GLUE fine-tuning setting (as in the paper).
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Param>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    decoupled: bool,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the standard defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        let m = params
+            .iter()
+            .map(|p| Tensor::zeros_like(&p.value()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| Tensor::zeros_like(&p.value()))
+            .collect();
+        Adam {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            decoupled: false,
+            m,
+            v,
+            t: 0,
+        }
+    }
+
+    /// AdamW: Adam with decoupled weight decay (Loshchilov & Hutter).
+    pub fn adamw(params: Vec<Param>, lr: f32, weight_decay: f32) -> Self {
+        let mut a = Adam::new(params, lr);
+        a.weight_decay = weight_decay;
+        a.decoupled = true;
+        a
+    }
+
+    /// Sets coupled L2 weight decay (added to the gradient, plain Adam).
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self.decoupled = false;
+        self
+    }
+
+    /// Overrides β₂ and ε.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
+            let mut grad = p.grad();
+            if self.weight_decay != 0.0 && !self.decoupled {
+                grad.axpy(self.weight_decay, &p.value());
+            }
+            for ((mi, vi), gi) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(grad.data())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let mut value = p.value_mut();
+            if self.weight_decay != 0.0 && self.decoupled {
+                let decay = self.lr * self.weight_decay;
+                for w in value.data_mut() {
+                    *w -= decay * *w;
+                }
+            }
+            for ((w, mi), vi) in value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_momentum(&mut self, momentum: f32) {
+        self.beta1 = momentum;
+    }
+
+    fn momentum(&self) -> Option<f32> {
+        Some(self.beta1)
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`;
+/// returns the pre-clipping norm. Used by the transformer fine-tuning path.
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+    let total: f32 = params.iter().map(|p| p.grad().sq_norm()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            let mut g = p.grad_mut();
+            for v in g.data_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_autograd::Graph;
+
+    fn quadratic_step(w: &Param, opt: &mut dyn Optimizer) -> f32 {
+        opt.zero_grad();
+        let mut g = Graph::new(true);
+        let wn = g.param(w);
+        let sq = g.mul(wn, wn).unwrap();
+        let loss = g.sum_all(sq).unwrap();
+        let lv = g.value(loss).item();
+        g.backward(loss).unwrap();
+        opt.step();
+        lv
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = Param::new("w", Tensor::from_vec(vec![5.0, -3.0], &[2]).unwrap());
+        let mut opt = Sgd::new(vec![w.clone()], 0.1);
+        let mut last = f32::INFINITY;
+        for _ in 0..50 {
+            last = quadratic_step(&w, &mut opt);
+        }
+        assert!(last < 1e-3, "SGD failed to converge: {last}");
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |mom: f32, steps: usize| {
+            let w = Param::new("w", Tensor::from_vec(vec![5.0], &[1]).unwrap());
+            let mut opt = Sgd::new(vec![w.clone()], 0.02).with_momentum(mom);
+            let mut last = 0.0;
+            for _ in 0..steps {
+                last = quadratic_step(&w, &mut opt);
+            }
+            last
+        };
+        assert!(run(0.9, 30) < run(0.0, 30));
+    }
+
+    #[test]
+    fn nesterov_updates_differ_from_classical() {
+        let mk = |nesterov: bool| {
+            let w = Param::new("w", Tensor::from_vec(vec![1.0], &[1]).unwrap());
+            let mut opt = Sgd::new(vec![w.clone()], 0.1).with_momentum(0.9);
+            if nesterov {
+                opt = opt.nesterov();
+            }
+            quadratic_step(&w, &mut opt);
+            quadratic_step(&w, &mut opt);
+            let final_w = w.value().data()[0];
+            final_w
+        };
+        assert_ne!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let w = Param::new("w", Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let mut opt = Sgd::new(vec![w.clone()], 0.1).with_weight_decay(0.5);
+        // No backward: grad is zero, decay still pulls toward zero.
+        opt.step();
+        assert!((w.value().data()[0] - (1.0 - 0.1 * 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = Param::new("w", Tensor::from_vec(vec![5.0, -3.0], &[2]).unwrap());
+        let mut opt = Adam::new(vec![w.clone()], 0.3);
+        let mut last = f32::INFINITY;
+        for _ in 0..100 {
+            last = quadratic_step(&w, &mut opt);
+        }
+        assert!(last < 1e-2, "Adam failed to converge: {last}");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // Bias correction makes the very first Adam step ≈ lr * sign(grad).
+        let w = Param::new("w", Tensor::from_vec(vec![5.0], &[1]).unwrap());
+        let mut opt = Adam::new(vec![w.clone()], 0.1);
+        quadratic_step(&w, &mut opt);
+        assert!((w.value().data()[0] - 4.9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adamw_decay_is_decoupled() {
+        // With zero gradient, AdamW still decays the weight by lr*wd*w.
+        let w = Param::new("w", Tensor::from_vec(vec![2.0], &[1]).unwrap());
+        let mut opt = Adam::adamw(vec![w.clone()], 0.1, 0.1);
+        opt.step(); // grad = 0
+        assert!((w.value().data()[0] - 2.0 * (1.0 - 0.01)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn set_lr_and_momentum_take_effect() {
+        let w = Param::new("w", Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let mut opt = Sgd::new(vec![w.clone()], 0.1).with_momentum(0.9);
+        opt.set_lr(0.5);
+        assert_eq!(opt.lr(), 0.5);
+        opt.set_momentum(0.5);
+        assert_eq!(opt.momentum(), Some(0.5));
+
+        let mut adam = Adam::new(vec![w], 0.1);
+        adam.set_momentum(0.8);
+        assert_eq!(adam.momentum(), Some(0.8));
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales() {
+        let w = Param::new("w", Tensor::zeros(&[2]));
+        w.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap());
+        let norm = clip_grad_norm(&[w.clone()], 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let g = w.grad();
+        assert!((g.sq_norm().sqrt() - 1.0).abs() < 1e-5);
+        // below the threshold nothing changes
+        let norm2 = clip_grad_norm(&[w.clone()], 10.0);
+        assert!((norm2 - 1.0).abs() < 1e-5);
+        assert!((w.grad().sq_norm().sqrt() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let w = Param::new("w", Tensor::zeros(&[2]));
+        w.accumulate_grad(&Tensor::ones(&[2]));
+        let opt = Sgd::new(vec![w.clone()], 0.1);
+        opt.zero_grad();
+        assert_eq!(w.grad().data(), &[0.0, 0.0]);
+    }
+}

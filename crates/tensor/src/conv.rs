@@ -1,0 +1,647 @@
+//! 2-D convolution and pooling kernels (im2col formulation).
+//!
+//! Forward functions return whatever intermediate state the corresponding
+//! backward function needs (im2col buffers, argmax indices), so the autograd
+//! layer can stash it in the tape without recomputation.
+
+use crate::{Tensor, TensorError};
+
+/// Geometry of a conv/pool window: kernel size, stride, and zero padding
+/// (symmetric, applied to both spatial axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Kernel height and width (square kernels only, as in all our models).
+    pub kernel: usize,
+    /// Stride along both spatial axes.
+    pub stride: usize,
+    /// Zero padding on each side of both spatial axes.
+    pub padding: usize,
+}
+
+impl Window {
+    /// A stride-1 window with "same"-ish padding `kernel/2`.
+    pub fn same(kernel: usize) -> Self {
+        Window {
+            kernel,
+            stride: 1,
+            padding: kernel / 2,
+        }
+    }
+
+    /// Output spatial size for an input of size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the window does not fit
+    /// or the stride is zero.
+    pub fn out_size(&self, n: usize) -> Result<usize, TensorError> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry {
+                reason: "stride must be positive".into(),
+            });
+        }
+        let padded = n + 2 * self.padding;
+        if padded < self.kernel {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!(
+                    "kernel {} larger than padded input {} (input {}, padding {})",
+                    self.kernel, padded, n, self.padding
+                ),
+            });
+        }
+        Ok((padded - self.kernel) / self.stride + 1)
+    }
+}
+
+/// Saved forward state consumed by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dSaved {
+    /// im2col buffer, `[N, C*K*K, OH*OW]` flattened.
+    cols: Vec<f32>,
+    /// Input shape `[N, C, H, W]`.
+    in_shape: [usize; 4],
+    /// Output spatial dims `(OH, OW)`.
+    out_hw: (usize, usize),
+    win: Window,
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `input` — `[N, C, H, W]`
+/// * `weight` — `[O, C, K, K]`
+/// * `bias` — optional `[O]`
+///
+/// Returns the output `[N, O, OH, OW]` and the saved state for backward.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::InvalidGeometry`]
+/// on malformed inputs.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    win: Window,
+) -> Result<(Tensor, Conv2dSaved), TensorError> {
+    let [n, c, h, w] = dims4(input, "conv2d input [N,C,H,W]")?;
+    let [o, wc, kh, kw] = dims4(weight, "conv2d weight [O,C,K,K]")?;
+    if wc != c || kh != win.kernel || kw != win.kernel {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!(
+                "weight shape {:?} inconsistent with input channels {c} / kernel {}",
+                weight.shape(),
+                win.kernel
+            ),
+        });
+    }
+    let oh = win.out_size(h)?;
+    let ow = win.out_size(w)?;
+    let ckk = c * win.kernel * win.kernel;
+    let ohw = oh * ow;
+
+    let mut cols = vec![0.0f32; n * ckk * ohw];
+    for s in 0..n {
+        im2col_sample(
+            &input.data()[s * c * h * w..(s + 1) * c * h * w],
+            c,
+            h,
+            w,
+            win,
+            oh,
+            ow,
+            &mut cols[s * ckk * ohw..(s + 1) * ckk * ohw],
+        );
+    }
+
+    // weight viewed as [O, CKK]; per-sample out = weight x cols -> [O, OHW]
+    let wmat = weight.reshape(&[o, ckk])?;
+    let mut out = vec![0.0f32; n * o * ohw];
+    for s in 0..n {
+        let colmat = Tensor::from_vec(cols[s * ckk * ohw..(s + 1) * ckk * ohw].to_vec(), &[ckk, ohw])?;
+        let prod = wmat.matmul(&colmat)?;
+        out[s * o * ohw..(s + 1) * o * ohw].copy_from_slice(prod.data());
+    }
+    if let Some(b) = bias {
+        if b.shape() != [o] {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!("bias shape {:?}, expected [{o}]", b.shape()),
+            });
+        }
+        for s in 0..n {
+            for oc in 0..o {
+                let bv = b.data()[oc];
+                let base = (s * o + oc) * ohw;
+                for v in &mut out[base..base + ohw] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+
+    let output = Tensor::from_vec(out, &[n, o, oh, ow])?;
+    Ok((
+        output,
+        Conv2dSaved {
+            cols,
+            in_shape: [n, c, h, w],
+            out_hw: (oh, ow),
+            win,
+        },
+    ))
+}
+
+/// Gradients of a 2-D convolution.
+///
+/// Returns `(d_input, d_weight, d_bias)`; `d_bias` is always produced (sum
+/// of `d_out` over batch and space) and is simply ignored by bias-free
+/// layers.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if `d_out`/`weight` shapes disagree with the
+/// saved forward state.
+pub fn conv2d_backward(
+    d_out: &Tensor,
+    weight: &Tensor,
+    saved: &Conv2dSaved,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    conv2d_backward_impl(d_out, weight, saved, true)
+}
+
+/// As [`conv2d_backward`] but skips the bias gradient (returned as an
+/// empty `[O]` zero tensor) — the fast path for bias-free layers.
+///
+/// # Errors
+///
+/// As [`conv2d_backward`].
+pub fn conv2d_backward_no_bias(
+    d_out: &Tensor,
+    weight: &Tensor,
+    saved: &Conv2dSaved,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    conv2d_backward_impl(d_out, weight, saved, false)
+}
+
+fn conv2d_backward_impl(
+    d_out: &Tensor,
+    weight: &Tensor,
+    saved: &Conv2dSaved,
+    want_bias: bool,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    let [n, c, h, w] = saved.in_shape;
+    let (oh, ow) = saved.out_hw;
+    let ohw = oh * ow;
+    let [o, _, _, _] = dims4(weight, "conv2d weight [O,C,K,K]")?;
+    let ckk = c * saved.win.kernel * saved.win.kernel;
+    if d_out.shape() != [n, o, oh, ow] {
+        return Err(TensorError::RankMismatch {
+            expected: "d_out [N,O,OH,OW] matching forward",
+            got: d_out.shape().to_vec(),
+        });
+    }
+
+    let wmat = weight.reshape(&[o, ckk])?;
+    let mut d_weight = Tensor::zeros(&[o, ckk]);
+    let mut d_input = Tensor::zeros(&[n, c, h, w]);
+    let mut d_bias = Tensor::zeros(&[o]);
+
+    for s in 0..n {
+        let dmat = Tensor::from_vec(
+            d_out.data()[s * o * ohw..(s + 1) * o * ohw].to_vec(),
+            &[o, ohw],
+        )?;
+        let colmat = Tensor::from_vec(
+            saved.cols[s * ckk * ohw..(s + 1) * ckk * ohw].to_vec(),
+            &[ckk, ohw],
+        )?;
+        // dW += dOut x colsᵀ
+        d_weight.axpy(1.0, &dmat.matmul_nt(&colmat)?);
+        // dCols = Wᵀ x dOut
+        let dcols = wmat.matmul_tn(&dmat)?;
+        col2im_sample(
+            dcols.data(),
+            c,
+            h,
+            w,
+            saved.win,
+            oh,
+            ow,
+            &mut d_input.data_mut()[s * c * h * w..(s + 1) * c * h * w],
+        );
+        // dB += sum over space (skipped for bias-free layers)
+        if want_bias {
+            for oc in 0..o {
+                let sum: f32 = dmat.data()[oc * ohw..(oc + 1) * ohw].iter().sum();
+                d_bias.data_mut()[oc] += sum;
+            }
+        }
+    }
+
+    Ok((
+        d_input,
+        d_weight.reshape(&[o, c, saved.win.kernel, saved.win.kernel])?,
+        d_bias,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn im2col_sample(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    win: Window,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    let k = win.kernel;
+    let ohw = oh * ow;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * ohw;
+                for oy in 0..oh {
+                    let iy = (oy * win.stride + ky) as isize - win.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        // zero padding region: cols pre-zeroed
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * win.stride + kx) as isize - win.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        cols[base + oy * ow + ox] = input[(ch * h + iy) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn col2im_sample(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    win: Window,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    let k = win.kernel;
+    let ohw = oh * ow;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * ohw;
+                for oy in 0..oh {
+                    let iy = (oy * win.stride + ky) as isize - win.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * win.stride + kx) as isize - win.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[(ch * h + iy) * w + ix as usize] += cols[base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Max-pooling forward. Returns the pooled output `[N, C, OH, OW]` and the
+/// flat input index of each window's maximum (for the backward scatter).
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] for malformed input shape or geometry.
+pub fn maxpool2d_forward(input: &Tensor, win: Window) -> Result<(Tensor, Vec<u32>), TensorError> {
+    let [n, c, h, w] = dims4(input, "maxpool input [N,C,H,W]")?;
+    let oh = win.out_size(h)?;
+    let ow = win.out_size(w)?;
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut arg = vec![0u32; n * c * oh * ow];
+    let data = input.data();
+    for s in 0..n {
+        for ch in 0..c {
+            let plane = (s * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let oidx = ((s * c + ch) * oh + oy) * ow + ox;
+                    let mut best = f32::NEG_INFINITY;
+                    let mut besti = 0usize;
+                    for ky in 0..win.kernel {
+                        let iy = (oy * win.stride + ky) as isize - win.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..win.kernel {
+                            let ix = (ox * win.stride + kx) as isize - win.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = plane + iy as usize * w + ix as usize;
+                            if data[idx] > best {
+                                best = data[idx];
+                                besti = idx;
+                            }
+                        }
+                    }
+                    out[oidx] = best;
+                    arg[oidx] = besti as u32;
+                }
+            }
+        }
+    }
+    Ok((Tensor::from_vec(out, &[n, c, oh, ow])?, arg))
+}
+
+/// Max-pooling backward: scatters `d_out` to the argmax positions.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if `d_out` length disagrees with `argmax`.
+pub fn maxpool2d_backward(
+    d_out: &Tensor,
+    argmax: &[u32],
+    in_shape: &[usize],
+) -> Result<Tensor, TensorError> {
+    if d_out.len() != argmax.len() {
+        return Err(TensorError::ShapeDataMismatch {
+            shape: d_out.shape().to_vec(),
+            data_len: argmax.len(),
+        });
+    }
+    let mut d_in = Tensor::zeros(in_shape);
+    for (g, &i) in d_out.data().iter().zip(argmax) {
+        d_in.data_mut()[i as usize] += g;
+    }
+    Ok(d_in)
+}
+
+/// Average-pooling forward over the full spatial extent ("global average
+/// pool"), producing `[N, C]`.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] for non-4-D input.
+pub fn global_avgpool_forward(input: &Tensor) -> Result<Tensor, TensorError> {
+    let [n, c, h, w] = dims4(input, "avgpool input [N,C,H,W]")?;
+    let hw = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    for s in 0..n {
+        for ch in 0..c {
+            let plane = (s * c + ch) * h * w;
+            out[s * c + ch] = input.data()[plane..plane + h * w].iter().sum::<f32>() / hw;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Backward of [`global_avgpool_forward`]: spreads each gradient uniformly
+/// over its spatial plane.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if `d_out` is not `[N, C]` matching `in_shape`.
+pub fn global_avgpool_backward(d_out: &Tensor, in_shape: &[usize]) -> Result<Tensor, TensorError> {
+    if in_shape.len() != 4 || d_out.shape() != [in_shape[0], in_shape[1]] {
+        return Err(TensorError::RankMismatch {
+            expected: "d_out [N,C] matching input [N,C,H,W]",
+            got: d_out.shape().to_vec(),
+        });
+    }
+    let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+    let inv = 1.0 / (h * w) as f32;
+    let mut d_in = Tensor::zeros(in_shape);
+    for s in 0..n {
+        for ch in 0..c {
+            let g = d_out.data()[s * c + ch] * inv;
+            let plane = (s * c + ch) * h * w;
+            for v in &mut d_in.data_mut()[plane..plane + h * w] {
+                *v = g;
+            }
+        }
+    }
+    Ok(d_in)
+}
+
+fn dims4(t: &Tensor, expected: &'static str) -> Result<[usize; 4], TensorError> {
+    if t.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected,
+            got: t.shape().to_vec(),
+        });
+    }
+    Ok([t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prng;
+
+    #[test]
+    fn window_out_size() {
+        let w = Window {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        assert_eq!(w.out_size(8).unwrap(), 8);
+        let w2 = Window {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        assert_eq!(w2.out_size(8).unwrap(), 4);
+        let bad = Window {
+            kernel: 9,
+            stride: 1,
+            padding: 0,
+        };
+        assert!(bad.out_size(4).is_err());
+    }
+
+    #[test]
+    fn conv_identity_kernel_preserves_input() {
+        // 1x1 kernel with weight 1 is the identity.
+        let input = Tensor::arange(0.0, 1.0, 2 * 3 * 4 * 4)
+            .reshape(&[2, 3, 4, 4])
+            .unwrap();
+        let mut weight = Tensor::zeros(&[3, 3, 1, 1]);
+        for i in 0..3 {
+            weight.set(&[i, i, 0, 0], 1.0);
+        }
+        let win = Window {
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let (out, _) = conv2d_forward(&input, &weight, None, win).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_known_values_3x3() {
+        // Single channel, 3x3 input, 3x3 kernel of ones, no padding:
+        // output = sum of all inputs.
+        let input = Tensor::arange(1.0, 1.0, 9).reshape(&[1, 1, 3, 3]).unwrap();
+        let weight = Tensor::ones(&[1, 1, 3, 3]);
+        let win = Window {
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        let (out, _) = conv2d_forward(&input, &weight, None, win).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 1, 1]);
+        assert_eq!(out.item(), 45.0);
+    }
+
+    #[test]
+    fn conv_bias_broadcasts_over_space() {
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        let weight = Tensor::zeros(&[2, 1, 1, 1]);
+        let bias = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
+        let win = Window {
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let (out, _) = conv2d_forward(&input, &weight, Some(&bias), win).unwrap();
+        assert_eq!(out.data(), &[1.5, 1.5, 1.5, 1.5, -2.0, -2.0, -2.0, -2.0]);
+    }
+
+    /// Numeric gradient check of the conv backward pass.
+    #[test]
+    fn conv_backward_matches_numeric_gradient() {
+        let mut rng = Prng::new(42);
+        let input = rng.normal_tensor(&[2, 2, 5, 5], 0.0, 1.0);
+        let weight = rng.normal_tensor(&[3, 2, 3, 3], 0.0, 0.5);
+        let bias = rng.normal_tensor(&[3], 0.0, 0.5);
+        let win = Window {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+
+        let loss = |inp: &Tensor, wt: &Tensor, b: &Tensor| -> f32 {
+            let (out, _) = conv2d_forward(inp, wt, Some(b), win).unwrap();
+            // weighted sum so gradient isn't uniform
+            out.data()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * ((i % 7) as f32 - 3.0))
+                .sum()
+        };
+
+        let (out, saved) = conv2d_forward(&input, &weight, Some(&bias), win).unwrap();
+        let d_out = Tensor::from_vec(
+            (0..out.len()).map(|i| (i % 7) as f32 - 3.0).collect(),
+            out.shape(),
+        )
+        .unwrap();
+        let (d_in, d_w, d_b) = conv2d_backward(&d_out, &weight, &saved).unwrap();
+
+        let h = 1e-2;
+        // spot-check a handful of coordinates in each gradient
+        for &i in &[0usize, 13, 47, 99] {
+            let mut ip = input.clone();
+            ip.data_mut()[i] += h;
+            let mut im = input.clone();
+            im.data_mut()[i] -= h;
+            let fd = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * h);
+            assert!(
+                (fd - d_in.data()[i]).abs() < 0.05 * (1.0 + fd.abs()),
+                "d_input[{i}]: fd {fd} vs analytic {}",
+                d_in.data()[i]
+            );
+        }
+        for &i in &[0usize, 5, 23, 53] {
+            let mut wp = weight.clone();
+            wp.data_mut()[i] += h;
+            let mut wm = weight.clone();
+            wm.data_mut()[i] -= h;
+            let fd = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * h);
+            assert!(
+                (fd - d_w.data()[i]).abs() < 0.05 * (1.0 + fd.abs()),
+                "d_weight[{i}]: fd {fd} vs analytic {}",
+                d_w.data()[i]
+            );
+        }
+        for i in 0..3 {
+            let mut bp = bias.clone();
+            bp.data_mut()[i] += h;
+            let mut bm = bias.clone();
+            bm.data_mut()[i] -= h;
+            let fd = (loss(&input, &weight, &bp) - loss(&input, &weight, &bm)) / (2.0 * h);
+            assert!(
+                (fd - d_b.data()[i]).abs() < 0.05 * (1.0 + fd.abs()),
+                "d_bias[{i}]: fd {fd} vs analytic {}",
+                d_b.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 4.0, //
+                3.0, 0.0, 1.0, 2.0, //
+                7.0, 1.0, 0.0, 1.0, //
+                2.0, 8.0, 3.0, 4.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let win = Window {
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        };
+        let (out, arg) = maxpool2d_forward(&input, win).unwrap();
+        assert_eq!(out.data(), &[3.0, 5.0, 8.0, 4.0]);
+        let d_out = Tensor::ones(&[1, 1, 2, 2]);
+        let d_in = maxpool2d_backward(&d_out, &arg, &[1, 1, 4, 4]).unwrap();
+        assert_eq!(d_in.sum(), 4.0);
+        assert_eq!(d_in.at(&[0, 0, 1, 0]), 1.0); // the 3.0
+        assert_eq!(d_in.at(&[0, 0, 3, 1]), 1.0); // the 8.0
+    }
+
+    #[test]
+    fn global_avgpool_roundtrip() {
+        let input = Tensor::arange(0.0, 1.0, 2 * 3 * 2 * 2)
+            .reshape(&[2, 3, 2, 2])
+            .unwrap();
+        let out = global_avgpool_forward(&input).unwrap();
+        assert_eq!(out.shape(), &[2, 3]);
+        assert_eq!(out.at(&[0, 0]), (0.0 + 1.0 + 2.0 + 3.0) / 4.0);
+        let d = global_avgpool_backward(&out, &[2, 3, 2, 2]).unwrap();
+        assert_eq!(d.shape(), &[2, 3, 2, 2]);
+        assert!((d.at(&[0, 0, 0, 0]) - out.at(&[0, 0]) / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stride_two_conv_halves_resolution() {
+        let input = Tensor::zeros(&[1, 2, 8, 8]);
+        let weight = Tensor::zeros(&[4, 2, 3, 3]);
+        let win = Window {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let (out, _) = conv2d_forward(&input, &weight, None, win).unwrap();
+        assert_eq!(out.shape(), &[1, 4, 4, 4]);
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// Every variant carries enough context to diagnose the failing call without
+/// a debugger: the offending shapes or sizes are embedded in the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The product of the requested shape does not match the data length.
+    ShapeDataMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Actual element count supplied.
+        data_len: usize,
+    },
+    /// Two operand shapes cannot be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// Shapes are incompatible for matrix multiplication.
+    MatmulMismatch {
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Tensor rank.
+        ndim: usize,
+    },
+    /// A reshape changed the total number of elements.
+    ReshapeMismatch {
+        /// Original shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// An operation received a tensor of unsupported rank.
+    RankMismatch {
+        /// What the operation expected (e.g. "2-D matrix").
+        expected: &'static str,
+        /// The shape actually received.
+        got: Vec<usize>,
+    },
+    /// Convolution/pooling geometry is invalid (e.g. kernel larger than
+    /// padded input, or zero stride).
+    InvalidGeometry {
+        /// Human-readable description of the geometry violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, data_len } => write!(
+                f,
+                "shape {shape:?} requires {} elements but {data_len} were provided",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs:?} and {rhs:?} cannot be broadcast together")
+            }
+            TensorError::MatmulMismatch { lhs, rhs } => {
+                write!(f, "matmul shapes {lhs:?} x {rhs:?} are incompatible")
+            }
+            TensorError::AxisOutOfRange { axis, ndim } => {
+                write!(f, "axis {axis} out of range for rank-{ndim} tensor")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+            }
+            TensorError::RankMismatch { expected, got } => {
+                write!(f, "expected {expected}, got shape {got:?}")
+            }
+            TensorError::InvalidGeometry { reason } => {
+                write!(f, "invalid convolution/pooling geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}

@@ -1,0 +1,43 @@
+//! # rex-tensor
+//!
+//! A small, dependency-free, row-major `f32` tensor engine built for the
+//! [REX budgeted-training reproduction](https://arxiv.org/abs/2107.04197).
+//!
+//! The crate provides exactly what a from-scratch CPU deep-learning stack
+//! needs and nothing more:
+//!
+//! * [`Tensor`] — contiguous row-major storage with shape metadata,
+//!   constructors, elementwise arithmetic with NumPy-style broadcasting,
+//!   reductions, matrix multiplication, and activations.
+//! * [`conv`] — im2col-based 2-D convolution and pooling with explicit
+//!   backward passes (consumed by `rex-autograd`).
+//! * [`rng`] — a deterministic xoshiro256\*\*-based PRNG ([`rng::Prng`]) with
+//!   uniform/normal sampling and weight-initialisation helpers, so every
+//!   experiment in the workspace is seed-reproducible across platforms.
+//!
+//! # Example
+//!
+//! ```
+//! use rex_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.data(), &[3.0, 3.0, 7.0, 7.0]);
+//! # Ok::<(), rex_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod conv;
+mod error;
+pub mod ops;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use rng::Prng;
+pub use shape::{broadcast_shapes, strides_for};
+pub use tensor::Tensor;

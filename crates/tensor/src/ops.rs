@@ -1,0 +1,431 @@
+//! Free-standing numeric kernels shared by the autograd layer.
+//!
+//! These operate on [`Tensor`]s and implement the numerically-sensitive
+//! primitives (stabilised softmax, log-sum-exp) plus common activations.
+
+use crate::{Tensor, TensorError};
+
+/// Numerically-stable softmax over the last axis of a 2-D tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-2-D inputs.
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
+    let (r, c) = as_2d(x)?;
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        let row = &x.data()[i * c..(i + 1) * c];
+        let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0;
+        for j in 0..c {
+            let e = (row[j] - m).exp();
+            out[i * c + j] = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for j in 0..c {
+            out[i * c + j] *= inv;
+        }
+    }
+    Tensor::from_vec(out, &[r, c])
+}
+
+/// Numerically-stable log-softmax over the last axis of a 2-D tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-2-D inputs.
+pub fn log_softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
+    let (r, c) = as_2d(x)?;
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        let row = &x.data()[i * c..(i + 1) * c];
+        let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+        for j in 0..c {
+            out[i * c + j] = row[j] - lse;
+        }
+    }
+    Tensor::from_vec(out, &[r, c])
+}
+
+/// Rectified linear unit.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Leaky ReLU with slope `alpha` for negative inputs.
+pub fn leaky_relu(x: &Tensor, alpha: f32) -> Tensor {
+    x.map(|v| if v >= 0.0 { v } else { alpha * v })
+}
+
+/// Logistic sigmoid, computed in the numerically-stable two-branch form.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(sigmoid_scalar)
+}
+
+/// Scalar logistic sigmoid (stable for large |x|).
+pub fn sigmoid_scalar(v: f32) -> f32 {
+    if v >= 0.0 {
+        1.0 / (1.0 + (-v).exp())
+    } else {
+        let e = v.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Gaussian error linear unit (tanh approximation, as used by BERT).
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+/// Scalar GELU (tanh approximation).
+pub fn gelu_scalar(v: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * v * (1.0 + (C * (v + 0.044_715 * v * v * v)).tanh())
+}
+
+/// Derivative of the tanh-approximated GELU, used by the backward pass.
+pub fn gelu_grad_scalar(v: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (v + 0.044_715 * v * v * v);
+    let t = inner.tanh();
+    let dinner = C * (1.0 + 3.0 * 0.044_715 * v * v);
+    0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner
+}
+
+fn as_2d(x: &Tensor) -> Result<(usize, usize), TensorError> {
+    if x.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: "2-D matrix",
+            got: x.shape().to_vec(),
+        });
+    }
+    Ok((x.shape()[0], x.shape()[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = softmax_rows(&x).unwrap();
+        for i in 0..2 {
+            let sum: f32 = s.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert_close(sum, 1.0, 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1000.0, 1000.0], &[1, 3]).unwrap();
+        let s = softmax_rows(&x).unwrap();
+        for &v in s.data() {
+            assert_close(v, 1.0 / 3.0, 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = Tensor::from_vec(vec![0.5, -0.5, 2.0, 1.0], &[2, 2]).unwrap();
+        let s = softmax_rows(&x).unwrap();
+        let ls = log_softmax_rows(&x).unwrap();
+        for (a, b) in s.data().iter().zip(ls.data()) {
+            assert_close(a.ln(), *b, 1e-5);
+        }
+    }
+
+    #[test]
+    fn sigmoid_stable_extremes() {
+        assert_close(sigmoid_scalar(100.0), 1.0, 1e-6);
+        assert_close(sigmoid_scalar(-100.0), 0.0, 1e-6);
+        assert_close(sigmoid_scalar(0.0), 0.5, 1e-7);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        assert_eq!(leaky_relu(&x, 0.1).data(), &[-0.1, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh approximation itself at known points.
+        assert_close(gelu_scalar(0.0), 0.0, 1e-7);
+        assert!(gelu_scalar(3.0) > 2.99);
+        assert!(gelu_scalar(-3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &v in &[-2.0f32, -0.5, 0.0, 0.7, 1.5] {
+            let h = 1e-3;
+            let fd = (gelu_scalar(v + h) - gelu_scalar(v - h)) / (2.0 * h);
+            assert_close(gelu_grad_scalar(v), fd, 1e-3);
+        }
+    }
+}
+
+/// Transposes the last two axes of a 3-D tensor (`[B,M,N] → [B,N,M]`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-3-D inputs.
+pub fn transpose_last2(t: &Tensor) -> Result<Tensor, TensorError> {
+    let (b, m, n) = dims3(t)?;
+    let mut out = vec![0.0f32; b * m * n];
+    for s in 0..b {
+        for i in 0..m {
+            for j in 0..n {
+                out[s * m * n + j * m + i] = t.data()[s * m * n + i * n + j];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, n, m])
+}
+
+/// Permutes a 4-D tensor's axes from `[B, X, Y, D]` to `[B, Y, X, D]`
+/// (the multi-head attention head split/merge; self-inverse).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-4-D inputs.
+pub fn permute_0213(t: &Tensor) -> Result<Tensor, TensorError> {
+    if t.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: "4-D tensor for 0213 permutation",
+            got: t.shape().to_vec(),
+        });
+    }
+    let (b, x, y, d) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+    let mut out = vec![0.0f32; t.len()];
+    for s in 0..b {
+        for i in 0..x {
+            for j in 0..y {
+                let src = ((s * x + i) * y + j) * d;
+                let dst = ((s * y + j) * x + i) * d;
+                out[dst..dst + d].copy_from_slice(&t.data()[src..src + d]);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, y, x, d])
+}
+
+/// One batch slice `[rows, cols]` of a 3-D tensor, copied out as a matrix.
+///
+/// # Panics
+///
+/// Panics if the slice range exceeds the tensor's storage.
+pub fn batch_slice(t: &Tensor, s: usize, rows: usize, cols: usize) -> Tensor {
+    let base = s * rows * cols;
+    Tensor::from_vec(t.data()[base..base + rows * cols].to_vec(), &[rows, cols])
+        .expect("slice geometry is consistent")
+}
+
+fn dims3(t: &Tensor) -> Result<(usize, usize, usize), TensorError> {
+    if t.ndim() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: "3-D tensor",
+            got: t.shape().to_vec(),
+        });
+    }
+    Ok((t.shape()[0], t.shape()[1], t.shape()[2]))
+}
+
+/// Batched matrix product of 3-D tensors: `[B,M,K] × [B,K,N] → [B,M,N]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
+pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (ba, m, k) = dims3(a)?;
+    let (bb, k2, n) = dims3(b)?;
+    if ba != bb || k != k2 {
+        return Err(TensorError::MatmulMismatch {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut out = Vec::with_capacity(ba * m * n);
+    for s in 0..ba {
+        let prod = batch_slice(a, s, m, k).matmul(&batch_slice(b, s, k, n))?;
+        out.extend_from_slice(prod.data());
+    }
+    Tensor::from_vec(out, &[ba, m, n])
+}
+
+/// Batched `g × bᵀ` per batch element (`[B,M,N] × [B,K,N] → [B,M,K]`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
+pub fn batch_matmul_nt(g: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (bs, m, n) = dims3(g)?;
+    let (_, k, _) = dims3(b)?;
+    let mut out = Vec::with_capacity(bs * m * k);
+    for s in 0..bs {
+        let prod = batch_slice(g, s, m, n).matmul_nt(&batch_slice(b, s, k, n))?;
+        out.extend_from_slice(prod.data());
+    }
+    Tensor::from_vec(out, &[bs, m, k])
+}
+
+/// Batched `aᵀ × g` per batch element (`[B,M,K] × [B,M,N] → [B,K,N]`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
+pub fn batch_matmul_tn(a: &Tensor, g: &Tensor) -> Result<Tensor, TensorError> {
+    let (bs, m, k) = dims3(a)?;
+    let (_, _, n) = dims3(g)?;
+    let mut out = Vec::with_capacity(bs * k * n);
+    for s in 0..bs {
+        let prod = batch_slice(a, s, m, k).matmul_tn(&batch_slice(g, s, m, n))?;
+        out.extend_from_slice(prod.data());
+    }
+    Tensor::from_vec(out, &[bs, k, n])
+}
+
+/// Concatenates tensors along axis 0; all trailing dims must match.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastMismatch`] on trailing-shape mismatch or
+/// an empty input list (reported against empty shapes).
+pub fn concat_rows(parts: &[&Tensor]) -> Result<Tensor, TensorError> {
+    let first = parts.first().ok_or(TensorError::BroadcastMismatch {
+        lhs: vec![],
+        rhs: vec![],
+    })?;
+    let tail = &first.shape()[1..];
+    let mut rows = 0;
+    for p in parts {
+        if p.ndim() == 0 || &p.shape()[1..] != tail {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: first.shape().to_vec(),
+                rhs: p.shape().to_vec(),
+            });
+        }
+        rows += p.shape()[0];
+    }
+    let mut data = Vec::with_capacity(rows * tail.iter().product::<usize>());
+    for p in parts {
+        data.extend_from_slice(p.data());
+    }
+    let mut shape = vec![rows];
+    shape.extend_from_slice(tail);
+    Tensor::from_vec(data, &shape)
+}
+
+/// Zero-pads the two trailing spatial axes of a `[N,C,H,W]` tensor by
+/// `pad` on every side.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-4-D inputs.
+pub fn pad2d(t: &Tensor, pad: usize) -> Result<Tensor, TensorError> {
+    if t.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: "4-D [N,C,H,W] tensor",
+            got: t.shape().to_vec(),
+        });
+    }
+    let (n, c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+    let (oh, ow) = (h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for s in 0..n {
+        for ch in 0..c {
+            for y in 0..h {
+                let src = ((s * c + ch) * h + y) * w;
+                let dst = ((s * c + ch) * oh + y + pad) * ow + pad;
+                out.data_mut()[dst..dst + w].copy_from_slice(&t.data()[src..src + w]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use crate::Prng;
+
+    #[test]
+    fn transpose_last2_is_involution() {
+        let mut rng = Prng::new(1);
+        let t = rng.normal_tensor(&[2, 3, 4], 0.0, 1.0);
+        let tt = transpose_last2(&transpose_last2(&t).unwrap()).unwrap();
+        assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn permute_0213_is_involution() {
+        let mut rng = Prng::new(2);
+        let t = rng.normal_tensor(&[2, 3, 4, 5], 0.0, 1.0);
+        let tt = permute_0213(&permute_0213(&t).unwrap()).unwrap();
+        assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn batch_matmul_matches_per_slice() {
+        let mut rng = Prng::new(3);
+        let a = rng.normal_tensor(&[2, 3, 4], 0.0, 1.0);
+        let b = rng.normal_tensor(&[2, 4, 2], 0.0, 1.0);
+        let c = batch_matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 3, 2]);
+        for s in 0..2 {
+            let expect = batch_slice(&a, s, 3, 4).matmul(&batch_slice(&b, s, 4, 2)).unwrap();
+            assert_eq!(batch_slice(&c, s, 3, 2), expect);
+        }
+    }
+
+    #[test]
+    fn batch_transpose_variants_consistent() {
+        let mut rng = Prng::new(4);
+        let a = rng.normal_tensor(&[2, 3, 4], 0.0, 1.0);
+        let b = rng.normal_tensor(&[2, 3, 5], 0.0, 1.0);
+        // aᵀ b via batch_matmul_tn must equal transpose+batch_matmul
+        let direct = batch_matmul_tn(&a, &b).unwrap();
+        let at = transpose_last2(&a).unwrap();
+        let explicit = batch_matmul(&at, &b).unwrap();
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let c = concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // trailing mismatch rejected
+        let bad = Tensor::zeros(&[1, 3]);
+        assert!(concat_rows(&[&a, &bad]).is_err());
+        assert!(concat_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn pad2d_places_input_in_center() {
+        let t = Tensor::ones(&[1, 1, 2, 2]);
+        let p = pad2d(&t, 1).unwrap();
+        assert_eq!(p.shape(), &[1, 1, 4, 4]);
+        assert_eq!(p.sum(), 4.0);
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(p.at(&[0, 0, 2, 2]), 1.0);
+    }
+}

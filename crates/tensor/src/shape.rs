@@ -1,0 +1,112 @@
+use crate::TensorError;
+
+/// Computes row-major strides for `shape`.
+///
+/// The last axis always has stride 1; an empty shape yields an empty stride
+/// vector (scalar tensors are represented as shape `[]` with one element).
+///
+/// ```
+/// assert_eq!(rex_tensor::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1;
+    for (i, &dim) in shape.iter().enumerate().rev() {
+        strides[i] = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Computes the NumPy-style broadcast of two shapes.
+///
+/// Shapes are aligned at the trailing axes; each pair of dimensions must be
+/// equal or one of them must be 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastMismatch`] when any aligned dimension pair
+/// is unequal and neither side is 1.
+///
+/// ```
+/// let out = rex_tensor::broadcast_shapes(&[4, 1, 3], &[2, 3])?;
+/// assert_eq!(out, vec![4, 2, 3]);
+/// # Ok::<(), rex_tensor::TensorError>(())
+/// ```
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, TensorError> {
+    let ndim = lhs.len().max(rhs.len());
+    let mut out = vec![0; ndim];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let l = dim_from_end(lhs, ndim - 1 - i);
+        let r = dim_from_end(rhs, ndim - 1 - i);
+        *slot = if l == r || r == 1 {
+            l
+        } else if l == 1 {
+            r
+        } else {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Dimension of `shape` counted from the trailing axis, padding with 1.
+fn dim_from_end(shape: &[usize], from_end: usize) -> usize {
+    if from_end < shape.len() {
+        shape[shape.len() - 1 - from_end]
+    } else {
+        1
+    }
+}
+
+/// Strides for reading a tensor of `shape` as if it had been broadcast to
+/// `target` rank/dims: broadcast axes get stride 0 so the same element is
+/// revisited.
+pub(crate) fn broadcast_strides(shape: &[usize], target: &[usize]) -> Vec<usize> {
+    let strides = strides_for(shape);
+    let mut out = vec![0; target.len()];
+    let offset = target.len() - shape.len();
+    for i in 0..shape.len() {
+        out[offset + i] = if shape[i] == 1 { 0 } else { strides[i] };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_with_ones() {
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[4, 3]).unwrap(), vec![4, 3]);
+        assert_eq!(broadcast_shapes(&[], &[4, 3]).unwrap(), vec![4, 3]);
+    }
+
+    #[test]
+    fn broadcast_mismatch_errors() {
+        assert!(broadcast_shapes(&[2, 3], &[2, 4]).is_err());
+        assert!(broadcast_shapes(&[5], &[4, 3]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zero_on_expanded_axes() {
+        assert_eq!(broadcast_strides(&[1, 3], &[4, 2, 3]), vec![0, 0, 1]);
+        assert_eq!(broadcast_strides(&[2, 3], &[2, 3]), vec![3, 1]);
+    }
+}

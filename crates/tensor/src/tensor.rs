@@ -1,0 +1,849 @@
+use crate::shape::broadcast_strides;
+use crate::{broadcast_shapes, TensorError};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// `Tensor` is the single data type flowing through the whole REX stack:
+/// model parameters, activations, gradients, and dataset batches. Storage is
+/// always contiguous, which keeps every op simple and cache-friendly; views
+/// are deliberately not supported (ops allocate their outputs).
+///
+/// A scalar is represented as shape `[]` with exactly one element.
+///
+/// ```
+/// use rex_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3])?;
+/// assert_eq!(t.sum(), 6.0);
+/// # Ok::<(), rex_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Default for Tensor {
+    /// The scalar zero tensor.
+    fn default() -> Self {
+        Tensor::zeros(&[])
+    }
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------------
+    // Constructors
+    // ---------------------------------------------------------------------
+
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the shape's element
+    /// count differs from `data.len()`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let n: usize = shape.iter().product();
+        if n != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                data_len: data.len(),
+            });
+        }
+        Ok(Tensor {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// A rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: vec![],
+        }
+    }
+
+    /// A tensor shaped like `other`, filled with zeros.
+    pub fn zeros_like(other: &Tensor) -> Self {
+        Tensor::zeros(other.shape())
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Evenly spaced values: `start, start+step, ...` for `n` elements.
+    pub fn arange(start: f32, step: f32, n: usize) -> Self {
+        let data = (0..n).map(|i| start + step * i as f32).collect();
+        Tensor { data, shape: vec![n] }
+    }
+
+    // ---------------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes (0 for a scalar).
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its raw storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert!(
+            self.data.len() == 1,
+            "item() on tensor with {} elements (shape {:?})",
+            self.data.len(),
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let o = self.offset(idx);
+        self.data[o] = value;
+    }
+
+    fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        // row-major offset without allocating a strides vector (this runs
+        // inside hot indexing loops)
+        let mut off = 0;
+        for (i, (&ix, &dim)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            off = off * dim + ix;
+        }
+        off
+    }
+
+    // ---------------------------------------------------------------------
+    // Shape manipulation
+    // ---------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, TensorError> {
+        let n: usize = shape.iter().product();
+        if n != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.shape.clone(),
+                to: shape.to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Flattens to rank 1.
+    pub fn flatten(&self) -> Tensor {
+        Tensor {
+            data: self.data.clone(),
+            shape: vec![self.data.len()],
+        }
+    }
+
+    /// Transpose of a 2-D matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-2-D inputs.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: "2-D matrix",
+                got: self.shape.clone(),
+            });
+        }
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(Tensor {
+            data: out,
+            shape: vec![c, r],
+        })
+    }
+
+    /// Extracts row-major rows `rows` from a tensor whose first axis indexes
+    /// samples, producing a new tensor stacked along axis 0. Used by the
+    /// data loader to assemble batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of bounds or the tensor is rank 0.
+    pub fn gather_rows(&self, rows: &[usize]) -> Tensor {
+        assert!(self.ndim() >= 1, "gather_rows on scalar");
+        let row_len: usize = self.shape[1..].iter().product();
+        let mut data = Vec::with_capacity(rows.len() * row_len);
+        for &r in rows {
+            assert!(r < self.shape[0], "row {r} out of bounds");
+            data.extend_from_slice(&self.data[r * row_len..(r + 1) * row_len]);
+        }
+        let mut shape = self.shape.clone();
+        shape[0] = rows.len();
+        Tensor { data, shape }
+    }
+
+    // ---------------------------------------------------------------------
+    // Elementwise maps and arithmetic
+    // ---------------------------------------------------------------------
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastMismatch`] if shapes differ (this is
+    /// the strict, non-broadcasting variant; see [`Tensor::broadcast_op`]).
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        Ok(Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Applies a binary op under full NumPy-style broadcasting.
+    ///
+    /// Fast paths handle equal shapes and scalar operands; the general case
+    /// walks the broadcast index space with per-axis strides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastMismatch`] if shapes are incompatible.
+    pub fn broadcast_op(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape == other.shape {
+            return self.zip_map(other, f);
+        }
+        if other.data.len() == 1 {
+            let b = other.data[0];
+            return Ok(self.map(|a| f(a, b)));
+        }
+        if self.data.len() == 1 {
+            let a = self.data[0];
+            return Ok(other.map(|b| f(a, b)));
+        }
+        let out_shape = broadcast_shapes(&self.shape, &other.shape)?;
+        let ls = broadcast_strides(&self.shape, &out_shape);
+        let rs = broadcast_strides(&other.shape, &out_shape);
+        let n: usize = out_shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; out_shape.len()];
+        let mut loff = 0usize;
+        let mut roff = 0usize;
+        for _ in 0..n {
+            data.push(f(self.data[loff], other.data[roff]));
+            // advance multi-index with stride bookkeeping
+            for ax in (0..out_shape.len()).rev() {
+                idx[ax] += 1;
+                loff += ls[ax];
+                roff += rs[ax];
+                if idx[ax] < out_shape[ax] {
+                    break;
+                }
+                idx[ax] = 0;
+                loff -= ls[ax] * out_shape[ax];
+                roff -= rs[ax] * out_shape[ax];
+            }
+        }
+        Ok(Tensor {
+            data,
+            shape: out_shape,
+        })
+    }
+
+    /// Elementwise sum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.broadcast_op(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.broadcast_op(other, |a, b| a - b)
+    }
+
+    /// Elementwise product with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.broadcast_op(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.broadcast_op(other, |a, b| a / b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// In-place `self += other * alpha` for same-shaped tensors (the hot
+    /// loop of every optimizer and gradient accumulation site).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "axpy shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Reductions
+    // ---------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn max(&self) -> f32 {
+        assert!(!self.data.is_empty(), "max of empty tensor");
+        self.data.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn min(&self) -> f32 {
+        assert!(!self.data.is_empty(), "min of empty tensor");
+        self.data.iter().fold(f32::INFINITY, |m, &x| m.min(x))
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Sums along `axis`, removing it from the shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= ndim`.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor, TensorError> {
+        if axis >= self.ndim() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                ndim: self.ndim(),
+            });
+        }
+        let outer: usize = self.shape[..axis].iter().product();
+        let mid = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut out = vec![0.0; outer * inner];
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    out[obase + i] += self.data[base + i];
+                }
+            }
+        }
+        let mut shape: Vec<usize> = self.shape.clone();
+        shape.remove(axis);
+        Ok(Tensor { data: out, shape })
+    }
+
+    /// Means along `axis`, removing it from the shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= ndim`.
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor, TensorError> {
+        let n = self.shape.get(axis).copied().unwrap_or(0).max(1) as f32;
+        Ok(self.sum_axis(axis)?.scale(1.0 / n))
+    }
+
+    /// Reduces `grad` (shaped like a broadcast output) back to `target`
+    /// shape by summing over the broadcast axes. This is the adjoint of
+    /// broadcasting and is used by every broadcast-aware backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastMismatch`] if `target` does not
+    /// broadcast to `self.shape()`.
+    pub fn reduce_to_shape(&self, target: &[usize]) -> Result<Tensor, TensorError> {
+        if self.shape == target {
+            return Ok(self.clone());
+        }
+        // Verify the relationship is a legal broadcast.
+        let broad = broadcast_shapes(&self.shape, target)?;
+        if broad != self.shape {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: self.shape.clone(),
+                rhs: target.to_vec(),
+            });
+        }
+        let mut cur = self.clone();
+        // Sum leading extra axes.
+        while cur.ndim() > target.len() {
+            cur = cur.sum_axis(0)?;
+        }
+        // Sum axes where target dim is 1 but current dim > 1 (keeping dim).
+        for (ax, &target_dim) in target.iter().enumerate() {
+            if target_dim == 1 && cur.shape[ax] != 1 {
+                let summed = cur.sum_axis(ax)?;
+                let mut shape = summed.shape.clone();
+                shape.insert(ax, 1);
+                cur = Tensor {
+                    data: summed.data,
+                    shape,
+                };
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Index of the maximum element of each row of a 2-D tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-2-D inputs.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: "2-D matrix",
+                got: self.shape.clone(),
+            });
+        }
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = Vec::with_capacity(r);
+        for i in 0..r {
+            let row = &self.data[i * c..(i + 1) * c];
+            let mut best = 0;
+            for j in 1..c {
+                if row[j] > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    // ---------------------------------------------------------------------
+    // Linear algebra
+    // ---------------------------------------------------------------------
+
+    /// Matrix product of two 2-D tensors (`[m,k] x [k,n] -> [m,n]`).
+    ///
+    /// Uses the cache-friendly `i-k-j` loop ordering; this is the single
+    /// hottest kernel in the workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulMismatch`] if either operand is not 2-D
+    /// or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.ndim() != 2 || other.ndim() != 2 || self.shape[1] != other.shape[0] {
+            return Err(TensorError::MatmulMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(Tensor {
+            data: out,
+            shape: vec![m, n],
+        })
+    }
+
+    /// `selfᵀ × other` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulMismatch`] on shape mismatch.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.ndim() != 2 || other.ndim() != 2 || self.shape[0] != other.shape[0] {
+            return Err(TensorError::MatmulMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let arow = &self.data[p * m..(p + 1) * m];
+            let brow = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(Tensor {
+            data: out,
+            shape: vec![m, n],
+        })
+    }
+
+    /// `self × otherᵀ` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulMismatch`] on shape mismatch.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.ndim() != 2 || other.ndim() != 2 || self.shape[1] != other.shape[1] {
+            return Err(TensorError::MatmulMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[0];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Ok(Tensor {
+            data: out,
+            shape: vec![m, n],
+        })
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, ..., {:.4}] ({} elems)",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1],
+                self.data.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let s = Tensor::scalar(2.5);
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.item(), 2.5);
+    }
+
+    #[test]
+    fn eye_diag() {
+        let e = Tensor::eye(3);
+        assert_eq!(e.at(&[0, 0]), 1.0);
+        assert_eq!(e.at(&[1, 0]), 0.0);
+        assert_eq!(e.sum(), 3.0);
+    }
+
+    #[test]
+    fn arange_values() {
+        let t = Tensor::arange(1.0, 0.5, 4);
+        assert_eq!(t.data(), &[1.0, 1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn add_broadcast_bias() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let bias = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        let c = a.add(&bias).unwrap();
+        assert_eq!(c.data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn add_broadcast_column() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let col = Tensor::from_vec(vec![10.0, 100.0], &[2, 1]).unwrap();
+        let c = a.add(&col).unwrap();
+        assert_eq!(c.data(), &[11.0, 12.0, 103.0, 104.0]);
+    }
+
+    #[test]
+    fn broadcast_incompatible_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 4]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 0.0, 2.0, 1.0, 0.0, 3.0], &[3, 2]).unwrap();
+        let direct = a.transpose().unwrap().matmul(&b).unwrap();
+        let fused = a.matmul_tn(&b).unwrap();
+        assert_eq!(direct, fused);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let direct = a.matmul(&b.transpose().unwrap()).unwrap();
+        let fused = a.matmul_nt(&b).unwrap();
+        assert_eq!(direct, fused);
+    }
+
+    #[test]
+    fn sum_axis_middle() {
+        let t = Tensor::arange(0.0, 1.0, 24).reshape(&[2, 3, 4]).unwrap();
+        let s = t.sum_axis(1).unwrap();
+        assert_eq!(s.shape(), &[2, 4]);
+        // element (0,0) = t[0,0,0]+t[0,1,0]+t[0,2,0] = 0+4+8
+        assert_eq!(s.at(&[0, 0]), 12.0);
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_broadcast_axes() {
+        let g = Tensor::ones(&[4, 3]);
+        let r = g.reduce_to_shape(&[3]).unwrap();
+        assert_eq!(r.shape(), &[3]);
+        assert_eq!(r.data(), &[4.0, 4.0, 4.0]);
+
+        let r2 = g.reduce_to_shape(&[4, 1]).unwrap();
+        assert_eq!(r2.shape(), &[4, 1]);
+        assert_eq!(r2.data(), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn reduce_to_shape_identity() {
+        let g = Tensor::ones(&[2, 2]);
+        assert_eq!(g.reduce_to_shape(&[2, 2]).unwrap(), g);
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn gather_rows_stacks_samples() {
+        let t = Tensor::arange(0.0, 1.0, 12).reshape(&[4, 3]).unwrap();
+        let g = t.gather_rows(&[2, 0]);
+        assert_eq!(g.shape(), &[2, 3]);
+        assert_eq!(g.data(), &[6.0, 7.0, 8.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let t = Tensor::arange(0.0, 1.0, 6).reshape(&[2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]), t.at(&[1, 2]));
+    }
+}

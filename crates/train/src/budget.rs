@@ -1,0 +1,98 @@
+/// A training budget: a percentage of a setting's maximum epoch count.
+///
+/// The paper evaluates every setting at 1 %, 5 %, 10 %, 25 %, 50 %, and
+/// 100 % of its literature-standard maximum epochs, rounding the epoch
+/// count **up** (so the 1 % budget of a 50-epoch setting is 1 epoch, and no
+/// budget is ever zero).
+///
+/// ```
+/// use rex_train::Budget;
+///
+/// let b = Budget::new(50, 1);
+/// assert_eq!(b.epochs(), 1);
+/// assert_eq!(Budget::new(300, 25).epochs(), 75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    max_epochs: usize,
+    pct: u32,
+}
+
+impl Budget {
+    /// Budget of `pct` percent of `max_epochs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_epochs == 0` or `pct` is 0 or above 100.
+    pub fn new(max_epochs: usize, pct: u32) -> Self {
+        assert!(max_epochs > 0, "max epochs must be positive");
+        assert!((1..=100).contains(&pct), "budget must be 1..=100 %, got {pct}");
+        Budget { max_epochs, pct }
+    }
+
+    /// The budgeted epoch count (rounded up, never zero).
+    pub fn epochs(&self) -> usize {
+        (self.max_epochs * self.pct as usize).div_ceil(100)
+    }
+
+    /// The percentage.
+    pub fn pct(&self) -> u32 {
+        self.pct
+    }
+
+    /// The setting's maximum epochs.
+    pub fn max_epochs(&self) -> usize {
+        self.max_epochs
+    }
+
+    /// The paper's six budget levels for a given maximum epoch count.
+    pub fn paper_levels(max_epochs: usize) -> Vec<Budget> {
+        [1, 5, 10, 25, 50, 100]
+            .into_iter()
+            .map(|pct| Budget::new(max_epochs, pct))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}% ({} ep)", self.pct, self.epochs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_up_and_never_zero() {
+        assert_eq!(Budget::new(50, 1).epochs(), 1);
+        assert_eq!(Budget::new(300, 1).epochs(), 3);
+        assert_eq!(Budget::new(3, 1).epochs(), 1);
+        assert_eq!(Budget::new(200, 5).epochs(), 10);
+    }
+
+    #[test]
+    fn full_budget_is_max() {
+        assert_eq!(Budget::new(90, 100).epochs(), 90);
+    }
+
+    #[test]
+    fn paper_levels_are_six() {
+        let levels = Budget::paper_levels(300);
+        assert_eq!(levels.len(), 6);
+        let epochs: Vec<usize> = levels.iter().map(Budget::epochs).collect();
+        assert_eq!(epochs, vec![3, 15, 30, 75, 150, 300]);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be")]
+    fn rejects_zero_pct() {
+        let _ = Budget::new(100, 0);
+    }
+
+    #[test]
+    fn displays_pct_and_epochs() {
+        assert_eq!(format!("{}", Budget::new(300, 25)), "25% (75 ep)");
+    }
+}

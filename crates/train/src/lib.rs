@@ -1,0 +1,34 @@
+//! # rex-train — the budgeted-training harness
+//!
+//! Ties the whole stack together: datasets from [`rex_data`], models from
+//! [`rex_nn`], optimizers from [`rex_optim`], and schedules from
+//! [`rex_core`] meet in a training loop that implements the paper's
+//! budgeted protocol:
+//!
+//! * a [`Budget`] is a percentage of a setting's maximum epochs (rounded
+//!   up, as the paper's YOLO setting specifies);
+//! * the schedule sees only the *budgeted* horizon — a 1 % run decays to
+//!   ~0 within its 1 %;
+//! * the LR (and momentum, for OneCycle) is updated **every iteration**
+//!   from the schedule;
+//! * decay-on-plateau receives per-epoch validation losses;
+//! * results are averaged over independent trials
+//!   ([`trial::run_trials`]), each with its own seed.
+//!
+//! The per-setting experiment drivers (classification, VAE, detection,
+//! transformer fine-tuning) live in [`tasks`].
+
+#![warn(missing_docs)]
+
+mod budget;
+pub mod range_test;
+pub mod tasks;
+mod trainer;
+pub mod trial;
+
+pub use budget::Budget;
+pub use trial::EarlyStopping;
+pub use trainer::{
+    classification_loss, evaluate_classifier, EpochStats, OptimizerKind, TrainConfig, TrainResult,
+    Trainer,
+};

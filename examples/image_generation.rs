@@ -1,0 +1,103 @@
+//! Image generation: train the VAE on synthetic digits under a REX
+//! schedule and render reconstructions as ASCII art.
+//!
+//! ```sh
+//! cargo run --release --example image_generation
+//! ```
+
+use rex::autograd::Graph;
+use rex::data::digits::synth_digits;
+use rex::data::batches;
+use rex::nn::Vae;
+use rex::optim::{Adam, Optimizer};
+use rex::schedules::ScheduleSpec;
+use rex::tensor::{Prng, Tensor};
+
+const SIZE: usize = 12;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let train = synth_digits(600, SIZE, 0);
+    let test = synth_digits(8, SIZE, 1);
+    let vae = Vae::new(SIZE * SIZE, 64, 8, 42);
+    let mut opt = Adam::new(vae.params(), 2e-3);
+    let mut schedule = ScheduleSpec::Rex.build();
+    let mut rng = Prng::new(9);
+
+    let epochs = 30;
+    let batch = 32;
+    let steps_per_epoch = train.len().div_ceil(batch) as u64;
+    let total = steps_per_epoch * epochs as u64;
+    let labels = vec![0usize; train.len()];
+    let mut t = 0u64;
+    for epoch in 0..epochs {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for b in batches(&train.images, &labels, batch, Some(&mut rng)) {
+            opt.set_lr(2e-3 * schedule.factor(t, total) as f32);
+            t += 1;
+            opt.zero_grad();
+            let mut g = Graph::new(true);
+            let loss = vae.elbo(&mut g, &b.images)?;
+            sum += g.value(loss).item();
+            n += 1;
+            g.backward(loss)?;
+            opt.step();
+        }
+        if epoch % 5 == 0 || epoch == epochs - 1 {
+            println!("epoch {epoch:>2}: train ELBO {:.2}", sum / n as f32);
+        }
+    }
+
+    let recon = vae.reconstruct(&test.images)?;
+    println!("\noriginal (top) vs reconstruction (bottom):\n");
+    for i in 0..4 {
+        render_pair(&test.images, &recon, i, test.labels[i]);
+    }
+
+    // Generation from the prior.
+    let mut zrng = Prng::new(1234);
+    let z = zrng.normal_tensor(&[2, 8], 0.0, 1.0);
+    let generated = vae.generate(&z)?;
+    println!("samples from the prior:\n");
+    for i in 0..2 {
+        render_row(&generated, i);
+        println!();
+    }
+    Ok(())
+}
+
+fn glyph(v: f32) -> char {
+    match (v * 4.0).round() as i32 {
+        4 => '█',
+        3 => '▓',
+        2 => '▒',
+        1 => '░',
+        _ => ' ',
+    }
+}
+
+fn render_pair(orig: &Tensor, recon: &Tensor, idx: usize, label: usize) {
+    println!("digit {label}:");
+    for y in 0..SIZE {
+        let mut line = String::new();
+        for x in 0..SIZE {
+            line.push(glyph(orig.data()[idx * SIZE * SIZE + y * SIZE + x]));
+        }
+        line.push_str("   ");
+        for x in 0..SIZE {
+            line.push(glyph(recon.data()[idx * SIZE * SIZE + y * SIZE + x]));
+        }
+        println!("  {line}");
+    }
+    println!();
+}
+
+fn render_row(t: &Tensor, idx: usize) {
+    for y in 0..SIZE {
+        let mut line = String::new();
+        for x in 0..SIZE {
+            line.push(glyph(t.data()[idx * SIZE * SIZE + y * SIZE + x]));
+        }
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: train the same model under the same tiny budget with three
+//! schedules and watch REX come out ahead.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rex::data::images::synth_cifar10;
+use rex::schedules::ScheduleSpec;
+use rex::train::tasks::{run_image_cell, ImageModel};
+use rex::train::{Budget, OptimizerKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic CIFAR-10 stand-in: 400 train / 150 test images of
+    // 3x12x12, deterministic from the seed.
+    let data = synth_cifar10(40, 15, 7);
+    println!(
+        "dataset: {} train / {} test images, {} classes",
+        data.train_len(),
+        data.test_len(),
+        data.num_classes
+    );
+
+    // The budgeted setting: we only get 10% of the full 24-epoch run.
+    let budget = Budget::new(24, 10);
+    println!("budget: {budget}\n");
+
+    for schedule in [
+        ScheduleSpec::None,
+        ScheduleSpec::Step,
+        ScheduleSpec::Linear,
+        ScheduleSpec::Rex,
+    ] {
+        let t0 = std::time::Instant::now();
+        let err = run_image_cell(
+            ImageModel::MicroResNet20,
+            &data,
+            budget.epochs(),
+            32,
+            OptimizerKind::sgdm(),
+            schedule.clone(),
+            0.1,
+            42,
+        )?;
+        println!(
+            "{:>16}: test error {err:5.2}%  ({:.1?})",
+            schedule.name(),
+            t0.elapsed()
+        );
+    }
+
+    println!("\nThe step schedule wastes its budget holding a high LR; REX");
+    println!("decays smoothly but holds the LR higher than linear for most");
+    println!("of the run, then drops aggressively at the end.");
+    Ok(())
+}

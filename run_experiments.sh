@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates every table and figure of the REX paper at the given scale.
+# Usage: ./run_experiments.sh [smoke|fast|full] [outdir]
+SCALE="${1:-fast}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+for bin in table2 table4 table5 table6 table7 table8 table9 table10_11 \
+           fig2 fig3 fig4 ablations; do
+    echo "=== $bin ($SCALE) ==="
+    ./target/release/$bin --scale "$SCALE" --out "$OUT" \
+        > "$OUT/$bin.md" 2> "$OUT/$bin.log" || echo "FAILED: $bin (see $OUT/$bin.log)"
+done
+# aggregates (consume the CSVs above)
+./target/release/table1 --out "$OUT" > "$OUT/table1.md" 2> "$OUT/table1.log" || echo "FAILED: table1"
+./target/release/fig1   --out "$OUT" > "$OUT/fig1.md"   2> "$OUT/fig1.log"   || echo "FAILED: fig1"
+echo "all experiments complete; outputs in $OUT/"

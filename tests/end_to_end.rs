@@ -1,0 +1,153 @@
+//! End-to-end integration tests: every experimental setting's driver runs
+//! the full stack (data → model → autograd → optimizer → schedule →
+//! metric) at miniature scale.
+
+use rex::data::digits::synth_digits;
+use rex::data::images::{synth_cifar10, synth_stl10};
+use rex::data::scenes::synth_scenes;
+use rex::data::text::{glue_tasks, lm_corpus};
+use rex::nn::TransformerConfig;
+use rex::schedules::ScheduleSpec;
+use rex::train::tasks::{
+    pretrain_transformer, run_detection_cell, run_glue_cell, run_image_cell, run_vae_cell,
+    ImageModel,
+};
+use rex::train::{Budget, OptimizerKind};
+
+#[test]
+fn classification_setting_end_to_end() {
+    let data = synth_cifar10(6, 3, 0);
+    for model in [ImageModel::MicroResNet20, ImageModel::MicroVgg(12)] {
+        for opt in [OptimizerKind::sgdm(), OptimizerKind::adam()] {
+            let err = run_image_cell(
+                model,
+                &data,
+                1,
+                16,
+                opt,
+                ScheduleSpec::Rex,
+                opt.default_lr(),
+                7,
+            )
+            .unwrap();
+            assert!((0.0..=100.0).contains(&err), "{model:?}/{opt:?}: {err}");
+        }
+    }
+}
+
+#[test]
+fn wide_resnet_setting_end_to_end() {
+    let data = synth_stl10(4, 2, 1);
+    let err = run_image_cell(
+        ImageModel::MicroWide(2),
+        &data,
+        1,
+        16,
+        OptimizerKind::sgdm(),
+        ScheduleSpec::Linear,
+        0.1,
+        3,
+    )
+    .unwrap();
+    assert!((0.0..=100.0).contains(&err));
+}
+
+#[test]
+fn vae_setting_end_to_end() {
+    let train = synth_digits(48, 12, 0);
+    let test = synth_digits(16, 12, 1);
+    let loss = run_vae_cell(
+        &train,
+        &test,
+        2,
+        16,
+        OptimizerKind::adam(),
+        ScheduleSpec::Cosine,
+        1e-3,
+        5,
+    )
+    .unwrap();
+    assert!(loss.is_finite() && loss > 0.0);
+}
+
+#[test]
+fn detection_setting_end_to_end() {
+    let train = synth_scenes(12, 24, 0);
+    let test = synth_scenes(6, 24, 1);
+    let map = run_detection_cell(
+        &train,
+        &test,
+        1,
+        1,
+        6,
+        OptimizerKind::adam(),
+        ScheduleSpec::Rex,
+        1e-3,
+        2,
+    )
+    .unwrap();
+    assert!((0.0..=100.0).contains(&map));
+}
+
+#[test]
+fn glue_setting_end_to_end() {
+    let cfg = TransformerConfig {
+        vocab: 32,
+        dim: 16,
+        heads: 2,
+        depth: 1,
+        seq_len: 12,
+        ff_mult: 2,
+    };
+    let corpus = lm_corpus(32, 12, 32, 0);
+    let tf = pretrain_transformer(&corpus, cfg, 1, 8, 1e-3, 1).unwrap();
+    let tasks = glue_tasks(24, 12, 12, 32, 2);
+    for sched in [ScheduleSpec::Rex, ScheduleSpec::None] {
+        let acc = run_glue_cell(&tf, &tasks[0], 1, 8, sched, 1e-3, 3).unwrap();
+        assert!((0.0..=100.0).contains(&acc));
+    }
+}
+
+#[test]
+fn every_paper_schedule_survives_a_real_training_run() {
+    let data = synth_cifar10(4, 2, 9);
+    let mut schedules = vec![ScheduleSpec::None];
+    schedules.extend(rex::schedules::all_paper_schedules(1));
+    for sched in schedules {
+        let err = run_image_cell(
+            ImageModel::MicroResNet20,
+            &data,
+            2,
+            16,
+            OptimizerKind::sgdm(),
+            sched.clone(),
+            0.1,
+            11,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
+        assert!(err.is_finite(), "{}: {err}", sched.name());
+    }
+}
+
+#[test]
+fn budget_protocol_rounds_up_and_scales() {
+    // the paper's rounding rule: 1% of 50 epochs is 1 epoch, never 0
+    assert_eq!(Budget::new(50, 1).epochs(), 1);
+    // schedules decay within the budget: training 1 epoch at budget 1%
+    // must be identical to training 1 epoch at budget 100% of 1 epoch
+    let data = synth_cifar10(4, 2, 13);
+    let run = |epochs: usize| {
+        run_image_cell(
+            ImageModel::MicroResNet20,
+            &data,
+            epochs,
+            16,
+            OptimizerKind::sgdm(),
+            ScheduleSpec::Linear,
+            0.1,
+            17,
+        )
+        .unwrap()
+    };
+    assert_eq!(run(1), run(1), "same budgeted horizon, same result");
+}
