@@ -104,7 +104,7 @@ mod tests {
         let w = Param::new("w", rng.normal_tensor(&[3, 2], 0.0, 1.0));
         let x = rng.normal_tensor(&[4, 3], 0.0, 1.0);
         check_gradients(
-            &[w.clone()],
+            std::slice::from_ref(&w),
             |g| {
                 let wn = g.param(&w);
                 let xn = g.constant(x.clone());
@@ -125,7 +125,7 @@ mod tests {
         // extra bogus term before checking.
         let w = Param::new("w", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
         let result = check_gradients(
-            &[w.clone()],
+            std::slice::from_ref(&w),
             |g| {
                 let wn = g.param(&w);
                 // loss = sum(w) but we poison the gradient by an extra
@@ -146,7 +146,7 @@ mod tests {
         let x = rng.normal_tensor(&[6, 5], 0.0, 1.0);
         let targets = vec![0usize, 1, 2, 0, 1, 2];
         check_gradients(
-            &[w.clone()],
+            std::slice::from_ref(&w),
             |g| {
                 let wn = g.param(&w);
                 let xn = g.constant(x.clone());

@@ -1,12 +1,9 @@
 use rex_tensor::conv::{
     conv2d_backward, conv2d_backward_no_bias, conv2d_forward, global_avgpool_backward,
-    global_avgpool_forward,
-    maxpool2d_backward, maxpool2d_forward, Conv2dSaved, Window,
+    global_avgpool_forward, maxpool2d_backward, maxpool2d_forward, Conv2dSaved, Window,
 };
 use rex_tensor::ops;
-use rex_tensor::ops::{
-    batch_matmul, batch_matmul_nt, batch_matmul_tn, permute_0213, transpose_last2,
-};
+use rex_tensor::ops::{matmul3, matmul3_nt, matmul3_tn, permute_0213, transpose_last2};
 use rex_tensor::{Tensor, TensorError};
 
 use crate::Param;
@@ -356,7 +353,10 @@ impl Graph {
         }
         let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         if index >= t {
-            return Err(TensorError::AxisOutOfRange { axis: index, ndim: t });
+            return Err(TensorError::AxisOutOfRange {
+                axis: index,
+                ndim: t,
+            });
         }
         let mut out = Vec::with_capacity(b * d);
         for s in 0..b {
@@ -420,15 +420,26 @@ impl Graph {
         Ok(self.push(v, Op::MatMul(a, b), rg))
     }
 
-    /// Batched matrix product of two 3-D tensors (`[B,M,K] × [B,K,N]`).
+    /// Batched matrix product of two 3-D tensors (`[B,M,K] × [B,K,N]`),
+    /// computed slice-in-place by the GEMM layer (no per-batch copies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
+    pub fn matmul3(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, TensorError> {
+        let v = matmul3(self.value(a), self.value(b))?;
+        let rg = self.rg(a) || self.rg(b);
+        Ok(self.push(v, Op::BatchMatMul(a, b), rg))
+    }
+
+    /// Batched matrix product (alias of [`Graph::matmul3`], kept for
+    /// callers that predate the kernel rework).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
     pub fn batch_matmul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, TensorError> {
-        let v = batch_matmul(self.value(a), self.value(b))?;
-        let rg = self.rg(a) || self.rg(b);
-        Ok(self.push(v, Op::BatchMatMul(a, b), rg))
+        self.matmul3(a, b)
     }
 
     // ------------------------------------------------------------------
@@ -465,7 +476,11 @@ impl Graph {
     ///
     /// Returns [`TensorError::RankMismatch`] if `log_probs` is not 2-D or
     /// the target count differs from the batch size.
-    pub fn nll_loss(&mut self, log_probs: NodeId, targets: &[usize]) -> Result<NodeId, TensorError> {
+    pub fn nll_loss(
+        &mut self,
+        log_probs: NodeId,
+        targets: &[usize],
+    ) -> Result<NodeId, TensorError> {
         let lp = self.value(log_probs);
         if lp.ndim() != 2 || lp.shape()[0] != targets.len() {
             return Err(TensorError::RankMismatch {
@@ -498,7 +513,11 @@ impl Graph {
     /// # Errors
     ///
     /// As [`Graph::log_softmax`] and [`Graph::nll_loss`].
-    pub fn cross_entropy(&mut self, logits: NodeId, targets: &[usize]) -> Result<NodeId, TensorError> {
+    pub fn cross_entropy(
+        &mut self,
+        logits: NodeId,
+        targets: &[usize],
+    ) -> Result<NodeId, TensorError> {
         let lp = self.log_softmax(logits)?;
         self.nll_loss(lp, targets)
     }
@@ -509,7 +528,11 @@ impl Graph {
     /// # Errors
     ///
     /// Returns [`TensorError::BroadcastMismatch`] if shapes differ.
-    pub fn bce_with_logits(&mut self, logits: NodeId, targets: &Tensor) -> Result<NodeId, TensorError> {
+    pub fn bce_with_logits(
+        &mut self,
+        logits: NodeId,
+        targets: &Tensor,
+    ) -> Result<NodeId, TensorError> {
         let x = self.value(logits);
         if x.shape() != targets.shape() {
             return Err(TensorError::BroadcastMismatch {
@@ -551,7 +574,12 @@ impl Graph {
         win: Window,
     ) -> Result<NodeId, TensorError> {
         let b_tensor = bias.map(|b| self.value(b).clone());
-        let (v, saved) = conv2d_forward(self.value(input), self.value(weight), b_tensor.as_ref(), win)?;
+        let (v, saved) = conv2d_forward(
+            self.value(input),
+            self.value(weight),
+            b_tensor.as_ref(),
+            win,
+        )?;
         let rg = self.rg(input) || self.rg(weight) || bias.map(|b| self.rg(b)).unwrap_or(false);
         Ok(self.push(
             v,
@@ -647,7 +675,16 @@ impl Graph {
             *v /= m;
         }
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
-        let (out, x_hat) = bn_affine(&xv, n, c, l, &mean, &inv_std, self.value(gamma), self.value(beta));
+        let (out, x_hat) = bn_affine(
+            &xv,
+            n,
+            c,
+            l,
+            &mean,
+            &inv_std,
+            self.value(gamma),
+            self.value(beta),
+        );
         let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
         let id = self.push(
             out,
@@ -928,10 +965,10 @@ impl Graph {
                 let av = self.value(*a);
                 let bv = self.value(*b);
                 if self.rg(*a) {
-                    Self::accum(grads, *a, batch_matmul_nt(g, bv)?);
+                    Self::accum(grads, *a, matmul3_nt(g, bv)?);
                 }
                 if self.rg(*b) {
-                    Self::accum(grads, *b, batch_matmul_tn(av, g)?);
+                    Self::accum(grads, *b, matmul3_tn(av, g)?);
                 }
             }
             Op::TransposeLast2(a) => {
@@ -1183,8 +1220,8 @@ impl Graph {
                         mean_ggx /= d as f32;
                         for i in 0..d {
                             let gg = g.data()[r * d + i] * gam.data()[i];
-                            dx.data_mut()[r * d + i] = inv_std[r]
-                                * (gg - mean_gg - x_hat.data()[r * d + i] * mean_ggx);
+                            dx.data_mut()[r * d + i] =
+                                inv_std[r] * (gg - mean_gg - x_hat.data()[r * d + i] * mean_ggx);
                         }
                     }
                     Self::accum(grads, *input, dx);
@@ -1317,8 +1354,14 @@ mod tests {
     #[test]
     fn matmul_gradients_known() {
         // loss = sum(A @ B); dA = ones @ B^T, dB = A^T @ ones
-        let a = Param::new("a", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
-        let b = Param::new("b", Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap());
+        let a = Param::new(
+            "a",
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+        );
+        let b = Param::new(
+            "b",
+            Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap(),
+        );
         let mut g = Graph::new(true);
         let an = g.param(&a);
         let bn = g.param(&b);
@@ -1331,8 +1374,10 @@ mod tests {
 
     #[test]
     fn cross_entropy_perfect_prediction_small_loss() {
-        let logits =
-            Param::new("l", Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap());
+        let logits = Param::new(
+            "l",
+            Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap(),
+        );
         let mut g = Graph::new(true);
         let ln = g.param(&logits);
         let loss = g.cross_entropy(ln, &[0, 1]).unwrap();
@@ -1376,7 +1421,9 @@ mod tests {
     fn select_time_roundtrip() {
         let x = Param::new(
             "x",
-            Tensor::arange(0.0, 1.0, 2 * 3 * 2).reshape(&[2, 3, 2]).unwrap(),
+            Tensor::arange(0.0, 1.0, 2 * 3 * 2)
+                .reshape(&[2, 3, 2])
+                .unwrap(),
         );
         let mut g = Graph::new(true);
         let xn = g.param(&x);
@@ -1392,18 +1439,26 @@ mod tests {
 
     #[test]
     fn batch_matmul_matches_loop_of_matmuls() {
-        let a = Tensor::arange(0.0, 1.0, 2 * 2 * 3).reshape(&[2, 2, 3]).unwrap();
-        let b = Tensor::arange(1.0, 1.0, 2 * 3 * 2).reshape(&[2, 3, 2]).unwrap();
-        let c = batch_matmul(&a, &b).unwrap();
+        let a = Tensor::arange(0.0, 1.0, 2 * 2 * 3)
+            .reshape(&[2, 2, 3])
+            .unwrap();
+        let b = Tensor::arange(1.0, 1.0, 2 * 3 * 2)
+            .reshape(&[2, 3, 2])
+            .unwrap();
+        let c = matmul3(&a, &b).unwrap();
         for s in 0..2 {
-            let expect = batch_slice(&a, s, 2, 3).matmul(&batch_slice(&b, s, 3, 2)).unwrap();
+            let expect = batch_slice(&a, s, 2, 3)
+                .matmul(&batch_slice(&b, s, 3, 2))
+                .unwrap();
             assert_eq!(batch_slice(&c, s, 2, 2), expect);
         }
     }
 
     #[test]
     fn transpose_last2_involutive() {
-        let x = Tensor::arange(0.0, 1.0, 2 * 3 * 4).reshape(&[2, 3, 4]).unwrap();
+        let x = Tensor::arange(0.0, 1.0, 2 * 3 * 4)
+            .reshape(&[2, 3, 4])
+            .unwrap();
         let t = transpose_last2(&x).unwrap();
         assert_eq!(t.shape(), &[2, 4, 3]);
         assert_eq!(transpose_last2(&t).unwrap(), x);
@@ -1451,7 +1506,10 @@ mod tests {
 
     #[test]
     fn layer_norm_normalises_rows() {
-        let x = Param::new("x", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let x = Param::new(
+            "x",
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+        );
         let gamma = Param::new("g", Tensor::ones(&[2]));
         let beta = Param::new("b", Tensor::zeros(&[2]));
         let mut g = Graph::new(true);

@@ -72,7 +72,7 @@ fn gradcheck_activations() {
         }
     }
     check_gradients(
-        &[a.clone()],
+        std::slice::from_ref(&a),
         |g| {
             let an = g.param(&a);
             let r = g.relu(an);
@@ -97,7 +97,7 @@ fn gradcheck_exp_ln() {
     let mut rng = Prng::new(13);
     let a = Param::new("a", rng.uniform_tensor(&[6], 0.5, 2.0));
     check_gradients(
-        &[a.clone()],
+        std::slice::from_ref(&a),
         |g| {
             let an = g.param(&a);
             let e = g.exp(an);
@@ -116,7 +116,7 @@ fn gradcheck_scale_add_scalar_reshape() {
     let mut rng = Prng::new(14);
     let a = param(&mut rng, "a", &[2, 6], 1.0);
     check_gradients(
-        &[a.clone()],
+        std::slice::from_ref(&a),
         |g| {
             let an = g.param(&a);
             let s = g.scale(an, -0.7);
@@ -136,7 +136,7 @@ fn gradcheck_sum_axis() {
     let a = param(&mut rng, "a", &[2, 3, 4], 1.0);
     for axis in 0..3 {
         check_gradients(
-            &[a.clone()],
+            std::slice::from_ref(&a),
             |g| {
                 let an = g.param(&a);
                 let s = g.sum_axis(an, axis)?;
@@ -154,7 +154,7 @@ fn gradcheck_softmax_and_log_softmax() {
     let mut rng = Prng::new(16);
     let a = param(&mut rng, "a", &[3, 4], 1.0);
     check_gradients(
-        &[a.clone()],
+        std::slice::from_ref(&a),
         |g| {
             let an = g.param(&a);
             let s = g.softmax(an)?;
@@ -174,7 +174,7 @@ fn gradcheck_nll_loss() {
     let a = param(&mut rng, "a", &[4, 3], 1.0);
     let targets = vec![0usize, 2, 1, 2];
     check_gradients(
-        &[a.clone()],
+        std::slice::from_ref(&a),
         |g| {
             let an = g.param(&a);
             g.cross_entropy(an, &targets)
@@ -195,7 +195,7 @@ fn gradcheck_bce_with_logits() {
     )
     .unwrap();
     check_gradients(
-        &[a.clone()],
+        std::slice::from_ref(&a),
         |g| {
             let an = g.param(&a);
             g.bce_with_logits(an, &targets)
@@ -242,7 +242,7 @@ fn gradcheck_maxpool_and_avgpool() {
         padding: 0,
     };
     check_gradients(
-        &[x.clone()],
+        std::slice::from_ref(&x),
         |g| {
             let xn = g.param(&x);
             let mp = g.maxpool2d(xn, win)?;
@@ -326,7 +326,7 @@ fn gradcheck_embedding_and_select_time() {
     let emb = param(&mut rng, "emb", &[5, 3], 1.0);
     let idx = vec![0usize, 2, 4, 1, 1, 3]; // [B=2, T=3]
     check_gradients(
-        &[emb.clone()],
+        std::slice::from_ref(&emb),
         |g| {
             let en = g.param(&emb);
             let e = g.embedding(en, &idx)?;
@@ -351,7 +351,7 @@ fn gradcheck_batch_matmul_and_transpose() {
             let an = g.param(&a);
             let bn = g.param(&b);
             let bt = g.transpose_last2(bn)?;
-            let c = g.batch_matmul(an, bt)?; // [2,3,3]
+            let c = g.matmul3(an, bt)?; // [2,3,3]
             to_loss(g, c)
         },
         1e-2,
@@ -374,12 +374,12 @@ fn gradcheck_attention_like_composite() {
             let kn = g.param(&k);
             let vn = g.param(&v);
             let kt = g.transpose_last2(kn)?;
-            let scores = g.batch_matmul(qn, kt)?;
+            let scores = g.matmul3(qn, kt)?;
             let scaled = g.scale(scores, 0.5);
             let flat = g.reshape(scaled, &[3, 3])?;
             let attn = g.softmax(flat)?;
             let attn3 = g.reshape(attn, &[1, 3, 3])?;
-            let out = g.batch_matmul(attn3, vn)?;
+            let out = g.matmul3(attn3, vn)?;
             to_loss(g, out)
         },
         1e-2,
@@ -393,7 +393,7 @@ fn gradcheck_permute_0213() {
     let mut rng = Prng::new(27);
     let a = param(&mut rng, "a", &[2, 3, 2, 4], 0.5);
     check_gradients(
-        &[a.clone()],
+        std::slice::from_ref(&a),
         |g| {
             let an = g.param(&a);
             let p = g.permute_0213(an)?;

@@ -17,9 +17,11 @@ use rex_train::{Budget, OptimizerKind};
 
 fn main() {
     let args = Args::parse();
-    let (max_epochs, per_class, test_per_class, trials) = args
-        .scale
-        .pick((3usize, 6usize, 3usize, 1usize), (24, 40, 15, 1), (60, 100, 30, 3));
+    let (max_epochs, per_class, test_per_class, trials) = args.scale.pick(
+        (3usize, 6usize, 3usize, 1usize),
+        (24, 40, 15, 1),
+        (60, 100, 30, 3),
+    );
     let trials = args.trials.unwrap_or(trials);
     let budgets = match args.scale {
         rex_bench::ScaleKind::Smoke => vec![Budget::new(max_epochs, 100)],

@@ -16,9 +16,9 @@ use rex_train::{Budget, OptimizerKind};
 
 fn main() {
     let args = Args::parse();
-    let (max_epochs, per_class, test_per_class) = args
-        .scale
-        .pick((4usize, 8usize, 4usize), (24, 30, 10), (60, 100, 30));
+    let (max_epochs, per_class, test_per_class) =
+        args.scale
+            .pick((4usize, 8usize, 4usize), (24, 30, 10), (60, 100, 30));
     let budget_pcts: Vec<u32> = match args.scale {
         rex_bench::ScaleKind::Smoke => vec![25],
         _ => vec![5, 25],

@@ -1,0 +1,288 @@
+//! `kernel-bench` — self-contained perf harness for the rex-tensor
+//! compute kernels (std-only: no criterion, works fully offline).
+//!
+//! Measures the blocked-GEMM / im2col kernel stack against the seed's
+//! naive reference implementations ([`rex_tensor::reference`]) and writes
+//! `BENCH_kernels.json` at the repository root. Timing is wall-clock
+//! `std::time::Instant`, warmup runs followed by a median over N reps.
+//!
+//! ```text
+//! cargo run --release -p rex-bench --bin kernel-bench [-- --smoke] [--reps N]
+//!     [--threads N] [--out PATH]
+//! ```
+//!
+//! `--smoke` drops to 3 reps / 1 warmup for CI sanity. `--threads N`
+//! sets `REX_NUM_THREADS` before the first kernel dispatch. See
+//! DESIGN.md §"Compute kernels" for the JSON schema.
+
+use std::time::Instant;
+
+use rex_tensor::conv::{conv2d_backward, conv2d_forward, Window};
+use rex_tensor::ops::{batch_slice, matmul3};
+use rex_tensor::reference;
+use rex_tensor::{kernels, Prng};
+
+struct Config {
+    reps: usize,
+    warmup: usize,
+    smoke: bool,
+    out: Option<String>,
+}
+
+struct Case {
+    name: &'static str,
+    baseline: &'static str,
+    baseline_ms: f64,
+    optimized_ms: f64,
+    max_abs_diff: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        if self.optimized_ms > 0.0 {
+            self.baseline_ms / self.optimized_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        reps: 15,
+        warmup: 3,
+        smoke: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                cfg.smoke = true;
+                cfg.reps = 3;
+                cfg.warmup = 1;
+            }
+            "--reps" => {
+                cfg.reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs a positive integer"));
+            }
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a positive integer"));
+                // must happen before the first kernel dispatch caches it
+                std::env::set_var("REX_NUM_THREADS", n.to_string());
+            }
+            "--out" => {
+                cfg.out = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    cfg
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("kernel-bench: {msg}");
+    eprintln!("usage: kernel-bench [--smoke] [--reps N] [--threads N] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// Median wall-clock milliseconds of `f` over `reps` runs after `warmup`
+/// discarded runs.
+fn time_median<T>(cfg: &Config, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..cfg.warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..cfg.reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+/// 256×256×256 matmul: blocked GEMM vs the seed's branchy i-k-j loop.
+fn bench_matmul(cfg: &Config) -> Case {
+    let (m, k, n) = (256, 256, 256);
+    let mut rng = Prng::new(7);
+    let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+    let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+    let expect = reference::matmul_naive(m, k, n, a.data(), b.data());
+    let got = a.matmul(&b).unwrap();
+    Case {
+        name: "matmul_256x256x256",
+        baseline: "seed i-k-j loop with zero-skip branch",
+        baseline_ms: time_median(cfg, || reference::matmul_naive(m, k, n, a.data(), b.data())),
+        optimized_ms: time_median(cfg, || a.matmul(&b).unwrap()),
+        max_abs_diff: max_abs_diff(got.data(), &expect),
+    }
+}
+
+/// Conv2d forward at the acceptance shape 32×3×32×32, k=3 (O=16, s=1,
+/// p=1): im2col + blocked GEMM vs the direct six-loop nest.
+fn bench_conv_forward(cfg: &Config) -> Case {
+    let mut rng = Prng::new(11);
+    let input = rng.normal_tensor(&[32, 3, 32, 32], 0.0, 1.0);
+    let weight = rng.normal_tensor(&[16, 3, 3, 3], 0.0, 0.3);
+    let bias = rng.normal_tensor(&[16], 0.0, 0.1);
+    let win = Window {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let expect = reference::conv2d_direct(&input, &weight, Some(&bias), win).unwrap();
+    let (got, _) = conv2d_forward(&input, &weight, Some(&bias), win).unwrap();
+    Case {
+        name: "conv2d_fwd_32x3x32x32_k3",
+        baseline: "direct six-loop convolution",
+        baseline_ms: time_median(cfg, || {
+            reference::conv2d_direct(&input, &weight, Some(&bias), win).unwrap()
+        }),
+        optimized_ms: time_median(cfg, || {
+            conv2d_forward(&input, &weight, Some(&bias), win).unwrap()
+        }),
+        max_abs_diff: max_abs_diff(got.data(), expect.data()),
+    }
+}
+
+/// Conv2d backward at the same shape: im2col-GEMM gradients vs the
+/// direct scatter nest.
+fn bench_conv_backward(cfg: &Config) -> Case {
+    let mut rng = Prng::new(13);
+    let input = rng.normal_tensor(&[32, 3, 32, 32], 0.0, 1.0);
+    let weight = rng.normal_tensor(&[16, 3, 3, 3], 0.0, 0.3);
+    let win = Window {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let (out, saved) = conv2d_forward(&input, &weight, None, win).unwrap();
+    let d_out = rng.normal_tensor(out.shape(), 0.0, 1.0);
+    let (di, dw, _) = conv2d_backward(&d_out, &weight, &saved).unwrap();
+    let (rdi, rdw, _) = reference::conv2d_direct_backward(&d_out, &input, &weight, win).unwrap();
+    Case {
+        name: "conv2d_bwd_32x3x32x32_k3",
+        baseline: "direct six-loop gradient scatter",
+        baseline_ms: time_median(cfg, || {
+            reference::conv2d_direct_backward(&d_out, &input, &weight, win).unwrap()
+        }),
+        optimized_ms: time_median(cfg, || conv2d_backward(&d_out, &weight, &saved).unwrap()),
+        max_abs_diff: max_abs_diff(di.data(), rdi.data()).max(max_abs_diff(dw.data(), rdw.data())),
+    }
+}
+
+/// Batched attention-shaped product `[16,64,64]×[16,64,64]`: matmul3 on
+/// batch slices vs the seed path (batch_slice copies + branchy matmul).
+fn bench_matmul3(cfg: &Config) -> Case {
+    let (bs, m, k, n) = (16, 64, 64, 64);
+    let mut rng = Prng::new(17);
+    let a = rng.normal_tensor(&[bs, m, k], 0.0, 1.0);
+    let b = rng.normal_tensor(&[bs, k, n], 0.0, 1.0);
+    let seed_path = || {
+        let mut out = Vec::with_capacity(bs * m * n);
+        for s in 0..bs {
+            let am = batch_slice(&a, s, m, k);
+            let bm = batch_slice(&b, s, k, n);
+            out.extend_from_slice(&reference::matmul_naive(m, k, n, am.data(), bm.data()));
+        }
+        out
+    };
+    let expect = seed_path();
+    let got = matmul3(&a, &b).unwrap();
+    Case {
+        name: "matmul3_16x64x64x64",
+        baseline: "batch_slice copies + seed matmul",
+        baseline_ms: time_median(cfg, seed_path),
+        optimized_ms: time_median(cfg, || matmul3(&a, &b).unwrap()),
+        max_abs_diff: max_abs_diff(got.data(), &expect),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, cfg: &Config, cases: &[Case]) -> std::io::Result<()> {
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"schema\": \"rex-kernel-bench/v1\",\n");
+    body.push_str(&format!("  \"threads\": {},\n", kernels::num_threads()));
+    body.push_str(&format!("  \"reps\": {},\n", cfg.reps));
+    body.push_str(&format!("  \"warmup\": {},\n", cfg.warmup));
+    body.push_str(&format!("  \"smoke\": {},\n", cfg.smoke));
+    body.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"baseline_ms\": {:.4}, \
+             \"optimized_ms\": {:.4}, \"speedup\": {:.3}, \"max_abs_diff\": {:.3e}}}{}\n",
+            json_escape(c.name),
+            json_escape(c.baseline),
+            c.baseline_ms,
+            c.optimized_ms,
+            c.speedup(),
+            c.max_abs_diff,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let cfg = parse_args();
+    // force the thread-count read (and honour --threads) before timing
+    let threads = kernels::num_threads();
+    println!(
+        "kernel-bench: reps={} warmup={} threads={}{}",
+        cfg.reps,
+        cfg.warmup,
+        threads,
+        if cfg.smoke { " (smoke)" } else { "" }
+    );
+
+    let cases = [
+        bench_matmul(&cfg),
+        bench_conv_forward(&cfg),
+        bench_conv_backward(&cfg),
+        bench_matmul3(&cfg),
+    ];
+
+    println!(
+        "{:<26} {:>12} {:>12} {:>8} {:>12}",
+        "case", "baseline ms", "optimized ms", "speedup", "max|diff|"
+    );
+    for c in &cases {
+        println!(
+            "{:<26} {:>12.3} {:>12.3} {:>7.2}x {:>12.3e}",
+            c.name,
+            c.baseline_ms,
+            c.optimized_ms,
+            c.speedup(),
+            c.max_abs_diff
+        );
+    }
+
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let path = cfg.out.as_deref().unwrap_or(default_path);
+    match write_json(path, &cfg, &cases) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("kernel-bench: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

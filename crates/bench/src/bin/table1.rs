@@ -37,7 +37,10 @@ fn main() {
         }
     }
     if records.is_empty() {
-        eprintln!("no results found in {} — run the per-table binaries first", args.out.display());
+        eprintln!(
+            "no results found in {} — run the per-table binaries first",
+            args.out.display()
+        );
         std::process::exit(1);
     }
 

@@ -15,9 +15,11 @@ use rex_train::tasks::{pretrain_transformer, run_glue_cell};
 
 fn main() {
     let args = Args::parse();
-    let (pretrain_epochs, corpus_size, train_per_task, test_per_task) = args
-        .scale
-        .pick((1usize, 64usize, 32usize, 16usize), (6, 512, 768, 128), (20, 4096, 2048, 512));
+    let (pretrain_epochs, corpus_size, train_per_task, test_per_task) = args.scale.pick(
+        (1usize, 64usize, 32usize, 16usize),
+        (6, 512, 768, 128),
+        (20, 4096, 2048, 512),
+    );
     let budget_epochs: Vec<usize> = match args.scale {
         rex_bench::ScaleKind::Smoke => vec![1],
         _ => vec![1, 2, 3],
@@ -27,10 +29,17 @@ fn main() {
 
     eprintln!("pre-training checkpoint ({pretrain_epochs} epochs over {corpus_size} sequences)...");
     let corpus = lm_corpus(corpus_size, cfg.seq_len, cfg.vocab, args.seed ^ 0xBE27);
-    let checkpoint = pretrain_transformer(&corpus, cfg, pretrain_epochs, 16, 1e-3, args.seed ^ 0xBE28)
-        .expect("pre-training failed");
+    let checkpoint =
+        pretrain_transformer(&corpus, cfg, pretrain_epochs, 16, 1e-3, args.seed ^ 0xBE28)
+            .expect("pre-training failed");
 
-    let tasks = glue_tasks(train_per_task, test_per_task, cfg.seq_len, cfg.vocab, args.seed ^ 0x61E5);
+    let tasks = glue_tasks(
+        train_per_task,
+        test_per_task,
+        cfg.seq_len,
+        cfg.vocab,
+        args.seed ^ 0x61E5,
+    );
     let schedules = vec![
         ScheduleSpec::None, // bare AdamW row
         ScheduleSpec::Step,

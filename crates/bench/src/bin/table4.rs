@@ -20,7 +20,9 @@ fn main() {
     );
     let trials = args.trials.unwrap_or(trials);
     let budgets = match args.scale {
-        rex_bench::ScaleKind::Smoke => vec![Budget::new(max_epochs, 25), Budget::new(max_epochs, 100)],
+        rex_bench::ScaleKind::Smoke => {
+            vec![Budget::new(max_epochs, 25), Budget::new(max_epochs, 100)]
+        }
         _ => Budget::paper_levels(max_epochs),
     };
     let data = synth_cifar10(per_class, test_per_class, args.seed ^ 0x7AB4);

@@ -56,7 +56,11 @@ fn main() {
         ));
     }
 
-    print_budget_table("Table 7: VAE-MNIST (generalization loss)", &records, &budgets);
+    print_budget_table(
+        "Table 7: VAE-MNIST (generalization loss)",
+        &records,
+        &budgets,
+    );
     let path = args.out.join("table7_vae_mnist.csv");
     write_csv(&path, &records).expect("write CSV");
     eprintln!("records written to {}", path.display());

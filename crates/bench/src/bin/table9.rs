@@ -59,7 +59,11 @@ fn main() {
         },
     );
 
-    print_budget_table("Table 9: YOLO-VOC (mAP %, higher is better)", &records, &budgets);
+    print_budget_table(
+        "Table 9: YOLO-VOC (mAP %, higher is better)",
+        &records,
+        &budgets,
+    );
     let path = args.out.join("table9_yolo_voc.csv");
     write_csv(&path, &records).expect("write CSV");
     eprintln!("records written to {}", path.display());

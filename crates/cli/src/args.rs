@@ -38,19 +38,23 @@ impl Flags {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.map.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: {v:?}")),
         }
     }
 
     /// Required value.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 }
 
 /// Parses a schedule name via [`ScheduleSpec`]'s `FromStr` vocabulary.
 pub fn parse_schedule(name: &str) -> Result<ScheduleSpec, String> {
-    name.parse().map_err(|e: rex_core::ParseScheduleError| e.to_string())
+    name.parse()
+        .map_err(|e: rex_core::ParseScheduleError| e.to_string())
 }
 
 /// Parses an optimizer family name.

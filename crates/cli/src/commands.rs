@@ -113,7 +113,11 @@ fn curve_inner(argv: &[String]) -> Result<(), String> {
     println!("progress,factor");
     for i in 0..=points {
         let t = i * total / points.max(1);
-        println!("{:.4},{:.6}", t as f64 / total as f64, sched.factor(t, total));
+        println!(
+            "{:.4},{:.6}",
+            t as f64 / total as f64,
+            sched.factor(t, total)
+        );
     }
     Ok(())
 }
@@ -135,7 +139,9 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
     let setting = load_setting(flags.require("setting")?, seed)?;
     let budget_pct: u32 = flags.get_or("budget", 100u32)?;
     if !(1..=100).contains(&budget_pct) {
-        return Err(format!("--budget must be 1..=100 (percent), got {budget_pct}"));
+        return Err(format!(
+            "--budget must be 1..=100 (percent), got {budget_pct}"
+        ));
     }
     let spec = parse_schedule(flags.get("schedule").unwrap_or("rex"))?;
     let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
@@ -241,7 +247,9 @@ fn sweep_inner(argv: &[String]) -> Result<(), String> {
             max_epochs,
             lr_scale,
         } => (name, model, data, max_epochs, lr_scale),
-        Setting::Vae { .. } => return Err("sweep supports image settings; use `train` for the VAE".into()),
+        Setting::Vae { .. } => {
+            return Err("sweep supports image settings; use `train` for the VAE".into())
+        }
     };
 
     let mut headers = vec![format!("{name} ({})", optimizer.name())];

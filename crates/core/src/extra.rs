@@ -136,7 +136,11 @@ impl Schedule for Cyclical {
         let pos = (x * self.cycles as f64).min(self.cycles as f64 - 1e-12);
         let cycle = pos.floor() as u32;
         let local = pos - cycle as f64; // [0,1) within cycle
-        let tri = if local < 0.5 { 2.0 * local } else { 2.0 * (1.0 - local) };
+        let tri = if local < 0.5 {
+            2.0 * local
+        } else {
+            2.0 * (1.0 - local)
+        };
         let amplitude = if self.halve_amplitude {
             (1.0 - self.floor) / 2f64.powi(cycle as i32)
         } else {
@@ -203,8 +207,14 @@ mod tests {
         // equal cycles at 0-.25-.5-.75-1
         let end_of_first = s.factor(249, 1000);
         let start_of_second = s.factor(251, 1000);
-        assert!(end_of_first < 0.05, "cycle should anneal to ~0: {end_of_first}");
-        assert!(start_of_second > 0.9, "restart should jump to ~1: {start_of_second}");
+        assert!(
+            end_of_first < 0.05,
+            "cycle should anneal to ~0: {end_of_first}"
+        );
+        assert!(
+            start_of_second > 0.9,
+            "restart should jump to ~1: {start_of_second}"
+        );
     }
 
     #[test]
@@ -222,7 +232,7 @@ mod tests {
         let mut s = CosineRestarts::new(2, 1.0, 0.1);
         for t in 0..=100 {
             let f = s.factor(t, 100);
-            assert!(f >= 0.1 - 1e-12 && f <= 1.0 + 1e-12);
+            assert!((0.1 - 1e-12..=1.0 + 1e-12).contains(&f));
         }
     }
 

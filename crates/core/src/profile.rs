@@ -220,7 +220,10 @@ impl Polynomial {
     ///
     /// Panics if `power` is not strictly positive.
     pub fn new(power: f64) -> Self {
-        assert!(power > 0.0, "polynomial power must be positive, got {power}");
+        assert!(
+            power > 0.0,
+            "polynomial power must be positive, got {power}"
+        );
         Polynomial { power }
     }
 
@@ -246,7 +249,11 @@ mod tests {
 
     fn check_endpoints(p: &dyn Profile, end: f64) {
         assert!((p.at(0.0) - 1.0).abs() < 1e-9, "{} at(0) != 1", p.name());
-        assert!((p.at(1.0) - end).abs() < 1e-9, "{} at(1) != {end}", p.name());
+        assert!(
+            (p.at(1.0) - end).abs() < 1e-9,
+            "{} at(1) != {end}",
+            p.name()
+        );
     }
 
     #[test]

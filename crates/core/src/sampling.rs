@@ -32,10 +32,7 @@ impl SamplingRate {
     pub fn knots(knots: &[f64]) -> Self {
         let mut ks = knots.to_vec();
         for &k in &ks {
-            assert!(
-                k > 0.0 && k <= 1.0,
-                "sampling knot {k} outside (0,1]"
-            );
+            assert!(k > 0.0 && k <= 1.0, "sampling knot {k} outside (0,1]");
         }
         ks.sort_by(|a, b| a.partial_cmp(b).expect("finite knots"));
         SamplingRate::Knots(ks)

@@ -234,13 +234,19 @@ mod tests {
 
     #[test]
     fn t_beyond_total_clamps() {
-        let mut s = SampledProfile::new(ReflectedExponential::default(), SamplingRate::EveryIteration);
+        let mut s = SampledProfile::new(
+            ReflectedExponential::default(),
+            SamplingRate::EveryIteration,
+        );
         assert_eq!(s.factor(500, 100), s.factor(100, 100));
     }
 
     #[test]
     fn names_are_informative() {
-        let s = SampledProfile::new(ReflectedExponential::default(), SamplingRate::EveryIteration);
+        let s = SampledProfile::new(
+            ReflectedExponential::default(),
+            SamplingRate::EveryIteration,
+        );
         assert_eq!(s.name(), "REX");
         let s2 = SampledProfile::new(Linear, SamplingRate::fifty_seventy_five());
         assert_eq!(s2.name(), "Linear @ 50-75");

@@ -106,7 +106,9 @@ impl ScheduleSpec {
     /// Instantiates a fresh schedule.
     pub fn build(&self) -> Box<dyn Schedule> {
         match self {
-            ScheduleSpec::None => Box::new(SampledProfile::new(Constant, SamplingRate::EveryIteration)),
+            ScheduleSpec::None => {
+                Box::new(SampledProfile::new(Constant, SamplingRate::EveryIteration))
+            }
             ScheduleSpec::Rex => Box::new(SampledProfile::new(
                 ReflectedExponential::default(),
                 SamplingRate::EveryIteration,
@@ -132,9 +134,7 @@ impl ScheduleSpec {
             ScheduleSpec::Step => Box::new(StepSchedule::fifty_seventy_five()),
             ScheduleSpec::StepAt(knots, gamma) => Box::new(StepSchedule::new(knots, *gamma)),
             ScheduleSpec::OneCycle => Box::new(OneCycle::default()),
-            ScheduleSpec::DecayOnPlateau(patience) => {
-                Box::new(DecayOnPlateau::new(*patience, 0.1))
-            }
+            ScheduleSpec::DecayOnPlateau(patience) => Box::new(DecayOnPlateau::new(*patience, 0.1)),
             ScheduleSpec::Polynomial(p) => Box::new(SampledProfile::new(
                 Polynomial::new(*p),
                 SamplingRate::EveryIteration,

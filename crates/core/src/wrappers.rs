@@ -57,7 +57,8 @@ impl<S: Schedule> Schedule for DelayedDecay<S> {
         // Use a fixed-resolution virtual clock so the inner schedule sees
         // consistent (t, total) pairs.
         const VIRT: u64 = 1_000_000;
-        self.inner.factor((rescaled * VIRT as f64).round() as u64, VIRT)
+        self.inner
+            .factor((rescaled * VIRT as f64).round() as u64, VIRT)
     }
 
     fn on_validation(&mut self, loss: f64) {
@@ -155,8 +156,10 @@ impl<S: Schedule> Schedule for Warmup<S> {
         } else if self.counts_toward_budget {
             self.inner.momentum(t, total)
         } else {
-            self.inner
-                .momentum(t - self.warmup_steps, total.saturating_sub(self.warmup_steps))
+            self.inner.momentum(
+                t - self.warmup_steps,
+                total.saturating_sub(self.warmup_steps),
+            )
         }
     }
 
@@ -220,7 +223,10 @@ mod tests {
         // The paper's framing: REX interpolates between linear and delayed
         // linear. Check REX lies between Linear and Linear-Delayed-50% over
         // the interior.
-        let mut rex = SampledProfile::new(ReflectedExponential::default(), SamplingRate::EveryIteration);
+        let mut rex = SampledProfile::new(
+            ReflectedExponential::default(),
+            SamplingRate::EveryIteration,
+        );
         let mut lin = linear();
         let mut del = DelayedDecay::new(linear(), 0.5);
         for t in 1..99u64 {

@@ -34,7 +34,10 @@ impl ClassificationDataset {
     ) -> Self {
         assert_eq!(train_images.shape()[0], train_labels.len());
         assert_eq!(test_images.shape()[0], test_labels.len());
-        assert!(train_labels.iter().chain(&test_labels).all(|&l| l < num_classes));
+        assert!(train_labels
+            .iter()
+            .chain(&test_labels)
+            .all(|&l| l < num_classes));
         ClassificationDataset {
             train_images,
             train_labels,

@@ -144,7 +144,11 @@ impl ImageSpec {
 }
 
 /// CIFAR-10 analogue: 10 classes of 3×12×12 images.
-pub fn synth_cifar10(train_per_class: usize, test_per_class: usize, seed: u64) -> ClassificationDataset {
+pub fn synth_cifar10(
+    train_per_class: usize,
+    test_per_class: usize,
+    seed: u64,
+) -> ClassificationDataset {
     ImageSpec {
         channels: 3,
         size: 12,
@@ -180,7 +184,11 @@ pub fn synth_cifar100(
 
 /// STL-10 analogue: higher resolution (3×16×16), few samples per class —
 /// preserving the low-count/high-res character of STL-10.
-pub fn synth_stl10(train_per_class: usize, test_per_class: usize, seed: u64) -> ClassificationDataset {
+pub fn synth_stl10(
+    train_per_class: usize,
+    test_per_class: usize,
+    seed: u64,
+) -> ClassificationDataset {
     ImageSpec {
         channels: 3,
         size: 16,
@@ -274,9 +282,8 @@ mod tests {
         .generate(3);
         let pix: usize = d.image_shape().iter().product();
         let img = |i: usize| &d.train_images.data()[i * pix..(i + 1) * pix];
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum() };
         let mut same = Vec::new();
         let mut cross = Vec::new();
         for i in 0..30 {

@@ -57,7 +57,10 @@ impl SceneDataset {
 ///
 /// Panics if `size` is not a positive multiple of 8.
 pub fn synth_scenes(n: usize, size: usize, seed: u64) -> SceneDataset {
-    assert!(size > 0 && size.is_multiple_of(8), "scene size must be a multiple of 8");
+    assert!(
+        size > 0 && size.is_multiple_of(8),
+        "scene size must be a multiple of 8"
+    );
     let grid = size / 8;
     let num_classes = 3;
     let mut rng = Prng::new(seed);
@@ -149,8 +152,8 @@ fn draw_object(
             let dx = (x as f32 - px_cx) / px_w;
             let dy = (y as f32 - px_cy) / px_h;
             let inside = match class {
-                0 => dx.abs() <= 1.0 && dy.abs() <= 1.0,          // square
-                1 => dx * dx + dy * dy <= 1.0,                    // disc
+                0 => dx.abs() <= 1.0 && dy.abs() <= 1.0, // square
+                1 => dx * dx + dy * dy <= 1.0,           // disc
                 _ => (dx.abs() <= 0.35 || dy.abs() <= 0.35) && dx.abs() <= 1.0 && dy.abs() <= 1.0, // cross
             };
             if inside {

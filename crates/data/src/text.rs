@@ -49,7 +49,9 @@ impl TextTask {
 
 /// The eight GLUE-analogue tasks, in the paper's Table 11 column order.
 pub fn glue_task_names() -> [&'static str; 8] {
-    ["CoLA", "MNLI", "MRPC", "QNLI", "QQP", "RTE", "SST-2", "STS-B"]
+    [
+        "CoLA", "MNLI", "MRPC", "QNLI", "QQP", "RTE", "SST-2", "STS-B",
+    ]
 }
 
 /// Generates the full synthetic GLUE suite.
@@ -71,7 +73,14 @@ pub fn glue_tasks(
         .enumerate()
         .map(|(i, name)| {
             let task_seed = seed ^ ((i as u64 + 1) * 0x9E37_79B9);
-            gen_task(name, train_per_task, test_per_task, seq_len, vocab, task_seed)
+            gen_task(
+                name,
+                train_per_task,
+                test_per_task,
+                seq_len,
+                vocab,
+                task_seed,
+            )
         })
         .collect()
 }
@@ -375,7 +384,11 @@ mod tests {
     fn mnli_stsb_have_three_classes() {
         let tasks = glue_tasks(3, 3, 16, 64, 3);
         for t in &tasks {
-            let expected = if t.name == "MNLI" || t.name == "STS-B" { 3 } else { 2 };
+            let expected = if t.name == "MNLI" || t.name == "STS-B" {
+                3
+            } else {
+                2
+            };
             assert_eq!(t.num_classes, expected, "{}", t.name);
         }
     }
@@ -439,6 +452,9 @@ mod tests {
             }
         }
         let max_count = bigrams.values().max().copied().unwrap_or(0);
-        assert!(max_count > 5, "no repeated structure (max bigram {max_count})");
+        assert!(
+            max_count > 5,
+            "no repeated structure (max bigram {max_count})"
+        );
     }
 }

@@ -100,10 +100,7 @@ fn average_precision(
     for i in 0..points.len() {
         let (r, _) = points[i];
         if r > prev_recall {
-            let max_p = points[i..]
-                .iter()
-                .map(|&(_, p)| p)
-                .fold(0.0f64, f64::max);
+            let max_p = points[i..].iter().map(|&(_, p)| p).fold(0.0f64, f64::max);
             ap += (r - prev_recall) * max_p;
             prev_recall = r;
         }

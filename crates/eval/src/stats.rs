@@ -138,7 +138,10 @@ impl ConfusionMatrix {
         assert_eq!(predictions.len(), labels.len(), "length mismatch");
         let mut counts = vec![vec![0usize; num_classes]; num_classes];
         for (&p, &l) in predictions.iter().zip(labels) {
-            assert!(p < num_classes && l < num_classes, "class index out of range");
+            assert!(
+                p < num_classes && l < num_classes,
+                "class index out of range"
+            );
             counts[l][p] += 1;
         }
         ConfusionMatrix { counts }

@@ -169,7 +169,10 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        let records = vec![rec("REX", 1, 0, 27.94), rec("Linear Schedule", 100, 2, 7.62)];
+        let records = vec![
+            rec("REX", 1, 0, 27.94),
+            rec("Linear Schedule", 100, 2, 7.62),
+        ];
         let parsed = from_csv(&to_csv(&records)).unwrap();
         assert_eq!(parsed, records);
     }

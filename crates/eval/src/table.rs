@@ -105,7 +105,10 @@ mod tests {
     fn renders_aligned_markdown() {
         let table = markdown(
             &s(&["Method", "1%", "100%"]),
-            &[s(&["REX", "27.94", "7.52"]), s(&["Linear", "28.70", "7.62"])],
+            &[
+                s(&["REX", "27.94", "7.52"]),
+                s(&["Linear", "28.70", "7.62"]),
+            ],
         );
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -146,7 +149,7 @@ mod tests {
 
     #[test]
     fn fmt2_rounds() {
-        assert_eq!(fmt2(3.14159), "3.14");
+        assert_eq!(fmt2(std::f64::consts::PI), "3.14");
         assert_eq!(fmt2(2.0), "2.00");
     }
 }

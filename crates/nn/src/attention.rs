@@ -86,14 +86,16 @@ impl Module for MultiHeadAttention {
         let vh = self.split_heads(g, v2, b, t)?;
 
         let kt = g.transpose_last2(kh)?; // [B*H, Dh, T]
-        let scores = g.batch_matmul(qh, kt)?; // [B*H, T, T]
+                                         // matmul3 runs per-head products in place on the batch slices —
+                                         // no per-head copies through batch_slice
+        let scores = g.matmul3(qh, kt)?; // [B*H, T, T]
         let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
 
         let flat = g.reshape(scaled, &[b * self.heads * t, t])?;
         let attn = g.softmax(flat)?;
         let attn3 = g.reshape(attn, &[b * self.heads, t, t])?;
 
-        let ctx = g.batch_matmul(attn3, vh)?; // [B*H, T, Dh]
+        let ctx = g.matmul3(attn3, vh)?; // [B*H, T, Dh]
         let ctx4 = g.reshape(ctx, &[b, self.heads, t, dh])?;
         let merged = g.permute_0213(ctx4)?; // [B, T, H, Dh]
         let merged2 = g.reshape(merged, &[b * t, d])?;

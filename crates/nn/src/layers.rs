@@ -34,7 +34,12 @@ impl Linear {
     }
 
     /// New layer without bias (e.g. before a norm layer).
-    pub fn without_bias(name: &str, in_features: usize, out_features: usize, rng: &mut Prng) -> Self {
+    pub fn without_bias(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut Prng,
+    ) -> Self {
         Linear {
             weight: Param::new(
                 format!("{name}.weight"),
@@ -275,7 +280,10 @@ impl Dropout {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0,1), got {p}"
+        );
         Dropout {
             p,
             rng: RefCell::new(Prng::new(seed)),
@@ -415,7 +423,10 @@ mod tests {
         // survivors are scaled to 2.0; overall mean stays ~1
         let mean = out.mean();
         assert!((mean - 1.0).abs() < 0.15, "dropout mean {mean}");
-        assert!(out.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(out
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl TinyDetector {
     ///
     /// Panics if `input_size` is not divisible by 8 or `num_classes == 0`.
     pub fn new(num_classes: usize, input_size: usize, seed: u64) -> Self {
-        assert!(input_size.is_multiple_of(8), "input size must be divisible by 8");
+        assert!(
+            input_size.is_multiple_of(8),
+            "input size must be divisible by 8"
+        );
         assert!(num_classes > 0, "need at least one class");
         let mut rng = Prng::new(seed);
         let widths = [3usize, 8, 16, 32];
@@ -115,7 +118,13 @@ impl TinyDetector {
         let backbone = (0..3)
             .map(|i| {
                 (
-                    Conv2d::without_bias(&format!("det.b{i}"), widths[i], widths[i + 1], down, &mut rng),
+                    Conv2d::without_bias(
+                        &format!("det.b{i}"),
+                        widths[i],
+                        widths[i + 1],
+                        down,
+                        &mut rng,
+                    ),
                     BatchNorm::new(&format!("det.bn{i}"), widths[i + 1]),
                 )
             })
@@ -387,7 +396,10 @@ mod tests {
                 p.value_mut().axpy(-0.05, &grad);
             }
         }
-        assert!(last < first, "detection loss should drop: {first} -> {last}");
+        assert!(
+            last < first,
+            "detection loss should drop: {first} -> {last}"
+        );
     }
 
     #[test]

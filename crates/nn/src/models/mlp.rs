@@ -50,7 +50,10 @@ impl Mlp {
         activation: Activation,
         rng: &mut Prng,
     ) -> Self {
-        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "MLP needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .enumerate()

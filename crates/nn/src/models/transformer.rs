@@ -60,7 +60,14 @@ impl Block {
         }
     }
 
-    fn forward(&self, g: &mut Graph, x: NodeId, b: usize, t: usize, d: usize) -> Result<NodeId, TensorError> {
+    fn forward(
+        &self,
+        g: &mut Graph,
+        x: NodeId,
+        b: usize,
+        t: usize,
+        d: usize,
+    ) -> Result<NodeId, TensorError> {
         // Pre-LN attention with residual.
         let normed = self.ln1.forward(g, x)?;
         let attn = self.attn.forward(g, normed)?;
@@ -170,7 +177,12 @@ impl TinyTransformer {
     /// # Errors
     ///
     /// As [`TinyTransformer::encode`].
-    pub fn lm_logits(&self, g: &mut Graph, tokens: &[usize], b: usize) -> Result<NodeId, TensorError> {
+    pub fn lm_logits(
+        &self,
+        g: &mut Graph,
+        tokens: &[usize],
+        b: usize,
+    ) -> Result<NodeId, TensorError> {
         let h = self.encode(g, tokens, b)?;
         let flat = g.reshape(h, &[b * self.cfg.seq_len, self.cfg.dim])?;
         self.lm_head.forward(g, flat)

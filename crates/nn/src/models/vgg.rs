@@ -33,7 +33,10 @@ impl MicroVgg {
     /// Panics if `input_size < 8` (three 2× poolings must leave at least
     /// one pixel).
     pub fn new(num_classes: usize, input_size: usize, seed: u64) -> Self {
-        assert!(input_size >= 8, "input size {input_size} must be at least 8");
+        assert!(
+            input_size >= 8,
+            "input size {input_size} must be at least 8"
+        );
         let mut rng = Prng::new(seed);
         let widths = [3usize, 8, 16, 32];
         let mut convs = Vec::new();

@@ -88,7 +88,7 @@ impl Sgd {
             momentum: 0.0,
             nesterov: false,
             velocity,
-        weight_decay: 0.0,
+            weight_decay: 0.0,
         }
     }
 
@@ -423,12 +423,12 @@ mod tests {
     fn clip_grad_norm_rescales() {
         let w = Param::new("w", Tensor::zeros(&[2]));
         w.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap());
-        let norm = clip_grad_norm(&[w.clone()], 1.0);
+        let norm = clip_grad_norm(std::slice::from_ref(&w), 1.0);
         assert!((norm - 5.0).abs() < 1e-6);
         let g = w.grad();
         assert!((g.sq_norm().sqrt() - 1.0).abs() < 1e-5);
         // below the threshold nothing changes
-        let norm2 = clip_grad_norm(&[w.clone()], 10.0);
+        let norm2 = clip_grad_norm(std::slice::from_ref(&w), 10.0);
         assert!((norm2 - 1.0).abs() < 1e-5);
         assert!((w.grad().sq_norm().sqrt() - 1.0).abs() < 1e-5);
     }

@@ -1,9 +1,21 @@
-//! 2-D convolution and pooling kernels (im2col formulation).
+//! 2-D convolution and pooling kernels (im2col + blocked GEMM).
+//!
+//! The convolution is lowered onto the register-tiled GEMM in
+//! [`crate::kernels`] via the patch-matrix transform in [`crate::im2col`]:
+//! the forward pass is one `[O, C·K·K] × [C·K·K, OH·OW]` product per
+//! sample, and the backward pass is a pair of fused-transpose products
+//! plus a `col2im` scatter. All workspaces (the patch matrix, the
+//! per-sample gradient columns) are drawn from the [`crate::scratch`]
+//! pool, so steady-state training allocates nothing per step.
 //!
 //! Forward functions return whatever intermediate state the corresponding
 //! backward function needs (im2col buffers, argmax indices), so the autograd
-//! layer can stash it in the tape without recomputation.
+//! layer can stash it in the tape without recomputation. Dropping the
+//! saved state recycles its buffers back into the pool.
 
+use crate::im2col::{col2im_sample, im2col_sample, take_cols};
+use crate::kernels;
+use crate::scratch::PooledBuf;
 use crate::{Tensor, TensorError};
 
 /// Geometry of a conv/pool window: kernel size, stride, and zero padding
@@ -54,10 +66,13 @@ impl Window {
 }
 
 /// Saved forward state consumed by [`conv2d_backward`].
+///
+/// Holds the pooled im2col workspace; dropping it returns the buffer to
+/// the thread-local scratch pool for the next step.
 #[derive(Debug, Clone)]
 pub struct Conv2dSaved {
-    /// im2col buffer, `[N, C*K*K, OH*OW]` flattened.
-    cols: Vec<f32>,
+    /// im2col buffer, `[N, C*K*K, OH*OW]` flattened (pooled).
+    cols: PooledBuf,
     /// Input shape `[N, C, H, W]`.
     in_shape: [usize; 4],
     /// Output spatial dims `(OH, OW)`.
@@ -99,7 +114,7 @@ pub fn conv2d_forward(
     let ckk = c * win.kernel * win.kernel;
     let ohw = oh * ow;
 
-    let mut cols = vec![0.0f32; n * ckk * ohw];
+    let mut cols = take_cols(n * ckk * ohw);
     for s in 0..n {
         im2col_sample(
             &input.data()[s * c * h * w..(s + 1) * c * h * w],
@@ -113,13 +128,19 @@ pub fn conv2d_forward(
         );
     }
 
-    // weight viewed as [O, CKK]; per-sample out = weight x cols -> [O, OHW]
-    let wmat = weight.reshape(&[o, ckk])?;
+    // weight viewed as [O, CKK] (already contiguous); per-sample
+    // out = weight × cols -> [O, OHW], one batched GEMM over the samples
     let mut out = vec![0.0f32; n * o * ohw];
+    let wmat = weight.data();
     for s in 0..n {
-        let colmat = Tensor::from_vec(cols[s * ckk * ohw..(s + 1) * ckk * ohw].to_vec(), &[ckk, ohw])?;
-        let prod = wmat.matmul(&colmat)?;
-        out[s * o * ohw..(s + 1) * o * ohw].copy_from_slice(prod.data());
+        kernels::gemm(
+            o,
+            ckk,
+            ohw,
+            wmat,
+            &cols[s * ckk * ohw..(s + 1) * ckk * ohw],
+            &mut out[s * o * ohw..(s + 1) * o * ohw],
+        );
     }
     if let Some(b) = bias {
         if b.shape() != [o] {
@@ -200,26 +221,23 @@ fn conv2d_backward_impl(
         });
     }
 
-    let wmat = weight.reshape(&[o, ckk])?;
+    let wmat = weight.data();
     let mut d_weight = Tensor::zeros(&[o, ckk]);
     let mut d_input = Tensor::zeros(&[n, c, h, w]);
     let mut d_bias = Tensor::zeros(&[o]);
+    // per-sample gradient columns, recycled from the scratch pool
+    let mut dcols = take_cols(ckk * ohw);
 
     for s in 0..n {
-        let dmat = Tensor::from_vec(
-            d_out.data()[s * o * ohw..(s + 1) * o * ohw].to_vec(),
-            &[o, ohw],
-        )?;
-        let colmat = Tensor::from_vec(
-            saved.cols[s * ckk * ohw..(s + 1) * ckk * ohw].to_vec(),
-            &[ckk, ohw],
-        )?;
-        // dW += dOut x colsᵀ
-        d_weight.axpy(1.0, &dmat.matmul_nt(&colmat)?);
-        // dCols = Wᵀ x dOut
-        let dcols = wmat.matmul_tn(&dmat)?;
+        let dmat = &d_out.data()[s * o * ohw..(s + 1) * o * ohw];
+        let colmat = &saved.cols[s * ckk * ohw..(s + 1) * ckk * ohw];
+        // dW += dOut × colsᵀ (GEMM accumulates across samples directly)
+        kernels::gemm_nt(o, ohw, ckk, dmat, colmat, d_weight.data_mut());
+        // dCols = Wᵀ × dOut
+        dcols.fill(0.0);
+        kernels::gemm_tn(ckk, o, ohw, wmat, dmat, &mut dcols);
         col2im_sample(
-            dcols.data(),
+            &dcols,
             c,
             h,
             w,
@@ -231,7 +249,7 @@ fn conv2d_backward_impl(
         // dB += sum over space (skipped for bias-free layers)
         if want_bias {
             for oc in 0..o {
-                let sum: f32 = dmat.data()[oc * ohw..(oc + 1) * ohw].iter().sum();
+                let sum: f32 = dmat[oc * ohw..(oc + 1) * ohw].iter().sum();
                 d_bias.data_mut()[oc] += sum;
             }
         }
@@ -242,81 +260,6 @@ fn conv2d_backward_impl(
         d_weight.reshape(&[o, c, saved.win.kernel, saved.win.kernel])?,
         d_bias,
     ))
-}
-
-#[allow(clippy::too_many_arguments)]
-fn im2col_sample(
-    input: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    win: Window,
-    oh: usize,
-    ow: usize,
-    cols: &mut [f32],
-) {
-    let k = win.kernel;
-    let ohw = oh * ow;
-    for ch in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ch * k + ky) * k + kx;
-                let base = row * ohw;
-                for oy in 0..oh {
-                    let iy = (oy * win.stride + ky) as isize - win.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        // zero padding region: cols pre-zeroed
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    for ox in 0..ow {
-                        let ix = (ox * win.stride + kx) as isize - win.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        cols[base + oy * ow + ox] = input[(ch * h + iy) * w + ix as usize];
-                    }
-                }
-            }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn col2im_sample(
-    cols: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    win: Window,
-    oh: usize,
-    ow: usize,
-    out: &mut [f32],
-) {
-    let k = win.kernel;
-    let ohw = oh * ow;
-    for ch in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ch * k + ky) * k + kx;
-                let base = row * ohw;
-                for oy in 0..oh {
-                    let iy = (oy * win.stride + ky) as isize - win.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    for ox in 0..ow {
-                        let ix = (ox * win.stride + kx) as isize - win.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        out[(ch * h + iy) * w + ix as usize] += cols[base + oy * ow + ox];
-                    }
-                }
-            }
-        }
-    }
 }
 
 /// Max-pooling forward. Returns the pooled output `[N, C, OH, OW]` and the

@@ -76,7 +76,10 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank-{ndim} tensor")
             }
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+                write!(
+                    f,
+                    "cannot reshape {from:?} into {to:?}: element counts differ"
+                )
             }
             TensorError::RankMismatch { expected, got } => {
                 write!(f, "expected {expected}, got shape {got:?}")

@@ -1,0 +1,201 @@
+//! im2col / col2im: the patch-matrix lowering that turns 2-D convolution
+//! into the blocked GEMM of [`crate::kernels`].
+//!
+//! `im2col` unrolls every `K×K` receptive field of a `[C, H, W]` sample
+//! into one column of a `[C·K·K, OH·OW]` matrix, so the convolution with an
+//! `[O, C·K·K]` weight matrix becomes a single dense product. `col2im` is
+//! its adjoint (scatter-add), used by the backward pass to fold patch
+//! gradients back onto the input grid.
+//!
+//! Memory cost: the patch matrix holds `K·K` copies of the input, i.e.
+//! `N·C·K²·OH·OW` floats per layer. The buffers come from the
+//! [`crate::scratch`] pool and are recycled across steps, so the cost is
+//! one resident workspace per live layer rather than an allocation per
+//! step.
+
+use crate::conv::Window;
+use crate::scratch::PooledBuf;
+
+/// Acquires a pooled, zeroed im2col workspace of `len` elements.
+///
+/// Thin wrapper over the scratch pool so conv layers share one reuse
+/// point; the buffer returns to the pool when dropped.
+pub fn take_cols(len: usize) -> PooledBuf {
+    PooledBuf::zeroed(len)
+}
+
+/// Unrolls one `[C, H, W]` sample into `cols` (`[C·K·K, OH·OW]`,
+/// row-major). Padding positions are left untouched, so `cols` must be
+/// zeroed on entry (pool buffers are).
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if `cols` or `input` is too short for the
+/// geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_sample(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    win: Window,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    let k = win.kernel;
+    let ohw = oh * ow;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * ohw;
+                for oy in 0..oh {
+                    let iy = (oy * win.stride + ky) as isize - win.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        // zero-padding region: cols pre-zeroed
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    if win.stride == 1 && win.padding == 0 {
+                        // contiguous fast path: whole output row is one memcpy
+                        let src = (ch * h + iy) * w + kx;
+                        cols[base + oy * ow..base + oy * ow + ow]
+                            .copy_from_slice(&input[src..src + ow]);
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * win.stride + kx) as isize - win.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        cols[base + oy * ow + ox] = input[(ch * h + iy) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col_sample`]: scatter-adds `cols` gradients back onto
+/// the `[C, H, W]` input gradient `out` (accumulating; `out` is typically
+/// zeroed by the caller once per batch).
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if `cols` or `out` is too short for the
+/// geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_sample(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    win: Window,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    let k = win.kernel;
+    let ohw = oh * ow;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * ohw;
+                for oy in 0..oh {
+                    let iy = (oy * win.stride + ky) as isize - win.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * win.stride + kx) as isize - win.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[(ch * h + iy) * w + ix as usize] += cols[base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn im2col_identity_window_copies_input() {
+        // 1x1 kernel, stride 1: cols is exactly the input plane
+        let input: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let win = Window {
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let mut cols = vec![0.0f32; 12];
+        im2col_sample(&input, 3, 2, 2, win, 2, 2, &mut cols);
+        assert_eq!(cols, input);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y
+        let (c, h, w) = (2, 4, 4);
+        let win = Window {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let (oh, ow) = (4, 4);
+        let ckk = c * 9;
+        let x: Vec<f32> = (0..c * h * w).map(|v| (v as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..ckk * oh * ow)
+            .map(|v| (v as f32 * 0.11).cos())
+            .collect();
+        let mut cols = vec![0.0f32; ckk * oh * ow];
+        im2col_sample(&x, c, h, w, win, oh, ow, &mut cols);
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0f32; c * h * w];
+        col2im_sample(&y, c, h, w, win, oh, ow, &mut back);
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn stride1_nopad_fast_path_matches_general() {
+        let (c, h, w) = (2, 5, 6);
+        let k = 3;
+        let win = Window {
+            kernel: k,
+            stride: 1,
+            padding: 0,
+        };
+        let (oh, ow) = (h - k + 1, w - k + 1);
+        let input: Vec<f32> = (0..c * h * w).map(|v| v as f32).collect();
+        let mut fast = vec![0.0f32; c * k * k * oh * ow];
+        im2col_sample(&input, c, h, w, win, oh, ow, &mut fast);
+        // general path: same geometry expressed with padding 0 via the
+        // scalar loop (reconstruct manually)
+        let mut general = vec![0.0f32; c * k * k * oh * ow];
+        for ch in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ch * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            general[row * oh * ow + oy * ow + ox] =
+                                input[(ch * h + oy + ky) * w + ox + kx];
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(fast, general);
+    }
+}

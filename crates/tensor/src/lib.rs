@@ -9,8 +9,13 @@
 //! * [`Tensor`] — contiguous row-major storage with shape metadata,
 //!   constructors, elementwise arithmetic with NumPy-style broadcasting,
 //!   reductions, matrix multiplication, and activations.
-//! * [`conv`] — im2col-based 2-D convolution and pooling with explicit
-//!   backward passes (consumed by `rex-autograd`).
+//! * [`kernels`] — the blocked, register-tiled f32 GEMM every matrix
+//!   product lowers onto, with optional `REX_NUM_THREADS` row sharding.
+//! * [`conv`] — 2-D convolution and pooling lowered onto the GEMM via
+//!   [`im2col`], with explicit backward passes (consumed by
+//!   `rex-autograd`) and pooled scratch buffers ([`scratch`]).
+//! * [`reference`] — the seed's naive kernels, kept as the parity-test
+//!   oracle and the `kernel-bench` baseline.
 //! * [`rng`] — a deterministic xoshiro256\*\*-based PRNG ([`rng::Prng`]) with
 //!   uniform/normal sampling and weight-initialisation helpers, so every
 //!   experiment in the workspace is seed-reproducible across platforms.
@@ -32,8 +37,12 @@
 
 pub mod conv;
 mod error;
+pub mod im2col;
+pub mod kernels;
 pub mod ops;
+pub mod reference;
 pub mod rng;
+pub mod scratch;
 mod shape;
 mod tensor;
 

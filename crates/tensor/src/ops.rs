@@ -246,10 +246,14 @@ fn dims3(t: &Tensor) -> Result<(usize, usize, usize), TensorError> {
 
 /// Batched matrix product of 3-D tensors: `[B,M,K] × [B,K,N] → [B,M,N]`.
 ///
+/// Runs directly on the batch slices via [`crate::kernels::gemm_batch`] —
+/// no per-batch copies are materialised (unlike the old
+/// [`batch_slice`]-based path).
+///
 /// # Errors
 ///
 /// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
-pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+pub fn matmul3(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (ba, m, k) = dims3(a)?;
     let (bb, k2, n) = dims3(b)?;
     if ba != bb || k != k2 {
@@ -258,44 +262,77 @@ pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             rhs: b.shape().to_vec(),
         });
     }
-    let mut out = Vec::with_capacity(ba * m * n);
-    for s in 0..ba {
-        let prod = batch_slice(a, s, m, k).matmul(&batch_slice(b, s, k, n))?;
-        out.extend_from_slice(prod.data());
-    }
+    let mut out = vec![0.0f32; ba * m * n];
+    crate::kernels::gemm_batch(ba, m, k, n, a.data(), b.data(), &mut out);
     Tensor::from_vec(out, &[ba, m, n])
 }
 
-/// Batched `g × bᵀ` per batch element (`[B,M,N] × [B,K,N] → [B,M,K]`).
+/// Batched `g × bᵀ` per batch element (`[B,M,N] × [B,K,N] → [B,M,K]`),
+/// without materialising transposes or batch copies.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
+pub fn matmul3_nt(g: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (bs, m, n) = dims3(g)?;
+    let (bs2, k, n2) = dims3(b)?;
+    if bs != bs2 || n != n2 {
+        return Err(TensorError::MatmulMismatch {
+            lhs: g.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; bs * m * k];
+    crate::kernels::gemm_batch_nt(bs, m, n, k, g.data(), b.data(), &mut out);
+    Tensor::from_vec(out, &[bs, m, k])
+}
+
+/// Batched `aᵀ × g` per batch element (`[B,M,K] × [B,M,N] → [B,K,N]`),
+/// without materialising transposes or batch copies.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
+pub fn matmul3_tn(a: &Tensor, g: &Tensor) -> Result<Tensor, TensorError> {
+    let (bs, m, k) = dims3(a)?;
+    let (bs2, m2, n) = dims3(g)?;
+    if bs != bs2 || m != m2 {
+        return Err(TensorError::MatmulMismatch {
+            lhs: a.shape().to_vec(),
+            rhs: g.shape().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; bs * k * n];
+    crate::kernels::gemm_batch_tn(bs, k, m, n, a.data(), g.data(), &mut out);
+    Tensor::from_vec(out, &[bs, k, n])
+}
+
+/// Batched matrix product (alias of [`matmul3`], kept for callers that
+/// predate the kernel rework).
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
+pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul3(a, b)
+}
+
+/// Batched `g × bᵀ` (alias of [`matmul3_nt`]).
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
 pub fn batch_matmul_nt(g: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (bs, m, n) = dims3(g)?;
-    let (_, k, _) = dims3(b)?;
-    let mut out = Vec::with_capacity(bs * m * k);
-    for s in 0..bs {
-        let prod = batch_slice(g, s, m, n).matmul_nt(&batch_slice(b, s, k, n))?;
-        out.extend_from_slice(prod.data());
-    }
-    Tensor::from_vec(out, &[bs, m, k])
+    matmul3_nt(g, b)
 }
 
-/// Batched `aᵀ × g` per batch element (`[B,M,K] × [B,M,N] → [B,K,N]`).
+/// Batched `aᵀ × g` (alias of [`matmul3_tn`]).
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::MatmulMismatch`] on incompatible shapes.
 pub fn batch_matmul_tn(a: &Tensor, g: &Tensor) -> Result<Tensor, TensorError> {
-    let (bs, m, k) = dims3(a)?;
-    let (_, _, n) = dims3(g)?;
-    let mut out = Vec::with_capacity(bs * k * n);
-    for s in 0..bs {
-        let prod = batch_slice(a, s, m, k).matmul_tn(&batch_slice(g, s, m, n))?;
-        out.extend_from_slice(prod.data());
-    }
-    Tensor::from_vec(out, &[bs, k, n])
+    matmul3_tn(a, g)
 }
 
 /// Concatenates tensors along axis 0; all trailing dims must match.
@@ -386,7 +423,9 @@ mod extended_tests {
         let c = batch_matmul(&a, &b).unwrap();
         assert_eq!(c.shape(), &[2, 3, 2]);
         for s in 0..2 {
-            let expect = batch_slice(&a, s, 3, 4).matmul(&batch_slice(&b, s, 4, 2)).unwrap();
+            let expect = batch_slice(&a, s, 3, 4)
+                .matmul(&batch_slice(&b, s, 4, 2))
+                .unwrap();
             assert_eq!(batch_slice(&c, s, 3, 2), expect);
         }
     }

@@ -101,7 +101,10 @@ impl Tensor {
     /// Evenly spaced values: `start, start+step, ...` for `n` elements.
     pub fn arange(start: f32, step: f32, n: usize) -> Self {
         let data = (0..n).map(|i| start + step * i as f32).collect();
-        Tensor { data, shape: vec![n] }
+        Tensor {
+            data,
+            shape: vec![n],
+        }
     }
 
     // ---------------------------------------------------------------------
@@ -183,7 +186,10 @@ impl Tensor {
         // inside hot indexing loops)
         let mut off = 0;
         for (i, (&ix, &dim)) in idx.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (dim {dim})"
+            );
             off = off * dim + ix;
         }
         off
@@ -290,7 +296,11 @@ impl Tensor {
     ///
     /// Returns [`TensorError::BroadcastMismatch`] if shapes differ (this is
     /// the strict, non-broadcasting variant; see [`Tensor::broadcast_op`]).
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
         if self.shape != other.shape {
             return Err(TensorError::BroadcastMismatch {
                 lhs: self.shape.clone(),
@@ -580,8 +590,8 @@ impl Tensor {
 
     /// Matrix product of two 2-D tensors (`[m,k] x [k,n] -> [m,n]`).
     ///
-    /// Uses the cache-friendly `i-k-j` loop ordering; this is the single
-    /// hottest kernel in the workspace.
+    /// Lowers onto the blocked, branch-free GEMM in [`crate::kernels`];
+    /// this is the single hottest kernel in the workspace.
     ///
     /// # Errors
     ///
@@ -597,19 +607,7 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let n = other.shape[1];
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::gemm(m, k, n, &self.data, &other.data, &mut out);
         Ok(Tensor {
             data: out,
             shape: vec![m, n],
@@ -631,19 +629,7 @@ impl Tensor {
         let (k, m) = (self.shape[0], self.shape[1]);
         let n = other.shape[1];
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let arow = &self.data[p * m..(p + 1) * m];
-            let brow = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::gemm_tn(m, k, n, &self.data, &other.data, &mut out);
         Ok(Tensor {
             data: out,
             shape: vec![m, n],
@@ -665,17 +651,7 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let n = other.shape[0];
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        crate::kernels::gemm_nt(m, k, n, &self.data, &other.data, &mut out);
         Ok(Tensor {
             data: out,
             shape: vec![m, n],

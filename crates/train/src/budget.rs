@@ -26,7 +26,10 @@ impl Budget {
     /// Panics if `max_epochs == 0` or `pct` is 0 or above 100.
     pub fn new(max_epochs: usize, pct: u32) -> Self {
         assert!(max_epochs > 0, "max epochs must be positive");
-        assert!((1..=100).contains(&pct), "budget must be 1..=100 %, got {pct}");
+        assert!(
+            (1..=100).contains(&pct),
+            "budget must be 1..=100 %, got {pct}"
+        );
         Budget { max_epochs, pct }
     }
 

@@ -27,8 +27,8 @@ mod trainer;
 pub mod trial;
 
 pub use budget::Budget;
-pub use trial::EarlyStopping;
 pub use trainer::{
     classification_loss, evaluate_classifier, EpochStats, OptimizerKind, TrainConfig, TrainResult,
     Trainer,
 };
+pub use trial::EarlyStopping;

@@ -89,7 +89,11 @@ pub fn lr_range_test(
             g.backward(loss)?;
             opt.step();
 
-            smoothed = if t == 0 { raw } else { beta * smoothed + (1.0 - beta) * raw };
+            smoothed = if t == 0 {
+                raw
+            } else {
+                beta * smoothed + (1.0 - beta) * raw
+            };
             let debiased = smoothed / (1.0 - beta.powi(t as i32 + 1));
             curve.push(RangePoint { lr, loss: debiased });
             best = best.min(debiased);

@@ -40,7 +40,9 @@ impl ImageModel {
             ImageModel::MicroResNet20 => Box::new(MicroResNet::rn20_analog(num_classes, seed)),
             ImageModel::MicroResNet38 => Box::new(MicroResNet::rn38_analog(num_classes, seed)),
             ImageModel::MicroResNet50 => Box::new(MicroResNet::rn50_analog(num_classes, seed)),
-            ImageModel::MicroWide(widen) => Box::new(MicroWideResNet::new(num_classes, widen, seed)),
+            ImageModel::MicroWide(widen) => {
+                Box::new(MicroWideResNet::new(num_classes, widen, seed))
+            }
             ImageModel::MicroVgg(input) => Box::new(MicroVgg::new(num_classes, input, seed)),
         }
     }

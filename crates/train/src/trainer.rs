@@ -74,7 +74,9 @@ impl OptimizerKind {
                 }
                 Box::new(a)
             }
-            OptimizerKind::AdamW { weight_decay } => Box::new(Adam::adamw(params, lr, weight_decay)),
+            OptimizerKind::AdamW { weight_decay } => {
+                Box::new(Adam::adamw(params, lr, weight_decay))
+            }
         }
     }
 
@@ -162,7 +164,12 @@ pub struct Trainer {
 
 impl std::fmt::Debug for Trainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Trainer({:?}, schedule {})", self.config, self.schedule.name())
+        write!(
+            f,
+            "Trainer({:?}, schedule {})",
+            self.config,
+            self.schedule.name()
+        )
     }
 }
 

@@ -25,11 +25,7 @@ pub fn lr_grid(base_lr: f32) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics if `grid` is empty or a metric is NaN.
-pub fn tune_lr(
-    grid: &[f32],
-    lower_is_better: bool,
-    mut run: impl FnMut(f32) -> f64,
-) -> (f32, f64) {
+pub fn tune_lr(grid: &[f32], lower_is_better: bool, mut run: impl FnMut(f32) -> f64) -> (f32, f64) {
     assert!(!grid.is_empty(), "LR grid must be non-empty");
     let mut best: Option<(f32, f64)> = None;
     for &lr in grid {

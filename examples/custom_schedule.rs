@@ -33,7 +33,10 @@ fn main() {
     let total = 100u64;
 
     // 1. A custom profile at the per-iteration sampling rate.
-    let mut custom = SampledProfile::new(SigmoidDecay { steepness: 8.0 }, SamplingRate::EveryIteration);
+    let mut custom = SampledProfile::new(
+        SigmoidDecay { steepness: 8.0 },
+        SamplingRate::EveryIteration,
+    );
     // 2. The same profile sampled only at the classic 50-75 knots.
     let mut coarse = SampledProfile::new(
         SigmoidDecay { steepness: 8.0 },
@@ -54,7 +57,10 @@ fn main() {
     }
 
     // Sanity properties every budget-aware profile should satisfy:
-    assert!((custom.factor(0, total) - 1.0).abs() < 1e-9, "starts at eta_0");
+    assert!(
+        (custom.factor(0, total) - 1.0).abs() < 1e-9,
+        "starts at eta_0"
+    );
     assert!(custom.factor(total, total) < 1e-9, "decays to ~0");
     println!("\ncustom profile verified: starts at 1.0, ends at 0.0.");
     println!("Any `Profile` composes with any `SamplingRate` — the paper's");

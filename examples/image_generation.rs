@@ -6,8 +6,8 @@
 //! ```
 
 use rex::autograd::Graph;
-use rex::data::digits::synth_digits;
 use rex::data::batches;
+use rex::data::digits::synth_digits;
 use rex::nn::Vae;
 use rex::optim::{Adam, Optimizer};
 use rex::schedules::ScheduleSpec;

@@ -36,14 +36,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in 0..rows {
         let level = max_loss - (max_loss - min_loss) * (r as f64 / (rows - 1) as f64);
         let mut line = String::new();
-        for p in result.curve.iter().step_by(result.curve.len().div_ceil(64).max(1)) {
+        for p in result
+            .curve
+            .iter()
+            .step_by(result.curve.len().div_ceil(64).max(1))
+        {
             line.push(if p.loss >= level { '█' } else { ' ' });
         }
         println!("{level:7.3} |{line}");
     }
     println!(
         "        {}",
-        "-".repeat(result.curve.len().div_ceil(result.curve.len().div_ceil(64).max(1)).min(64))
+        "-".repeat(
+            result
+                .curve
+                .len()
+                .div_ceil(result.curve.len().div_ceil(64).max(1))
+                .min(64)
+        )
     );
     println!(
         "        lr: {:.1e} ... {:.1e}",

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Untrained baseline.
     let untrained = TinyDetector::new(train.num_classes, 24, 0);
-    println!("untrained mAP@0.5: {:.1}%", detection_map(&untrained, &test)?);
+    println!(
+        "untrained mAP@0.5: {:.1}%",
+        detection_map(&untrained, &test)?
+    );
 
     let max_epochs = 24;
     for pct in [10u32, 50, 100] {
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             1e-3,
             42,
         )?;
-        println!("budget {budget}: mAP@0.5 {map:5.1}%  ({:.1?})", t0.elapsed());
+        println!(
+            "budget {budget}: mAP@0.5 {map:5.1}%  ({:.1?})",
+            t0.elapsed()
+        );
     }
     Ok(())
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo verification gate: format, lint, build, test, and a smoke run of the
+# kernel benchmark. Everything runs with --offline — the workspace has no
+# external dependencies, so a cold cargo registry must never fail it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "==> kernel-bench --smoke"
+cargo run --release --offline -p rex-bench --bin kernel-bench -- --smoke
+
+echo "verify: OK"

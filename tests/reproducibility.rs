@@ -16,7 +16,10 @@ fn datasets_are_seed_deterministic() {
         synth_cifar10(5, 2, 42).train_images,
         synth_cifar10(5, 2, 42).train_images
     );
-    assert_eq!(synth_digits(20, 12, 7).images, synth_digits(20, 12, 7).images);
+    assert_eq!(
+        synth_digits(20, 12, 7).images,
+        synth_digits(20, 12, 7).images
+    );
     assert_eq!(synth_scenes(5, 24, 3).images, synth_scenes(5, 24, 3).images);
     let a = glue_tasks(4, 2, 16, 64, 9);
     let b = glue_tasks(4, 2, 16, 64, 9);

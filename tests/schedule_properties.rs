@@ -1,133 +1,199 @@
-//! Property-based tests of the schedule framework (proptest): the
-//! invariants every profile, sampling rate, and wrapper must satisfy for
-//! the paper's experiments to be meaningful.
+//! Property-style tests of the schedule framework: the invariants every
+//! profile, sampling rate, and wrapper must satisfy for the paper's
+//! experiments to be meaningful.
+//!
+//! Originally proptest generators; now deterministic sweeps over dense
+//! progress grids so the suite builds fully offline.
 
-use proptest::prelude::*;
 use rex::schedules::{
-    all_paper_schedules, Profile, ReflectedExponential, SampledProfile, SamplingRate, Schedule,
-    ScheduleSpec, Table2Profile,
+    all_paper_schedules, Profile, ReflectedExponential, SamplingRate, Schedule, ScheduleSpec,
+    Table2Profile,
 };
 
-fn arb_progress() -> impl Strategy<Value = f64> {
-    0.0f64..=1.0
+/// Dense grid over [0, 1] including both endpoints.
+fn progress_grid() -> impl Iterator<Item = f64> {
+    (0..=200).map(|i| i as f64 / 200.0)
 }
 
-proptest! {
-    /// REX matches the paper's closed form everywhere.
-    #[test]
-    fn rex_closed_form(x in arb_progress()) {
-        let rex = ReflectedExponential::default();
+/// REX matches the paper's closed form everywhere.
+#[test]
+fn rex_closed_form() {
+    let rex = ReflectedExponential::default();
+    for x in progress_grid() {
         let expected = (1.0 - x) / (0.5 + 0.5 * (1.0 - x));
-        prop_assert!((rex.at(x) - expected).abs() < 1e-12);
+        assert!((rex.at(x) - expected).abs() < 1e-12, "at x={x}");
     }
+}
 
-    /// REX dominates linear on (0,1) and both map [0,1] onto [0,1].
-    #[test]
-    fn rex_between_linear_and_one(x in 0.001f64..0.999) {
-        let rex = ReflectedExponential::default();
+/// REX dominates linear on (0,1) and both map [0,1] onto [0,1].
+#[test]
+fn rex_between_linear_and_one() {
+    let rex = ReflectedExponential::default();
+    for x in progress_grid().filter(|x| (0.001..=0.999).contains(x)) {
         let v = rex.at(x);
-        prop_assert!(v > 1.0 - x, "REX must hold LR above linear at {x}");
-        prop_assert!(v < 1.0);
+        assert!(v > 1.0 - x, "REX must hold LR above linear at {x}");
+        assert!(v < 1.0, "at x={x}");
     }
+}
 
-    /// The generalised REX family is monotone in beta: smaller beta holds
-    /// the learning rate higher.
-    #[test]
-    fn rex_beta_monotonicity(x in 0.01f64..0.99, b1 in 0.05f64..0.95, b2 in 0.05f64..0.95) {
-        prop_assume!(b1 < b2);
-        let lo = ReflectedExponential::with_beta(b1);
-        let hi = ReflectedExponential::with_beta(b2);
-        prop_assert!(lo.at(x) >= hi.at(x) - 1e-12);
-    }
-
-    /// Quantisation never moves progress forward (no peeking down the
-    /// decay), for every sampling rate in the paper's Table 2.
-    #[test]
-    fn sampling_never_peeks_ahead(x in arb_progress(), rate_idx in 0usize..7) {
-        let rate = SamplingRate::table2_rates().swap_remove(rate_idx);
-        prop_assert!(rate.quantize(x) <= x + 1e-12);
-    }
-
-    /// Sampling quantisation is idempotent.
-    #[test]
-    fn sampling_idempotent(x in arb_progress(), rate_idx in 0usize..7) {
-        let rate = SamplingRate::table2_rates().swap_remove(rate_idx);
-        let q = rate.quantize(x);
-        prop_assert!((rate.quantize(q) - q).abs() < 1e-12);
-    }
-
-    /// Every sampled profile (all of Table 2's grid) yields factors in
-    /// [0, 1] that start at 1.
-    #[test]
-    fn sampled_profiles_bounded(rate_idx in 0usize..7, profile_idx in 0usize..3, t in 0u64..1000) {
-        let rate = SamplingRate::table2_rates().swap_remove(rate_idx);
-        let profile = Table2Profile::all()[profile_idx];
-        let mut s = ScheduleSpec::Sampled(profile, rate).build();
-        let f = s.factor(t, 1000);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&f), "factor {f} out of range");
-        prop_assert!((s.factor(0, 1000) - 1.0).abs() < 1e-9);
-    }
-
-    /// Every paper schedule produces finite, non-negative factors over an
-    /// arbitrary budget, and OneCycle momentum stays within its band.
-    #[test]
-    fn paper_schedules_well_behaved(t in 0u64..5000, total in 1u64..5000) {
-        for spec in all_paper_schedules(3) {
-            let mut s = spec.build();
-            let f = s.factor(t, total);
-            prop_assert!(f.is_finite() && f >= 0.0, "{}: factor {f}", s.name());
-            prop_assert!(f <= 1.0 + 1e-9, "{}: factor {f} above initial LR", s.name());
-            if let Some(m) = s.momentum(t, total) {
-                prop_assert!((0.0..1.0).contains(&m), "{}: momentum {m}", s.name());
+/// The generalised REX family is monotone in beta: smaller beta holds
+/// the learning rate higher.
+#[test]
+fn rex_beta_monotonicity() {
+    let betas = [0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95];
+    for (i, &b1) in betas.iter().enumerate() {
+        for &b2 in &betas[i + 1..] {
+            let lo = ReflectedExponential::with_beta(b1);
+            let hi = ReflectedExponential::with_beta(b2);
+            for x in progress_grid().filter(|x| (0.01..=0.99).contains(x)) {
+                assert!(
+                    lo.at(x) >= hi.at(x) - 1e-12,
+                    "beta {b1} vs {b2} at x={x}: {} < {}",
+                    lo.at(x),
+                    hi.at(x)
+                );
             }
         }
     }
+}
 
-    /// Budget invariance: a schedule's factor depends only on the progress
-    /// fraction, so scaling (t, total) together leaves it unchanged —
-    /// the property that makes budget adaptation automatic.
-    #[test]
-    fn factor_depends_only_on_progress(frac in 0.0f64..1.0, total in 10u64..10_000) {
-        for spec in [ScheduleSpec::Rex, ScheduleSpec::Linear, ScheduleSpec::Cosine, ScheduleSpec::Step] {
-            let mut s = spec.build();
-            // scale (t, total) by exactly 10x so the progress fraction is
-            // bit-identical — the schedule must then agree exactly
-            let t1 = (frac * total as f64) as u64;
-            let f1 = s.factor(t1, total);
-            let f2 = s.factor(t1 * 10, total * 10);
-            prop_assert!((f1 - f2).abs() < 1e-9, "{}: {f1} vs {f2} at frac {frac}", s.name());
+/// Quantisation never moves progress forward (no peeking down the
+/// decay), for every sampling rate in the paper's Table 2.
+#[test]
+fn sampling_never_peeks_ahead() {
+    for rate_idx in 0..7 {
+        let rate = SamplingRate::table2_rates().swap_remove(rate_idx);
+        for x in progress_grid() {
+            assert!(rate.quantize(x) <= x + 1e-12, "rate {rate_idx} at x={x}");
         }
     }
+}
 
-    /// Delayed wrapper: identity before the delay, decayed after,
-    /// continuous at the boundary.
-    #[test]
-    fn delayed_wrapper_contract(delay in 0.05f64..0.95, t in 0u64..1000) {
-        let spec = ScheduleSpec::Delayed(Box::new(ScheduleSpec::Linear), delay);
-        let mut s = spec.build();
+/// Sampling quantisation is idempotent.
+#[test]
+fn sampling_idempotent() {
+    for rate_idx in 0..7 {
+        let rate = SamplingRate::table2_rates().swap_remove(rate_idx);
+        for x in progress_grid() {
+            let q = rate.quantize(x);
+            assert!(
+                (rate.quantize(q) - q).abs() < 1e-12,
+                "rate {rate_idx} at x={x}"
+            );
+        }
+    }
+}
+
+/// Every sampled profile (all of Table 2's grid) yields factors in
+/// [0, 1] that start at 1.
+#[test]
+fn sampled_profiles_bounded() {
+    for rate_idx in 0..7 {
+        for profile_idx in 0..3 {
+            let rate = SamplingRate::table2_rates().swap_remove(rate_idx);
+            let profile = Table2Profile::all()[profile_idx];
+            let mut s = ScheduleSpec::Sampled(profile, rate).build();
+            for t in (0..1000).step_by(13) {
+                let f = s.factor(t, 1000);
+                assert!(
+                    (0.0..=1.0 + 1e-12).contains(&f),
+                    "rate {rate_idx} profile {profile_idx} t={t}: factor {f} out of range"
+                );
+            }
+            assert!((s.factor(0, 1000) - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+/// Every paper schedule produces finite, non-negative factors over an
+/// arbitrary budget, and OneCycle momentum stays within its band.
+#[test]
+fn paper_schedules_well_behaved() {
+    for total in [1u64, 7, 100, 999, 5000] {
+        for t in (0..5000).step_by(97) {
+            for spec in all_paper_schedules(3) {
+                let mut s = spec.build();
+                let f = s.factor(t, total);
+                assert!(f.is_finite() && f >= 0.0, "{}: factor {f}", s.name());
+                assert!(f <= 1.0 + 1e-9, "{}: factor {f} above initial LR", s.name());
+                if let Some(m) = s.momentum(t, total) {
+                    assert!((0.0..1.0).contains(&m), "{}: momentum {m}", s.name());
+                }
+            }
+        }
+    }
+}
+
+/// Budget invariance: a schedule's factor depends only on the progress
+/// fraction, so scaling (t, total) together leaves it unchanged —
+/// the property that makes budget adaptation automatic.
+#[test]
+fn factor_depends_only_on_progress() {
+    for total in [10u64, 100, 1234, 10_000] {
+        for i in 0..=50 {
+            let frac = i as f64 / 50.0;
+            for spec in [
+                ScheduleSpec::Rex,
+                ScheduleSpec::Linear,
+                ScheduleSpec::Cosine,
+                ScheduleSpec::Step,
+            ] {
+                let mut s = spec.build();
+                // scale (t, total) by exactly 10x so the progress fraction
+                // is bit-identical — the schedule must then agree exactly
+                let t1 = (frac * total as f64) as u64;
+                let f1 = s.factor(t1, total);
+                let f2 = s.factor(t1 * 10, total * 10);
+                assert!(
+                    (f1 - f2).abs() < 1e-9,
+                    "{}: {f1} vs {f2} at frac {frac}",
+                    s.name()
+                );
+            }
+        }
+    }
+}
+
+/// Delayed wrapper: identity before the delay, decayed after,
+/// continuous at the boundary.
+#[test]
+fn delayed_wrapper_contract() {
+    for delay in [0.05f64, 0.25, 0.5, 0.75, 0.95] {
         let total = 1000u64;
-        let x = t as f64 / total as f64;
-        let f = s.factor(t, total);
-        if x < delay - 1e-9 {
-            prop_assert!((f - 1.0).abs() < 1e-9, "held region must stay at 1, got {f} at x={x}");
-        } else {
-            let expected = 1.0 - (x - delay) / (1.0 - delay);
-            prop_assert!((f - expected).abs() < 0.01, "decay region: {f} vs {expected}");
+        for t in (0..total).step_by(7) {
+            let spec = ScheduleSpec::Delayed(Box::new(ScheduleSpec::Linear), delay);
+            let mut s = spec.build();
+            let x = t as f64 / total as f64;
+            let f = s.factor(t, total);
+            if x < delay - 1e-9 {
+                assert!(
+                    (f - 1.0).abs() < 1e-9,
+                    "held region must stay at 1, got {f} at x={x}"
+                );
+            } else {
+                let expected = 1.0 - (x - delay) / (1.0 - delay);
+                assert!(
+                    (f - expected).abs() < 0.01,
+                    "decay region: {f} vs {expected}"
+                );
+            }
         }
     }
+}
 
-    /// Warmup wrapper: factors rise monotonically during warmup and never
-    /// exceed 1.
-    #[test]
-    fn warmup_monotone_rise(steps in 2u64..100) {
+/// Warmup wrapper: factors rise monotonically during warmup and never
+/// exceed 1.
+#[test]
+fn warmup_monotone_rise() {
+    for steps in [2u64, 3, 10, 37, 99] {
         let spec = ScheduleSpec::WithWarmup(Box::new(ScheduleSpec::Linear), steps, 0.1);
         let mut s = spec.build();
         let total = steps + 200;
         let mut prev = 0.0;
         for t in 0..steps {
             let f = s.factor(t, total);
-            prop_assert!(f >= prev - 1e-12, "warmup dipped at t={t}");
-            prop_assert!(f <= 1.0 + 1e-12);
+            assert!(f >= prev - 1e-12, "warmup dipped at t={t} (steps={steps})");
+            assert!(f <= 1.0 + 1e-12);
             prev = f;
         }
     }
@@ -148,5 +214,9 @@ fn schedule_names_are_unique_within_a_table() {
     let before = names.len();
     names.sort();
     names.dedup();
-    assert_eq!(names.len(), before, "duplicate schedule names would corrupt tables");
+    assert_eq!(
+        names.len(),
+        before,
+        "duplicate schedule names would corrupt tables"
+    );
 }
