@@ -8,7 +8,7 @@
 use rex_bench::{print_budget_table, run_schedule_grid, table_schedules, Args};
 use rex_data::images::synth_cifar10;
 use rex_eval::store::write_csv;
-use rex_train::tasks::{run_image_cell, ImageModel};
+use rex_train::tasks::{run_image_cell_traced, ImageModel};
 use rex_train::{Budget, OptimizerKind};
 
 fn main() {
@@ -40,8 +40,9 @@ fn main() {
             trials,
             args.seed,
             true,
-            |cell| {
-                run_image_cell(
+            args.trace.as_deref(),
+            |cell, rec| {
+                run_image_cell_traced(
                     ImageModel::MicroResNet20,
                     &data,
                     cell.budget.epochs(),
@@ -50,6 +51,7 @@ fn main() {
                     cell.schedule.clone(),
                     cell.optimizer.default_lr(),
                     cell.seed,
+                    rec,
                 )
                 .expect("training cell failed")
             },

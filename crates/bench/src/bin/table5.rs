@@ -4,7 +4,7 @@
 use rex_bench::{print_budget_table, run_schedule_grid, table_schedules, Args};
 use rex_data::images::synth_stl10;
 use rex_eval::store::write_csv;
-use rex_train::tasks::{run_image_cell, ImageModel};
+use rex_train::tasks::{run_image_cell_traced, ImageModel};
 use rex_train::{Budget, OptimizerKind};
 
 fn main() {
@@ -32,8 +32,9 @@ fn main() {
             trials,
             args.seed,
             true,
-            |cell| {
-                run_image_cell(
+            args.trace.as_deref(),
+            |cell, rec| {
+                run_image_cell_traced(
                     ImageModel::MicroWide(widen),
                     &data,
                     cell.budget.epochs(),
@@ -42,6 +43,7 @@ fn main() {
                     cell.schedule.clone(),
                     cell.optimizer.default_lr(),
                     cell.seed,
+                    rec,
                 )
                 .expect("training cell failed")
             },

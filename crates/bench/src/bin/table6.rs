@@ -7,7 +7,7 @@
 use rex_bench::{print_budget_table, run_schedule_grid, table_schedules, Args};
 use rex_data::images::synth_cifar100;
 use rex_eval::store::write_csv;
-use rex_train::tasks::{run_image_cell, ImageModel};
+use rex_train::tasks::{run_image_cell_traced, ImageModel};
 use rex_train::{Budget, OptimizerKind};
 
 fn main() {
@@ -35,8 +35,9 @@ fn main() {
             trials,
             args.seed,
             true,
-            |cell| {
-                run_image_cell(
+            args.trace.as_deref(),
+            |cell, rec| {
+                run_image_cell_traced(
                     ImageModel::MicroVgg(12),
                     &data,
                     cell.budget.epochs(),
@@ -50,6 +51,7 @@ fn main() {
                         _ => 3e-3,
                     },
                     cell.seed,
+                    rec,
                 )
                 .expect("training cell failed")
             },

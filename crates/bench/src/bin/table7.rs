@@ -5,7 +5,7 @@
 use rex_bench::{print_budget_table, run_schedule_grid, table_schedules, Args};
 use rex_data::digits::synth_digits;
 use rex_eval::store::write_csv;
-use rex_train::tasks::run_vae_cell;
+use rex_train::tasks::run_vae_cell_traced;
 use rex_train::{Budget, OptimizerKind};
 
 fn main() {
@@ -40,8 +40,9 @@ fn main() {
             trials,
             args.seed,
             true,
-            |cell| {
-                run_vae_cell(
+            args.trace.as_deref(),
+            |cell, rec| {
+                run_vae_cell_traced(
                     &train,
                     &test,
                     cell.budget.epochs(),
@@ -50,6 +51,7 @@ fn main() {
                     cell.schedule.clone(),
                     lr,
                     cell.seed,
+                    rec,
                 )
                 .expect("training cell failed")
             },

@@ -7,7 +7,7 @@ use rex_bench::{print_budget_table, run_schedule_grid, Args};
 use rex_core::ScheduleSpec;
 use rex_data::scenes::synth_scenes;
 use rex_eval::store::write_csv;
-use rex_train::tasks::run_detection_cell;
+use rex_train::tasks::run_detection_cell_traced;
 use rex_train::{Budget, OptimizerKind};
 
 fn main() {
@@ -43,8 +43,9 @@ fn main() {
         trials,
         args.seed,
         false, // mAP: higher is better
-        |cell| {
-            run_detection_cell(
+        args.trace.as_deref(),
+        |cell, rec| {
+            run_detection_cell_traced(
                 &train,
                 &test,
                 cell.budget.epochs(),
@@ -54,6 +55,7 @@ fn main() {
                 cell.schedule.clone(),
                 1e-2,
                 cell.seed,
+                rec,
             )
             .expect("training cell failed")
         },

@@ -13,6 +13,7 @@
 //! --out <dir>               directory for CSV records (default results/)
 //! --trials <n>              override the trial count
 //! --seed <s>                override the base seed
+//! --trace <dir>             write one JSONL telemetry trace per cell
 //! ```
 //!
 //! `smoke` finishes in seconds (CI sanity), `fast` reproduces the paper's
@@ -21,13 +22,14 @@
 
 #![warn(missing_docs)]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use rex_core::ScheduleSpec;
 use rex_eval::ranking::SettingResult;
 use rex_eval::stats::Summary;
 use rex_eval::store::Record;
 use rex_eval::table;
+use rex_telemetry::{JsonlSink, Recorder};
 use rex_train::{Budget, OptimizerKind};
 
 /// Experiment size selector.
@@ -73,6 +75,10 @@ pub struct Args {
     pub trials: Option<usize>,
     /// Base-seed override.
     pub seed: u64,
+    /// Telemetry trace directory: when set, every grid cell writes a
+    /// JSONL trace file there (one per setting/optimizer/schedule/
+    /// budget/trial combination).
+    pub trace: Option<PathBuf>,
 }
 
 impl Args {
@@ -82,6 +88,7 @@ impl Args {
         let mut out = PathBuf::from("results");
         let mut trials = None;
         let mut seed = 0u64;
+        let mut trace = None;
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
@@ -118,9 +125,13 @@ impl Args {
                     });
                     i += 2;
                 }
+                "--trace" => {
+                    trace = Some(PathBuf::from(need_value(i)));
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S]"
+                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S] [--trace DIR]"
                     );
                     std::process::exit(0);
                 }
@@ -135,6 +146,7 @@ impl Args {
             out,
             trials,
             seed,
+            trace,
         }
     }
 }
@@ -162,8 +174,59 @@ pub struct Cell {
     pub seed: u64,
 }
 
+/// Sanitises one component of a trace filename: lowercase, with every
+/// non-alphanumeric run collapsed to a single `-`.
+fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// The trace filename a grid cell writes under `--trace DIR`:
+/// `<setting>_<optimizer>_<schedule>_b<pct>_t<trial>.jsonl`, each piece
+/// slug-sanitised.
+pub fn cell_trace_name(setting: &str, cell: &Cell) -> String {
+    format!(
+        "{}_{}_{}_b{}_t{}.jsonl",
+        slug(setting),
+        slug(cell.optimizer.name()),
+        slug(&cell.schedule.name()),
+        cell.budget.pct(),
+        cell.trial
+    )
+}
+
+/// Builds the telemetry recorder for one grid cell: a JSONL writer under
+/// `trace_dir` when tracing is on, otherwise disabled. Falls back to a
+/// disabled recorder (with a stderr warning) if the file cannot be
+/// created — telemetry must not abort an experiment run.
+pub fn cell_recorder(trace_dir: Option<&Path>, setting: &str, cell: &Cell) -> Recorder {
+    match trace_dir {
+        Some(dir) => {
+            let path = dir.join(cell_trace_name(setting, cell));
+            match JsonlSink::create(&path) {
+                Ok(sink) => Recorder::new(Box::new(sink)),
+                Err(e) => {
+                    eprintln!("warning: cannot create trace file {}: {e}", path.display());
+                    Recorder::disabled()
+                }
+            }
+        }
+        None => Recorder::disabled(),
+    }
+}
+
 /// Runs a full schedule × budget grid for one setting/optimizer pair and
-/// returns flat records. `cell_fn` trains one cell and returns the metric.
+/// returns flat records. `cell_fn` trains one cell — emitting telemetry
+/// through the supplied recorder — and returns the metric. With
+/// `trace_dir` set, each cell's recorder writes a JSONL trace named by
+/// [`cell_trace_name`]; otherwise the recorder is disabled (zero cost).
 ///
 /// Progress is streamed to stderr so long runs are observable.
 #[allow(clippy::too_many_arguments)]
@@ -175,7 +238,8 @@ pub fn run_schedule_grid(
     trials: usize,
     base_seed: u64,
     lower_is_better: bool,
-    mut cell_fn: impl FnMut(&Cell) -> f64,
+    trace_dir: Option<&Path>,
+    mut cell_fn: impl FnMut(&Cell, &mut Recorder) -> f64,
 ) -> Vec<Record> {
     let mut records = Vec::new();
     for schedule in schedules {
@@ -190,8 +254,10 @@ pub fn run_schedule_grid(
                         ^ (trial as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         ^ ((budget.pct() as u64) << 32),
                 };
+                let mut rec = cell_recorder(trace_dir, setting, &cell);
                 let t0 = std::time::Instant::now();
-                let score = cell_fn(&cell);
+                let score = cell_fn(&cell, &mut rec);
+                rec.flush();
                 eprintln!(
                     "[{setting}/{}] {} @ {}: trial {} -> {:.2} ({:.1?})",
                     optimizer.name(),
@@ -288,7 +354,11 @@ mod tests {
             2,
             0,
             true,
-            |cell| cell.budget.pct() as f64 + cell.trial as f64,
+            None,
+            |cell, rec| {
+                assert!(!rec.is_enabled(), "no --trace => disabled recorder");
+                cell.budget.pct() as f64 + cell.trial as f64
+            },
         );
         assert_eq!(records.len(), 2 * 2 * 2);
         let trial_scores: Vec<f64> = records
@@ -297,6 +367,27 @@ mod tests {
             .map(|r| r.score)
             .collect();
         assert_eq!(trial_scores, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn trace_names_are_sanitised_and_unique_per_cell() {
+        let cell = Cell {
+            schedule: ScheduleSpec::Delayed(Box::new(ScheduleSpec::Linear), 0.5),
+            optimizer: OptimizerKind::sgdm(),
+            budget: Budget::new(100, 10),
+            trial: 3,
+            seed: 0,
+        };
+        let name = cell_trace_name("RN20-CIFAR10", &cell);
+        assert!(name.ends_with("_b10_t3.jsonl"), "{name}");
+        assert!(name.starts_with("rn20-cifar10_"), "{name}");
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)),
+            "{name}"
+        );
+        let other = cell_trace_name("RN20-CIFAR10", &Cell { trial: 4, ..cell });
+        assert_ne!(name, other);
     }
 
     #[test]

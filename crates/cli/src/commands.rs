@@ -5,11 +5,26 @@ use rex_data::digits::synth_digits;
 use rex_data::images::{synth_cifar10, synth_cifar100, synth_stl10};
 use rex_data::ClassificationDataset;
 use rex_eval::table;
-use rex_train::range_test::lr_range_test;
-use rex_train::tasks::{run_image_cell, run_vae_cell, ImageModel};
+use rex_telemetry::{JsonlSink, Recorder};
+use rex_train::range_test::lr_range_test_traced;
+use rex_train::tasks::{run_image_cell, run_image_cell_traced, run_vae_cell_traced, ImageModel};
 use rex_train::Budget;
+use std::path::Path;
 
 use crate::args::{parse_optimizer, parse_schedule, Flags};
+
+/// Builds a recorder from the optional `--trace <path>` flag: a JSONL
+/// writer when given, otherwise disabled.
+fn recorder_from_flags(flags: &Flags) -> Result<Recorder, String> {
+    match flags.get("trace") {
+        Some(path) => {
+            let sink = JsonlSink::create(Path::new(path))
+                .map_err(|e| format!("cannot create trace file {path:?}: {e}"))?;
+            Ok(Recorder::new(Box::new(sink)))
+        }
+        None => Ok(Recorder::disabled()),
+    }
+}
 
 /// A CLI-selectable experimental setting.
 enum Setting {
@@ -145,6 +160,7 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
     }
     let spec = parse_schedule(flags.get("schedule").unwrap_or("rex"))?;
     let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
+    let mut rec = recorder_from_flags(&flags)?;
 
     let t0 = std::time::Instant::now();
     match setting {
@@ -157,7 +173,7 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
         } => {
             let budget = Budget::new(max_epochs, budget_pct);
             let lr: f32 = flags.get_or("lr", optimizer.default_lr() * lr_scale)?;
-            let err = run_image_cell(
+            let err = run_image_cell_traced(
                 model,
                 &data,
                 budget.epochs(),
@@ -166,6 +182,7 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
                 spec.clone(),
                 lr,
                 seed,
+                &mut rec,
             )
             .map_err(|e| e.to_string())?;
             println!(
@@ -180,7 +197,7 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
             let lr: f32 = flags.get_or("lr", 1e-2f32)?;
             let train = synth_digits(400, 12, seed ^ 0xD161);
             let test = synth_digits(150, 12, seed ^ 0xD162);
-            let loss = run_vae_cell(
+            let loss = run_vae_cell_traced(
                 &train,
                 &test,
                 budget.epochs(),
@@ -189,6 +206,7 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
                 spec.clone(),
                 lr,
                 seed,
+                &mut rec,
             )
             .map_err(|e| e.to_string())?;
             println!(
@@ -198,6 +216,9 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
                 t0.elapsed()
             );
         }
+    }
+    if let Some(path) = flags.get("trace") {
+        eprintln!("trace written to {path}");
     }
     Ok(())
 }
@@ -307,7 +328,8 @@ fn range_test_inner(argv: &[String]) -> Result<(), String> {
         Setting::Vae { .. } => return Err("range-test supports image settings".into()),
     };
     let built = model.build(data.num_classes, seed);
-    let result = lr_range_test(
+    let mut rec = recorder_from_flags(&flags)?;
+    let result = lr_range_test_traced(
         built.as_ref(),
         &data.train_images,
         &data.train_labels,
@@ -317,6 +339,7 @@ fn range_test_inner(argv: &[String]) -> Result<(), String> {
         120,
         32,
         seed,
+        &mut rec,
     )
     .map_err(|e| e.to_string())?;
     println!("{name} ({}) range test:", optimizer.name());
@@ -325,5 +348,8 @@ fn range_test_inner(argv: &[String]) -> Result<(), String> {
         println!("  diverged at LR {d:.4}");
     }
     println!("  curve points: {}", result.curve.len());
+    if let Some(path) = flags.get("trace") {
+        eprintln!("trace written to {path}");
+    }
     Ok(())
 }

@@ -44,14 +44,16 @@ USAGE:
       Print a schedule's LR-multiplier curve as CSV (progress,factor).
 
   rexctl train --setting <SETTING> [--budget PCT] [--schedule NAME]
-               [--optimizer sgdm|adam] [--lr LR] [--seed S]
-      Train one budgeted cell and print the final metric.
+               [--optimizer sgdm|adam] [--lr LR] [--seed S] [--trace FILE]
+      Train one budgeted cell and print the final metric. With --trace,
+      write a JSONL telemetry trace (one step record per optimizer step)
+      to FILE; same-seed runs produce byte-identical traces.
 
   rexctl sweep --setting <SETTING> [--budgets 1,5,10,25,50,100]
                [--schedules rex,linear,...] [--optimizer sgdm|adam]
       Run a schedule x budget mini-grid and print a markdown table.
 
-  rexctl range-test --setting <SETTING> [--optimizer sgdm|adam]
+  rexctl range-test --setting <SETTING> [--optimizer sgdm|adam] [--trace FILE]
       Run an LR range test and print the suggested initial LR.
 
 SETTINGS:

@@ -59,8 +59,39 @@ pub trait Optimizer {
         None
     }
 
+    /// Enables/disables update-norm instrumentation. When enabled, `step`
+    /// additionally accumulates the global L2 norm of the applied update,
+    /// readable via [`Optimizer::last_update_norm`]. Off by default so the
+    /// hot loop pays nothing.
+    fn set_instrumented(&mut self, _enabled: bool) {}
+
+    /// Global L2 norm of the update applied by the most recent `step`, when
+    /// instrumentation is enabled. For Adam-family optimizers this is the
+    /// adaptive update only (decoupled weight decay excluded).
+    fn last_update_norm(&self) -> Option<f32> {
+        None
+    }
+
     /// The parameters being optimized.
     fn params(&self) -> &[Param];
+}
+
+/// Global L2 norm of all accumulated gradients.
+pub fn global_grad_norm(params: &[Param]) -> f32 {
+    params
+        .iter()
+        .map(|p| p.grad().sq_norm())
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Global L2 norm of all parameter values.
+pub fn global_param_norm(params: &[Param]) -> f32 {
+    params
+        .iter()
+        .map(|p| p.value().sq_norm())
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// Stochastic gradient descent with optional (Nesterov) momentum and L2
@@ -73,6 +104,8 @@ pub struct Sgd {
     nesterov: bool,
     weight_decay: f32,
     velocity: Vec<Tensor>,
+    instrumented: bool,
+    last_update_norm: Option<f32>,
 }
 
 impl Sgd {
@@ -89,6 +122,8 @@ impl Sgd {
             nesterov: false,
             velocity,
             weight_decay: 0.0,
+            instrumented: false,
+            last_update_norm: None,
         }
     }
 
@@ -113,6 +148,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        let mut update_sq = 0.0f32;
         for (p, v) in self.params.iter().zip(&mut self.velocity) {
             let mut grad = p.grad();
             if self.weight_decay != 0.0 {
@@ -130,7 +166,14 @@ impl Optimizer for Sgd {
                     grad = v.clone();
                 }
             }
+            if self.instrumented {
+                update_sq += grad.sq_norm();
+            }
             p.value_mut().axpy(-self.lr, &grad);
+        }
+        if self.instrumented {
+            // the applied update is -lr * grad_eff, so scale the norm by lr
+            self.last_update_norm = Some(self.lr.abs() * update_sq.sqrt());
         }
     }
 
@@ -156,6 +199,17 @@ impl Optimizer for Sgd {
         Some(self.momentum)
     }
 
+    fn set_instrumented(&mut self, enabled: bool) {
+        self.instrumented = enabled;
+        if !enabled {
+            self.last_update_norm = None;
+        }
+    }
+
+    fn last_update_norm(&self) -> Option<f32> {
+        self.last_update_norm
+    }
+
     fn params(&self) -> &[Param] {
         &self.params
     }
@@ -176,6 +230,8 @@ pub struct Adam {
     m: Vec<Tensor>,
     v: Vec<Tensor>,
     t: u64,
+    instrumented: bool,
+    last_update_norm: Option<f32>,
 }
 
 impl Adam {
@@ -200,6 +256,8 @@ impl Adam {
             m,
             v,
             t: 0,
+            instrumented: false,
+            last_update_norm: None,
         }
     }
 
@@ -236,6 +294,7 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let mut update_sq = 0.0f32;
         for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
             let mut grad = p.grad();
             if self.weight_decay != 0.0 && !self.decoupled {
@@ -260,8 +319,15 @@ impl Optimizer for Adam {
             for ((w, mi), vi) in value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let m_hat = mi / bc1;
                 let v_hat = vi / bc2;
-                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                let delta = self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                if self.instrumented {
+                    update_sq += delta * delta;
+                }
+                *w -= delta;
             }
+        }
+        if self.instrumented {
+            self.last_update_norm = Some(update_sq.sqrt());
         }
     }
 
@@ -285,6 +351,17 @@ impl Optimizer for Adam {
 
     fn momentum(&self) -> Option<f32> {
         Some(self.beta1)
+    }
+
+    fn set_instrumented(&mut self, enabled: bool) {
+        self.instrumented = enabled;
+        if !enabled {
+            self.last_update_norm = None;
+        }
+    }
+
+    fn last_update_norm(&self) -> Option<f32> {
+        self.last_update_norm
     }
 
     fn params(&self) -> &[Param] {
@@ -431,6 +508,74 @@ mod tests {
         let norm2 = clip_grad_norm(std::slice::from_ref(&w), 10.0);
         assert!((norm2 - 1.0).abs() < 1e-5);
         assert!((w.grad().sq_norm().sqrt() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sgd_update_norm_matches_applied_update() {
+        let w = Param::new("w", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let mut opt = Sgd::new(vec![w.clone()], 0.1);
+        assert_eq!(opt.last_update_norm(), None);
+        opt.set_instrumented(true);
+        w.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap());
+        let before = w.value().data().to_vec();
+        opt.step();
+        let applied: f32 = before
+            .iter()
+            .zip(w.value().data())
+            .map(|(b, a)| (b - a) * (b - a))
+            .sum::<f32>()
+            .sqrt();
+        let reported = opt.last_update_norm().unwrap();
+        assert!((reported - applied).abs() < 1e-6, "{reported} vs {applied}");
+        assert!((reported - 0.5).abs() < 1e-6); // lr 0.1 × grad norm 5
+        opt.set_instrumented(false);
+        assert_eq!(opt.last_update_norm(), None);
+    }
+
+    #[test]
+    fn adam_update_norm_matches_applied_update() {
+        // plain Adam (no decay) so the full applied delta is the adaptive
+        // update the instrumentation reports
+        let w = Param::new("w", Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap());
+        let mut opt = Adam::new(vec![w.clone()], 0.05);
+        opt.set_instrumented(true);
+        w.accumulate_grad(&Tensor::from_vec(vec![0.5, -0.25], &[2]).unwrap());
+        let before = w.value().data().to_vec();
+        opt.step();
+        let applied: f32 = before
+            .iter()
+            .zip(w.value().data())
+            .map(|(b, a)| (b - a) * (b - a))
+            .sum::<f32>()
+            .sqrt();
+        let reported = opt.last_update_norm().unwrap();
+        assert!((reported - applied).abs() < 1e-6, "{reported} vs {applied}");
+    }
+
+    #[test]
+    fn instrumentation_is_bitwise_invisible() {
+        let run = |instrumented: bool| {
+            let w = Param::new("w", Tensor::from_vec(vec![5.0, -3.0], &[2]).unwrap());
+            let mut opt = Adam::adamw(vec![w.clone()], 0.1, 0.01);
+            opt.set_instrumented(instrumented);
+            for _ in 0..5 {
+                quadratic_step(&w, &mut opt);
+            }
+            let out = w.value().data().to_vec();
+            out
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn global_norm_helpers() {
+        let a = Param::new("a", Tensor::from_vec(vec![3.0], &[1]).unwrap());
+        let b = Param::new("b", Tensor::from_vec(vec![4.0], &[1]).unwrap());
+        a.accumulate_grad(&Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        b.accumulate_grad(&Tensor::from_vec(vec![2.0], &[1]).unwrap());
+        let params = [a, b];
+        assert!((global_param_norm(&params) - 5.0).abs() < 1e-6);
+        assert!((global_grad_norm(&params) - 5.0f32.sqrt()).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! The telemetry event vocabulary and its JSONL serialization.
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// One optimizer step, as observed by the training loop.
+///
+/// `elapsed_ns` is the only non-deterministic field; it is excluded from
+/// JSONL output unless timing is explicitly enabled, so same-seed traces
+/// serialize byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// Zero-based optimizer-step index within the run.
+    pub step: u64,
+    /// Zero-based epoch the step belongs to.
+    pub epoch: u64,
+    /// Zero-based batch index within the epoch.
+    pub batch_id: u64,
+    /// Learning rate applied for this step.
+    pub lr: f64,
+    /// Mini-batch training loss.
+    pub loss: f64,
+    /// Global gradient norm before clipping (0 when not instrumented).
+    pub grad_norm: f64,
+    /// Global parameter norm after the update (0 when not instrumented).
+    pub param_norm: f64,
+    /// Wall-clock duration of the step in nanoseconds (timing-only field).
+    pub elapsed_ns: u64,
+}
+
+/// A single telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A run began.
+    RunStart {
+        /// Human-readable run label (task / cell name).
+        run: String,
+        /// Schedule name driving the learning rate.
+        schedule: String,
+        /// Optimizer name.
+        optimizer: String,
+        /// Prng seed for the run.
+        seed: u64,
+        /// Total training samples across the budgeted horizon
+        /// (`dataset len × budgeted epochs`).
+        total_samples: u64,
+    },
+    /// An epoch began.
+    Epoch {
+        /// Zero-based epoch index.
+        epoch: u64,
+        /// Number of samples the loader will serve this epoch.
+        samples: u64,
+        /// Number of mini-batches this epoch.
+        batches: u64,
+        /// Whether the loader shuffled before batching.
+        shuffled: bool,
+    },
+    /// One optimizer step.
+    Step(StepRecord),
+    /// A validation pass finished.
+    Validation {
+        /// Epoch after which validation ran.
+        epoch: u64,
+        /// Validation loss (or proxy metric) observed.
+        loss: f64,
+    },
+    /// An epoch finished.
+    EpochEnd {
+        /// Zero-based epoch index.
+        epoch: u64,
+        /// Mean training loss across the epoch.
+        mean_loss: f64,
+        /// Learning rate in effect at the end of the epoch.
+        lr: f64,
+    },
+    /// A monotone counter's cumulative value.
+    Counter {
+        /// Counter name, e.g. `train/steps`.
+        name: String,
+        /// Cumulative value after the increment.
+        value: u64,
+    },
+    /// A point-in-time measurement.
+    Gauge {
+        /// Gauge name, e.g. `optim/update_norm`.
+        name: String,
+        /// Observed value.
+        value: f64,
+    },
+    /// A scoped wall-clock timer fired (timing-only event).
+    Timer {
+        /// Timer name, e.g. `epoch/forward`.
+        name: String,
+        /// Elapsed wall-clock nanoseconds.
+        elapsed_ns: u64,
+    },
+    /// A run finished.
+    RunEnd {
+        /// Final scalar metric for the run (accuracy, ELBO, mAP, ...).
+        metric: f64,
+    },
+}
+
+impl Event {
+    /// Serializes the event as one JSON line (no trailing newline).
+    ///
+    /// Wall-clock fields are included only when `include_timing` is true;
+    /// with it false, [`Event::Timer`] events return `None` and
+    /// `elapsed_ns` is omitted from step records, making same-seed traces
+    /// byte-identical.
+    pub fn to_jsonl(&self, include_timing: bool) -> Option<String> {
+        let mut s = String::with_capacity(96);
+        match self {
+            Event::RunStart {
+                run,
+                schedule,
+                optimizer,
+                seed,
+                total_samples,
+            } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"run_start\",\"run\":\"{}\",\"schedule\":\"{}\",\"optimizer\":\"{}\",\"seed\":{seed},\"total_samples\":{total_samples}}}",
+                    json::escape(run),
+                    json::escape(schedule),
+                    json::escape(optimizer),
+                ));
+            }
+            Event::Epoch {
+                epoch,
+                samples,
+                batches,
+                shuffled,
+            } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"epoch\",\"epoch\":{epoch},\"samples\":{samples},\"batches\":{batches},\"shuffled\":{shuffled}}}"
+                ));
+            }
+            Event::Step(r) => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"step\",\"step\":{},\"epoch\":{},\"batch_id\":{},\"lr\":{},\"loss\":{},\"grad_norm\":{},\"param_norm\":{}",
+                    r.step,
+                    r.epoch,
+                    r.batch_id,
+                    json::fmt_f64(r.lr),
+                    json::fmt_f64(r.loss),
+                    json::fmt_f64(r.grad_norm),
+                    json::fmt_f64(r.param_norm),
+                ));
+                if include_timing {
+                    s.push_str(&format!(",\"elapsed_ns\":{}", r.elapsed_ns));
+                }
+                s.push('}');
+            }
+            Event::Validation { epoch, loss } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"validation\",\"epoch\":{epoch},\"loss\":{}}}",
+                    json::fmt_f64(*loss)
+                ));
+            }
+            Event::EpochEnd {
+                epoch,
+                mean_loss,
+                lr,
+            } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"epoch_end\",\"epoch\":{epoch},\"mean_loss\":{},\"lr\":{}}}",
+                    json::fmt_f64(*mean_loss),
+                    json::fmt_f64(*lr)
+                ));
+            }
+            Event::Counter { name, value } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+                    json::escape(name)
+                ));
+            }
+            Event::Gauge { name, value } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                    json::escape(name),
+                    json::fmt_f64(*value)
+                ));
+            }
+            Event::Timer { name, elapsed_ns } => {
+                if !include_timing {
+                    return None;
+                }
+                s.push_str(&format!(
+                    "{{\"ev\":\"timer\",\"name\":\"{}\",\"elapsed_ns\":{elapsed_ns}}}",
+                    json::escape(name)
+                ));
+            }
+            Event::RunEnd { metric } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"run_end\",\"metric\":{}}}",
+                    json::fmt_f64(*metric)
+                ));
+            }
+        }
+        Some(s)
+    }
+
+    /// Parses one JSON line back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field on malformed input.
+    pub fn parse_jsonl(line: &str) -> Result<Event, String> {
+        let map = json::parse_object(line)?;
+        let kind = req_str(&map, "ev")?;
+        match kind.as_str() {
+            "run_start" => Ok(Event::RunStart {
+                run: req_str(&map, "run")?,
+                schedule: req_str(&map, "schedule")?,
+                optimizer: req_str(&map, "optimizer")?,
+                seed: req_u64(&map, "seed")?,
+                total_samples: req_u64(&map, "total_samples")?,
+            }),
+            "epoch" => Ok(Event::Epoch {
+                epoch: req_u64(&map, "epoch")?,
+                samples: req_u64(&map, "samples")?,
+                batches: req_u64(&map, "batches")?,
+                shuffled: map
+                    .get("shuffled")
+                    .and_then(Value::as_bool)
+                    .ok_or("epoch: missing bool field shuffled")?,
+            }),
+            "step" => Ok(Event::Step(StepRecord {
+                step: req_u64(&map, "step")?,
+                epoch: req_u64(&map, "epoch")?,
+                batch_id: req_u64(&map, "batch_id")?,
+                lr: req_f64(&map, "lr")?,
+                loss: req_f64(&map, "loss")?,
+                grad_norm: req_f64(&map, "grad_norm")?,
+                param_norm: req_f64(&map, "param_norm")?,
+                // absent when timing was excluded at serialization time
+                elapsed_ns: map.get("elapsed_ns").and_then(Value::as_u64).unwrap_or(0),
+            })),
+            "validation" => Ok(Event::Validation {
+                epoch: req_u64(&map, "epoch")?,
+                loss: req_f64(&map, "loss")?,
+            }),
+            "epoch_end" => Ok(Event::EpochEnd {
+                epoch: req_u64(&map, "epoch")?,
+                mean_loss: req_f64(&map, "mean_loss")?,
+                lr: req_f64(&map, "lr")?,
+            }),
+            "counter" => Ok(Event::Counter {
+                name: req_str(&map, "name")?,
+                value: req_u64(&map, "value")?,
+            }),
+            "gauge" => Ok(Event::Gauge {
+                name: req_str(&map, "name")?,
+                value: req_f64(&map, "value")?,
+            }),
+            "timer" => Ok(Event::Timer {
+                name: req_str(&map, "name")?,
+                elapsed_ns: req_u64(&map, "elapsed_ns")?,
+            }),
+            "run_end" => Ok(Event::RunEnd {
+                metric: req_f64(&map, "metric")?,
+            }),
+            other => Err(format!("unknown event kind {other:?}")),
+        }
+    }
+
+    /// Short kind tag, matching the `"ev"` discriminant in JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::Epoch { .. } => "epoch",
+            Event::Step(_) => "step",
+            Event::Validation { .. } => "validation",
+            Event::EpochEnd { .. } => "epoch_end",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::Timer { .. } => "timer",
+            Event::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// The step record, if this is a step event.
+    pub fn as_step(&self) -> Option<&StepRecord> {
+        match self {
+            Event::Step(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+fn req_str(map: &BTreeMap<String, Value>, key: &str) -> Result<String, String> {
+    map.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn req_u64(map: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+    map.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+fn req_f64(map: &BTreeMap<String, Value>, key: &str) -> Result<f64, String> {
+    map.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing number field {key:?}"))
+}
+
+/// Serializes a slice of events as a JSONL document (newline-terminated
+/// lines; timer-only events dropped unless `include_timing`).
+pub fn encode_trace(events: &[Event], include_timing: bool) -> String {
+    let mut out = String::new();
+    for ev in events {
+        if let Some(line) = ev.to_jsonl(include_timing) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses a JSONL document (one event per non-empty line) back into events.
+///
+/// # Errors
+///
+/// Returns `line <n>: <cause>` for the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = Event::parse_jsonl(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RunStart {
+                run: "digits".into(),
+                schedule: "rex".into(),
+                optimizer: "adamw".into(),
+                seed: 7,
+                total_samples: 480,
+            },
+            Event::Epoch {
+                epoch: 0,
+                samples: 60,
+                batches: 4,
+                shuffled: true,
+            },
+            Event::Step(StepRecord {
+                step: 0,
+                epoch: 0,
+                batch_id: 0,
+                lr: 0.003,
+                loss: 2.302,
+                grad_norm: 1.25,
+                param_norm: 10.5,
+                elapsed_ns: 42_000,
+            }),
+            Event::Validation {
+                epoch: 0,
+                loss: 2.1,
+            },
+            Event::EpochEnd {
+                epoch: 0,
+                mean_loss: 2.25,
+                lr: 0.0028,
+            },
+            Event::Counter {
+                name: "train/steps".into(),
+                value: 4,
+            },
+            Event::Gauge {
+                name: "optim/update_norm".into(),
+                value: 0.007,
+            },
+            Event::Timer {
+                name: "epoch".into(),
+                elapsed_ns: 1_000_000,
+            },
+            Event::RunEnd { metric: 0.85 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_with_timing() {
+        let events = sample_events();
+        let text = encode_trace(&events, true);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn timing_excluded_by_default() {
+        let events = sample_events();
+        let text = encode_trace(&events, false);
+        assert!(!text.contains("elapsed_ns"), "{text}");
+        let parsed = parse_trace(&text).unwrap();
+        // the timer event is dropped and step elapsed_ns zeroed
+        assert_eq!(parsed.len(), events.len() - 1);
+        assert_eq!(parsed[2].as_step().unwrap().elapsed_ns, 0);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let ev = Event::Gauge {
+            name: "g".into(),
+            value: f64::NAN,
+        };
+        let line = ev.to_jsonl(false).unwrap();
+        assert!(line.contains("\"value\":null"), "{line}");
+        match Event::parse_jsonl(&line).unwrap() {
+            Event::Gauge { value, .. } => assert!(value.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = parse_trace("{\"ev\":\"step\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = parse_trace("{\"ev\":\"nope\"}\n").unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
+    }
+
+    #[test]
+    fn kind_tags_match_serialization() {
+        for ev in sample_events() {
+            let line = ev.to_jsonl(true).unwrap();
+            assert!(
+                line.starts_with(&format!("{{\"ev\":\"{}\"", ev.kind())),
+                "{line}"
+            );
+        }
+    }
+}

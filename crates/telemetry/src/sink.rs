@@ -1,0 +1,275 @@
+//! Pluggable telemetry backends.
+
+use crate::event::Event;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+/// A telemetry backend that consumes [`Event`]s from a [`Recorder`].
+///
+/// [`Recorder`]: crate::Recorder
+pub trait Sink {
+    /// Consume one event.
+    fn record(&mut self, event: &Event);
+    /// Flush any buffered output (default: no-op).
+    fn flush(&mut self) {}
+}
+
+/// A sink that discards everything.
+///
+/// Useful when an API requires a boxed sink but the caller wants none; for
+/// hot loops prefer [`Recorder::disabled`], whose `None` branch the
+/// optimizer removes entirely.
+///
+/// [`Recorder::disabled`]: crate::Recorder::disabled
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    #[inline]
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Shared, cloneable view into a [`MemorySink`]'s buffer.
+///
+/// The sink itself is moved into the [`Recorder`], so tests keep a handle
+/// to read events back while the recorder is live.
+///
+/// [`Recorder`]: crate::Recorder
+#[derive(Debug, Clone)]
+pub struct MemoryHandle {
+    buf: Rc<RefCell<VecDeque<Event>>>,
+}
+
+impl MemoryHandle {
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.borrow().iter().cloned().collect()
+    }
+
+    /// Snapshot of the buffered step records, oldest first.
+    pub fn steps(&self) -> Vec<crate::StepRecord> {
+        self.buf
+            .borrow()
+            .iter()
+            .filter_map(|ev| ev.as_step().cloned())
+            .collect()
+    }
+
+    /// Drops all buffered events.
+    pub fn clear(&self) {
+        self.buf.borrow_mut().clear();
+    }
+}
+
+/// In-memory ring buffer sink for tests and interactive inspection.
+///
+/// With a capacity, the oldest events are evicted once full; unbounded
+/// buffers keep everything.
+#[derive(Debug)]
+pub struct MemorySink {
+    buf: Rc<RefCell<VecDeque<Event>>>,
+    capacity: Option<usize>,
+}
+
+impl MemorySink {
+    /// A ring buffer keeping at most `capacity` most-recent events.
+    pub fn new(capacity: usize) -> Self {
+        MemorySink {
+            buf: Rc::new(RefCell::new(VecDeque::with_capacity(capacity.min(1024)))),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// A buffer that never evicts.
+    pub fn unbounded() -> Self {
+        MemorySink {
+            buf: Rc::new(RefCell::new(VecDeque::new())),
+            capacity: None,
+        }
+    }
+
+    /// A shared handle onto this sink's buffer, usable after the sink is
+    /// boxed into a recorder.
+    pub fn handle(&self) -> MemoryHandle {
+        MemoryHandle {
+            buf: Rc::clone(&self.buf),
+        }
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        let mut buf = self.buf.borrow_mut();
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                return;
+            }
+            while buf.len() >= cap {
+                buf.pop_front();
+            }
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// JSON-lines writer sink, one event per line.
+///
+/// Timing data (`elapsed_ns`, timer events) is excluded unless enabled via
+/// [`JsonlSink::with_timing`], so same-seed runs produce byte-identical
+/// files.
+pub struct JsonlSink {
+    writer: BufWriter<Box<dyn Write>>,
+    include_timing: bool,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("include_timing", &self.include_timing)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`, building parent directories
+    /// as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from directory or file creation.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Self::from_writer(Box::new(File::create(path)?)))
+    }
+
+    /// Wraps an arbitrary writer.
+    pub fn from_writer(writer: Box<dyn Write>) -> Self {
+        JsonlSink {
+            writer: BufWriter::new(writer),
+            include_timing: false,
+        }
+    }
+
+    /// Enables wall-clock fields in the output (breaks byte-identical
+    /// same-seed traces; intended for profiling, not golden files).
+    pub fn with_timing(mut self) -> Self {
+        self.include_timing = true;
+        self
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, event: &Event) {
+        if let Some(line) = event.to_jsonl(self.include_timing) {
+            // Telemetry must not abort training on a full disk; drop the
+            // line and keep going.
+            let _ = writeln!(self.writer, "{line}");
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StepRecord;
+
+    fn step(i: u64) -> Event {
+        Event::Step(StepRecord {
+            step: i,
+            epoch: 0,
+            batch_id: i,
+            lr: 0.1,
+            loss: 1.0,
+            grad_norm: 0.5,
+            param_norm: 2.0,
+            elapsed_ns: 10,
+        })
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut sink = MemorySink::new(3);
+        let handle = sink.handle();
+        for i in 0..5 {
+            sink.record(&step(i));
+        }
+        let steps = handle.steps();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(
+            steps.iter().map(|r| r.step).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut sink = MemorySink::unbounded();
+        let handle = sink.handle();
+        for i in 0..100 {
+            sink.record(&step(i));
+        }
+        assert_eq!(handle.len(), 100);
+        handle.clear();
+        assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let buf: Rc<RefCell<Vec<u8>>> = Rc::default();
+
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut sink = JsonlSink::from_writer(Box::new(Shared(Rc::clone(&buf))));
+        sink.record(&step(0));
+        sink.record(&Event::Timer {
+            name: "t".into(),
+            elapsed_ns: 9,
+        });
+        sink.record(&Event::RunEnd { metric: 0.5 });
+        sink.flush();
+
+        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let events = crate::parse_trace(&text).unwrap();
+        // timer dropped (timing off), step's elapsed_ns zeroed
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].as_step().unwrap().elapsed_ns, 0);
+        assert_eq!(events[1], Event::RunEnd { metric: 0.5 });
+    }
+}

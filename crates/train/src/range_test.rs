@@ -7,6 +7,8 @@
 use rex_autograd::Graph;
 use rex_data::batches;
 use rex_nn::Module;
+use rex_optim::{global_grad_norm, global_param_norm};
+use rex_telemetry::{Event, Recorder, StepRecord};
 use rex_tensor::{Prng, Tensor, TensorError};
 
 use crate::trainer::OptimizerKind;
@@ -56,6 +58,44 @@ pub fn lr_range_test(
     batch_size: usize,
     seed: u64,
 ) -> Result<RangeTestResult, TensorError> {
+    lr_range_test_traced(
+        model,
+        images,
+        labels,
+        optimizer,
+        lr_min,
+        lr_max,
+        steps,
+        batch_size,
+        seed,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// [`lr_range_test`] with telemetry: emits one [`StepRecord`] per sweep
+/// step (LR, smoothed loss, gradient/parameter norms) plus the suggested
+/// LR as the run metric.
+///
+/// # Errors
+///
+/// Same as [`lr_range_test`].
+///
+/// # Panics
+///
+/// Same as [`lr_range_test`].
+#[allow(clippy::too_many_arguments)]
+pub fn lr_range_test_traced(
+    model: &dyn Module,
+    images: &Tensor,
+    labels: &[usize],
+    optimizer: OptimizerKind,
+    lr_min: f32,
+    lr_max: f32,
+    steps: usize,
+    batch_size: usize,
+    seed: u64,
+    rec: &mut Recorder,
+) -> Result<RangeTestResult, TensorError> {
     assert!(lr_min > 0.0 && lr_max > lr_min, "need 0 < lr_min < lr_max");
     assert!(!labels.is_empty(), "empty dataset");
     if steps == 0 {
@@ -64,6 +104,15 @@ pub fn lr_range_test(
         });
     }
     let mut opt = optimizer.build(model.params(), lr_min);
+    let traced = rec.is_enabled();
+    opt.set_instrumented(traced);
+    rec.emit(Event::RunStart {
+        run: "range_test".to_owned(),
+        schedule: "ExponentialSweep".to_owned(),
+        optimizer: optimizer.name().to_owned(),
+        seed,
+        total_samples: (steps * batch_size) as u64,
+    });
     let mut rng = Prng::new(seed);
     let ratio = (lr_max / lr_min).ln(); // f32
     let mut curve = Vec::with_capacity(steps);
@@ -87,6 +136,11 @@ pub fn lr_range_test(
             let loss = g.cross_entropy(logits, &batch.labels)?;
             let raw = g.value(loss).item() as f64;
             g.backward(loss)?;
+            let grad_norm = if traced {
+                global_grad_norm(opt.params())
+            } else {
+                0.0
+            };
             opt.step();
 
             smoothed = if t == 0 {
@@ -95,6 +149,18 @@ pub fn lr_range_test(
                 beta * smoothed + (1.0 - beta) * raw
             };
             let debiased = smoothed / (1.0 - beta.powi(t as i32 + 1));
+            if traced {
+                rec.emit(Event::Step(StepRecord {
+                    step: t as u64,
+                    epoch: 0,
+                    batch_id: t as u64,
+                    lr: lr as f64,
+                    loss: debiased,
+                    grad_norm: grad_norm as f64,
+                    param_norm: global_param_norm(opt.params()) as f64,
+                    elapsed_ns: 0,
+                }));
+            }
             curve.push(RangePoint { lr, loss: debiased });
             best = best.min(debiased);
             if diverged_at.is_none() && debiased > 4.0 * best && t > steps / 10 {
@@ -119,6 +185,10 @@ pub fn lr_range_test(
             suggested = curve[i + window / 2].lr;
         }
     }
+    rec.emit(Event::RunEnd {
+        metric: suggested as f64,
+    });
+    rec.flush();
     Ok(RangeTestResult {
         curve,
         suggested_lr: suggested,

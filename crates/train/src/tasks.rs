@@ -7,13 +7,14 @@ use rex_core::{Schedule, ScheduleSpec};
 use rex_data::digits::DigitDataset;
 use rex_data::scenes::SceneDataset;
 use rex_data::text::{LmCorpus, TextTask};
-use rex_data::{batches, ClassificationDataset};
+use rex_data::{batches_traced, ClassificationDataset};
 use rex_eval::map::{mean_average_precision, GroundTruth, Prediction};
 use rex_nn::{
     DetectionTargets, Linear, MicroResNet, MicroVgg, MicroWideResNet, Module, TinyDetector,
     TinyTransformer, TransformerConfig, Vae,
 };
-use rex_optim::{clip_grad_norm, Optimizer};
+use rex_optim::{clip_grad_norm, global_grad_norm, global_param_norm, Optimizer};
+use rex_telemetry::{Event, Recorder, StepRecord};
 use rex_tensor::{Prng, TensorError};
 
 use crate::trainer::{OptimizerKind, TrainConfig, Trainer};
@@ -65,6 +66,37 @@ pub fn run_image_cell(
     lr: f32,
     seed: u64,
 ) -> Result<f64, TensorError> {
+    run_image_cell_traced(
+        model_kind,
+        data,
+        epochs,
+        batch_size,
+        optimizer,
+        schedule,
+        lr,
+        seed,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// [`run_image_cell`] with telemetry emitted into `rec` (see
+/// [`Trainer::train_classifier_traced`]).
+///
+/// # Errors
+///
+/// Propagates [`TensorError`]s from the model.
+#[allow(clippy::too_many_arguments)]
+pub fn run_image_cell_traced(
+    model_kind: ImageModel,
+    data: &ClassificationDataset,
+    epochs: usize,
+    batch_size: usize,
+    optimizer: OptimizerKind,
+    schedule: ScheduleSpec,
+    lr: f32,
+    seed: u64,
+    rec: &mut Recorder,
+) -> Result<f64, TensorError> {
     let model = model_kind.build(data.num_classes, seed);
     let mut trainer = Trainer::new(TrainConfig {
         epochs,
@@ -77,43 +109,52 @@ pub fn run_image_cell(
         seed: seed ^ 0x7EA1,
     });
     Ok(trainer
-        .train_classifier(
+        .train_classifier_traced(
             model.as_ref(),
             &data.train_images,
             &data.train_labels,
             &data.test_images,
             &data.test_labels,
+            rec,
         )?
         .final_metric)
 }
 
 /// Drives the per-iteration schedule/optimizer coupling shared by the
-/// custom loops below.
+/// custom loops below. Progress is measured in **samples**, not steps, so
+/// a partial final mini-batch advances the budget clock by its true size.
 struct ScheduleDriver {
     schedule: Box<dyn Schedule>,
-    total_steps: u64,
+    total_samples: u64,
     lr0: f32,
-    t: u64,
+    samples_done: u64,
+    last_lr: f32,
 }
 
 impl ScheduleDriver {
-    fn new(spec: &ScheduleSpec, total_steps: u64, lr0: f32) -> Self {
+    fn new(spec: &ScheduleSpec, total_samples: u64, lr0: f32) -> Self {
         ScheduleDriver {
             schedule: spec.build(),
-            total_steps,
+            total_samples,
             lr0,
-            t: 0,
+            samples_done: 0,
+            last_lr: lr0,
         }
     }
 
-    /// Applies the LR (and momentum) for the current step, then advances.
-    fn apply(&mut self, opt: &mut dyn Optimizer) {
-        let factor = self.schedule.factor(self.t, self.total_steps) as f32;
-        opt.set_lr(self.lr0 * factor);
-        if let Some(m) = self.schedule.momentum(self.t, self.total_steps) {
+    /// Applies the LR (and momentum) for the current step, then advances
+    /// the budget clock by the mini-batch's sample count.
+    fn apply(&mut self, opt: &mut dyn Optimizer, batch_len: usize) {
+        let factor = self.schedule.factor(self.samples_done, self.total_samples) as f32;
+        self.last_lr = self.lr0 * factor;
+        opt.set_lr(self.last_lr);
+        if let Some(m) = self
+            .schedule
+            .momentum(self.samples_done, self.total_samples)
+        {
             opt.set_momentum(m as f32);
         }
-        self.t += 1;
+        self.samples_done += batch_len as u64;
     }
 
     fn on_validation(&mut self, loss: f64) {
@@ -138,30 +179,106 @@ pub fn run_vae_cell(
     lr: f32,
     seed: u64,
 ) -> Result<f64, TensorError> {
+    run_vae_cell_traced(
+        train,
+        test,
+        epochs,
+        batch_size,
+        optimizer,
+        schedule,
+        lr,
+        seed,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// [`run_vae_cell`] with telemetry emitted into `rec`.
+///
+/// # Errors
+///
+/// Propagates [`TensorError`]s from the model.
+#[allow(clippy::too_many_arguments)]
+pub fn run_vae_cell_traced(
+    train: &DigitDataset,
+    test: &DigitDataset,
+    epochs: usize,
+    batch_size: usize,
+    optimizer: OptimizerKind,
+    schedule: ScheduleSpec,
+    lr: f32,
+    seed: u64,
+    rec: &mut Recorder,
+) -> Result<f64, TensorError> {
     let dim = train.size * train.size;
     let vae = Vae::new(dim, 64, 8, seed);
     let params = vae.params();
     let mut opt = optimizer.build(params, lr);
+    let traced = rec.is_enabled();
+    opt.set_instrumented(traced);
     let mut rng = Prng::new(seed ^ 0xE1B0);
-    let steps_per_epoch = train.len().div_ceil(batch_size) as u64;
-    let mut driver = ScheduleDriver::new(&schedule, steps_per_epoch * epochs as u64, lr);
+    let total_samples = train.len() as u64 * epochs as u64;
+    let mut driver = ScheduleDriver::new(&schedule, total_samples, lr);
     let needs_val = schedule.needs_validation_feedback();
     let fake_labels = vec![0usize; train.len()];
 
-    for _ in 0..epochs {
-        for batch in batches(&train.images, &fake_labels, batch_size, Some(&mut rng)) {
-            driver.apply(opt.as_mut());
+    rec.emit(Event::RunStart {
+        run: "vae".to_owned(),
+        schedule: driver.schedule.name().to_owned(),
+        optimizer: optimizer.name().to_owned(),
+        seed,
+        total_samples,
+    });
+    let mut step: u64 = 0;
+    for epoch in 0..epochs {
+        let epoch_batches = batches_traced(
+            &train.images,
+            &fake_labels,
+            batch_size,
+            Some(&mut rng),
+            rec,
+            epoch as u64,
+        );
+        for (batch_id, batch) in epoch_batches.into_iter().enumerate() {
+            driver.apply(opt.as_mut(), batch.labels.len());
             opt.zero_grad();
             let mut g = Graph::new(true);
             let loss = vae.elbo(&mut g, &batch.images)?;
             g.backward(loss)?;
+            let grad_norm = if traced {
+                global_grad_norm(opt.params())
+            } else {
+                0.0
+            };
             opt.step();
+            if traced {
+                rec.emit(Event::Step(StepRecord {
+                    step,
+                    epoch: epoch as u64,
+                    batch_id: batch_id as u64,
+                    lr: driver.last_lr as f64,
+                    loss: g.value(loss).item() as f64,
+                    grad_norm: grad_norm as f64,
+                    param_norm: global_param_norm(opt.params()) as f64,
+                    elapsed_ns: 0,
+                }));
+            }
+            step += 1;
         }
         if needs_val {
-            driver.on_validation(vae_loss(&vae, test)?);
+            let vl = vae_loss(&vae, test)?;
+            driver.on_validation(vl);
+            if traced {
+                rec.emit(Event::Validation {
+                    epoch: epoch as u64,
+                    loss: vl,
+                });
+            }
         }
     }
-    vae_loss(&vae, test)
+    let metric = vae_loss(&vae, test)?;
+    rec.emit(Event::RunEnd { metric });
+    rec.flush();
+    Ok(metric)
 }
 
 /// Deterministic (eval-mode) ELBO of a VAE over a digit set.
@@ -194,30 +311,74 @@ pub fn run_detection_cell(
     lr: f32,
     seed: u64,
 ) -> Result<f64, TensorError> {
+    run_detection_cell_traced(
+        train,
+        test,
+        epochs,
+        warmup_epochs,
+        batch_size,
+        optimizer,
+        schedule,
+        lr,
+        seed,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// [`run_detection_cell`] with telemetry emitted into `rec`.
+///
+/// # Errors
+///
+/// Propagates [`TensorError`]s from the model.
+#[allow(clippy::too_many_arguments)]
+pub fn run_detection_cell_traced(
+    train: &SceneDataset,
+    test: &SceneDataset,
+    epochs: usize,
+    warmup_epochs: usize,
+    batch_size: usize,
+    optimizer: OptimizerKind,
+    schedule: ScheduleSpec,
+    lr: f32,
+    seed: u64,
+    rec: &mut Recorder,
+) -> Result<f64, TensorError> {
     let input_size = train.images.shape()[2];
     let det = TinyDetector::new(train.num_classes, input_size, seed);
     let mut opt = optimizer.build(det.params(), lr);
+    let traced = rec.is_enabled();
+    opt.set_instrumented(traced);
     let mut rng = Prng::new(seed ^ 0xDE7E);
     let n = train.len();
-    let steps_per_epoch = n.div_ceil(batch_size) as u64;
     // Warmup from lr/10 over the warmup epochs, then the budgeted schedule
-    // over the remaining steps (warmup excluded from the budget).
-    let spec = ScheduleSpec::WithWarmup(
-        Box::new(schedule),
-        warmup_epochs as u64 * steps_per_epoch,
-        0.1,
-    );
-    let total = steps_per_epoch * (epochs + warmup_epochs) as u64;
-    let mut driver = ScheduleDriver::new(&spec, total, lr);
+    // over the remaining samples (warmup excluded from the budget).
+    let spec = ScheduleSpec::WithWarmup(Box::new(schedule), (warmup_epochs * n) as u64, 0.1);
+    let total_samples = (n * (epochs + warmup_epochs)) as u64;
+    let mut driver = ScheduleDriver::new(&spec, total_samples, lr);
 
+    rec.emit(Event::RunStart {
+        run: "detection".to_owned(),
+        schedule: driver.schedule.name().to_owned(),
+        optimizer: optimizer.name().to_owned(),
+        seed,
+        total_samples,
+    });
     let grid = train.grid;
-    let fake_labels = vec![0usize; n];
-    for _ in 0..(epochs + warmup_epochs) {
-        // batches() shuffles indices for us; recover them via labels trick
-        // is not possible, so shuffle scene indices directly.
+    let mut step: u64 = 0;
+    for epoch in 0..(epochs + warmup_epochs) {
+        // shuffle scene indices directly: the targets live in parallel
+        // arrays, so batches() cannot assemble them for us
         let order = rng.permutation(n);
-        for chunk in order.chunks(batch_size) {
-            driver.apply(opt.as_mut());
+        if traced {
+            rec.emit(Event::Epoch {
+                epoch: epoch as u64,
+                samples: n as u64,
+                batches: n.div_ceil(batch_size) as u64,
+                shuffled: true,
+            });
+        }
+        for (batch_id, chunk) in order.chunks(batch_size).enumerate() {
+            driver.apply(opt.as_mut(), chunk.len());
             opt.zero_grad();
             let images = train.images.gather_rows(chunk);
             let objectness = train.objectness.gather_rows(chunk);
@@ -232,11 +393,31 @@ pub fn run_detection_cell(
             let x = g.constant(images);
             let loss = det.loss(&mut g, x, &targets)?;
             g.backward(loss)?;
+            let grad_norm = if traced {
+                global_grad_norm(opt.params())
+            } else {
+                0.0
+            };
             opt.step();
+            if traced {
+                rec.emit(Event::Step(StepRecord {
+                    step,
+                    epoch: epoch as u64,
+                    batch_id: batch_id as u64,
+                    lr: driver.last_lr as f64,
+                    loss: g.value(loss).item() as f64,
+                    grad_norm: grad_norm as f64,
+                    param_norm: global_param_norm(opt.params()) as f64,
+                    elapsed_ns: 0,
+                }));
+            }
+            step += 1;
         }
-        let _ = &fake_labels;
     }
-    detection_map(&det, test)
+    let metric = detection_map(&det, test)?;
+    rec.emit(Event::RunEnd { metric });
+    rec.flush();
+    Ok(metric)
 }
 
 /// Evaluates a detector's mAP@0.5 (%) over a scene set.
@@ -327,23 +508,69 @@ pub fn run_glue_cell(
     lr: f32,
     seed: u64,
 ) -> Result<f64, TensorError> {
+    run_glue_cell_traced(
+        pretrained,
+        task,
+        epochs,
+        batch_size,
+        schedule,
+        lr,
+        seed,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// [`run_glue_cell`] with telemetry emitted into `rec`.
+///
+/// # Errors
+///
+/// Propagates [`TensorError`]s from the model.
+#[allow(clippy::too_many_arguments)]
+pub fn run_glue_cell_traced(
+    pretrained: &TinyTransformer,
+    task: &TextTask,
+    epochs: usize,
+    batch_size: usize,
+    schedule: ScheduleSpec,
+    lr: f32,
+    seed: u64,
+    rec: &mut Recorder,
+) -> Result<f64, TensorError> {
     let tf = pretrained.clone_weights(seed);
     let mut rng = Prng::new(seed ^ 0x61E5);
     let head = Linear::new("task_head", tf.config().dim, task.num_classes, &mut rng);
     let mut params = tf.encoder_params();
     params.extend(head.params());
     let mut opt = OptimizerKind::adamw().build(params, lr);
+    let traced = rec.is_enabled();
+    opt.set_instrumented(traced);
 
     let t_len = task.seq_len;
     let n = task.train_len();
-    let steps_per_epoch = n.div_ceil(batch_size) as u64;
-    let mut driver = ScheduleDriver::new(&schedule, steps_per_epoch * epochs as u64, lr);
+    let total_samples = (n * epochs) as u64;
+    let mut driver = ScheduleDriver::new(&schedule, total_samples, lr);
     let needs_val = schedule.needs_validation_feedback();
 
-    for _ in 0..epochs {
+    rec.emit(Event::RunStart {
+        run: format!("glue:{}", task.name),
+        schedule: driver.schedule.name().to_owned(),
+        optimizer: OptimizerKind::adamw().name().to_owned(),
+        seed,
+        total_samples,
+    });
+    let mut step: u64 = 0;
+    for epoch in 0..epochs {
         let order = rng.permutation(n);
-        for chunk in order.chunks(batch_size) {
-            driver.apply(opt.as_mut());
+        if traced {
+            rec.emit(Event::Epoch {
+                epoch: epoch as u64,
+                samples: n as u64,
+                batches: n.div_ceil(batch_size) as u64,
+                shuffled: true,
+            });
+        }
+        for (batch_id, chunk) in order.chunks(batch_size).enumerate() {
+            driver.apply(opt.as_mut(), chunk.len());
             opt.zero_grad();
             let mut tokens = Vec::with_capacity(chunk.len() * t_len);
             let mut labels = Vec::with_capacity(chunk.len());
@@ -355,14 +582,37 @@ pub fn run_glue_cell(
             let logits = tf.classify(&mut g, &tokens, chunk.len(), &head)?;
             let loss = g.cross_entropy(logits, &labels)?;
             g.backward(loss)?;
-            clip_grad_norm(opt.params(), 1.0);
+            let grad_norm = clip_grad_norm(opt.params(), 1.0);
             opt.step();
+            if traced {
+                rec.emit(Event::Step(StepRecord {
+                    step,
+                    epoch: epoch as u64,
+                    batch_id: batch_id as u64,
+                    lr: driver.last_lr as f64,
+                    loss: g.value(loss).item() as f64,
+                    grad_norm: grad_norm as f64,
+                    param_norm: global_param_norm(opt.params()) as f64,
+                    elapsed_ns: 0,
+                }));
+            }
+            step += 1;
         }
         if needs_val {
-            driver.on_validation(100.0 - glue_accuracy(&tf, &head, task)?);
+            let vl = 100.0 - glue_accuracy(&tf, &head, task)?;
+            driver.on_validation(vl);
+            if traced {
+                rec.emit(Event::Validation {
+                    epoch: epoch as u64,
+                    loss: vl,
+                });
+            }
         }
     }
-    glue_accuracy(&tf, &head, task)
+    let metric = glue_accuracy(&tf, &head, task)?;
+    rec.emit(Event::RunEnd { metric });
+    rec.flush();
+    Ok(metric)
 }
 
 /// Test accuracy (%) of a fine-tuned transformer + head on one task.

@@ -1,9 +1,11 @@
 use rex_autograd::{Graph, Param};
 use rex_core::{Schedule, ScheduleSpec};
-use rex_data::{augment_hflip, batches};
+use rex_data::{augment_hflip, batches, batches_traced};
 use rex_nn::Module;
-use rex_optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+use rex_optim::{clip_grad_norm, global_grad_norm, global_param_norm, Adam, Optimizer, Sgd};
+use rex_telemetry::{Event, Recorder, StepRecord};
 use rex_tensor::{Prng, Tensor, TensorError};
+use std::time::Instant;
 
 /// Which optimizer family to instantiate (the paper pairs every schedule
 /// with both SGDM and Adam; the BERT setting uses AdamW).
@@ -199,24 +201,77 @@ impl Trainer {
         test_images: &Tensor,
         test_labels: &[usize],
     ) -> Result<TrainResult, TensorError> {
+        self.train_classifier_traced(
+            model,
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`Trainer::train_classifier`] with telemetry: emits run/epoch
+    /// boundaries, one [`StepRecord`] per optimizer step (applied LR, batch
+    /// loss, pre-clip gradient norm, post-step parameter norm), validation
+    /// passes, and the final metric into `rec`. With a disabled recorder
+    /// this is exactly the plain loop — norms are not even computed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TensorError`]s from the model's forward/backward.
+    pub fn train_classifier_traced(
+        &mut self,
+        model: &dyn Module,
+        train_images: &Tensor,
+        train_labels: &[usize],
+        test_images: &Tensor,
+        test_labels: &[usize],
+        rec: &mut Recorder,
+    ) -> Result<TrainResult, TensorError> {
         let cfg = self.config.clone();
         let mut opt = cfg.optimizer.build(model.params(), cfg.lr);
+        let traced = rec.is_enabled();
+        opt.set_instrumented(traced);
         let mut rng = Prng::new(cfg.seed);
-        let steps_per_epoch = train_labels.len().div_ceil(cfg.batch_size) as u64;
-        let total_steps = steps_per_epoch * cfg.epochs as u64;
+        // Budget accounting is sample-exact: schedule progress advances by
+        // the number of samples actually consumed, so a partial final
+        // mini-batch moves the clock by its true size rather than a full
+        // step. (When the dataset size divides the batch size the
+        // progress fractions — and therefore the LR trajectory — are
+        // identical to per-step accounting.)
+        let total_samples = train_labels.len() as u64 * cfg.epochs as u64;
         let needs_val = cfg.schedule.needs_validation_feedback();
 
+        rec.emit(Event::RunStart {
+            run: "classifier".to_owned(),
+            schedule: self.schedule.name().to_owned(),
+            optimizer: cfg.optimizer.name().to_owned(),
+            seed: cfg.seed,
+            total_samples,
+        });
+
         let mut history = Vec::with_capacity(cfg.epochs);
-        let mut t: u64 = 0;
-        for _epoch in 0..cfg.epochs {
+        let mut samples_done: u64 = 0;
+        let mut step: u64 = 0;
+        for epoch in 0..cfg.epochs {
             let mut epoch_loss = 0.0f64;
             let mut epoch_batches = 0usize;
             let mut last_lr = cfg.lr;
-            for batch in batches(train_images, train_labels, cfg.batch_size, Some(&mut rng)) {
-                let factor = self.schedule.factor(t, total_steps) as f32;
+            let epoch_batches_vec = batches_traced(
+                train_images,
+                train_labels,
+                cfg.batch_size,
+                Some(&mut rng),
+                rec,
+                epoch as u64,
+            );
+            for (batch_id, batch) in epoch_batches_vec.into_iter().enumerate() {
+                let step_start = traced.then(Instant::now);
+                let factor = self.schedule.factor(samples_done, total_samples) as f32;
                 last_lr = cfg.lr * factor;
                 opt.set_lr(last_lr);
-                if let Some(m) = self.schedule.momentum(t, total_steps) {
+                if let Some(m) = self.schedule.momentum(samples_done, total_samples) {
                     opt.set_momentum(m as f32);
                 }
                 opt.zero_grad();
@@ -229,30 +284,68 @@ impl Trainer {
                 let x = g.constant(images);
                 let logits = model.forward(&mut g, x)?;
                 let loss = g.cross_entropy(logits, &batch.labels)?;
-                epoch_loss += g.value(loss).item() as f64;
+                let batch_loss = g.value(loss).item() as f64;
+                epoch_loss += batch_loss;
                 epoch_batches += 1;
                 g.backward(loss)?;
-                if let Some(max_norm) = cfg.grad_clip {
-                    clip_grad_norm(opt.params(), max_norm);
-                }
+                let grad_norm = if let Some(max_norm) = cfg.grad_clip {
+                    clip_grad_norm(opt.params(), max_norm)
+                } else if traced {
+                    global_grad_norm(opt.params())
+                } else {
+                    0.0
+                };
                 opt.step();
-                t += 1;
+                samples_done += batch.labels.len() as u64;
+                if traced {
+                    rec.emit(Event::Step(StepRecord {
+                        step,
+                        epoch: epoch as u64,
+                        batch_id: batch_id as u64,
+                        lr: last_lr as f64,
+                        loss: batch_loss,
+                        grad_norm: grad_norm as f64,
+                        param_norm: global_param_norm(opt.params()) as f64,
+                        elapsed_ns: step_start
+                            .map(|s| s.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+                            .unwrap_or(0),
+                    }));
+                }
+                step += 1;
             }
             let val_loss = if needs_val {
                 let vl = classification_loss(model, test_images, test_labels, cfg.batch_size)?;
                 self.schedule.on_validation(vl);
+                if traced {
+                    rec.emit(Event::Validation {
+                        epoch: epoch as u64,
+                        loss: vl,
+                    });
+                }
                 Some(vl)
             } else {
                 None
             };
+            let mean_loss = epoch_loss / epoch_batches.max(1) as f64;
+            if traced {
+                rec.emit(Event::EpochEnd {
+                    epoch: epoch as u64,
+                    mean_loss,
+                    lr: last_lr as f64,
+                });
+            }
             history.push(EpochStats {
-                train_loss: epoch_loss / epoch_batches.max(1) as f64,
+                train_loss: mean_loss,
                 val_loss,
                 lr: last_lr,
             });
         }
 
         let final_metric = evaluate_classifier(model, test_images, test_labels, cfg.batch_size)?;
+        rec.emit(Event::RunEnd {
+            metric: final_metric,
+        });
+        rec.flush();
         Ok(TrainResult {
             final_metric,
             history,
@@ -460,6 +553,130 @@ mod tests {
                 .final_metric
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn partial_final_batch_advances_budget_by_its_true_size() {
+        use rex_telemetry::MemorySink;
+
+        // 10 samples, batch 4 → batches of 4, 4, 2. Sample-exact accounting
+        // must place the three steps of a 1-epoch linear run at progress
+        // 0/10, 4/10, 8/10 (LR factors 1.0, 0.6, 0.2); the old per-step
+        // accounting would have used 0/3, 1/3, 2/3.
+        let data = synth_cifar10(1, 1, 12);
+        let mut rng = Prng::new(13);
+        let model = Mlp::new("m", &[3 * 12 * 12, 8, 10], &mut rng);
+        let sink = MemorySink::unbounded();
+        let handle = sink.handle();
+        let mut rec = Recorder::new(Box::new(sink));
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            lr: 0.1,
+            optimizer: OptimizerKind::sgdm(),
+            schedule: ScheduleSpec::Linear,
+            augment: false,
+            grad_clip: None,
+            seed: 14,
+        });
+        trainer
+            .train_classifier_traced(
+                &model,
+                &flatten_images(&data.train_images),
+                &data.train_labels,
+                &flatten_images(&data.test_images),
+                &data.test_labels,
+                &mut rec,
+            )
+            .unwrap();
+        let steps = handle.steps();
+        assert_eq!(steps.len(), 3);
+        let lrs: Vec<f64> = steps.iter().map(|r| r.lr).collect();
+        for (got, want) in lrs.iter().zip([0.1, 0.06, 0.02]) {
+            assert!((got - want).abs() < 1e-7, "lrs {lrs:?}");
+        }
+    }
+
+    #[test]
+    fn traced_run_emits_one_step_record_per_optimizer_step() {
+        use rex_telemetry::MemorySink;
+
+        let data = synth_cifar10(4, 2, 15);
+        let mut rng = Prng::new(16);
+        let model = Mlp::new("m", &[3 * 12 * 12, 8, 10], &mut rng);
+        let sink = MemorySink::unbounded();
+        let handle = sink.handle();
+        let mut rec = Recorder::new(Box::new(sink));
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.05,
+            optimizer: OptimizerKind::adam(),
+            schedule: ScheduleSpec::Rex,
+            augment: false,
+            grad_clip: None,
+            seed: 17,
+        });
+        let result = trainer
+            .train_classifier_traced(
+                &model,
+                &flatten_images(&data.train_images),
+                &data.train_labels,
+                &flatten_images(&data.test_images),
+                &data.test_labels,
+                &mut rec,
+            )
+            .unwrap();
+        let events = handle.events();
+        // 40 samples / batch 16 → 3 batches per epoch × 2 epochs
+        let steps = handle.steps();
+        assert_eq!(steps.len(), 6);
+        for (i, r) in steps.iter().enumerate() {
+            assert_eq!(r.step, i as u64);
+            assert_eq!(r.epoch, i as u64 / 3);
+            assert_eq!(r.batch_id, i as u64 % 3);
+            assert!(r.lr > 0.0 && r.lr <= 0.05 + 1e-9);
+            assert!(r.loss.is_finite());
+            assert!(r.grad_norm > 0.0, "grad_norm not populated: {r:?}");
+            assert!(r.param_norm > 0.0, "param_norm not populated: {r:?}");
+        }
+        // structural events frame the run
+        assert_eq!(events.first().unwrap().kind(), "run_start");
+        assert_eq!(events.last().unwrap().kind(), "run_end");
+        match events.last().unwrap() {
+            Event::RunEnd { metric } => assert_eq!(*metric, result.final_metric),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            events.iter().filter(|e| e.kind() == "epoch").count(),
+            2,
+            "one loader epoch event per epoch"
+        );
+
+        // tracing must not perturb the trajectory: an untraced same-seed
+        // run reaches the identical final metric
+        let mut rng2 = Prng::new(16);
+        let model2 = Mlp::new("m", &[3 * 12 * 12, 8, 10], &mut rng2);
+        let mut trainer2 = Trainer::new(TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.05,
+            optimizer: OptimizerKind::adam(),
+            schedule: ScheduleSpec::Rex,
+            augment: false,
+            grad_clip: None,
+            seed: 17,
+        });
+        let r2 = trainer2
+            .train_classifier(
+                &model2,
+                &flatten_images(&data.train_images),
+                &data.train_labels,
+                &flatten_images(&data.test_images),
+                &data.test_labels,
+            )
+            .unwrap();
+        assert_eq!(r2.final_metric, result.final_metric);
     }
 
     #[test]

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates the committed golden telemetry traces under tests/golden/
+# after an *intentional* change to the training trajectory (schedule
+# math, optimizer update order, data pipeline, telemetry encoding).
+#
+# Review the resulting diff carefully: every changed line is a changed
+# training trajectory that the golden suite would otherwise have flagged.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REX_BLESS=1 cargo test --offline --test golden_traces "$@"
+echo "golden traces regenerated under tests/golden/ — review with: git diff tests/golden"

@@ -20,4 +20,19 @@ cargo test --workspace --offline -q
 echo "==> kernel-bench --smoke"
 cargo run --release --offline -p rex-bench --bin kernel-bench -- --smoke
 
+echo "==> trace-check (golden telemetry traces + CLI --trace)"
+# the golden suite in release mode: committed traces must match the
+# trajectories the release build produces
+cargo test --release --offline --test golden_traces -q
+# the CLI --trace flag: two same-seed runs must emit identical JSONL
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+for i in a b; do
+  cargo run --release --offline -p rex-cli --bin rexctl -- \
+    train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 \
+    --trace "$trace_dir/run_$i.jsonl" >/dev/null
+done
+grep -q '"ev":"step"' "$trace_dir/run_a.jsonl"
+cmp "$trace_dir/run_a.jsonl" "$trace_dir/run_b.jsonl"
+
 echo "verify: OK"

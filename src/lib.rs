@@ -18,6 +18,7 @@
 //! | [`data`] | `rex-data` | synthetic CIFAR/STL/ImageNet/MNIST/VOC/GLUE analogues |
 //! | [`train`] | `rex-train` | budgets, the training loop, per-setting drivers |
 //! | [`eval`] | `rex-eval` | statistics, Top-1/Top-3 ranking, mAP, tables |
+//! | [`telemetry`] | `rex-telemetry` | step records, sinks, golden-trace diffing |
 //!
 //! ## The REX schedule in three lines
 //!
@@ -97,4 +98,10 @@ pub mod train {
 /// Evaluation: statistics, ranking, mAP, tables (`rex-eval`).
 pub mod eval {
     pub use rex_eval::*;
+}
+
+/// Deterministic training telemetry and golden-trace diffing
+/// (`rex-telemetry`).
+pub mod telemetry {
+    pub use rex_telemetry::*;
 }

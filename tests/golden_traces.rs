@@ -1,0 +1,163 @@
+//! Golden-trace regression tests: full training trajectories (every
+//! optimizer step's LR, loss, and norms) pinned against committed JSONL
+//! traces under `tests/golden/`.
+//!
+//! The grid covers the paper's four headline schedules (REX, linear,
+//! cosine, step) at a small and a medium budget (10 % and 50 % of
+//! 8 epochs) on the synthetic-digits classification task — small enough
+//! to run in CI, large enough to exercise shuffling, a partial final
+//! mini-batch, and multi-epoch schedule progress.
+//!
+//! Comparison uses [`rex::telemetry::golden::diff_traces`]: integers and
+//! structure exactly, floats under the documented tolerances (LR nearly
+//! exact, losses/norms at 0.5 % relative). On divergence the failure
+//! message names the first divergent event, its optimizer step, and the
+//! field.
+//!
+//! To regenerate the goldens after an intentional trajectory change:
+//!
+//! ```text
+//! scripts/bless_traces.sh        # = REX_BLESS=1 cargo test --test golden_traces
+//! ```
+
+use std::path::PathBuf;
+
+use rex::data::digits::synth_digits;
+use rex::nn::Mlp;
+use rex::schedules::ScheduleSpec;
+use rex::telemetry::golden::{diff_traces, Tolerances};
+use rex::telemetry::{encode_trace, parse_trace, Event, MemorySink, Recorder};
+use rex::tensor::Prng;
+use rex::train::{Budget, OptimizerKind, TrainConfig, Trainer};
+
+/// Maximum epochs of the golden setting; budgets are percentages of this.
+const MAX_EPOCHS: usize = 8;
+/// Seed for both the model init and the training run.
+const SEED: u64 = 0x601D;
+
+/// Runs one golden cell (digits classifier, Mlp 144-24-10, batch 16 over
+/// 60 samples — a deliberate partial final batch of 12) and returns the
+/// captured event trace.
+fn run_trace(spec: &ScheduleSpec, budget_pct: u32) -> Vec<Event> {
+    let train = synth_digits(60, 12, 0xD1_617);
+    let test = synth_digits(30, 12, 0xD1_618);
+    let mut rng = Prng::new(SEED);
+    let model = Mlp::new("m", &[144, 24, 10], &mut rng);
+    let sink = MemorySink::unbounded();
+    let handle = sink.handle();
+    let mut rec = Recorder::new(Box::new(sink));
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: Budget::new(MAX_EPOCHS, budget_pct).epochs(),
+        batch_size: 16,
+        lr: 0.1,
+        optimizer: OptimizerKind::sgdm(),
+        schedule: spec.clone(),
+        augment: false,
+        grad_clip: None,
+        seed: SEED ^ u64::from(budget_pct),
+    });
+    trainer
+        .train_classifier_traced(
+            &model,
+            &train.images,
+            &train.labels,
+            &test.images,
+            &test.labels,
+            &mut rec,
+        )
+        .expect("golden cell must train");
+    handle.events()
+}
+
+fn golden_path(name: &str, budget_pct: u32) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}_b{budget_pct}.jsonl"))
+}
+
+/// Compares one cell against its golden file, or rewrites the file when
+/// the `REX_BLESS` environment variable is set.
+fn check_cell(name: &str, spec: &ScheduleSpec, budget_pct: u32) {
+    let events = run_trace(spec, budget_pct);
+    let path = golden_path(name, budget_pct);
+    if std::env::var_os("REX_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, encode_trace(&events, false)).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run scripts/bless_traces.sh",
+            path.display()
+        )
+    });
+    let golden = parse_trace(&text).expect("golden file must parse");
+    if let Err(diff) = diff_traces(&golden, &events, &Tolerances::default()) {
+        panic!("{name} @ {budget_pct}%: {diff}");
+    }
+}
+
+#[test]
+fn golden_trace_rex() {
+    for pct in [10, 50] {
+        check_cell("rex", &ScheduleSpec::Rex, pct);
+    }
+}
+
+#[test]
+fn golden_trace_linear() {
+    for pct in [10, 50] {
+        check_cell("linear", &ScheduleSpec::Linear, pct);
+    }
+}
+
+#[test]
+fn golden_trace_cosine() {
+    for pct in [10, 50] {
+        check_cell("cosine", &ScheduleSpec::Cosine, pct);
+    }
+}
+
+#[test]
+fn golden_trace_step() {
+    for pct in [10, 50] {
+        check_cell("step", &ScheduleSpec::Step, pct);
+    }
+}
+
+/// Two same-seed runs must serialise to byte-identical JSONL (timing is
+/// excluded from the encoding), so traces are diffable with plain tools.
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let a = encode_trace(&run_trace(&ScheduleSpec::Rex, 50), false);
+    let b = encode_trace(&run_trace(&ScheduleSpec::Rex, 50), false);
+    assert_eq!(a, b);
+    assert!(a.ends_with('\n') && a.lines().count() > 4);
+}
+
+/// The negative control: a one-step LR perturbation far smaller than any
+/// loss-level noise must still be caught, and the report must point at
+/// the exact step and field.
+#[test]
+fn injected_lr_perturbation_is_detected() {
+    let golden = run_trace(&ScheduleSpec::Rex, 50);
+    let mut tampered = golden.clone();
+    let (idx, want_step) = tampered
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| e.as_step().map(|s| (i, s.step)))
+        .nth(5)
+        .expect("trace has at least six steps");
+    if let Event::Step(rec) = &mut tampered[idx] {
+        rec.lr *= 1.001; // 0.1% — invisible to loss tolerances, not to LR's
+    }
+    let diff = diff_traces(&golden, &tampered, &Tolerances::default())
+        .expect_err("perturbed trace must diverge");
+    assert_eq!(diff.index, idx);
+    assert_eq!(diff.step, Some(want_step));
+    assert_eq!(diff.field, "step.lr");
+
+    // and the untampered trace still matches itself exactly
+    assert!(diff_traces(&golden, &golden, &Tolerances::default()).is_ok());
+}

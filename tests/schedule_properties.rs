@@ -6,8 +6,8 @@
 //! progress grids so the suite builds fully offline.
 
 use rex::schedules::{
-    all_paper_schedules, Profile, ReflectedExponential, SamplingRate, Schedule, ScheduleSpec,
-    Table2Profile,
+    all_paper_schedules, DecayOnPlateau, OneCycle, Profile, ReflectedExponential, SamplingRate,
+    Schedule, ScheduleSpec, Table2Profile,
 };
 
 /// Dense grid over [0, 1] including both endpoints.
@@ -206,6 +206,130 @@ fn plateau_spec_requests_validation_feedback() {
     // wrappers propagate the requirement
     let wrapped = ScheduleSpec::WithWarmup(Box::new(ScheduleSpec::DecayOnPlateau(5)), 10, 0.1);
     assert!(wrapped.needs_validation_feedback());
+}
+
+/// REX pinned against the paper's closed form
+/// η_t = η₀ · (1 − t/T) / (1/2 + 1/2·(1 − t/T)) at canonical progress
+/// fractions, including the last step before exhaustion (t/T = 1 − 1/T).
+#[test]
+fn rex_closed_form_pinned_values() {
+    let total = 100u64;
+    let mut rex = ScheduleSpec::Rex.build();
+    for (t, want) in [
+        (0u64, 1.0),
+        (25, 6.0 / 7.0),
+        (50, 2.0 / 3.0),
+        (75, 2.0 / 5.0),
+        (99, 2.0 / 101.0), // t/T = 1 − 1/T
+    ] {
+        let got = rex.factor(t, total);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "REX at t={t}/{total}: got {got}, want {want}"
+        );
+    }
+}
+
+/// OneCycle's two phases are strictly monotone: the LR factor rises over
+/// the first half of the budget and falls over the second, while the
+/// momentum does exactly the opposite.
+#[test]
+fn onecycle_phases_are_monotone() {
+    let total = 1000u64;
+    let mut oc = OneCycle::default();
+    for t in 1..=total {
+        let prev_f = oc.factor(t - 1, total);
+        let f = oc.factor(t, total);
+        let prev_m = oc.momentum(t - 1, total).unwrap();
+        let m = oc.momentum(t, total).unwrap();
+        if t <= total / 2 {
+            assert!(f > prev_f, "LR must rise during warmup, t={t}");
+            assert!(m < prev_m, "momentum must fall during warmup, t={t}");
+        } else {
+            assert!(f < prev_f, "LR must fall during cooldown, t={t}");
+            assert!(m > prev_m, "momentum must rise during cooldown, t={t}");
+        }
+    }
+}
+
+/// OneCycle peaks exactly mid-budget at the full initial LR, starts and
+/// ends at the 0.1 floor, and its momentum mirrors the LR within the
+/// recommended [0.85, 0.95] band.
+#[test]
+fn onecycle_peak_floor_and_momentum_band() {
+    let total = 1000u64;
+    let mut oc = OneCycle::default();
+    assert!((oc.factor(total / 2, total) - 1.0).abs() < 1e-12, "peak");
+    assert!((oc.factor(0, total) - 0.1).abs() < 1e-12, "start floor");
+    assert!((oc.factor(total, total) - 0.1).abs() < 1e-12, "end floor");
+    for t in (0..=total).step_by(7) {
+        let f = oc.factor(t, total);
+        let m = oc.momentum(t, total).unwrap();
+        assert!((0.1..=1.0 + 1e-12).contains(&f), "factor {f} at t={t}");
+        assert!((0.85..=0.95).contains(&m), "momentum {m} at t={t}");
+        // exact mirror: both are affine images of the same triangle wave
+        let tri = (f - 0.1) / 0.9;
+        let want_m = 0.95 - 0.1 * tri;
+        assert!(
+            (m - want_m).abs() < 1e-12,
+            "momentum not mirroring at t={t}"
+        );
+    }
+}
+
+/// Plateau patience contract: the decay fires only after `patience`
+/// consecutive stale validations, any real improvement resets the stale
+/// counter, and the factor is γ^decays independent of progress.
+#[test]
+fn plateau_patience_and_decay_factor() {
+    let mut s = DecayOnPlateau::new(3, 0.1);
+    s.on_validation(2.0);
+    // two stale reports: not enough
+    s.on_validation(2.0);
+    s.on_validation(2.0);
+    assert_eq!(s.decay_count(), 0);
+    // improvement resets the window
+    s.on_validation(1.0);
+    s.on_validation(1.0);
+    s.on_validation(1.0);
+    assert_eq!(s.decay_count(), 0);
+    // third consecutive stale report after the reset triggers the decay
+    s.on_validation(1.0);
+    assert_eq!(s.decay_count(), 1);
+    // factor is progress-independent
+    let f_early = s.factor(0, 100);
+    let f_late = s.factor(99, 100);
+    assert!((f_early - 0.1).abs() < 1e-12 && (f_early - f_late).abs() < 1e-12);
+}
+
+/// Plateau cooldown contract: a decay resets the stale counter, so the
+/// next decay needs a full fresh patience window — decays can never fire
+/// on consecutive validations when patience > 1.
+#[test]
+fn plateau_cooldown_between_decays() {
+    let mut s = DecayOnPlateau::new(2, 0.5);
+    s.on_validation(1.0);
+    let mut decay_gaps = Vec::new();
+    let mut last_decay_at = None;
+    for i in 0..9 {
+        let before = s.decay_count();
+        s.on_validation(1.0); // never improves
+        if s.decay_count() > before {
+            if let Some(prev) = last_decay_at {
+                decay_gaps.push(i - prev);
+            }
+            last_decay_at = Some(i);
+        }
+    }
+    assert_eq!(s.decay_count(), 4, "9 stale reports, patience 2");
+    assert!(
+        decay_gaps.iter().all(|&g| g >= 2),
+        "decays fired without a full patience window between them: {decay_gaps:?}"
+    );
+    assert!((s.factor(0, 1) - 0.5f64.powi(4)).abs() < 1e-12);
+    // reset restores the undecayed factor
+    s.reset();
+    assert_eq!(s.factor(0, 1), 1.0);
 }
 
 #[test]
