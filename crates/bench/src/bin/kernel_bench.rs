@@ -1,10 +1,24 @@
 //! `kernel-bench` — self-contained perf harness for the rex-tensor
 //! compute kernels (std-only: no criterion, works fully offline).
 //!
-//! Measures the blocked-GEMM / im2col kernel stack against the seed's
-//! naive reference implementations ([`rex_tensor::reference`]) and writes
-//! `BENCH_kernels.json` at the repository root. Timing is wall-clock
-//! `std::time::Instant`, warmup runs followed by a median over N reps.
+//! Measures three things and writes `BENCH_kernels.json` at the
+//! repository root:
+//!
+//! 1. **cases** — the blocked-GEMM / im2col kernel stack against the
+//!    seed's naive reference implementations ([`rex_tensor::reference`]),
+//!    at the pool's configured thread count.
+//! 2. **thread_sweep** — the optimized kernels re-timed at 1/2/4/8 pool
+//!    threads (via scoped pool overrides), with per-case speedup-vs-1
+//!    and parallel efficiency (`speedup / threads`). `host_cores`
+//!    records how many cores the host actually has, so sweep numbers
+//!    from an oversubscribed host (threads > cores) read honestly:
+//!    there, efficiency is bounded by `host_cores / threads`.
+//! 3. **grid** — wall-clock of one small real [`rex_bench::run_schedule_grid`]
+//!    training grid at 1 pool thread vs 4, i.e. the harness-level
+//!    speedup from running independent grid cells concurrently.
+//!
+//! Timing is wall-clock `std::time::Instant`, warmup runs followed by a
+//! median over N reps.
 //!
 //! ```text
 //! cargo run --release -p rex-bench --bin kernel-bench [-- --smoke] [--reps N]
@@ -12,15 +26,27 @@
 //! ```
 //!
 //! `--smoke` drops to 3 reps / 1 warmup for CI sanity. `--threads N`
-//! sets `REX_NUM_THREADS` before the first kernel dispatch. See
-//! DESIGN.md §"Compute kernels" for the JSON schema.
+//! sizes the worker pool (overriding `REX_NUM_THREADS`) for the `cases`
+//! section; the sweep and grid sections always pin their own pool sizes.
+//! See DESIGN.md §"Compute kernels" for the JSON schema.
 
 use std::time::Instant;
 
+use rex_bench::{run_schedule_grid, Cell};
+use rex_core::ScheduleSpec;
+use rex_data::images::synth_cifar10;
 use rex_tensor::conv::{conv2d_backward, conv2d_forward, Window};
 use rex_tensor::ops::{batch_slice, matmul3};
 use rex_tensor::reference;
 use rex_tensor::{kernels, Prng};
+use rex_train::tasks::{run_image_cell, ImageModel};
+use rex_train::{Budget, OptimizerKind};
+
+/// Pool sizes the scaling sweep measures.
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Pool size for the parallel leg of the grid measurement.
+const GRID_THREADS: usize = 4;
 
 struct Config {
     reps: usize,
@@ -41,6 +67,30 @@ impl Case {
     fn speedup(&self) -> f64 {
         if self.optimized_ms > 0.0 {
             self.baseline_ms / self.optimized_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One thread count's optimized-kernel timings (sweep section).
+struct SweepEntry {
+    threads: usize,
+    case_ms: Vec<(&'static str, f64)>,
+}
+
+/// The grid-harness measurement: same cells, 1 pool thread vs
+/// [`GRID_THREADS`].
+struct GridBench {
+    cells: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl GridBench {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
         } else {
             f64::INFINITY
         }
@@ -73,8 +123,9 @@ fn parse_args() -> Config {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--threads needs a positive integer"));
-                // must happen before the first kernel dispatch caches it
-                std::env::set_var("REX_NUM_THREADS", n.to_string());
+                if let Err(e) = rex_pool::set_num_threads(n) {
+                    die(&format!("--threads {n}: {e}"));
+                }
             }
             "--out" => {
                 cfg.out = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
@@ -212,15 +263,118 @@ fn bench_matmul3(cfg: &Config) -> Case {
     }
 }
 
+/// Re-times the optimized kernels at each sweep thread count. Scoped
+/// pool overrides keep the process-wide default untouched.
+fn bench_thread_sweep(cfg: &Config) -> Vec<SweepEntry> {
+    let (m, k, n) = (256, 256, 256);
+    let mut rng = Prng::new(7);
+    let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+    let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+    let mut rng = Prng::new(11);
+    let input = rng.normal_tensor(&[32, 3, 32, 32], 0.0, 1.0);
+    let weight = rng.normal_tensor(&[16, 3, 3, 3], 0.0, 0.3);
+    let bias = rng.normal_tensor(&[16], 0.0, 0.1);
+    let win = Window {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let (_, saved) = conv2d_forward(&input, &weight, None, win).unwrap();
+    let mut rng = Prng::new(13);
+    let d_out = rng.normal_tensor(&[32, 16, 32, 32], 0.0, 1.0);
+
+    SWEEP_THREADS
+        .iter()
+        .map(|&t| {
+            rex_pool::with_pool_size(t, || SweepEntry {
+                threads: t,
+                case_ms: vec![
+                    (
+                        "matmul_256x256x256",
+                        time_median(cfg, || a.matmul(&b).unwrap()),
+                    ),
+                    (
+                        "conv2d_fwd_32x3x32x32_k3",
+                        time_median(cfg, || {
+                            conv2d_forward(&input, &weight, Some(&bias), win).unwrap()
+                        }),
+                    ),
+                    (
+                        "conv2d_bwd_32x3x32x32_k3",
+                        time_median(cfg, || conv2d_backward(&d_out, &weight, &saved).unwrap()),
+                    ),
+                ],
+            })
+        })
+        .collect()
+}
+
+/// Times one small real training grid (2 schedules × 2 trials of a
+/// micro-ResNet cell) end to end at 1 pool thread, then at
+/// [`GRID_THREADS`]. Both legs run the identical cell list; the
+/// determinism contract makes their records equal, so the only variable
+/// is how many cells run at once.
+fn bench_grid(cfg: &Config) -> GridBench {
+    let data = synth_cifar10(16, 8, 0xBE7C);
+    let schedules = [ScheduleSpec::Rex, ScheduleSpec::Linear];
+    let epochs = if cfg.smoke { 1 } else { 2 };
+    let budgets = [Budget::new(epochs, 100)];
+    let trials = 2;
+    let cells = schedules.len() * budgets.len() * trials;
+    let run = || {
+        run_schedule_grid(
+            "GRID-BENCH",
+            OptimizerKind::sgdm(),
+            &schedules,
+            &budgets,
+            trials,
+            0xBE7C,
+            true,
+            None,
+            |cell: &Cell, _rec| {
+                run_image_cell(
+                    ImageModel::MicroResNet20,
+                    &data,
+                    cell.budget.epochs(),
+                    8,
+                    cell.optimizer,
+                    cell.schedule.clone(),
+                    0.05,
+                    cell.seed,
+                )
+                .unwrap()
+            },
+        )
+    };
+    let time_once = || {
+        let t0 = Instant::now();
+        std::hint::black_box(run());
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    GridBench {
+        cells,
+        serial_ms: rex_pool::with_pool_size(1, time_once),
+        parallel_ms: rex_pool::with_pool_size(GRID_THREADS, time_once),
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_json(path: &str, cfg: &Config, cases: &[Case]) -> std::io::Result<()> {
+fn write_json(
+    path: &str,
+    cfg: &Config,
+    cases: &[Case],
+    sweep: &[SweepEntry],
+    grid: &GridBench,
+) -> std::io::Result<()> {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut body = String::new();
     body.push_str("{\n");
-    body.push_str("  \"schema\": \"rex-kernel-bench/v1\",\n");
+    body.push_str("  \"schema\": \"rex-kernel-bench/v2\",\n");
     body.push_str(&format!("  \"threads\": {},\n", kernels::num_threads()));
+    body.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     body.push_str(&format!("  \"reps\": {},\n", cfg.reps));
     body.push_str(&format!("  \"warmup\": {},\n", cfg.warmup));
     body.push_str(&format!("  \"smoke\": {},\n", cfg.smoke));
@@ -238,7 +392,47 @@ fn write_json(path: &str, cfg: &Config, cases: &[Case]) -> std::io::Result<()> {
             if i + 1 < cases.len() { "," } else { "" }
         ));
     }
-    body.push_str("  ]\n}\n");
+    body.push_str("  ],\n");
+    body.push_str("  \"thread_sweep\": [\n");
+    let base = &sweep[0];
+    for (i, entry) in sweep.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"threads\": {}, \"cases\": [\n",
+            entry.threads
+        ));
+        for (j, (name, ms)) in entry.case_ms.iter().enumerate() {
+            let base_ms = base.case_ms[j].1;
+            let speedup = if *ms > 0.0 {
+                base_ms / ms
+            } else {
+                f64::INFINITY
+            };
+            body.push_str(&format!(
+                "      {{\"name\": \"{}\", \"optimized_ms\": {:.4}, \"speedup_vs_1\": {:.3}, \
+                 \"efficiency\": {:.3}}}{}\n",
+                json_escape(name),
+                ms,
+                speedup,
+                speedup / entry.threads as f64,
+                if j + 1 < entry.case_ms.len() { "," } else { "" }
+            ));
+        }
+        body.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str(&format!(
+        "  \"grid\": {{\"cells\": {}, \"serial_ms\": {:.4}, \"parallel_threads\": {}, \
+         \"parallel_ms\": {:.4}, \"speedup\": {:.3}}}\n",
+        grid.cells,
+        grid.serial_ms,
+        GRID_THREADS,
+        grid.parallel_ms,
+        grid.speedup()
+    ));
+    body.push_str("}\n");
     std::fs::write(path, body)
 }
 
@@ -246,11 +440,13 @@ fn main() {
     let cfg = parse_args();
     // force the thread-count read (and honour --threads) before timing
     let threads = kernels::num_threads();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "kernel-bench: reps={} warmup={} threads={}{}",
+        "kernel-bench: reps={} warmup={} threads={} host_cores={}{}",
         cfg.reps,
         cfg.warmup,
         threads,
+        host_cores,
         if cfg.smoke { " (smoke)" } else { "" }
     );
 
@@ -276,9 +472,44 @@ fn main() {
         );
     }
 
+    let sweep = bench_thread_sweep(&cfg);
+    println!("\nthread scaling (optimized kernels, scoped pool sizes):");
+    println!(
+        "{:<26} {:>9} {:>12} {:>11} {:>10}",
+        "case", "threads", "optimized ms", "speedup/1t", "efficiency"
+    );
+    for entry in &sweep {
+        for (j, (name, ms)) in entry.case_ms.iter().enumerate() {
+            let base_ms = sweep[0].case_ms[j].1;
+            let speedup = if *ms > 0.0 {
+                base_ms / ms
+            } else {
+                f64::INFINITY
+            };
+            println!(
+                "{:<26} {:>9} {:>12.3} {:>10.2}x {:>10.2}",
+                name,
+                entry.threads,
+                ms,
+                speedup,
+                speedup / entry.threads as f64
+            );
+        }
+    }
+
+    let grid = bench_grid(&cfg);
+    println!(
+        "\nschedule-grid harness ({} cells): 1 thread {:.1} ms, {} threads {:.1} ms -> {:.2}x",
+        grid.cells,
+        grid.serial_ms,
+        GRID_THREADS,
+        grid.parallel_ms,
+        grid.speedup()
+    );
+
     let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     let path = cfg.out.as_deref().unwrap_or(default_path);
-    match write_json(path, &cfg, &cases) {
+    match write_json(path, &cfg, &cases, &sweep, &grid) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => {
             eprintln!("kernel-bench: failed to write {path}: {e}");

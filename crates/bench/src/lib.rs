@@ -79,6 +79,9 @@ pub struct Args {
     /// JSONL trace file there (one per setting/optimizer/schedule/
     /// budget/trial combination).
     pub trace: Option<PathBuf>,
+    /// Worker-thread override (`--threads N`); `None` leaves the pool at
+    /// its `REX_NUM_THREADS`/core-count default.
+    pub threads: Option<usize>,
 }
 
 impl Args {
@@ -89,6 +92,7 @@ impl Args {
         let mut trials = None;
         let mut seed = 0u64;
         let mut trace = None;
+        let mut threads = None;
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
@@ -129,9 +133,18 @@ impl Args {
                     trace = Some(PathBuf::from(need_value(i)));
                     i += 2;
                 }
+                "--threads" => {
+                    let n: usize = need_value(i).parse().unwrap_or(0);
+                    if n == 0 {
+                        eprintln!("bad thread count (want an integer >= 1)");
+                        std::process::exit(2);
+                    }
+                    threads = Some(n);
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S] [--trace DIR]"
+                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S] [--trace DIR] [--threads N]"
                     );
                     std::process::exit(0);
                 }
@@ -141,12 +154,19 @@ impl Args {
                 }
             }
         }
+        if let Some(n) = threads {
+            if let Err(e) = rex_pool::set_num_threads(n) {
+                eprintln!("--threads {n}: {e}");
+                std::process::exit(2);
+            }
+        }
         Args {
             scale,
             out,
             trials,
             seed,
             trace,
+            threads,
         }
     }
 }
@@ -228,7 +248,17 @@ pub fn cell_recorder(trace_dir: Option<&Path>, setting: &str, cell: &Cell) -> Re
 /// `trace_dir` set, each cell's recorder writes a JSONL trace named by
 /// [`cell_trace_name`]; otherwise the recorder is disabled (zero cost).
 ///
-/// Progress is streamed to stderr so long runs are observable.
+/// Cells are independent (each derives its own seed, recorder, and
+/// model), so they run concurrently on the [`rex_pool`] worker pool, one
+/// cell per task. Records are assembled afterwards in the canonical
+/// schedule → budget → trial order, so the output is byte-identical to
+/// the old serial loop regardless of thread count or completion order;
+/// tensor ops inside a cell run inline on the worker (the pool never
+/// nests), keeping every cell's trajectory bitwise independent of how
+/// many cells run at once.
+///
+/// Progress is streamed to stderr so long runs are observable; lines may
+/// interleave across cells when the pool has more than one thread.
 #[allow(clippy::too_many_arguments)]
 pub fn run_schedule_grid(
     setting: &str,
@@ -239,13 +269,13 @@ pub fn run_schedule_grid(
     base_seed: u64,
     lower_is_better: bool,
     trace_dir: Option<&Path>,
-    mut cell_fn: impl FnMut(&Cell, &mut Recorder) -> f64,
+    cell_fn: impl Fn(&Cell, &mut Recorder) -> f64 + Sync,
 ) -> Vec<Record> {
-    let mut records = Vec::new();
+    let mut cells = Vec::with_capacity(schedules.len() * budgets.len() * trials);
     for schedule in schedules {
         for budget in budgets {
             for trial in 0..trials {
-                let cell = Cell {
+                cells.push(Cell {
                     schedule: schedule.clone(),
                     optimizer,
                     budget: *budget,
@@ -253,33 +283,42 @@ pub fn run_schedule_grid(
                     seed: base_seed
                         ^ (trial as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         ^ ((budget.pct() as u64) << 32),
-                };
-                let mut rec = cell_recorder(trace_dir, setting, &cell);
-                let t0 = std::time::Instant::now();
-                let score = cell_fn(&cell, &mut rec);
-                rec.flush();
-                eprintln!(
-                    "[{setting}/{}] {} @ {}: trial {} -> {:.2} ({:.1?})",
-                    optimizer.name(),
-                    schedule.name(),
-                    budget,
-                    trial,
-                    score,
-                    t0.elapsed()
-                );
-                records.push(Record {
-                    setting: setting.to_string(),
-                    optimizer: optimizer.name().to_string(),
-                    schedule: schedule.name(),
-                    budget_pct: budget.pct(),
-                    trial: trial as u32,
-                    score,
-                    lower_is_better,
                 });
             }
         }
     }
-    records
+    let mut scores = vec![0.0f64; cells.len()];
+    let cells_ref = &cells;
+    rex_pool::parallel_for_slices(&mut scores, 1, |idx, _, slot| {
+        let cell = &cells_ref[idx];
+        let mut rec = cell_recorder(trace_dir, setting, cell);
+        let t0 = std::time::Instant::now();
+        let score = cell_fn(cell, &mut rec);
+        rec.flush();
+        eprintln!(
+            "[{setting}/{}] {} @ {}: trial {} -> {:.2} ({:.1?})",
+            cell.optimizer.name(),
+            cell.schedule.name(),
+            cell.budget,
+            cell.trial,
+            score,
+            t0.elapsed()
+        );
+        slot[0] = score;
+    });
+    cells
+        .iter()
+        .zip(scores)
+        .map(|(cell, score)| Record {
+            setting: setting.to_string(),
+            optimizer: cell.optimizer.name().to_string(),
+            schedule: cell.schedule.name(),
+            budget_pct: cell.budget.pct(),
+            trial: cell.trial as u32,
+            score,
+            lower_is_better,
+        })
+        .collect()
 }
 
 /// Prints a paper-style table (rows = schedules, columns = budgets) from

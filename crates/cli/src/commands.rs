@@ -13,6 +13,17 @@ use std::path::Path;
 
 use crate::args::{parse_optimizer, parse_schedule, Flags};
 
+/// Applies the optional `--threads <n>` flag to the worker pool. The flag
+/// overrides `REX_NUM_THREADS`; it must come before the pool first runs a
+/// task, which holds for flag parsing at subcommand entry.
+fn threads_from_flags(flags: &Flags) -> Result<(), String> {
+    match flags.get_or("threads", 0usize)? {
+        0 if flags.get("threads").is_some() => Err("--threads must be an integer >= 1".to_string()),
+        0 => Ok(()),
+        n => rex_pool::set_num_threads(n).map_err(|e| format!("--threads {n}: {e}")),
+    }
+}
+
 /// Builds a recorder from the optional `--trace <path>` flag: a JSONL
 /// writer when given, otherwise disabled.
 fn recorder_from_flags(flags: &Flags) -> Result<Recorder, String> {
@@ -150,6 +161,7 @@ pub fn train(argv: &[String]) -> i32 {
 
 fn train_inner(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
+    threads_from_flags(&flags)?;
     let seed: u64 = flags.get_or("seed", 0u64)?;
     let setting = load_setting(flags.require("setting")?, seed)?;
     let budget_pct: u32 = flags.get_or("budget", 100u32)?;
@@ -236,6 +248,7 @@ pub fn sweep(argv: &[String]) -> i32 {
 
 fn sweep_inner(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
+    threads_from_flags(&flags)?;
     let seed: u64 = flags.get_or("seed", 0u64)?;
     let setting = load_setting(flags.require("setting")?, seed)?;
     let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
@@ -318,6 +331,7 @@ pub fn range_test(argv: &[String]) -> i32 {
 
 fn range_test_inner(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
+    threads_from_flags(&flags)?;
     let seed: u64 = flags.get_or("seed", 0u64)?;
     let setting = load_setting(flags.require("setting")?, seed)?;
     let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;

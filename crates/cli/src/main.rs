@@ -45,16 +45,25 @@ USAGE:
 
   rexctl train --setting <SETTING> [--budget PCT] [--schedule NAME]
                [--optimizer sgdm|adam] [--lr LR] [--seed S] [--trace FILE]
+               [--threads N]
       Train one budgeted cell and print the final metric. With --trace,
       write a JSONL telemetry trace (one step record per optimizer step)
-      to FILE; same-seed runs produce byte-identical traces.
+      to FILE; same-seed runs produce byte-identical traces at any
+      thread count.
 
   rexctl sweep --setting <SETTING> [--budgets 1,5,10,25,50,100]
                [--schedules rex,linear,...] [--optimizer sgdm|adam]
+               [--threads N]
       Run a schedule x budget mini-grid and print a markdown table.
 
   rexctl range-test --setting <SETTING> [--optimizer sgdm|adam] [--trace FILE]
+               [--threads N]
       Run an LR range test and print the suggested initial LR.
+
+THREADS:
+  --threads N sizes the persistent worker pool (overrides the
+  REX_NUM_THREADS environment variable). Results are bitwise identical
+  at any thread count.
 
 SETTINGS:
   rn20-cifar10 | rn38-cifar10 | wrn-stl10 | vgg16-cifar100 | vae-mnist

@@ -146,34 +146,82 @@ impl Sgd {
     }
 }
 
+/// Per-parameter SGD work unit: disjoint `&mut` windows onto the value
+/// and velocity storage plus an owned gradient clone, so each parameter
+/// updates as an independent task on the thread pool.
+struct SgdTask<'a> {
+    value: &'a mut [f32],
+    velocity: &'a mut [f32],
+    grad: Tensor,
+    update_sq: f32,
+}
+
 impl Optimizer for Sgd {
     fn step(&mut self) {
-        let mut update_sq = 0.0f32;
-        for (p, v) in self.params.iter().zip(&mut self.velocity) {
-            let mut grad = p.grad();
-            if self.weight_decay != 0.0 {
-                grad.axpy(self.weight_decay, &p.value());
+        let (lr, momentum, nesterov, weight_decay, instrumented) = (
+            self.lr,
+            self.momentum,
+            self.nesterov,
+            self.weight_decay,
+            self.instrumented,
+        );
+        // Gradients are cloned out before the value guards are taken:
+        // `Param` keeps value and grad behind one `RefCell`, so `grad()`
+        // must not run while a `value_mut()` borrow is live. The guards
+        // stay on this thread (Param is not Send); only the raw `&mut`
+        // windows travel to the pool.
+        let grads: Vec<Tensor> = self.params.iter().map(|p| p.grad()).collect();
+        let mut guards: Vec<_> = self.params.iter().map(|p| p.value_mut()).collect();
+        let mut tasks: Vec<SgdTask<'_>> = guards
+            .iter_mut()
+            .zip(self.velocity.iter_mut())
+            .zip(grads)
+            .map(|((value, velocity), grad)| SgdTask {
+                value: value.data_mut(),
+                velocity: velocity.data_mut(),
+                grad,
+                update_sq: 0.0,
+            })
+            .collect();
+        // One parameter per chunk: every float op below matches the serial
+        // history exactly, and the per-parameter norm partials are folded
+        // in parameter order, so `step` is bitwise identical at any thread
+        // count.
+        rex_pool::parallel_for_slices(&mut tasks, 1, |_, _, task| {
+            let t = &mut task[0];
+            if weight_decay != 0.0 {
+                // grad += wd * value
+                for (g, &w) in t.grad.data_mut().iter_mut().zip(t.value.iter()) {
+                    *g += weight_decay * w;
+                }
             }
-            if self.momentum != 0.0 {
+            if momentum != 0.0 {
                 // v = momentum*v + grad
-                for (vi, gi) in v.data_mut().iter_mut().zip(grad.data()) {
-                    *vi = self.momentum * *vi + gi;
+                for (vi, gi) in t.velocity.iter_mut().zip(t.grad.data()) {
+                    *vi = momentum * *vi + gi;
                 }
-                if self.nesterov {
+                if nesterov {
                     // effective grad = grad + momentum * v
-                    grad.axpy(self.momentum, v);
+                    for (g, &v) in t.grad.data_mut().iter_mut().zip(t.velocity.iter()) {
+                        *g += momentum * v;
+                    }
                 } else {
-                    grad = v.clone();
+                    t.grad.data_mut().copy_from_slice(t.velocity);
                 }
             }
-            if self.instrumented {
-                update_sq += grad.sq_norm();
+            if instrumented {
+                t.update_sq = t.grad.sq_norm();
             }
-            p.value_mut().axpy(-self.lr, &grad);
-        }
-        if self.instrumented {
+            // value += -lr * grad_eff
+            for (w, &g) in t.value.iter_mut().zip(t.grad.data()) {
+                *w += -lr * g;
+            }
+        });
+        if instrumented {
+            let update_sq: f32 = tasks.iter().map(|t| t.update_sq).sum();
+            drop(tasks);
             // the applied update is -lr * grad_eff, so scale the norm by lr
-            self.last_update_norm = Some(self.lr.abs() * update_sq.sqrt());
+            self.last_update_norm = Some(lr.abs() * update_sq.sqrt());
         }
     }
 
@@ -289,44 +337,80 @@ impl Adam {
     }
 }
 
+/// Per-parameter Adam work unit (see [`SgdTask`] for the borrow story).
+struct AdamTask<'a> {
+    value: &'a mut [f32],
+    m: &'a mut [f32],
+    v: &'a mut [f32],
+    grad: Tensor,
+    update_sq: f32,
+}
+
 impl Optimizer for Adam {
     fn step(&mut self) {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let mut update_sq = 0.0f32;
-        for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
-            let mut grad = p.grad();
-            if self.weight_decay != 0.0 && !self.decoupled {
-                grad.axpy(self.weight_decay, &p.value());
+        let (lr, beta1, beta2, eps, weight_decay, decoupled, instrumented) = (
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            self.weight_decay,
+            self.decoupled,
+            self.instrumented,
+        );
+        let grads: Vec<Tensor> = self.params.iter().map(|p| p.grad()).collect();
+        let mut guards: Vec<_> = self.params.iter().map(|p| p.value_mut()).collect();
+        let mut tasks: Vec<AdamTask<'_>> = guards
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+            .zip(grads)
+            .map(|(((value, m), v), grad)| AdamTask {
+                value: value.data_mut(),
+                m: m.data_mut(),
+                v: v.data_mut(),
+                grad,
+                update_sq: 0.0,
+            })
+            .collect();
+        // One parameter per chunk; every per-element float op matches the
+        // serial loop exactly and the norm partials fold in parameter
+        // order, so the update is bitwise identical at any thread count.
+        rex_pool::parallel_for_slices(&mut tasks, 1, |_, _, task| {
+            let t = &mut task[0];
+            if weight_decay != 0.0 && !decoupled {
+                // grad += wd * value (coupled L2)
+                for (g, &w) in t.grad.data_mut().iter_mut().zip(t.value.iter()) {
+                    *g += weight_decay * w;
+                }
             }
-            for ((mi, vi), gi) in m
-                .data_mut()
-                .iter_mut()
-                .zip(v.data_mut().iter_mut())
-                .zip(grad.data())
-            {
-                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
-                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            for ((mi, vi), gi) in t.m.iter_mut().zip(t.v.iter_mut()).zip(t.grad.data()) {
+                *mi = beta1 * *mi + (1.0 - beta1) * gi;
+                *vi = beta2 * *vi + (1.0 - beta2) * gi * gi;
             }
-            let mut value = p.value_mut();
-            if self.weight_decay != 0.0 && self.decoupled {
-                let decay = self.lr * self.weight_decay;
-                for w in value.data_mut() {
+            if weight_decay != 0.0 && decoupled {
+                let decay = lr * weight_decay;
+                for w in t.value.iter_mut() {
                     *w -= decay * *w;
                 }
             }
-            for ((w, mi), vi) in value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+            let mut update_sq = 0.0f32;
+            for ((w, mi), vi) in t.value.iter_mut().zip(t.m.iter()).zip(t.v.iter()) {
                 let m_hat = mi / bc1;
                 let v_hat = vi / bc2;
-                let delta = self.lr * m_hat / (v_hat.sqrt() + self.eps);
-                if self.instrumented {
+                let delta = lr * m_hat / (v_hat.sqrt() + eps);
+                if instrumented {
                     update_sq += delta * delta;
                 }
                 *w -= delta;
             }
-        }
-        if self.instrumented {
+            t.update_sq = update_sq;
+        });
+        if instrumented {
+            let update_sq: f32 = tasks.iter().map(|t| t.update_sq).sum();
+            drop(tasks);
             self.last_update_norm = Some(update_sq.sqrt());
         }
     }

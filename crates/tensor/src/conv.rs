@@ -114,8 +114,22 @@ pub fn conv2d_forward(
     let ckk = c * win.kernel * win.kernel;
     let ohw = oh * ow;
 
+    if let Some(b) = bias {
+        if b.shape() != [o] {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!("bias shape {:?}, expected [{o}]", b.shape()),
+            });
+        }
+    }
+
+    // Samples are independent, so both phases shard the batch axis onto
+    // the thread pool (one sample per chunk — the grid depends only on n,
+    // and each sample's float work is untouched, so results are bitwise
+    // identical to the serial loop at any thread count).
+    let par = n >= 2 && n * o * ckk * ohw >= kernels::PAR_FLOPS && kernels::num_threads() > 1;
+
     let mut cols = take_cols(n * ckk * ohw);
-    for s in 0..n {
+    let im2col_into = |s: usize, cols_s: &mut [f32]| {
         im2col_sample(
             &input.data()[s * c * h * w..(s + 1) * c * h * w],
             c,
@@ -124,38 +138,44 @@ pub fn conv2d_forward(
             win,
             oh,
             ow,
-            &mut cols[s * ckk * ohw..(s + 1) * ckk * ohw],
+            cols_s,
         );
+    };
+    if par {
+        rex_pool::parallel_for_slices(&mut cols, ckk * ohw, |s, _, cols_s| im2col_into(s, cols_s));
+    } else {
+        for (s, cols_s) in cols.chunks_mut(ckk * ohw).enumerate() {
+            im2col_into(s, cols_s);
+        }
     }
 
     // weight viewed as [O, CKK] (already contiguous); per-sample
-    // out = weight × cols -> [O, OHW], one batched GEMM over the samples
+    // out = weight × cols -> [O, OHW], sharded over the samples
     let mut out = vec![0.0f32; n * o * ohw];
     let wmat = weight.data();
-    for s in 0..n {
+    let compute_out = |s: usize, out_s: &mut [f32]| {
         kernels::gemm(
             o,
             ckk,
             ohw,
             wmat,
             &cols[s * ckk * ohw..(s + 1) * ckk * ohw],
-            &mut out[s * o * ohw..(s + 1) * o * ohw],
+            out_s,
         );
-    }
-    if let Some(b) = bias {
-        if b.shape() != [o] {
-            return Err(TensorError::InvalidGeometry {
-                reason: format!("bias shape {:?}, expected [{o}]", b.shape()),
-            });
-        }
-        for s in 0..n {
+        if let Some(b) = bias {
             for oc in 0..o {
                 let bv = b.data()[oc];
-                let base = (s * o + oc) * ohw;
-                for v in &mut out[base..base + ohw] {
+                for v in &mut out_s[oc * ohw..(oc + 1) * ohw] {
                     *v += bv;
                 }
             }
+        }
+    };
+    if par {
+        rex_pool::parallel_for_slices(&mut out, o * ohw, |s, _, out_s| compute_out(s, out_s));
+    } else {
+        for (s, out_s) in out.chunks_mut(o * ohw).enumerate() {
+            compute_out(s, out_s);
         }
     }
 
@@ -225,27 +245,38 @@ fn conv2d_backward_impl(
     let mut d_weight = Tensor::zeros(&[o, ckk]);
     let mut d_input = Tensor::zeros(&[n, c, h, w]);
     let mut d_bias = Tensor::zeros(&[o]);
-    // per-sample gradient columns, recycled from the scratch pool
-    let mut dcols = take_cols(ckk * ohw);
 
+    // Phase 1 — d_input: each sample's dCols = Wᵀ × dOut and col2im
+    // scatter touch only that sample's slice, so the batch axis shards
+    // onto the pool (one sample per chunk, bitwise identical to serial;
+    // each task draws its own gradient-columns workspace from the
+    // thread-local scratch pool).
+    let par = n >= 2 && n * o * ckk * ohw >= kernels::PAR_FLOPS && kernels::num_threads() > 1;
+    let dinput_sample = |s: usize, d_in_s: &mut [f32]| {
+        let dmat = &d_out.data()[s * o * ohw..(s + 1) * o * ohw];
+        let mut dcols = take_cols(ckk * ohw);
+        kernels::gemm_tn(ckk, o, ohw, wmat, dmat, &mut dcols);
+        col2im_sample(&dcols, c, h, w, saved.win, oh, ow, d_in_s);
+    };
+    if par {
+        rex_pool::parallel_for_slices(d_input.data_mut(), c * h * w, |s, _, d_in_s| {
+            dinput_sample(s, d_in_s)
+        });
+    } else {
+        for (s, d_in_s) in d_input.data_mut().chunks_mut(c * h * w).enumerate() {
+            dinput_sample(s, d_in_s);
+        }
+    }
+
+    // Phase 2 — d_weight / d_bias accumulate across samples into shared
+    // buffers; the sample loop stays serial so the accumulation order (and
+    // hence the float result) matches the single-threaded history exactly.
+    // Each gemm_nt still row-shards internally on the pool.
     for s in 0..n {
         let dmat = &d_out.data()[s * o * ohw..(s + 1) * o * ohw];
         let colmat = &saved.cols[s * ckk * ohw..(s + 1) * ckk * ohw];
         // dW += dOut × colsᵀ (GEMM accumulates across samples directly)
         kernels::gemm_nt(o, ohw, ckk, dmat, colmat, d_weight.data_mut());
-        // dCols = Wᵀ × dOut
-        dcols.fill(0.0);
-        kernels::gemm_tn(ckk, o, ohw, wmat, dmat, &mut dcols);
-        col2im_sample(
-            &dcols,
-            c,
-            h,
-            w,
-            saved.win,
-            oh,
-            ow,
-            &mut d_input.data_mut()[s * c * h * w..(s + 1) * c * h * w],
-        );
         // dB += sum over space (skipped for bias-free layers)
         if want_bias {
             for oc in 0..o {

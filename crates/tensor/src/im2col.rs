@@ -44,33 +44,77 @@ pub fn im2col_sample(
     cols: &mut [f32],
 ) {
     let k = win.kernel;
+    let per_ch = k * k * oh * ow;
+    // Channels are fully independent (disjoint input planes, disjoint cols
+    // row blocks), so the channel axis parallelizes with no float-order
+    // change; nested calls (from the batch-parallel conv driver) run
+    // inline on their worker.
+    if c >= 2 && c * per_ch >= PAR_ELEMS && rex_pool::current_num_threads() > 1 {
+        rex_pool::parallel_for_slices(&mut cols[..c * per_ch], per_ch, |ch, _, chunk| {
+            im2col_channel(
+                &input[ch * h * w..(ch + 1) * h * w],
+                h,
+                w,
+                win,
+                oh,
+                ow,
+                chunk,
+            );
+        });
+    } else {
+        for (ch, chunk) in cols[..c * per_ch].chunks_mut(per_ch).enumerate() {
+            im2col_channel(
+                &input[ch * h * w..(ch + 1) * h * w],
+                h,
+                w,
+                win,
+                oh,
+                ow,
+                chunk,
+            );
+        }
+    }
+}
+
+/// Minimum moved elements before the channel axis is worth sharding.
+const PAR_ELEMS: usize = 1 << 16;
+
+/// Unrolls one input plane (`[H, W]`) into its `K·K` rows of the patch
+/// matrix (`cols` is the channel's `[K·K, OH·OW]` block).
+fn im2col_channel(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    win: Window,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    let k = win.kernel;
     let ohw = oh * ow;
-    for ch in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ch * k + ky) * k + kx;
-                let base = row * ohw;
-                for oy in 0..oh {
-                    let iy = (oy * win.stride + ky) as isize - win.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        // zero-padding region: cols pre-zeroed
+    for ky in 0..k {
+        for kx in 0..k {
+            let base = (ky * k + kx) * ohw;
+            for oy in 0..oh {
+                let iy = (oy * win.stride + ky) as isize - win.padding as isize;
+                if iy < 0 || iy >= h as isize {
+                    // zero-padding region: cols pre-zeroed
+                    continue;
+                }
+                let iy = iy as usize;
+                if win.stride == 1 && win.padding == 0 {
+                    // contiguous fast path: whole output row is one memcpy
+                    let src = iy * w + kx;
+                    cols[base + oy * ow..base + oy * ow + ow]
+                        .copy_from_slice(&plane[src..src + ow]);
+                    continue;
+                }
+                for ox in 0..ow {
+                    let ix = (ox * win.stride + kx) as isize - win.padding as isize;
+                    if ix < 0 || ix >= w as isize {
                         continue;
                     }
-                    let iy = iy as usize;
-                    if win.stride == 1 && win.padding == 0 {
-                        // contiguous fast path: whole output row is one memcpy
-                        let src = (ch * h + iy) * w + kx;
-                        cols[base + oy * ow..base + oy * ow + ow]
-                            .copy_from_slice(&input[src..src + ow]);
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * win.stride + kx) as isize - win.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        cols[base + oy * ow + ox] = input[(ch * h + iy) * w + ix as usize];
-                    }
+                    cols[base + oy * ow + ox] = plane[iy * w + ix as usize];
                 }
             }
         }
@@ -97,25 +141,66 @@ pub fn col2im_sample(
     out: &mut [f32],
 ) {
     let k = win.kernel;
+    let per_ch = k * k * oh * ow;
+    // Kernel offsets within a channel overlap on the input grid, but
+    // distinct channels scatter onto disjoint `[H, W]` planes, so only the
+    // channel axis is safe to shard — and doing so leaves every plane's
+    // accumulation order untouched (bitwise identical to serial).
+    if c >= 2 && c * per_ch >= PAR_ELEMS && rex_pool::current_num_threads() > 1 {
+        rex_pool::parallel_for_slices(&mut out[..c * h * w], h * w, |ch, _, plane| {
+            col2im_channel(
+                &cols[ch * per_ch..(ch + 1) * per_ch],
+                h,
+                w,
+                win,
+                oh,
+                ow,
+                plane,
+            );
+        });
+    } else {
+        for (ch, plane) in out[..c * h * w].chunks_mut(h * w).enumerate() {
+            col2im_channel(
+                &cols[ch * per_ch..(ch + 1) * per_ch],
+                h,
+                w,
+                win,
+                oh,
+                ow,
+                plane,
+            );
+        }
+    }
+}
+
+/// Scatter-adds one channel's `[K·K, OH·OW]` gradient block onto its
+/// `[H, W]` input-gradient plane.
+fn col2im_channel(
+    cols: &[f32],
+    h: usize,
+    w: usize,
+    win: Window,
+    oh: usize,
+    ow: usize,
+    plane: &mut [f32],
+) {
+    let k = win.kernel;
     let ohw = oh * ow;
-    for ch in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ch * k + ky) * k + kx;
-                let base = row * ohw;
-                for oy in 0..oh {
-                    let iy = (oy * win.stride + ky) as isize - win.padding as isize;
-                    if iy < 0 || iy >= h as isize {
+    for ky in 0..k {
+        for kx in 0..k {
+            let base = (ky * k + kx) * ohw;
+            for oy in 0..oh {
+                let iy = (oy * win.stride + ky) as isize - win.padding as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let iy = iy as usize;
+                for ox in 0..ow {
+                    let ix = (ox * win.stride + kx) as isize - win.padding as isize;
+                    if ix < 0 || ix >= w as isize {
                         continue;
                     }
-                    let iy = iy as usize;
-                    for ox in 0..ow {
-                        let ix = (ox * win.stride + kx) as isize - win.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        out[(ch * h + iy) * w + ix as usize] += cols[base + oy * ow + ox];
-                    }
+                    plane[iy * w + ix as usize] += cols[base + oy * ow + ox];
                 }
             }
         }

@@ -28,14 +28,19 @@
 //!
 //! # Threading
 //!
-//! `REX_NUM_THREADS` (default 1) shards the rows of `C` — or the batch
-//! axis for the `gemm_batch*` family — across `std::thread::scope` threads.
-//! Each thread owns a disjoint `&mut` chunk of `C` and its own scratch
-//! pool, so there is no synchronisation beyond the final join. On a
-//! single-core host the default of 1 makes the layer a no-op.
+//! Products above [`PAR_FLOPS`] shard the rows of `C` — or the batch axis
+//! for the `gemm_batch*` family — onto the persistent [`rex_pool`] worker
+//! pool in *fixed-size* chunks ([`MC`] rows / one batch sample per chunk),
+//! so no thread is ever spawned in the hot path and the chunk grid is a
+//! function of problem size alone. Each chunk owns a disjoint `&mut`
+//! window of `C` and its own thread-local scratch pool, and per-row
+//! accumulation order is independent of which rows share a chunk, so
+//! results are bitwise identical at every thread count (see the
+//! determinism contract in `rex_pool`). Thread count comes from
+//! [`rex_pool::num_threads`]: `--threads` flag > `REX_NUM_THREADS` > core
+//! count.
 
 use crate::scratch::PooledBuf;
-use std::sync::OnceLock;
 
 /// Rows of `A` per packed block (`MC × KC` block ≈ 64 KiB, L2-resident).
 pub const MC: usize = 64;
@@ -49,22 +54,17 @@ pub const NC: usize = 256;
 /// path runs instead of the blocked algorithm.
 const SMALL_FLOPS: usize = 1 << 15;
 
-/// Minimum `m·k·n` (times batch for the batched entry points) before the
-/// row-sharding threads are spawned; below it, spawn cost dominates.
-const PAR_FLOPS: usize = 1 << 20;
+/// Minimum `m·k·n` (times batch for the batched entry points) before work
+/// is handed to the thread pool; below it, handoff cost dominates.
+pub(crate) const PAR_FLOPS: usize = 1 << 20;
 
-/// Number of worker threads for the GEMM layer, from `REX_NUM_THREADS`.
+/// Number of worker threads for the compute layer.
 ///
-/// Read once per process; invalid or absent values mean 1 (serial).
+/// Delegates to [`rex_pool::current_num_threads`] — resolved once per
+/// process as `set_num_threads` (`--threads`) > `REX_NUM_THREADS` > core
+/// count, with scoped overrides from `rex_pool::with_pool_size` honoured.
 pub fn num_threads() -> usize {
-    static N: OnceLock<usize> = OnceLock::new();
-    *N.get_or_init(|| {
-        std::env::var("REX_NUM_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1)
-    })
+    rex_pool::current_num_threads()
 }
 
 /// Operand layout of a product `C += op(A)·op(B)`.
@@ -163,13 +163,12 @@ fn gemm_driver(layout: Layout, m: usize, k: usize, n: usize, a: &[f32], b: &[f32
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let nt = num_threads();
-    if nt > 1 && m >= 2 && m * k * n >= PAR_FLOPS {
-        let rows_per = m.div_ceil(nt.min(m));
-        std::thread::scope(|s| {
-            for (ti, chunk) in c.chunks_mut(rows_per * n).enumerate() {
-                s.spawn(move || gemm_rows(layout, m, k, n, a, b, chunk, ti * rows_per));
-            }
+    if num_threads() > 1 && m > MC && m * k * n >= PAR_FLOPS {
+        // MC-row chunks: the grid depends only on m, and each C row's
+        // accumulation order is row-local, so any partition of the rows is
+        // bitwise identical to the serial pass.
+        rex_pool::parallel_for_slices(c, MC * n, |_, offset, rows| {
+            gemm_rows(layout, m, k, n, a, b, rows, offset / n);
         });
     } else {
         gemm_rows(layout, m, k, n, a, b, c, 0);
@@ -208,15 +207,9 @@ fn batch_driver(
             );
         }
     };
-    let nt = num_threads();
-    if nt > 1 && batch >= 2 && batch * m * k * n >= PAR_FLOPS {
-        let per = batch.div_ceil(nt.min(batch));
-        std::thread::scope(|scope| {
-            for (ti, chunk) in c.chunks_mut(per * sc).enumerate() {
-                let count = chunk.len() / sc;
-                scope.spawn(move || run_range(a, b, chunk, ti * per, count));
-            }
-        });
+    if num_threads() > 1 && batch >= 2 && batch * m * k * n >= PAR_FLOPS {
+        // one sample per chunk: sample products are fully independent
+        rex_pool::parallel_for_slices(c, sc, |s, _, c_s| run_range(a, b, c_s, s, 1));
     } else {
         run_range(a, b, c, 0, batch);
     }

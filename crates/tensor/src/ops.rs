@@ -5,6 +5,61 @@
 
 use crate::{Tensor, TensorError};
 
+/// Minimum element count before an elementwise or row-wise op is worth
+/// handing to the thread pool (each output element is computed from its
+/// own inputs only, so sharding never changes float order).
+const PAR_ELEMS: usize = 1 << 16;
+
+/// Rows per chunk for the row-parallel softmax family — fixed so the
+/// chunk grid depends only on the row count.
+const ROW_CHUNK: usize = 32;
+
+/// Applies `f` elementwise, sharding chunks of the output across the
+/// thread pool above [`PAR_ELEMS`]. Per-element results are independent,
+/// so this is bitwise identical to [`Tensor::map`] at any thread count.
+fn unary_par(x: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    if x.len() < PAR_ELEMS || rex_pool::current_num_threads() == 1 {
+        return x.map(f);
+    }
+    let src = x.data();
+    let mut out = vec![0.0f32; src.len()];
+    rex_pool::parallel_for_slices(&mut out, PAR_ELEMS / 8, |_, offset, window| {
+        let len = window.len();
+        for (o, &v) in window.iter_mut().zip(&src[offset..offset + len]) {
+            *o = f(v);
+        }
+    });
+    Tensor::from_vec(out, x.shape()).expect("shape preserved")
+}
+
+/// Runs `per_row(row_index, input_row, output_row)` over all `r` rows,
+/// sharding [`ROW_CHUNK`]-row chunks across the pool for large inputs.
+/// Rows are independent, so this is bitwise identical to the serial loop.
+fn rowwise_par(
+    r: usize,
+    c: usize,
+    input: &[f32],
+    out: &mut [f32],
+    per_row: impl Fn(&[f32], &mut [f32]) + Sync,
+) {
+    if r * c < PAR_ELEMS || rex_pool::current_num_threads() == 1 {
+        for (row, orow) in input.chunks(c).zip(out.chunks_mut(c)) {
+            per_row(row, orow);
+        }
+    } else {
+        rex_pool::parallel_for_slices(out, ROW_CHUNK * c, |_, offset, window| {
+            let rows = window.len() / c;
+            let i0 = offset / c;
+            for i in 0..rows {
+                per_row(
+                    &input[(i0 + i) * c..(i0 + i + 1) * c],
+                    &mut window[i * c..(i + 1) * c],
+                );
+            }
+        });
+    }
+}
+
 /// Numerically-stable softmax over the last axis of a 2-D tensor.
 ///
 /// # Errors
@@ -13,20 +68,19 @@ use crate::{Tensor, TensorError};
 pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
     let (r, c) = as_2d(x)?;
     let mut out = vec![0.0f32; r * c];
-    for i in 0..r {
-        let row = &x.data()[i * c..(i + 1) * c];
+    rowwise_par(r, c, x.data(), &mut out, |row, orow| {
         let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let mut sum = 0.0;
         for j in 0..c {
             let e = (row[j] - m).exp();
-            out[i * c + j] = e;
+            orow[j] = e;
             sum += e;
         }
         let inv = 1.0 / sum;
-        for j in 0..c {
-            out[i * c + j] *= inv;
+        for v in orow.iter_mut() {
+            *v *= inv;
         }
-    }
+    });
     Tensor::from_vec(out, &[r, c])
 }
 
@@ -38,30 +92,29 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
 pub fn log_softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
     let (r, c) = as_2d(x)?;
     let mut out = vec![0.0f32; r * c];
-    for i in 0..r {
-        let row = &x.data()[i * c..(i + 1) * c];
+    rowwise_par(r, c, x.data(), &mut out, |row, orow| {
         let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-        for j in 0..c {
-            out[i * c + j] = row[j] - lse;
+        for (o, &v) in orow.iter_mut().zip(row) {
+            *o = v - lse;
         }
-    }
+    });
     Tensor::from_vec(out, &[r, c])
 }
 
 /// Rectified linear unit.
 pub fn relu(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0))
+    unary_par(x, |v| v.max(0.0))
 }
 
 /// Leaky ReLU with slope `alpha` for negative inputs.
 pub fn leaky_relu(x: &Tensor, alpha: f32) -> Tensor {
-    x.map(|v| if v >= 0.0 { v } else { alpha * v })
+    unary_par(x, |v| if v >= 0.0 { v } else { alpha * v })
 }
 
 /// Logistic sigmoid, computed in the numerically-stable two-branch form.
 pub fn sigmoid(x: &Tensor) -> Tensor {
-    x.map(sigmoid_scalar)
+    unary_par(x, sigmoid_scalar)
 }
 
 /// Scalar logistic sigmoid (stable for large |x|).
@@ -76,12 +129,12 @@ pub fn sigmoid_scalar(v: f32) -> f32 {
 
 /// Hyperbolic tangent.
 pub fn tanh(x: &Tensor) -> Tensor {
-    x.map(f32::tanh)
+    unary_par(x, f32::tanh)
 }
 
 /// Gaussian error linear unit (tanh approximation, as used by BERT).
 pub fn gelu(x: &Tensor) -> Tensor {
-    x.map(gelu_scalar)
+    unary_par(x, gelu_scalar)
 }
 
 /// Scalar GELU (tanh approximation).
@@ -186,11 +239,19 @@ mod tests {
 pub fn transpose_last2(t: &Tensor) -> Result<Tensor, TensorError> {
     let (b, m, n) = dims3(t)?;
     let mut out = vec![0.0f32; b * m * n];
-    for s in 0..b {
+    let src = t.data();
+    let slice_transpose = |s: usize, window: &mut [f32]| {
         for i in 0..m {
             for j in 0..n {
-                out[s * m * n + j * m + i] = t.data()[s * m * n + i * n + j];
+                window[j * m + i] = src[s * m * n + i * n + j];
             }
+        }
+    };
+    if b >= 2 && b * m * n >= PAR_ELEMS && rex_pool::current_num_threads() > 1 {
+        rex_pool::parallel_for_slices(&mut out, m * n, |s, _, w| slice_transpose(s, w));
+    } else {
+        for (s, w) in out.chunks_mut(m * n).enumerate() {
+            slice_transpose(s, w);
         }
     }
     Tensor::from_vec(out, &[b, n, m])
@@ -211,13 +272,21 @@ pub fn permute_0213(t: &Tensor) -> Result<Tensor, TensorError> {
     }
     let (b, x, y, d) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
     let mut out = vec![0.0f32; t.len()];
-    for s in 0..b {
+    let data = t.data();
+    let slice_permute = |s: usize, window: &mut [f32]| {
         for i in 0..x {
             for j in 0..y {
                 let src = ((s * x + i) * y + j) * d;
-                let dst = ((s * y + j) * x + i) * d;
-                out[dst..dst + d].copy_from_slice(&t.data()[src..src + d]);
+                let dst = (j * x + i) * d;
+                window[dst..dst + d].copy_from_slice(&data[src..src + d]);
             }
+        }
+    };
+    if b >= 2 && t.len() >= PAR_ELEMS && rex_pool::current_num_threads() > 1 {
+        rex_pool::parallel_for_slices(&mut out, x * y * d, |s, _, w| slice_permute(s, w));
+    } else {
+        for (s, w) in out.chunks_mut(x * y * d).enumerate() {
+            slice_permute(s, w);
         }
     }
     Tensor::from_vec(out, &[b, y, x, d])
@@ -382,13 +451,19 @@ pub fn pad2d(t: &Tensor, pad: usize) -> Result<Tensor, TensorError> {
     let (n, c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
     let (oh, ow) = (h + 2 * pad, w + 2 * pad);
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    for s in 0..n {
-        for ch in 0..c {
-            for y in 0..h {
-                let src = ((s * c + ch) * h + y) * w;
-                let dst = ((s * c + ch) * oh + y + pad) * ow + pad;
-                out.data_mut()[dst..dst + w].copy_from_slice(&t.data()[src..src + w]);
-            }
+    let data = t.data();
+    let pad_plane = |p: usize, window: &mut [f32]| {
+        for y in 0..h {
+            let src = (p * h + y) * w;
+            let dst = (y + pad) * ow + pad;
+            window[dst..dst + w].copy_from_slice(&data[src..src + w]);
+        }
+    };
+    if n * c >= 2 && out.len() >= PAR_ELEMS && rex_pool::current_num_threads() > 1 {
+        rex_pool::parallel_for_slices(out.data_mut(), oh * ow, |p, _, window| pad_plane(p, window));
+    } else {
+        for (p, window) in out.data_mut().chunks_mut(oh * ow).enumerate() {
+            pad_plane(p, window);
         }
     }
     Ok(out)

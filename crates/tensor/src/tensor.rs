@@ -1,6 +1,26 @@
 use crate::shape::broadcast_strides;
 use crate::{broadcast_shapes, TensorError};
 
+/// Minimum element count before elementwise ops shard onto the thread
+/// pool. Elementwise sharding is bitwise-invisible (each output element
+/// depends only on its own inputs), so this is purely a cost threshold.
+const ELEM_PAR_MIN: usize = 1 << 16;
+
+/// Chunk length for sharded elementwise ops.
+const ELEM_CHUNK: usize = 1 << 13;
+
+/// Minimum element count before whole-tensor reductions switch from the
+/// historical serial fold to the deterministic fixed-chunk tree. The
+/// switch changes float grouping, so the threshold is part of the
+/// numerical contract: it is compared against *length only* (never thread
+/// count), keeping results bitwise identical across pool sizes, and it is
+/// set above the largest tensor whose reduction feeds the pinned golden
+/// traces.
+const REDUCE_PAR_MIN: usize = 1 << 15;
+
+/// Chunk length for the deterministic reduction tree.
+const REDUCE_CHUNK: usize = 1 << 13;
+
 /// A dense, contiguous, row-major `f32` tensor.
 ///
 /// `Tensor` is the single data type flowing through the whole REX stack:
@@ -275,6 +295,70 @@ impl Tensor {
     // Elementwise maps and arithmetic
     // ---------------------------------------------------------------------
 
+    /// Elementwise map with the chunks sharded across the thread pool.
+    /// Private because it requires `Sync`; the public entry points route
+    /// their fixed closures through it. Bitwise identical to [`Tensor::map`]
+    /// at any thread count (each output element depends only on its input).
+    fn map_par(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        if self.data.len() < ELEM_PAR_MIN || rex_pool::current_num_threads() == 1 {
+            return self.map(f);
+        }
+        let mut data = vec![0.0f32; self.data.len()];
+        rex_pool::parallel_for_slices(&mut data, ELEM_CHUNK, |_, offset, window| {
+            let len = window.len();
+            for (o, &x) in window.iter_mut().zip(&self.data[offset..offset + len]) {
+                *o = f(x);
+            }
+        });
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Equal-shape elementwise combine, sharded across the pool; the
+    /// parallel sibling of [`Tensor::zip_map`] (same caveats as
+    /// [`Tensor::map_par`]).
+    fn zip_map_par(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        rex_pool::parallel_for_slices(&mut data, ELEM_CHUNK, |_, offset, window| {
+            for (i, o) in window.iter_mut().enumerate() {
+                *o = f(self.data[offset + i], other.data[offset + i]);
+            }
+        });
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Broadcasting binary op with parallel equal-shape and scalar fast
+    /// paths (the general strided walk stays serial — it is rare and
+    /// cheap in every model here). Bitwise identical to
+    /// [`Tensor::broadcast_op`] at any thread count.
+    fn broadcast_op_par(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Result<Tensor, TensorError> {
+        let n = self.data.len().max(other.data.len());
+        if n < ELEM_PAR_MIN || rex_pool::current_num_threads() == 1 {
+            return self.broadcast_op(other, f);
+        }
+        if self.shape == other.shape {
+            return Ok(self.zip_map_par(other, &f));
+        }
+        if other.data.len() == 1 {
+            let b = other.data[0];
+            return Ok(self.map_par(|a| f(a, b)));
+        }
+        if self.data.len() == 1 {
+            let a = self.data[0];
+            return Ok(other.map_par(|b| f(a, b)));
+        }
+        self.broadcast_op(other, f)
+    }
+
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
@@ -377,7 +461,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
     pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        self.broadcast_op(other, |a, b| a + b)
+        self.broadcast_op_par(other, |a, b| a + b)
     }
 
     /// Elementwise difference with broadcasting.
@@ -386,7 +470,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        self.broadcast_op(other, |a, b| a - b)
+        self.broadcast_op_par(other, |a, b| a - b)
     }
 
     /// Elementwise product with broadcasting.
@@ -395,7 +479,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        self.broadcast_op(other, |a, b| a * b)
+        self.broadcast_op_par(other, |a, b| a * b)
     }
 
     /// Elementwise quotient with broadcasting.
@@ -404,17 +488,17 @@ impl Tensor {
     ///
     /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
     pub fn div(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        self.broadcast_op(other, |a, b| a / b)
+        self.broadcast_op_par(other, |a, b| a / b)
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f32) -> Tensor {
-        self.map(|x| x * s)
+        self.map_par(|x| x * s)
     }
 
     /// Adds `s` to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        self.map(|x| x + s)
+        self.map_par(|x| x + s)
     }
 
     /// In-place `self += other * alpha` for same-shaped tensors (the hot
@@ -429,8 +513,18 @@ impl Tensor {
             "axpy shape mismatch {:?} vs {:?}",
             self.shape, other.shape
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
+        if self.data.len() >= ELEM_PAR_MIN && rex_pool::current_num_threads() > 1 {
+            let src = &other.data;
+            rex_pool::parallel_for_slices(&mut self.data, ELEM_CHUNK, |_, offset, window| {
+                let len = window.len();
+                for (a, &b) in window.iter_mut().zip(&src[offset..offset + len]) {
+                    *a += alpha * b;
+                }
+            });
+        } else {
+            for (a, &b) in self.data.iter_mut().zip(&other.data) {
+                *a += alpha * b;
+            }
         }
     }
 
@@ -439,8 +533,25 @@ impl Tensor {
     // ---------------------------------------------------------------------
 
     /// Sum of all elements.
+    ///
+    /// Tensors of at least [`REDUCE_PAR_MIN`] elements reduce through the
+    /// pool's fixed-chunk deterministic tree ([`rex_pool::parallel_reduce`]).
+    /// The path is chosen by *length alone* — never thread count — so the
+    /// result is bitwise identical for any pool size. (The tree's float
+    /// grouping differs from a plain serial fold, which is why the
+    /// threshold exists: tensors small enough to appear in pinned golden
+    /// traces keep the historical serial fold.)
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        if self.data.len() < REDUCE_PAR_MIN {
+            return self.data.iter().sum();
+        }
+        rex_pool::parallel_reduce(
+            self.data.len(),
+            REDUCE_CHUNK,
+            |_, r| self.data[r].iter().sum::<f32>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0)
     }
 
     /// Mean of all elements (0 for empty tensors).
@@ -459,7 +570,23 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn max(&self) -> f32 {
         assert!(!self.data.is_empty(), "max of empty tensor");
-        self.data.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+        if self.data.len() < REDUCE_PAR_MIN {
+            return self.data.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        }
+        // f32::max is associative and commutative (NaN-ignoring), so any
+        // grouping yields the same value; the fixed tree is used for
+        // uniformity with sum.
+        rex_pool::parallel_reduce(
+            self.data.len(),
+            REDUCE_CHUNK,
+            |_, r| {
+                self.data[r]
+                    .iter()
+                    .fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+            },
+            f32::max,
+        )
+        .unwrap_or(f32::NEG_INFINITY)
     }
 
     /// Minimum element.
@@ -469,12 +596,31 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn min(&self) -> f32 {
         assert!(!self.data.is_empty(), "min of empty tensor");
-        self.data.iter().fold(f32::INFINITY, |m, &x| m.min(x))
+        if self.data.len() < REDUCE_PAR_MIN {
+            return self.data.iter().fold(f32::INFINITY, |m, &x| m.min(x));
+        }
+        rex_pool::parallel_reduce(
+            self.data.len(),
+            REDUCE_CHUNK,
+            |_, r| self.data[r].iter().fold(f32::INFINITY, |m, &x| m.min(x)),
+            f32::min,
+        )
+        .unwrap_or(f32::INFINITY)
     }
 
-    /// Squared L2 norm.
+    /// Squared L2 norm (same deterministic chunked path as [`Tensor::sum`]
+    /// above [`REDUCE_PAR_MIN`]).
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum()
+        if self.data.len() < REDUCE_PAR_MIN {
+            return self.data.iter().map(|x| x * x).sum();
+        }
+        rex_pool::parallel_reduce(
+            self.data.len(),
+            REDUCE_CHUNK,
+            |_, r| self.data[r].iter().map(|x| x * x).sum::<f32>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0)
     }
 
     /// Sums along `axis`, removing it from the shape.

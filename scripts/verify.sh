@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -17,22 +20,34 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> multi-thread determinism (REX_NUM_THREADS=4)"
+# the whole suite again with a 4-thread worker pool: every numeric result
+# (including the golden telemetry traces) must be bitwise identical to
+# the single-threaded run
+REX_NUM_THREADS=4 cargo test --workspace --offline -q
+REX_NUM_THREADS=4 cargo test --release --offline --test golden_traces -q
+
 echo "==> kernel-bench --smoke"
-cargo run --release --offline -p rex-bench --bin kernel-bench -- --smoke
+# smoke numbers go to a scratch file so the committed BENCH_kernels.json
+# (generated at full reps) is never clobbered by a verification run
+cargo run --release --offline -p rex-bench --bin kernel-bench -- \
+  --smoke --out "$tmp_dir/bench_smoke.json"
+cargo run --release --offline -p rex-bench --bin kernel-bench -- \
+  --smoke --threads 4 --out "$tmp_dir/bench_smoke_t4.json"
 
 echo "==> trace-check (golden telemetry traces + CLI --trace)"
 # the golden suite in release mode: committed traces must match the
 # trajectories the release build produces
 cargo test --release --offline --test golden_traces -q
-# the CLI --trace flag: two same-seed runs must emit identical JSONL
-trace_dir="$(mktemp -d)"
-trap 'rm -rf "$trace_dir"' EXIT
-for i in a b; do
-  cargo run --release --offline -p rex-cli --bin rexctl -- \
-    train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 \
-    --trace "$trace_dir/run_$i.jsonl" >/dev/null
-done
-grep -q '"ev":"step"' "$trace_dir/run_a.jsonl"
-cmp "$trace_dir/run_a.jsonl" "$trace_dir/run_b.jsonl"
+# the CLI --trace flag: a 1-thread and a 4-thread same-seed run must
+# emit byte-identical JSONL
+cargo run --release --offline -p rex-cli --bin rexctl -- \
+  train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 \
+  --threads 1 --trace "$tmp_dir/run_a.jsonl" >/dev/null
+cargo run --release --offline -p rex-cli --bin rexctl -- \
+  train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 \
+  --threads 4 --trace "$tmp_dir/run_b.jsonl" >/dev/null
+grep -q '"ev":"step"' "$tmp_dir/run_a.jsonl"
+cmp "$tmp_dir/run_a.jsonl" "$tmp_dir/run_b.jsonl"
 
 echo "verify: OK"
