@@ -95,7 +95,8 @@ fn gradients_survive_checkpoint_roundtrip() {
         let junk = Tensor::from_vec(vec![0.123f32; p.len()], &shape).unwrap();
         *p.value_mut() = junk;
     }
-    checkpoint::load_into(&path, &params).unwrap();
+    let report = checkpoint::load_into(&path, &params).unwrap();
+    assert!(report.is_clean(), "{report:?}");
     std::fs::remove_file(&path).ok();
 
     // the f32 payload round-trips bit-exactly, so values AND the gradients

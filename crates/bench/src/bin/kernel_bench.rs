@@ -331,6 +331,7 @@ fn bench_grid(cfg: &Config) -> GridBench {
             0xBE7C,
             true,
             None,
+            None,
             |cell: &Cell, _rec| {
                 run_image_cell(
                     ImageModel::MicroResNet20,

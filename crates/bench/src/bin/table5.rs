@@ -33,6 +33,7 @@ fn main() {
             args.seed,
             true,
             args.trace.as_deref(),
+            args.resume.as_deref(),
             |cell, rec| {
                 run_image_cell_traced(
                     ImageModel::MicroWide(widen),

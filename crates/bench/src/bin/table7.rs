@@ -41,6 +41,7 @@ fn main() {
             args.seed,
             true,
             args.trace.as_deref(),
+            args.resume.as_deref(),
             |cell, rec| {
                 run_vae_cell_traced(
                     &train,

@@ -44,6 +44,7 @@ fn main() {
         args.seed,
         false, // mAP: higher is better
         args.trace.as_deref(),
+        args.resume.as_deref(),
         |cell, rec| {
             run_detection_cell_traced(
                 &train,

@@ -14,7 +14,15 @@
 //! --trials <n>              override the trial count
 //! --seed <s>                override the base seed
 //! --trace <dir>             write one JSONL telemetry trace per cell
+//! --resume <dir>            skip cells with a done-marker in <dir>
 //! ```
+//!
+//! `--resume DIR` makes the grid crash-tolerant at cell granularity:
+//! every finished cell writes `<cell>.done` (its score, crash-consistent
+//! via [`rex_faults::atomic_write`]) into DIR, and a rerun pointed at the
+//! same DIR replays those scores instead of retraining. Cells are
+//! deterministic, so the resumed table is identical to an uninterrupted
+//! run's.
 //!
 //! `smoke` finishes in seconds (CI sanity), `fast` reproduces the paper's
 //! qualitative shape on a single CPU core in minutes, and `full` uses the
@@ -82,6 +90,9 @@ pub struct Args {
     /// Worker-thread override (`--threads N`); `None` leaves the pool at
     /// its `REX_NUM_THREADS`/core-count default.
     pub threads: Option<usize>,
+    /// Per-cell resume directory: finished cells leave done-markers here
+    /// and are skipped (score replayed) on the next run.
+    pub resume: Option<PathBuf>,
 }
 
 impl Args {
@@ -93,6 +104,7 @@ impl Args {
         let mut seed = 0u64;
         let mut trace = None;
         let mut threads = None;
+        let mut resume = None;
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
@@ -133,6 +145,10 @@ impl Args {
                     trace = Some(PathBuf::from(need_value(i)));
                     i += 2;
                 }
+                "--resume" => {
+                    resume = Some(PathBuf::from(need_value(i)));
+                    i += 2;
+                }
                 "--threads" => {
                     let n: usize = need_value(i).parse().unwrap_or(0);
                     if n == 0 {
@@ -144,7 +160,7 @@ impl Args {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S] [--trace DIR] [--threads N]"
+                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S] [--trace DIR] [--threads N] [--resume DIR]"
                     );
                     std::process::exit(0);
                 }
@@ -167,6 +183,7 @@ impl Args {
             seed,
             trace,
             threads,
+            resume,
         }
     }
 }
@@ -242,11 +259,42 @@ pub fn cell_recorder(trace_dir: Option<&Path>, setting: &str, cell: &Cell) -> Re
     }
 }
 
+/// The done-marker filename a finished grid cell leaves under
+/// `--resume DIR`: the cell's [`cell_trace_name`] with a `.done` suffix.
+pub fn cell_done_name(setting: &str, cell: &Cell) -> String {
+    let mut name = cell_trace_name(setting, cell);
+    name.truncate(name.len() - ".jsonl".len());
+    name.push_str(".done");
+    name
+}
+
+/// Reads a done-marker back: the cell's score as big-endian `f64` bits in
+/// hex (exact — no decimal round-trip), one line. Returns `None` on any
+/// parse problem so a corrupt marker just re-runs the cell.
+fn read_done_marker(path: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let bits = u64::from_str_radix(text.trim(), 16).ok()?;
+    Some(f64::from_bits(bits))
+}
+
+fn write_done_marker(path: &Path, score: f64) {
+    let body = format!("{:016x}\n", score.to_bits());
+    if let Err(e) = rex_faults::atomic_write("done", path, body.as_bytes()) {
+        eprintln!("warning: cannot write done marker {}: {e}", path.display());
+    }
+}
+
 /// Runs a full schedule × budget grid for one setting/optimizer pair and
 /// returns flat records. `cell_fn` trains one cell — emitting telemetry
 /// through the supplied recorder — and returns the metric. With
 /// `trace_dir` set, each cell's recorder writes a JSONL trace named by
 /// [`cell_trace_name`]; otherwise the recorder is disabled (zero cost).
+///
+/// With `resume_dir` set, each finished cell writes a crash-consistent
+/// done-marker there ([`cell_done_name`]; the score as exact `f64` bits)
+/// and a later run with the same `resume_dir` replays marked cells
+/// instead of retraining them — an interrupted grid loses at most the
+/// cells that were in flight.
 ///
 /// Cells are independent (each derives its own seed, recorder, and
 /// model), so they run concurrently on the [`rex_pool`] worker pool, one
@@ -269,8 +317,14 @@ pub fn run_schedule_grid(
     base_seed: u64,
     lower_is_better: bool,
     trace_dir: Option<&Path>,
+    resume_dir: Option<&Path>,
     cell_fn: impl Fn(&Cell, &mut Recorder) -> f64 + Sync,
 ) -> Vec<Record> {
+    if let Some(dir) = resume_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create resume dir {}: {e}", dir.display());
+        }
+    }
     let mut cells = Vec::with_capacity(schedules.len() * budgets.len() * trials);
     for schedule in schedules {
         for budget in budgets {
@@ -291,10 +345,26 @@ pub fn run_schedule_grid(
     let cells_ref = &cells;
     rex_pool::parallel_for_slices(&mut scores, 1, |idx, _, slot| {
         let cell = &cells_ref[idx];
+        let done_path = resume_dir.map(|d| d.join(cell_done_name(setting, cell)));
+        if let Some(score) = done_path.as_deref().and_then(read_done_marker) {
+            eprintln!(
+                "[{setting}/{}] {} @ {}: trial {} -> {:.2} (resumed)",
+                cell.optimizer.name(),
+                cell.schedule.name(),
+                cell.budget,
+                cell.trial,
+                score,
+            );
+            slot[0] = score;
+            return;
+        }
         let mut rec = cell_recorder(trace_dir, setting, cell);
         let t0 = std::time::Instant::now();
         let score = cell_fn(cell, &mut rec);
         rec.flush();
+        if let Some(path) = &done_path {
+            write_done_marker(path, score);
+        }
         eprintln!(
             "[{setting}/{}] {} @ {}: trial {} -> {:.2} ({:.1?})",
             cell.optimizer.name(),
@@ -394,6 +464,7 @@ mod tests {
             0,
             true,
             None,
+            None,
             |cell, rec| {
                 assert!(!rec.is_enabled(), "no --trace => disabled recorder");
                 cell.budget.pct() as f64 + cell.trial as f64
@@ -406,6 +477,104 @@ mod tests {
             .map(|r| r.score)
             .collect();
         assert_eq!(trial_scores, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn resume_dir_skips_finished_cells_and_replays_exact_scores() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dir = std::env::temp_dir().join(format!("rex_bench_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let budgets = vec![Budget::new(100, 10)];
+        let schedules = vec![ScheduleSpec::Rex, ScheduleSpec::Linear];
+        let runs = AtomicUsize::new(0);
+        // 1/3 is not exactly representable: a decimal round-trip would drift
+        let score = |cell: &Cell| (cell.trial as f64 + 1.0) / 3.0 + cell.seed as f64;
+        let first = run_schedule_grid(
+            "TEST",
+            OptimizerKind::sgdm(),
+            &schedules,
+            &budgets,
+            2,
+            7,
+            true,
+            None,
+            Some(&dir),
+            |cell, _| {
+                runs.fetch_add(1, Ordering::Relaxed);
+                score(cell)
+            },
+        );
+        assert_eq!(runs.load(Ordering::Relaxed), 4);
+        // simulate a crash that lost one cell's marker: that cell re-runs,
+        // the other three replay their stored scores bit-for-bit
+        let lost = dir.join(cell_done_name(
+            "TEST",
+            &Cell {
+                schedule: ScheduleSpec::Linear,
+                optimizer: OptimizerKind::sgdm(),
+                budget: budgets[0],
+                trial: 1,
+                seed: 0,
+            },
+        ));
+        std::fs::remove_file(&lost).expect("marker was written");
+        let second = run_schedule_grid(
+            "TEST",
+            OptimizerKind::sgdm(),
+            &schedules,
+            &budgets,
+            2,
+            7,
+            true,
+            None,
+            Some(&dir),
+            |cell, _| {
+                runs.fetch_add(1, Ordering::Relaxed);
+                score(cell)
+            },
+        );
+        assert_eq!(runs.load(Ordering::Relaxed), 5, "exactly one cell re-ran");
+        let key = |r: &Record| (r.schedule.clone(), r.budget_pct, r.trial, r.score.to_bits());
+        assert_eq!(
+            first.iter().map(key).collect::<Vec<_>>(),
+            second.iter().map(key).collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_done_marker_reruns_the_cell() {
+        let dir = std::env::temp_dir().join(format!("rex_bench_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cell = Cell {
+            schedule: ScheduleSpec::Rex,
+            optimizer: OptimizerKind::sgdm(),
+            budget: Budget::new(100, 10),
+            trial: 0,
+            seed: 0,
+        };
+        let marker = dir.join(cell_done_name("TEST", &cell));
+        std::fs::write(&marker, "not-hex\n").unwrap();
+        let records = run_schedule_grid(
+            "TEST",
+            OptimizerKind::sgdm(),
+            &[ScheduleSpec::Rex],
+            &[Budget::new(100, 10)],
+            1,
+            0,
+            true,
+            None,
+            Some(&dir),
+            |_, _| 42.0,
+        );
+        assert_eq!(records[0].score, 42.0, "corrupt marker must not be trusted");
+        assert_eq!(
+            read_done_marker(&marker),
+            Some(42.0),
+            "marker rewritten after the re-run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,9 +7,9 @@ use rex_data::ClassificationDataset;
 use rex_eval::table;
 use rex_telemetry::{JsonlSink, Recorder};
 use rex_train::range_test::lr_range_test_traced;
-use rex_train::tasks::{run_image_cell, run_image_cell_traced, run_vae_cell_traced, ImageModel};
-use rex_train::Budget;
-use std::path::Path;
+use rex_train::tasks::{run_image_cell, run_image_cell_ft, run_vae_cell_traced, ImageModel};
+use rex_train::{Budget, FtConfig, GuardPolicy, TrainState};
+use std::path::{Path, PathBuf};
 
 use crate::args::{parse_optimizer, parse_schedule, Flags};
 
@@ -35,6 +35,73 @@ fn recorder_from_flags(flags: &Flags) -> Result<Recorder, String> {
         }
         None => Ok(Recorder::disabled()),
     }
+}
+
+/// Parses the fault-tolerance flags of `rexctl train`:
+/// `--checkpoint PATH --checkpoint-every N --resume PATH
+/// --guard off|abort|skip|rollback --halt-after N`.
+fn ft_from_flags(flags: &Flags) -> Result<FtConfig, String> {
+    let checkpoint_path = flags.get("checkpoint").map(PathBuf::from);
+    let checkpoint_every = match flags.get("checkpoint-every") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("bad value for --checkpoint-every: {v:?}"))?,
+        ),
+        None => None,
+    };
+    if checkpoint_every.is_some() && checkpoint_path.is_none() {
+        return Err("--checkpoint-every requires --checkpoint PATH".into());
+    }
+    if checkpoint_path.is_some() && checkpoint_every.is_none() {
+        return Err("--checkpoint requires --checkpoint-every N".into());
+    }
+    let guard = match flags.get("guard") {
+        Some(v) => GuardPolicy::parse(v)?,
+        None => GuardPolicy::Off,
+    };
+    let halt_after_step = match flags.get("halt-after") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("bad value for --halt-after: {v:?}"))?,
+        ),
+        None => None,
+    };
+    Ok(FtConfig {
+        checkpoint_every,
+        checkpoint_path,
+        resume_from: flags.get("resume").map(PathBuf::from),
+        guard,
+        halt_after_step,
+    })
+}
+
+fn ft_is_active(ft: &FtConfig) -> bool {
+    ft.checkpoint_every.is_some()
+        || ft.resume_from.is_some()
+        || ft.guard != GuardPolicy::Off
+        || ft.halt_after_step.is_some()
+}
+
+/// Builds the trace recorder for `train`. A resumed run re-opens the
+/// existing trace and truncates it to the snapshot's line cursor, so the
+/// finished file is byte-identical to an uninterrupted run's; a fresh run
+/// creates (truncates) the file.
+fn recorder_for_train(flags: &Flags, ft: &FtConfig) -> Result<Recorder, String> {
+    let Some(path) = flags.get("trace") else {
+        return Ok(Recorder::disabled());
+    };
+    let path = Path::new(path);
+    let sink = match &ft.resume_from {
+        Some(ckpt) => {
+            let cursor = TrainState::trace_cursor(ckpt)
+                .map_err(|e| format!("cannot read checkpoint {}: {e}", ckpt.display()))?;
+            JsonlSink::resume(path, cursor)
+                .map_err(|e| format!("cannot resume trace file {}: {e}", path.display()))?
+        }
+        None => JsonlSink::create(path)
+            .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?,
+    };
+    Ok(Recorder::new(Box::new(sink)))
 }
 
 /// A CLI-selectable experimental setting.
@@ -172,7 +239,8 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
     }
     let spec = parse_schedule(flags.get("schedule").unwrap_or("rex"))?;
     let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
-    let mut rec = recorder_from_flags(&flags)?;
+    let ft = ft_from_flags(&flags)?;
+    let mut rec = recorder_for_train(&flags, &ft)?;
 
     let t0 = std::time::Instant::now();
     match setting {
@@ -185,7 +253,7 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
         } => {
             let budget = Budget::new(max_epochs, budget_pct);
             let lr: f32 = flags.get_or("lr", optimizer.default_lr() * lr_scale)?;
-            let err = run_image_cell_traced(
+            let err = run_image_cell_ft(
                 model,
                 &data,
                 budget.epochs(),
@@ -194,6 +262,7 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
                 spec.clone(),
                 lr,
                 seed,
+                ft,
                 &mut rec,
             )
             .map_err(|e| e.to_string())?;
@@ -205,6 +274,13 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
             );
         }
         Setting::Vae { max_epochs } => {
+            if ft_is_active(&ft) {
+                return Err(
+                    "checkpoint/resume/guard flags support image settings; the VAE path \
+                     has no snapshot support yet"
+                        .into(),
+                );
+            }
             let budget = Budget::new(max_epochs, budget_pct);
             let lr: f32 = flags.get_or("lr", 1e-2f32)?;
             let train = synth_digits(400, 12, seed ^ 0xD161);
@@ -235,7 +311,53 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Lowercases and dash-collapses one component of a done-marker name.
+fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// The done-marker filename one sweep cell leaves under `--resume DIR`.
+fn sweep_done_name(
+    setting: &str,
+    optimizer: &rex_train::OptimizerKind,
+    spec: &ScheduleSpec,
+    budget_pct: u32,
+) -> String {
+    format!(
+        "{}_{}_{}_b{budget_pct}.done",
+        slug(setting),
+        slug(optimizer.name()),
+        slug(&spec.name())
+    )
+}
+
+/// Reads a done-marker (score as exact `f64` bits in hex); `None` on any
+/// problem, so a corrupt marker just re-runs the cell.
+fn read_done_marker(path: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let bits = u64::from_str_radix(text.trim(), 16).ok()?;
+    Some(f64::from_bits(bits))
+}
+
+/// Writes a done-marker crash-consistently; a marker only ever exists
+/// with its full contents.
+fn write_done_marker(path: &Path, score: f64) {
+    let body = format!("{:016x}\n", score.to_bits());
+    if let Err(e) = rex_faults::atomic_write("done", path, body.as_bytes()) {
+        eprintln!("warning: cannot write done marker {}: {e}", path.display());
+    }
+}
+
 /// `rexctl sweep --setting rn20-cifar10 --budgets 5,25,100`
+/// (`--resume DIR` skips cells whose done-marker is already in DIR)
 pub fn sweep(argv: &[String]) -> i32 {
     match sweep_inner(argv) {
         Ok(()) => 0,
@@ -286,6 +408,12 @@ fn sweep_inner(argv: &[String]) -> Result<(), String> {
         }
     };
 
+    let resume_dir = flags.get("resume").map(PathBuf::from);
+    if let Some(dir) = &resume_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create resume dir {}: {e}", dir.display()))?;
+    }
+
     let mut headers = vec![format!("{name} ({})", optimizer.name())];
     headers.extend(budgets.iter().map(|b| format!("{b}%")));
     let mut rows = Vec::new();
@@ -294,18 +422,33 @@ fn sweep_inner(argv: &[String]) -> Result<(), String> {
         let mut row = vec![spec.name()];
         for (ci, &pct) in budgets.iter().enumerate() {
             let budget = Budget::new(max_epochs, pct);
-            let err = run_image_cell(
-                model,
-                &data,
-                budget.epochs(),
-                32,
-                optimizer,
-                spec.clone(),
-                optimizer.default_lr() * lr_scale,
-                seed,
-            )
-            .map_err(|e| e.to_string())?;
-            eprintln!("{} @ {budget}: {err:.2}", spec.name());
+            let marker = resume_dir
+                .as_ref()
+                .map(|d| d.join(sweep_done_name(name, &optimizer, spec, pct)));
+            let err = match marker.as_deref().and_then(read_done_marker) {
+                Some(err) => {
+                    eprintln!("{} @ {budget}: {err:.2} (resumed)", spec.name());
+                    err
+                }
+                None => {
+                    let err = run_image_cell(
+                        model,
+                        &data,
+                        budget.epochs(),
+                        32,
+                        optimizer,
+                        spec.clone(),
+                        optimizer.default_lr() * lr_scale,
+                        seed,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    if let Some(path) = &marker {
+                        write_done_marker(path, err);
+                    }
+                    eprintln!("{} @ {budget}: {err:.2}", spec.name());
+                    err
+                }
+            };
             col_values[ci].push(err);
             row.push(format!("{err:.2}"));
         }

@@ -45,7 +45,9 @@ USAGE:
 
   rexctl train --setting <SETTING> [--budget PCT] [--schedule NAME]
                [--optimizer sgdm|adam] [--lr LR] [--seed S] [--trace FILE]
-               [--threads N]
+               [--threads N] [--checkpoint FILE --checkpoint-every N]
+               [--resume FILE] [--guard off|abort|skip|rollback]
+               [--halt-after STEP]
       Train one budgeted cell and print the final metric. With --trace,
       write a JSONL telemetry trace (one step record per optimizer step)
       to FILE; same-seed runs produce byte-identical traces at any
@@ -53,8 +55,10 @@ USAGE:
 
   rexctl sweep --setting <SETTING> [--budgets 1,5,10,25,50,100]
                [--schedules rex,linear,...] [--optimizer sgdm|adam]
-               [--threads N]
+               [--threads N] [--resume DIR]
       Run a schedule x budget mini-grid and print a markdown table.
+      --resume DIR leaves a done-marker per finished cell and skips
+      marked cells on the next run.
 
   rexctl range-test --setting <SETTING> [--optimizer sgdm|adam] [--trace FILE]
                [--threads N]
@@ -64,6 +68,17 @@ THREADS:
   --threads N sizes the persistent worker pool (overrides the
   REX_NUM_THREADS environment variable). Results are bitwise identical
   at any thread count.
+
+FAULT TOLERANCE (train, image settings):
+  --checkpoint FILE --checkpoint-every N snapshot the full training
+  state (model, optimizer, RNG, schedule progress, trace cursor) every
+  N optimizer steps, crash-consistently. --resume FILE continues an
+  interrupted run from its snapshot; with --trace the finished trace is
+  byte-identical to an uninterrupted run's. --guard picks the response
+  to a non-finite loss/gradient (abort names the step and tensor; skip
+  drops the step but advances the budget; rollback restores the last
+  checkpoint). --halt-after STEP stops cleanly after that step —
+  a deterministic in-process kill for testing resume.
 
 SETTINGS:
   rn20-cifar10 | rn38-cifar10 | wrn-stl10 | vgg16-cifar100 | vae-mnist

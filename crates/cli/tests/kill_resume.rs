@@ -1,0 +1,152 @@
+//! End-to-end crash/resume through the `rexctl` binary: a run killed by
+//! the fault-injection layer (`REX_FAULTS` in the child's environment)
+//! must resume from its snapshot and finish with a trace byte-identical
+//! to an uninterrupted run's — including when the kill lands *during* a
+//! checkpoint write, which must leave the previous snapshot intact.
+//!
+//! The cell is rn20-cifar10 at a 5 % budget: 2 epochs × 13 batches =
+//! 26 optimizer steps, snapshots every 5 steps.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Exit code the fault layer uses for injected kills.
+const KILL_EXIT: i32 = 86;
+
+fn workdir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rexctl_kill_{test}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `rexctl train` on the test cell with checkpointing every 5 steps.
+fn train(ckpt: &Path, trace: &Path, resume: bool, faults: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rexctl"));
+    cmd.args([
+        "train",
+        "--setting",
+        "rn20-cifar10",
+        "--budget",
+        "5",
+        "--seed",
+        "9",
+        "--checkpoint-every",
+        "5",
+    ]);
+    cmd.arg("--checkpoint").arg(ckpt);
+    cmd.arg("--trace").arg(trace);
+    if resume {
+        cmd.arg("--resume").arg(ckpt);
+    }
+    match faults {
+        Some(plan) => cmd.env("REX_FAULTS", plan),
+        None => cmd.env_remove("REX_FAULTS"),
+    };
+    cmd.output().expect("rexctl must spawn")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn killed_run_resumes_to_a_byte_identical_trace() {
+    let dir = workdir("basic");
+    let full_trace = dir.join("full.jsonl");
+    let cut_trace = dir.join("cut.jsonl");
+
+    let out = train(&dir.join("full.state"), &full_trace, false, None);
+    assert!(out.status.success(), "baseline failed: {}", stderr_of(&out));
+
+    // killed after step 12: snapshots exist at steps 5 and 10
+    let cut_ckpt = dir.join("cut.state");
+    let out = train(&cut_ckpt, &cut_trace, false, Some("kill-at-step=12"));
+    assert_eq!(
+        out.status.code(),
+        Some(KILL_EXIT),
+        "kill did not fire: {}",
+        stderr_of(&out)
+    );
+    assert!(cut_ckpt.exists(), "snapshot missing after kill");
+
+    let out = train(&cut_ckpt, &cut_trace, true, None);
+    assert!(out.status.success(), "resume failed: {}", stderr_of(&out));
+
+    let full = std::fs::read(&full_trace).unwrap();
+    let cut = std::fs::read(&cut_trace).unwrap();
+    assert!(!full.is_empty() && full.ends_with(b"\n"));
+    assert_eq!(
+        full, cut,
+        "resumed trace differs from the uninterrupted run's"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn kill_during_checkpoint_write_leaves_the_previous_snapshot_loadable() {
+    let dir = workdir("midwrite");
+    let full_trace = dir.join("full.jsonl");
+    let cut_trace = dir.join("cut.jsonl");
+
+    let out = train(&dir.join("full.state"), &full_trace, false, None);
+    assert!(out.status.success(), "baseline failed: {}", stderr_of(&out));
+
+    // die halfway through the 2nd snapshot write (the step-10 checkpoint):
+    // the atomic-write protocol must leave the step-5 snapshot untouched
+    let cut_ckpt = dir.join("cut.state");
+    let out = train(
+        &cut_ckpt,
+        &cut_trace,
+        false,
+        Some("kill-on-write=state:2:mid"),
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(KILL_EXIT),
+        "kill did not fire: {}",
+        stderr_of(&out)
+    );
+    assert!(
+        stderr_of(&out).contains("injected kill"),
+        "unexpected stderr: {}",
+        stderr_of(&out)
+    );
+    assert!(cut_ckpt.exists(), "previous snapshot was destroyed");
+
+    let out = train(&cut_ckpt, &cut_trace, true, None);
+    assert!(
+        out.status.success(),
+        "resume from the surviving snapshot failed: {}",
+        stderr_of(&out)
+    );
+    assert_eq!(
+        std::fs::read(&full_trace).unwrap(),
+        std::fs::read(&cut_trace).unwrap(),
+        "trace after a mid-checkpoint kill diverged"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// An injected I/O error on a checkpoint write surfaces as a clean
+/// `checkpoint save` error (non-kill exit), and the target file is
+/// preserved at its previous contents.
+#[test]
+fn io_error_on_checkpoint_write_fails_cleanly() {
+    let dir = workdir("ioerr");
+    let ckpt = dir.join("cut.state");
+    let out = train(
+        &ckpt,
+        &dir.join("cut.jsonl"),
+        false,
+        Some("io-err-on-write=state:2"),
+    );
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("checkpoint"),
+        "error does not name the failed action: {}",
+        stderr_of(&out)
+    );
+    assert!(ckpt.exists(), "step-5 snapshot should survive the failure");
+    let _ = std::fs::remove_dir_all(dir);
+}

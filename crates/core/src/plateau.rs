@@ -95,6 +95,12 @@ impl Schedule for DecayOnPlateau {
         self.decays = 0;
     }
 
+    fn stateful(&self) -> bool {
+        // the decay counter reacts to validation losses, which a resumed
+        // run cannot replay; checkpoints are refused for this schedule
+        true
+    }
+
     fn name(&self) -> String {
         "Decay on Plateau".to_owned()
     }

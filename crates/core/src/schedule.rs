@@ -38,6 +38,15 @@ pub trait Schedule: Send {
     /// run. Pure schedules need no action.
     fn reset(&mut self) {}
 
+    /// Whether the schedule carries mutable state that a checkpoint cannot
+    /// capture. Pure schedules (every profile × sampling-rate combination)
+    /// are functions of `(t, total)` alone and resume exactly; stateful
+    /// ones ([`crate::DecayOnPlateau`]) return `true` and the trainer
+    /// refuses to checkpoint or resume them.
+    fn stateful(&self) -> bool {
+        false
+    }
+
     /// Short name used in result tables (e.g. `"REX"`, `"Step Schedule"`).
     fn name(&self) -> String;
 }
@@ -176,6 +185,10 @@ impl Schedule for Box<dyn Schedule> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn stateful(&self) -> bool {
+        (**self).stateful()
     }
 
     fn name(&self) -> String {

@@ -69,6 +69,10 @@ impl<S: Schedule> Schedule for DelayedDecay<S> {
         self.inner.reset();
     }
 
+    fn stateful(&self) -> bool {
+        self.inner.stateful()
+    }
+
     fn name(&self) -> String {
         format!(
             "{} Delayed {}%",
@@ -171,6 +175,10 @@ impl<S: Schedule> Schedule for Warmup<S> {
         self.inner.reset();
     }
 
+    fn stateful(&self) -> bool {
+        self.inner.stateful()
+    }
+
     fn name(&self) -> String {
         format!("{} (+warmup)", self.inner.name())
     }
@@ -185,6 +193,18 @@ mod tests {
 
     fn linear() -> SampledProfile<Linear> {
         SampledProfile::new(Linear, SamplingRate::EveryIteration)
+    }
+
+    #[test]
+    fn statefulness_propagates_through_wrappers() {
+        assert!(!linear().stateful());
+        assert!(!DelayedDecay::new(linear(), 0.25).stateful());
+        assert!(!Warmup::new(linear(), 10, 0.1).stateful());
+        let plateau = crate::DecayOnPlateau::new(2, 0.1);
+        assert!(plateau.stateful());
+        assert!(DelayedDecay::new(plateau, 0.25).stateful());
+        let boxed: Box<dyn Schedule> = Box::new(crate::DecayOnPlateau::new(2, 0.1));
+        assert!(boxed.stateful());
     }
 
     #[test]

@@ -1,115 +1,185 @@
 //! Parameter checkpointing: a small self-describing binary format for
-//! saving and restoring model weights.
+//! saving and restoring model weights, plus the `REXSTATE1` section
+//! container used by full training-state snapshots.
 //!
 //! The BERT-GLUE experiment pre-trains one transformer checkpoint and
 //! fine-tunes it many times; persisting that checkpoint lets the harness
-//! (and downstream users) skip re-pre-training. The format is
+//! (and downstream users) skip re-pre-training. The weight format is
 //! little-endian, versioned, and name-addressed:
 //!
 //! ```text
 //! magic "REXCKPT1" | u32 count | repeat: u32 name_len | name (utf-8)
 //!                  | u32 ndim  | u64 dims…            | f32 data…
 //! ```
+//!
+//! The full-state container reuses the same entry encoding inside opaque
+//! named sections (see DESIGN.md §12 for the byte-layout table):
+//!
+//! ```text
+//! magic "REXSTATE1" | u32 section_count
+//!                   | repeat: u32 name_len | name (utf-8)
+//!                   |         u64 byte_len | bytes…
+//!                   | u64 fnv1a64(all preceding bytes)
+//! ```
+//!
+//! Both formats are written through [`rex_faults::atomic_write`], so a
+//! crash mid-save leaves the previous file intact rather than a torn one.
 
 use std::fs::{self, File};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, Read};
 use std::path::Path;
 
 use rex_autograd::Param;
 use rex_tensor::Tensor;
 
 const MAGIC: &[u8; 8] = b"REXCKPT1";
+/// Magic of the full training-state container.
+pub const STATE_MAGIC: &[u8; 9] = b"REXSTATE1";
 
-/// Saves parameters (name, shape, values) to `path`.
+// sanity caps: reject corrupt headers before attempting allocation
+const MAX_ENTRIES: usize = 1 << 20;
+const MAX_NAME: usize = 1 << 12;
+const MAX_ELEMENTS: usize = 1 << 30;
+const MAX_SECTIONS: usize = 64;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Saves parameters (name, shape, values) to `path`, atomically: the
+/// bytes land in a same-directory temp file which is fsynced and renamed
+/// over the target, so a crash mid-save never corrupts an existing copy.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn save(path: &Path, params: &[Param]) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(params.len() as u32).to_le_bytes());
     for p in params {
-        let name = p.name();
-        let value = p.value();
-        w.write_all(&(name.len() as u32).to_le_bytes())?;
-        w.write_all(name.as_bytes())?;
-        w.write_all(&(value.ndim() as u32).to_le_bytes())?;
-        for &d in value.shape() {
-            w.write_all(&(d as u64).to_le_bytes())?;
-        }
-        for &v in value.data() {
-            w.write_all(&v.to_le_bytes())?;
-        }
+        push_entry(&mut buf, &p.name(), &p.value());
     }
-    w.flush()
+    rex_faults::atomic_write("ckpt", path, &buf)
+}
+
+fn push_entry(buf: &mut Vec<u8>, name: &str, value: &Tensor) {
+    buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    buf.extend_from_slice(name.as_bytes());
+    buf.extend_from_slice(&(value.ndim() as u32).to_le_bytes());
+    for &d in value.shape() {
+        buf.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in value.data() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encodes `(name, tensor)` entries in the checkpoint entry format
+/// (`u32 count` followed by the entries, no magic) — the payload of the
+/// model/optimizer sections inside a `REXSTATE1` snapshot.
+pub fn encode_entries(entries: &[(String, Tensor)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, value) in entries {
+        push_entry(&mut buf, name, value);
+    }
+    buf
+}
+
+/// Decodes a byte slice produced by [`encode_entries`].
+///
+/// # Errors
+///
+/// Returns `InvalidData`/`UnexpectedEof` on malformed input, including
+/// trailing garbage after the last entry.
+pub fn decode_entries(bytes: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
+    let mut r = bytes;
+    let count = read_u32(&mut r)? as usize;
+    let entries = read_entries(&mut r, count)?;
+    if !r.is_empty() {
+        return Err(invalid(format!(
+            "{} trailing bytes after the last checkpoint entry",
+            r.len()
+        )));
+    }
+    Ok(entries)
 }
 
 /// Reads all `(name, tensor)` entries from a checkpoint.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for a bad magic/um-parseable file, or propagates
+/// Returns `InvalidData` for a bad magic/un-parseable file, or propagates
 /// I/O errors.
 pub fn load_raw(path: &Path) -> io::Result<Vec<(String, Tensor)>> {
     let mut r = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a REXCKPT1 checkpoint",
-        ));
+        return Err(invalid("not a REXCKPT1 checkpoint"));
     }
     let count = read_u32(&mut r)? as usize;
-    // sanity caps: reject corrupt headers before attempting allocation
-    const MAX_ENTRIES: usize = 1 << 20;
-    const MAX_NAME: usize = 1 << 12;
-    const MAX_ELEMENTS: usize = 1 << 30;
+    read_entries(&mut r, count)
+}
+
+fn read_entries(r: &mut impl Read, count: usize) -> io::Result<Vec<(String, Tensor)>> {
     if count > MAX_ENTRIES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("implausible entry count {count} in checkpoint"),
-        ));
+        return Err(invalid(format!(
+            "implausible entry count {count} in checkpoint"
+        )));
     }
-    let mut out = Vec::with_capacity(count);
+    // cap the pre-allocation: a corrupt count must not reserve gigabytes
+    let mut out = Vec::with_capacity(count.min(1 << 10));
     for _ in 0..count {
-        let name_len = read_u32(&mut r)? as usize;
+        let name_len = read_u32(r)? as usize;
         if name_len > MAX_NAME {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("implausible name length {name_len} in checkpoint"),
-            ));
+            return Err(invalid(format!(
+                "implausible name length {name_len} in checkpoint"
+            )));
         }
         let mut name_bytes = vec![0u8; name_len];
         r.read_exact(&mut name_bytes)?;
-        let name = String::from_utf8(name_bytes)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let ndim = read_u32(&mut r)? as usize;
+        let name = String::from_utf8(name_bytes).map_err(|e| invalid(e.to_string()))?;
+        let ndim = read_u32(r)? as usize;
+        if ndim > 8 {
+            return Err(invalid(format!("implausible rank {ndim} in checkpoint")));
+        }
         let mut shape = Vec::with_capacity(ndim);
         for _ in 0..ndim {
             let mut b = [0u8; 8];
             r.read_exact(&mut b)?;
-            shape.push(u64::from_le_bytes(b) as usize);
+            let dim = usize::try_from(u64::from_le_bytes(b))
+                .map_err(|_| invalid("checkpoint dimension exceeds the address space"))?;
+            shape.push(dim);
         }
-        let n: usize = shape.iter().product();
+        // overflow-checked element count: adversarial dims must error, not
+        // wrap (release) or panic (debug)
+        let n = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| invalid("checkpoint tensor size overflows"))?;
         if n > MAX_ELEMENTS {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("implausible tensor size {n} in checkpoint"),
-            ));
+            return Err(invalid(format!(
+                "implausible tensor size {n} in checkpoint"
+            )));
         }
-        let mut data = Vec::with_capacity(n);
-        let mut buf = [0u8; 4];
-        for _ in 0..n {
-            r.read_exact(&mut buf)?;
-            data.push(f32::from_le_bytes(buf));
+        // read in bounded chunks so a huge claimed size on a truncated
+        // file fails with UnexpectedEof before allocating the full claim
+        let mut data = Vec::new();
+        let mut remaining = n;
+        let mut buf = [0u8; 4 * 4096];
+        while remaining > 0 {
+            let take = remaining.min(4096);
+            r.read_exact(&mut buf[..4 * take])?;
+            data.extend(
+                buf[..4 * take]
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+            );
+            remaining -= take;
         }
-        let tensor = Tensor::from_vec(data, &shape)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tensor = Tensor::from_vec(data, &shape).map_err(|e| invalid(e.to_string()))?;
         out.push((name, tensor));
     }
     Ok(out)
@@ -121,39 +191,184 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     Ok(u32::from_le_bytes(b))
 }
 
+/// What [`load_into`] found but did not use: checkpoint entries whose
+/// names match no parameter. A non-empty list usually means a renamed or
+/// typo'd parameter, so callers should surface it.
+#[must_use = "unused checkpoint entries usually indicate a renamed or typo'd parameter"]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Names present in the checkpoint but absent from the model.
+    pub unused: Vec<String>,
+}
+
+impl LoadReport {
+    /// True when every checkpoint entry was consumed by some parameter.
+    pub fn is_clean(&self) -> bool {
+        self.unused.is_empty()
+    }
+}
+
 /// Restores values into `params`, matching entries by name.
 ///
 /// Every parameter must find a checkpoint entry with its exact name and
-/// shape; extra checkpoint entries are ignored (so a full-model checkpoint
-/// can initialise a sub-model).
+/// shape. Extra checkpoint entries do not fail the load (so a full-model
+/// checkpoint can initialise a sub-model) but are reported in the
+/// returned [`LoadReport`] for typo detection.
 ///
 /// # Errors
 ///
 /// Returns `InvalidData` when a parameter has no matching entry or the
 /// shapes disagree.
-pub fn load_into(path: &Path, params: &[Param]) -> io::Result<()> {
+pub fn load_into(path: &Path, params: &[Param]) -> io::Result<LoadReport> {
     let entries = load_raw(path)?;
+    restore_params(&entries, params).map_err(invalid)?;
+    let unused = entries
+        .iter()
+        .map(|(n, _)| n)
+        .filter(|n| !params.iter().any(|p| p.name() == **n))
+        .cloned()
+        .collect();
+    Ok(LoadReport { unused })
+}
+
+/// Assigns `entries` into `params` by exact name and shape; the core of
+/// [`load_into`], shared with the full-state resume path.
+///
+/// # Errors
+///
+/// Describes the first missing entry or shape mismatch.
+pub fn restore_params(entries: &[(String, Tensor)], params: &[Param]) -> Result<(), String> {
     for p in params {
         let name = p.name();
-        let entry = entries.iter().find(|(n, _)| *n == name).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("checkpoint has no entry named {name:?}"),
-            )
-        })?;
+        let entry = entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .ok_or_else(|| format!("checkpoint has no entry named {name:?}"))?;
         if entry.1.shape() != p.value().shape() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "shape mismatch for {name:?}: checkpoint {:?} vs parameter {:?}",
-                    entry.1.shape(),
-                    p.value().shape()
-                ),
+            return Err(format!(
+                "shape mismatch for {name:?}: checkpoint {:?} vs parameter {:?}",
+                entry.1.shape(),
+                p.value().shape()
             ));
         }
         *p.value_mut() = entry.1.clone();
     }
     Ok(())
+}
+
+/// Writes named opaque sections as a `REXSTATE1` container, atomically
+/// (see [`rex_faults::atomic_write`]; the write label is `"state"`).
+///
+/// # Errors
+///
+/// Propagates filesystem errors (and injected ones).
+pub fn save_state(path: &Path, sections: &[(String, Vec<u8>)]) -> io::Result<()> {
+    rex_faults::atomic_write("state", path, &encode_state(sections))
+}
+
+/// Encodes sections in the `REXSTATE1` layout, checksum trailer included.
+pub fn encode_state(sections: &[(String, Vec<u8>)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(STATE_MAGIC);
+    buf.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (name, bytes) in sections {
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        buf.extend_from_slice(bytes);
+    }
+    let sum = fnv1a64(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Reads a `REXSTATE1` container back into its named sections, verifying
+/// the trailing checksum first so any torn or bit-flipped file is
+/// rejected wholesale.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic, checksum mismatch, or
+/// structural corruption; `UnexpectedEof` for truncation.
+pub fn load_state(path: &Path) -> io::Result<Vec<(String, Vec<u8>)>> {
+    let bytes = fs::read(path)?;
+    decode_state(&bytes)
+}
+
+/// [`load_state`] over an in-memory buffer.
+///
+/// # Errors
+///
+/// See [`load_state`].
+pub fn decode_state(bytes: &[u8]) -> io::Result<Vec<(String, Vec<u8>)>> {
+    let eof = || io::Error::new(io::ErrorKind::UnexpectedEof, "truncated REXSTATE1 snapshot");
+    let min = STATE_MAGIC.len() + 4 + 8;
+    if bytes.len() < min {
+        return Err(eof());
+    }
+    if &bytes[..STATE_MAGIC.len()] != STATE_MAGIC {
+        return Err(invalid("not a REXSTATE1 snapshot"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+    let actual = fnv1a64(body);
+    if stored != actual {
+        return Err(invalid(format!(
+            "REXSTATE1 checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        )));
+    }
+    let mut r = &body[STATE_MAGIC.len()..];
+    let count = read_u32(&mut r)? as usize;
+    if count > MAX_SECTIONS {
+        return Err(invalid(format!("implausible section count {count}")));
+    }
+    let mut sections = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > MAX_NAME {
+            return Err(invalid(format!(
+                "implausible section name length {name_len}"
+            )));
+        }
+        if r.len() < name_len {
+            return Err(eof());
+        }
+        let (name_bytes, rest) = r.split_at(name_len);
+        let name = String::from_utf8(name_bytes.to_vec()).map_err(|e| invalid(e.to_string()))?;
+        r = rest;
+        if r.len() < 8 {
+            return Err(eof());
+        }
+        let (len_bytes, rest) = r.split_at(8);
+        let len = usize::try_from(u64::from_le_bytes(len_bytes.try_into().unwrap()))
+            .map_err(|_| invalid("section length exceeds the address space"))?;
+        r = rest;
+        if r.len() < len {
+            return Err(eof());
+        }
+        let (payload, rest) = r.split_at(len);
+        sections.push((name, payload.to_vec()));
+        r = rest;
+    }
+    if !r.is_empty() {
+        return Err(invalid(format!(
+            "{} trailing bytes after the last section",
+            r.len()
+        )));
+    }
+    Ok(sections)
+}
+
+/// FNV-1a 64-bit over `bytes` — the snapshot's integrity check. Not
+/// cryptographic; it exists to reject torn/bit-flipped files, and the
+/// atomic-rename protocol makes genuinely torn files unreachable anyway.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -182,7 +397,8 @@ mod tests {
         let mut rng2 = Prng::new(2);
         let m2 = Mlp::new("m", &[4, 8, 2], &mut rng2);
         assert_ne!(*m.params()[0].value(), *m2.params()[0].value());
-        load_into(&path, &m2.params()).unwrap();
+        let report = load_into(&path, &m2.params()).unwrap();
+        assert!(report.is_clean(), "{report:?}");
         for (a, b) in m.params().iter().zip(m2.params().iter()) {
             assert_eq!(*a.value(), *b.value());
         }
@@ -222,14 +438,71 @@ mod tests {
     }
 
     #[test]
-    fn extra_checkpoint_entries_are_ignored() {
+    fn extra_checkpoint_entries_are_reported_not_fatal() {
         let mut rng = Prng::new(5);
         let full = Mlp::new("m", &[4, 8, 2], &mut rng);
         let path = tmp("extra");
         save(&path, &full.params()).unwrap();
         // a "sub-model" holding only the first layer's params
         let sub = &full.params()[..2];
-        load_into(&path, sub).unwrap();
+        let report = load_into(&path, sub).unwrap();
+        assert_eq!(report.unused.len(), 2, "{report:?}");
+        assert!(report.unused.iter().any(|n| n == "m.fc1.weight"));
+        assert!(!report.is_clean());
         let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn entry_codec_roundtrips_and_rejects_trailing_bytes() {
+        let entries = vec![
+            (
+                "a".to_owned(),
+                Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+            ),
+            ("b".to_owned(), Tensor::from_vec(vec![5.0], &[1]).unwrap()),
+        ];
+        let bytes = encode_entries(&entries);
+        assert_eq!(decode_entries(&bytes).unwrap(), entries);
+
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let err = decode_entries(&padded).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn state_container_roundtrips() {
+        let sections = vec![
+            ("meta".to_owned(), b"hello".to_vec()),
+            ("empty".to_owned(), Vec::new()),
+            ("model".to_owned(), vec![0u8; 1000]),
+        ];
+        let path = tmp("state_rt");
+        save_state(&path, &sections).unwrap();
+        assert_eq!(load_state(&path).unwrap(), sections);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn state_container_rejects_corruption() {
+        let sections = vec![("meta".to_owned(), b"payload bytes".to_vec())];
+        let good = encode_state(&sections);
+
+        // every single-byte flip must be caught by the checksum (or the
+        // magic check), never silently accepted
+        for pos in 0..good.len() {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            let err = decode_state(&bad).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "flip at {pos} gave {err}"
+            );
+        }
+        // truncation at every prefix length errors rather than panicking
+        for len in 0..good.len() {
+            assert!(decode_state(&good[..len]).is_err(), "prefix {len} accepted");
+        }
     }
 }

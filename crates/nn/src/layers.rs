@@ -232,6 +232,15 @@ impl Module for BatchNorm {
     fn params(&self) -> Vec<Param> {
         vec![self.gamma.clone(), self.beta.clone()]
     }
+
+    fn buffers(&self) -> Vec<(String, &RefCell<Tensor>)> {
+        let gamma = self.gamma.name();
+        let base = gamma.strip_suffix(".gamma").unwrap_or(&gamma);
+        vec![
+            (format!("{base}.running_mean"), &self.running_mean),
+            (format!("{base}.running_var"), &self.running_var),
+        ]
+    }
 }
 
 /// Layer normalisation over the last axis, with learnable affine.
@@ -385,6 +394,20 @@ mod tests {
         let x = g.constant(Tensor::zeros(&[2, 3, 8, 8]));
         let y = c.forward(&mut g, x).unwrap();
         assert_eq!(g.value(y).shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn batch_norm_exposes_named_buffer_cells() {
+        let bn = BatchNorm::new("stem.bn", 2);
+        let bufs = bn.buffers();
+        let names: Vec<&str> = bufs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["stem.bn.running_mean", "stem.bn.running_var"]);
+        // writing through the cell is visible to the layer (restore path)
+        *bufs[0].1.borrow_mut() = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!(bn.running_mean().data(), &[3.0, 4.0]);
+        // layers without non-trainable state report none
+        let mut rng = Prng::new(3);
+        assert!(Linear::new("l", 2, 2, &mut rng).buffers().is_empty());
     }
 
     #[test]

@@ -318,6 +318,13 @@ impl Module for TinyDetector {
         ps.extend(self.cls_head.params());
         ps
     }
+
+    fn buffers(&self) -> Vec<(String, &std::cell::RefCell<rex_tensor::Tensor>)> {
+        self.backbone
+            .iter()
+            .flat_map(|(_, bn)| bn.buffers())
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,15 @@ impl Module for BasicBlock {
         }
         ps
     }
+
+    fn buffers(&self) -> Vec<(String, &std::cell::RefCell<rex_tensor::Tensor>)> {
+        let mut bs = self.bn1.buffers();
+        bs.extend(self.bn2.buffers());
+        if let Some((_, bn)) = &self.shortcut {
+            bs.extend(bn.buffers());
+        }
+        bs
+    }
 }
 
 /// A three-stage residual classifier: stem conv → stages of
@@ -197,6 +206,14 @@ impl Module for MicroResNet {
         ps.extend(self.head.params());
         ps
     }
+
+    fn buffers(&self) -> Vec<(String, &std::cell::RefCell<rex_tensor::Tensor>)> {
+        let mut bs = self.stem_bn.buffers();
+        for b in &self.blocks {
+            bs.extend(b.buffers());
+        }
+        bs
+    }
 }
 
 /// Wide residual variant: a [`MicroResNet`] whose base width is multiplied
@@ -236,6 +253,10 @@ impl Module for MicroWideResNet {
 
     fn params(&self) -> Vec<Param> {
         self.inner.params()
+    }
+
+    fn buffers(&self) -> Vec<(String, &std::cell::RefCell<rex_tensor::Tensor>)> {
+        self.inner.buffers()
     }
 }
 

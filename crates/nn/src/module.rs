@@ -1,5 +1,6 @@
 use rex_autograd::{Graph, NodeId, Param};
-use rex_tensor::TensorError;
+use rex_tensor::{Tensor, TensorError};
+use std::cell::RefCell;
 
 /// A differentiable component: builds its forward computation onto a
 /// caller-supplied [`Graph`] and exposes its trainable parameters.
@@ -19,6 +20,16 @@ pub trait Module {
 
     /// All trainable parameters, in a deterministic order.
     fn params(&self) -> Vec<Param>;
+
+    /// Non-trainable state tensors as `(name, cell)` pairs, in a
+    /// deterministic order — batch-norm running statistics and the like.
+    /// They receive no gradients but shape eval-mode inference, so
+    /// training-state snapshots must save and restore them alongside the
+    /// parameters. Composite modules concatenate their children's
+    /// buffers. Default: none.
+    fn buffers(&self) -> Vec<(String, &RefCell<Tensor>)> {
+        Vec::new()
+    }
 
     /// Total number of trainable scalars.
     fn num_parameters(&self) -> usize {

@@ -92,6 +92,16 @@ impl Module for Sequential {
             })
             .collect()
     }
+
+    fn buffers(&self) -> Vec<(String, &std::cell::RefCell<rex_tensor::Tensor>)> {
+        self.stages
+            .iter()
+            .flat_map(|s| match s {
+                Stage::Layer(m) => m.buffers(),
+                Stage::Activation(_) => Vec::new(),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

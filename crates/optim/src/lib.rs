@@ -74,6 +74,71 @@ pub trait Optimizer {
 
     /// The parameters being optimized.
     fn params(&self) -> &[Param];
+
+    /// Snapshots the optimizer's internal state (velocity / moment
+    /// buffers, step counters) for a full training-state checkpoint.
+    fn export_state(&self) -> OptimizerState;
+
+    /// Restores internal state captured by [`Optimizer::export_state`].
+    /// After a successful import the optimizer continues bit-identically
+    /// to one that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first kind/name/shape mismatch; the optimizer is
+    /// left unchanged on error.
+    fn import_state(&mut self, state: &OptimizerState) -> Result<(), String>;
+}
+
+/// Serializable snapshot of an optimizer's internal state: a kind tag
+/// (`"sgd"` / `"adam"`), named scalars (Adam's step count `t`), and named
+/// tensors keyed by slot and parameter name (`velocity:w`, `m:w`, `v:w`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptimizerState {
+    /// Optimizer family tag; imports reject a mismatching kind.
+    pub kind: String,
+    /// Named scalar state (e.g. `("t", steps)` for Adam).
+    pub scalars: Vec<(String, f64)>,
+    /// Named tensor state, one entry per `slot:param` pair.
+    pub tensors: Vec<(String, Tensor)>,
+}
+
+impl OptimizerState {
+    fn scalar(&self, name: &str) -> Result<f64, String> {
+        self.scalars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("optimizer state has no scalar {name:?}"))
+    }
+
+    fn tensor(&self, name: &str, like: &Tensor) -> Result<Tensor, String> {
+        let t = self
+            .tensors
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .ok_or_else(|| format!("optimizer state has no tensor {name:?}"))?;
+        if t.shape() != like.shape() {
+            return Err(format!(
+                "optimizer state tensor {name:?} has shape {:?}, expected {:?}",
+                t.shape(),
+                like.shape()
+            ));
+        }
+        Ok(t.clone())
+    }
+
+    fn check_kind(&self, expected: &str) -> Result<(), String> {
+        if self.kind == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "optimizer state is {:?}, expected {expected:?}",
+                self.kind
+            ))
+        }
+    }
 }
 
 /// Global L2 norm of all accumulated gradients.
@@ -260,6 +325,31 @@ impl Optimizer for Sgd {
 
     fn params(&self) -> &[Param] {
         &self.params
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            kind: "sgd".to_owned(),
+            scalars: Vec::new(),
+            tensors: self
+                .params
+                .iter()
+                .zip(&self.velocity)
+                .map(|(p, v)| (format!("velocity:{}", p.name()), v.clone()))
+                .collect(),
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) -> Result<(), String> {
+        state.check_kind("sgd")?;
+        let velocity = self
+            .params
+            .iter()
+            .zip(&self.velocity)
+            .map(|(p, old)| state.tensor(&format!("velocity:{}", p.name()), old))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.velocity = velocity;
+        Ok(())
     }
 }
 
@@ -450,6 +540,43 @@ impl Optimizer for Adam {
 
     fn params(&self) -> &[Param] {
         &self.params
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        let mut tensors = Vec::with_capacity(2 * self.params.len());
+        for (p, m) in self.params.iter().zip(&self.m) {
+            tensors.push((format!("m:{}", p.name()), m.clone()));
+        }
+        for (p, v) in self.params.iter().zip(&self.v) {
+            tensors.push((format!("v:{}", p.name()), v.clone()));
+        }
+        OptimizerState {
+            kind: "adam".to_owned(),
+            // t ≤ 2^53 always holds for step counts, so f64 is exact
+            scalars: vec![("t".to_owned(), self.t as f64)],
+            tensors,
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) -> Result<(), String> {
+        state.check_kind("adam")?;
+        let t = state.scalar("t")?;
+        let m = self
+            .params
+            .iter()
+            .zip(&self.m)
+            .map(|(p, old)| state.tensor(&format!("m:{}", p.name()), old))
+            .collect::<Result<Vec<_>, _>>()?;
+        let v = self
+            .params
+            .iter()
+            .zip(&self.v)
+            .map(|(p, old)| state.tensor(&format!("v:{}", p.name()), old))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.m = m;
+        self.v = v;
+        self.t = t as u64;
+        Ok(())
     }
 }
 
@@ -660,6 +787,91 @@ mod tests {
         let params = [a, b];
         assert!((global_param_norm(&params) - 5.0).abs() < 1e-6);
         assert!((global_grad_norm(&params) - 5.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_resumes_bit_identically() {
+        let run_ref = || {
+            let w = Param::new("w", Tensor::from_vec(vec![5.0, -3.0], &[2]).unwrap());
+            let mut opt = Sgd::new(vec![w.clone()], 0.1)
+                .with_momentum(0.9)
+                .with_weight_decay(0.01);
+            for _ in 0..8 {
+                quadratic_step(&w, &mut opt);
+            }
+            let out = w.value().data().to_vec();
+            out
+        };
+
+        // interrupted variant: export after 4 steps, import into a fresh
+        // optimizer over the same values, finish the remaining 4
+        let w = Param::new("w", Tensor::from_vec(vec![5.0, -3.0], &[2]).unwrap());
+        let mut opt = Sgd::new(vec![w.clone()], 0.1)
+            .with_momentum(0.9)
+            .with_weight_decay(0.01);
+        for _ in 0..4 {
+            quadratic_step(&w, &mut opt);
+        }
+        let state = opt.export_state();
+        assert_eq!(state.kind, "sgd");
+        let mut opt2 = Sgd::new(vec![w.clone()], 0.1)
+            .with_momentum(0.9)
+            .with_weight_decay(0.01);
+        opt2.import_state(&state).unwrap();
+        for _ in 0..4 {
+            quadratic_step(&w, &mut opt2);
+        }
+        assert_eq!(w.value().data(), &run_ref()[..]);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bit_identically() {
+        // the bias-correction exponent depends on t, so a resume that
+        // dropped the step counter would diverge immediately
+        let run_ref = || {
+            let w = Param::new("w", Tensor::from_vec(vec![5.0, -3.0], &[2]).unwrap());
+            let mut opt = Adam::adamw(vec![w.clone()], 0.1, 0.01);
+            for _ in 0..8 {
+                quadratic_step(&w, &mut opt);
+            }
+            let out = w.value().data().to_vec();
+            out
+        };
+
+        let w = Param::new("w", Tensor::from_vec(vec![5.0, -3.0], &[2]).unwrap());
+        let mut opt = Adam::adamw(vec![w.clone()], 0.1, 0.01);
+        for _ in 0..4 {
+            quadratic_step(&w, &mut opt);
+        }
+        let state = opt.export_state();
+        assert_eq!(state.kind, "adam");
+        assert_eq!(state.scalars, vec![("t".to_owned(), 4.0)]);
+        let mut opt2 = Adam::adamw(vec![w.clone()], 0.1, 0.01);
+        opt2.import_state(&state).unwrap();
+        assert_eq!(opt2.steps(), 4);
+        for _ in 0..4 {
+            quadratic_step(&w, &mut opt2);
+        }
+        assert_eq!(w.value().data(), &run_ref()[..]);
+    }
+
+    #[test]
+    fn import_rejects_kind_and_shape_mismatches() {
+        let w = Param::new("w", Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let sgd = Sgd::new(vec![w.clone()], 0.1);
+        let mut adam = Adam::new(vec![w.clone()], 0.1);
+        let err = adam.import_state(&sgd.export_state()).unwrap_err();
+        assert!(err.contains("expected \"adam\""), "{err}");
+
+        let wide = Param::new("w", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let mut sgd_wide = Sgd::new(vec![wide], 0.1);
+        let err = sgd_wide.import_state(&sgd.export_state()).unwrap_err();
+        assert!(err.contains("shape"), "{err}");
+
+        let other = Param::new("other", Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let mut sgd_other = Sgd::new(vec![other], 0.1);
+        let err = sgd_other.import_state(&sgd.export_state()).unwrap_err();
+        assert!(err.contains("no tensor"), "{err}");
     }
 
     #[test]

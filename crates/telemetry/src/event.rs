@@ -95,6 +95,30 @@ pub enum Event {
         /// Elapsed wall-clock nanoseconds.
         elapsed_ns: u64,
     },
+    /// A full training-state snapshot was written.
+    Checkpoint {
+        /// Optimizer step count at the snapshot (steps completed).
+        step: u64,
+    },
+    /// The run resumed from a snapshot (operational event: excluded from
+    /// deterministic traces so a resumed run's JSONL stays byte-identical
+    /// to the uninterrupted run's).
+    Resume {
+        /// Optimizer step count the snapshot restored to.
+        step: u64,
+    },
+    /// A numeric guard observed a non-finite loss or gradient
+    /// (operational event, like [`Event::Resume`]).
+    GuardTrip {
+        /// Optimizer step at which the guard fired.
+        step: u64,
+        /// What was non-finite: `"loss"` or `"grad:<param>"`.
+        what: String,
+        /// The offending value (serialized as null — JSON has no NaN).
+        value: f64,
+        /// Policy applied: `"abort"`, `"skip"`, or `"rollback"`.
+        action: String,
+    },
     /// A run finished.
     RunEnd {
         /// Final scalar metric for the run (accuracy, ELBO, mAP, ...).
@@ -191,6 +215,31 @@ impl Event {
                     json::escape(name)
                 ));
             }
+            Event::Checkpoint { step } => {
+                s.push_str(&format!("{{\"ev\":\"checkpoint\",\"step\":{step}}}"));
+            }
+            Event::Resume { step } => {
+                if !include_timing {
+                    return None;
+                }
+                s.push_str(&format!("{{\"ev\":\"resume\",\"step\":{step}}}"));
+            }
+            Event::GuardTrip {
+                step,
+                what,
+                value,
+                action,
+            } => {
+                if !include_timing {
+                    return None;
+                }
+                s.push_str(&format!(
+                    "{{\"ev\":\"guard\",\"step\":{step},\"what\":\"{}\",\"value\":{},\"action\":\"{}\"}}",
+                    json::escape(what),
+                    json::fmt_f64(*value),
+                    json::escape(action)
+                ));
+            }
             Event::RunEnd { metric } => {
                 s.push_str(&format!(
                     "{{\"ev\":\"run_end\",\"metric\":{}}}",
@@ -199,6 +248,18 @@ impl Event {
             }
         }
         Some(s)
+    }
+
+    /// True for events describing the *mechanics* of a run (timers,
+    /// resume markers, guard trips) rather than its deterministic
+    /// trajectory. Operational events are excluded from trace encoding
+    /// unless timing is enabled, so they never perturb byte-identity of
+    /// same-seed or resumed traces.
+    pub fn is_operational(&self) -> bool {
+        matches!(
+            self,
+            Event::Timer { .. } | Event::Resume { .. } | Event::GuardTrip { .. }
+        )
     }
 
     /// Parses one JSON line back into an event.
@@ -258,6 +319,18 @@ impl Event {
                 name: req_str(&map, "name")?,
                 elapsed_ns: req_u64(&map, "elapsed_ns")?,
             }),
+            "checkpoint" => Ok(Event::Checkpoint {
+                step: req_u64(&map, "step")?,
+            }),
+            "resume" => Ok(Event::Resume {
+                step: req_u64(&map, "step")?,
+            }),
+            "guard" => Ok(Event::GuardTrip {
+                step: req_u64(&map, "step")?,
+                what: req_str(&map, "what")?,
+                value: req_f64(&map, "value")?,
+                action: req_str(&map, "action")?,
+            }),
             "run_end" => Ok(Event::RunEnd {
                 metric: req_f64(&map, "metric")?,
             }),
@@ -276,6 +349,9 @@ impl Event {
             Event::Counter { .. } => "counter",
             Event::Gauge { .. } => "gauge",
             Event::Timer { .. } => "timer",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::Resume { .. } => "resume",
+            Event::GuardTrip { .. } => "guard",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -388,6 +464,14 @@ mod tests {
                 name: "epoch".into(),
                 elapsed_ns: 1_000_000,
             },
+            Event::Checkpoint { step: 4 },
+            Event::Resume { step: 4 },
+            Event::GuardTrip {
+                step: 5,
+                what: "grad:m.fc0.weight".into(),
+                value: 7.5, // finite so the roundtrip compares equal
+                action: "skip".into(),
+            },
             Event::RunEnd { metric: 0.85 },
         ]
     }
@@ -406,9 +490,13 @@ mod tests {
         let text = encode_trace(&events, false);
         assert!(!text.contains("elapsed_ns"), "{text}");
         let parsed = parse_trace(&text).unwrap();
-        // the timer event is dropped and step elapsed_ns zeroed
-        assert_eq!(parsed.len(), events.len() - 1);
+        // the operational events (timer, resume, guard) are dropped and
+        // step elapsed_ns zeroed; the checkpoint marker survives
+        let dropped = events.iter().filter(|e| e.is_operational()).count();
+        assert_eq!(dropped, 3);
+        assert_eq!(parsed.len(), events.len() - dropped);
         assert_eq!(parsed[2].as_step().unwrap().elapsed_ns, 0);
+        assert!(text.contains("\"ev\":\"checkpoint\""), "{text}");
     }
 
     #[test]

@@ -287,6 +287,32 @@ fn diff_event(
         (Event::RunEnd { metric: m1 }, Event::RunEnd { metric: m2 }) => {
             close("run_end.metric", tol.metric, *m1, *m2)
         }
+        (Event::Checkpoint { step: s1 }, Event::Checkpoint { step: s2 }) => {
+            exact_u64("checkpoint.step", *s1, *s2)
+        }
+        (Event::Resume { step: s1 }, Event::Resume { step: s2 }) => {
+            exact_u64("resume.step", *s1, *s2)
+        }
+        (
+            Event::GuardTrip {
+                step: s1,
+                what: w1,
+                action: a1,
+                ..
+            },
+            Event::GuardTrip {
+                step: s2,
+                what: w2,
+                action: a2,
+                ..
+            },
+        ) => {
+            // the offending value is often NaN, which never compares equal;
+            // the (step, what, action) triple identifies the trip
+            exact_u64("guard.step", *s1, *s2)?;
+            exact_str("guard.what", w1, w2)?;
+            exact_str("guard.action", a1, a2)
+        }
         (e, a) => fail("kind", e.kind().to_owned(), a.kind().to_owned()),
     }
 }

@@ -14,6 +14,11 @@ use std::time::Instant;
 pub struct Recorder {
     sink: Option<Box<dyn Sink>>,
     counters: BTreeMap<String, u64>,
+    /// Deterministic events emitted so far — exactly the number of lines a
+    /// timing-off JSONL encoding of the stream would hold. Snapshotted at
+    /// checkpoint time so resume can truncate a trace file to the prefix
+    /// the restored state has already produced.
+    lines: u64,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -37,6 +42,7 @@ impl Recorder {
         Recorder {
             sink: None,
             counters: BTreeMap::new(),
+            lines: 0,
         }
     }
 
@@ -45,6 +51,7 @@ impl Recorder {
         Recorder {
             sink: Some(sink),
             counters: BTreeMap::new(),
+            lines: 0,
         }
     }
 
@@ -58,8 +65,23 @@ impl Recorder {
     #[inline]
     pub fn emit(&mut self, event: Event) {
         if let Some(sink) = &mut self.sink {
+            if !event.is_operational() {
+                self.lines += 1;
+            }
             sink.record(&event);
         }
+    }
+
+    /// Number of deterministic (non-operational) events emitted so far —
+    /// the line count of a timing-off JSONL rendering of the stream.
+    pub fn lines_emitted(&self) -> u64 {
+        self.lines
+    }
+
+    /// Overrides the deterministic-event count; called on resume so later
+    /// checkpoints carry absolute trace cursors.
+    pub fn set_lines_emitted(&mut self, lines: u64) {
+        self.lines = lines;
     }
 
     /// Increments the named monotone counter by `delta` and emits its new
@@ -196,6 +218,33 @@ mod tests {
             })
             .collect();
         assert_eq!(values, vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn lines_emitted_counts_only_deterministic_events() {
+        let mut rec = Recorder::new(Box::new(MemorySink::unbounded()));
+        rec.emit(Event::RunEnd { metric: 1.0 });
+        rec.emit(Event::Checkpoint { step: 1 });
+        rec.emit(Event::Timer {
+            name: "t".into(),
+            elapsed_ns: 1,
+        });
+        rec.emit(Event::Resume { step: 1 });
+        rec.emit(Event::GuardTrip {
+            step: 1,
+            what: "loss".into(),
+            value: f64::NAN,
+            action: "skip".into(),
+        });
+        assert_eq!(rec.lines_emitted(), 2);
+        rec.set_lines_emitted(40);
+        rec.emit(Event::RunEnd { metric: 1.0 });
+        assert_eq!(rec.lines_emitted(), 41);
+
+        // a disabled recorder counts nothing
+        let mut off = Recorder::disabled();
+        off.emit(Event::RunEnd { metric: 1.0 });
+        assert_eq!(off.lines_emitted(), 0);
     }
 
     #[test]

@@ -134,6 +134,10 @@ impl Sink for MemorySink {
 pub struct JsonlSink {
     writer: BufWriter<Box<dyn Write>>,
     include_timing: bool,
+    /// The underlying file when writing to one, kept so `flush` can fsync:
+    /// the trace is the resume contract's source of truth, so its flushed
+    /// prefix must actually be durable.
+    file: Option<File>,
 }
 
 impl std::fmt::Debug for JsonlSink {
@@ -157,7 +161,56 @@ impl JsonlSink {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        Ok(Self::from_writer(Box::new(File::create(path)?)))
+        let file = File::create(path)?;
+        let handle = file.try_clone().ok();
+        let mut sink = Self::from_writer(Box::new(file));
+        sink.file = handle;
+        Ok(sink)
+    }
+
+    /// Re-opens an existing trace for a resumed run: keeps exactly the
+    /// first `keep_lines` lines (the prefix the restored training state
+    /// had already emitted — [`Recorder::lines_emitted`] at checkpoint
+    /// time), atomically rewrites the file to that prefix, and appends
+    /// from there. The finished resumed trace is byte-identical to an
+    /// uninterrupted run's.
+    ///
+    /// [`Recorder::lines_emitted`]: crate::Recorder::lines_emitted
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` when the file holds fewer than
+    /// `keep_lines` complete lines (the trace and checkpoint are from
+    /// different runs, or the trace was not flushed at checkpoint time);
+    /// propagates filesystem errors.
+    pub fn resume(path: &Path, keep_lines: u64) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let mut kept = String::with_capacity(text.len());
+        let mut count = 0u64;
+        for line in text.lines() {
+            if count == keep_lines {
+                break;
+            }
+            kept.push_str(line);
+            kept.push('\n');
+            count += 1;
+        }
+        if count < keep_lines {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "trace {} holds {count} lines but the checkpoint cursor is {keep_lines}; \
+                     it does not belong to this checkpoint",
+                    path.display()
+                ),
+            ));
+        }
+        rex_faults::atomic_write("trace", path, kept.as_bytes())?;
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        let handle = file.try_clone().ok();
+        let mut sink = Self::from_writer(Box::new(file));
+        sink.file = handle;
+        Ok(sink)
     }
 
     /// Wraps an arbitrary writer.
@@ -165,6 +218,7 @@ impl JsonlSink {
         JsonlSink {
             writer: BufWriter::new(writer),
             include_timing: false,
+            file: None,
         }
     }
 
@@ -187,12 +241,18 @@ impl Sink for JsonlSink {
 
     fn flush(&mut self) {
         let _ = self.writer.flush();
+        // make the flushed prefix durable: resume truncates the trace to
+        // the checkpoint's line cursor, which must exist on disk even if
+        // the process is killed right after checkpointing
+        if let Some(file) = &self.file {
+            rex_faults::fsync_file(file);
+        }
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        let _ = self.writer.flush();
+        Sink::flush(self);
     }
 }
 
@@ -239,6 +299,34 @@ mod tests {
         assert_eq!(handle.len(), 100);
         handle.clear();
         assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn jsonl_resume_truncates_to_cursor_and_appends() {
+        let path =
+            std::env::temp_dir().join(format!("rex_sink_resume_{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            for i in 0..5 {
+                sink.record(&step(i));
+            }
+        }
+        // resume keeping 3 lines, then append two fresh ones
+        {
+            let mut sink = JsonlSink::resume(&path, 3).unwrap();
+            sink.record(&step(3));
+            sink.record(&Event::RunEnd { metric: 0.5 });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        let events = crate::parse_trace(&text).unwrap();
+        assert_eq!(events[3].as_step().unwrap().step, 3);
+        assert_eq!(events[4], Event::RunEnd { metric: 0.5 });
+
+        // a cursor beyond the file length is a hard error
+        let err = JsonlSink::resume(&path, 99).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

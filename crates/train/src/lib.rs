@@ -21,14 +21,18 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod error;
 pub mod range_test;
+pub mod snapshot;
 pub mod tasks;
 mod trainer;
 pub mod trial;
 
 pub use budget::Budget;
+pub use error::TrainError;
+pub use snapshot::TrainState;
 pub use trainer::{
-    classification_loss, evaluate_classifier, EpochStats, OptimizerKind, TrainConfig, TrainResult,
-    Trainer,
+    classification_loss, evaluate_classifier, EpochStats, FtConfig, GuardPolicy, OptimizerKind,
+    TrainConfig, TrainResult, Trainer,
 };
 pub use trial::EarlyStopping;

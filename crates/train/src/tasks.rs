@@ -17,7 +17,8 @@ use rex_optim::{clip_grad_norm, global_grad_norm, global_param_norm, Optimizer};
 use rex_telemetry::{Event, Recorder, StepRecord};
 use rex_tensor::{Prng, TensorError};
 
-use crate::trainer::{OptimizerKind, TrainConfig, Trainer};
+use crate::error::TrainError;
+use crate::trainer::{FtConfig, OptimizerKind, TrainConfig, Trainer};
 
 /// Which image-classification architecture a setting uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +55,8 @@ impl ImageModel {
 ///
 /// # Errors
 ///
-/// Propagates [`TensorError`]s from the model.
+/// Propagates [`TrainError`]s from the trainer (tensor errors, plus the
+/// fault-tolerance failure modes when those knobs are on).
 #[allow(clippy::too_many_arguments)]
 pub fn run_image_cell(
     model_kind: ImageModel,
@@ -65,7 +67,7 @@ pub fn run_image_cell(
     schedule: ScheduleSpec,
     lr: f32,
     seed: u64,
-) -> Result<f64, TensorError> {
+) -> Result<f64, TrainError> {
     run_image_cell_traced(
         model_kind,
         data,
@@ -84,7 +86,7 @@ pub fn run_image_cell(
 ///
 /// # Errors
 ///
-/// Propagates [`TensorError`]s from the model.
+/// Same conditions as [`run_image_cell`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_image_cell_traced(
     model_kind: ImageModel,
@@ -96,7 +98,40 @@ pub fn run_image_cell_traced(
     lr: f32,
     seed: u64,
     rec: &mut Recorder,
-) -> Result<f64, TensorError> {
+) -> Result<f64, TrainError> {
+    run_image_cell_ft(
+        model_kind,
+        data,
+        epochs,
+        batch_size,
+        optimizer,
+        schedule,
+        lr,
+        seed,
+        FtConfig::default(),
+        rec,
+    )
+}
+
+/// [`run_image_cell_traced`] with fault-tolerance knobs: periodic
+/// crash-safe checkpoints, resume, numeric guards, deliberate halts.
+///
+/// # Errors
+///
+/// Same conditions as [`run_image_cell`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_image_cell_ft(
+    model_kind: ImageModel,
+    data: &ClassificationDataset,
+    epochs: usize,
+    batch_size: usize,
+    optimizer: OptimizerKind,
+    schedule: ScheduleSpec,
+    lr: f32,
+    seed: u64,
+    ft: FtConfig,
+    rec: &mut Recorder,
+) -> Result<f64, TrainError> {
     let model = model_kind.build(data.num_classes, seed);
     let mut trainer = Trainer::new(TrainConfig {
         epochs,
@@ -107,6 +142,7 @@ pub fn run_image_cell_traced(
         augment: true,
         grad_clip: None,
         seed: seed ^ 0x7EA1,
+        ft,
     });
     Ok(trainer
         .train_classifier_traced(

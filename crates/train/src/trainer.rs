@@ -1,10 +1,13 @@
+use crate::error::TrainError;
+use crate::snapshot::TrainState;
 use rex_autograd::{Graph, Param};
 use rex_core::{Schedule, ScheduleSpec};
 use rex_data::{augment_hflip, batches, batches_traced};
-use rex_nn::Module;
+use rex_nn::{checkpoint, Module};
 use rex_optim::{clip_grad_norm, global_grad_norm, global_param_norm, Adam, Optimizer, Sgd};
 use rex_telemetry::{Event, Recorder, StepRecord};
 use rex_tensor::{Prng, Tensor, TensorError};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Which optimizer family to instantiate (the paper pairs every schedule
@@ -96,6 +99,70 @@ impl OptimizerKind {
     }
 }
 
+/// What the trainer does when a numeric guard observes a non-finite loss
+/// or gradient norm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardPolicy {
+    /// Guards disabled (no extra norm computation when untraced).
+    #[default]
+    Off,
+    /// Return [`TrainError::NonFinite`] naming the step and the offending
+    /// tensor.
+    Abort,
+    /// Drop the step — no optimizer update, no loss accumulation — but
+    /// advance the budget clock by the batch's samples and move on.
+    SkipStep,
+    /// Restore the last checkpoint (model, optimizer, RNG, progress) and
+    /// re-run from there; a second trip at the same step aborts.
+    Rollback,
+}
+
+impl GuardPolicy {
+    /// Short action label used in telemetry and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GuardPolicy::Off => "off",
+            GuardPolicy::Abort => "abort",
+            GuardPolicy::SkipStep => "skip",
+            GuardPolicy::Rollback => "rollback",
+        }
+    }
+
+    /// Parses a CLI spelling (`off`, `abort`, `skip`, `rollback`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for unknown spellings.
+    pub fn parse(s: &str) -> Result<GuardPolicy, String> {
+        match s {
+            "off" => Ok(GuardPolicy::Off),
+            "abort" => Ok(GuardPolicy::Abort),
+            "skip" => Ok(GuardPolicy::SkipStep),
+            "rollback" => Ok(GuardPolicy::Rollback),
+            other => Err(format!(
+                "unknown guard policy {other:?} (expected off|abort|skip|rollback)"
+            )),
+        }
+    }
+}
+
+/// Fault-tolerance knobs: checkpointing, resume, numeric guards, and
+/// deliberate halts. The default is everything off — zero overhead.
+#[derive(Debug, Clone, Default)]
+pub struct FtConfig {
+    /// Write a [`TrainState`] snapshot every N optimizer steps.
+    pub checkpoint_every: Option<u64>,
+    /// Where snapshots are written (required with `checkpoint_every`).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from this snapshot instead of starting fresh.
+    pub resume_from: Option<PathBuf>,
+    /// Numeric-guard policy for non-finite losses/gradients.
+    pub guard: GuardPolicy,
+    /// Stop cleanly with [`TrainError::Halted`] after this step completes
+    /// (its checkpoint included) — deterministic in-process "kill".
+    pub halt_after_step: Option<u64>,
+}
+
 /// Configuration of one training run.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
@@ -115,6 +182,8 @@ pub struct TrainConfig {
     pub grad_clip: Option<f32>,
     /// RNG seed for shuffling/augmentation.
     pub seed: u64,
+    /// Fault-tolerance settings (checkpoint/resume/guards); default off.
+    pub ft: FtConfig,
 }
 
 impl TrainConfig {
@@ -129,6 +198,7 @@ impl TrainConfig {
             augment: true,
             grad_clip: None,
             seed,
+            ft: FtConfig::default(),
         }
     }
 }
@@ -192,7 +262,8 @@ impl Trainer {
     ///
     /// # Errors
     ///
-    /// Propagates [`TensorError`]s from the model's forward/backward.
+    /// Propagates [`TensorError`]s from the model's forward/backward
+    /// (as [`TrainError::Tensor`]) plus any fault-tolerance failure.
     pub fn train_classifier(
         &mut self,
         model: &dyn Module,
@@ -200,7 +271,7 @@ impl Trainer {
         train_labels: &[usize],
         test_images: &Tensor,
         test_labels: &[usize],
-    ) -> Result<TrainResult, TensorError> {
+    ) -> Result<TrainResult, TrainError> {
         self.train_classifier_traced(
             model,
             train_images,
@@ -215,11 +286,19 @@ impl Trainer {
     /// boundaries, one [`StepRecord`] per optimizer step (applied LR, batch
     /// loss, pre-clip gradient norm, post-step parameter norm), validation
     /// passes, and the final metric into `rec`. With a disabled recorder
-    /// this is exactly the plain loop — norms are not even computed.
+    /// this is exactly the plain loop — norms are not even computed
+    /// (unless a numeric guard needs them).
+    ///
+    /// With `cfg.ft.checkpoint_every` set, a full [`TrainState`] is
+    /// written crash-consistently every N steps; `cfg.ft.resume_from`
+    /// restores one and continues bit-for-bit — the finished trace is
+    /// byte-identical to an uninterrupted run's.
     ///
     /// # Errors
     ///
-    /// Propagates [`TensorError`]s from the model's forward/backward.
+    /// Propagates [`TensorError`]s from the model's forward/backward
+    /// (as [`TrainError::Tensor`]), checkpoint/resume failures, guard
+    /// aborts, and the deliberate [`TrainError::Halted`].
     pub fn train_classifier_traced(
         &mut self,
         model: &dyn Module,
@@ -228,12 +307,14 @@ impl Trainer {
         test_images: &Tensor,
         test_labels: &[usize],
         rec: &mut Recorder,
-    ) -> Result<TrainResult, TensorError> {
+    ) -> Result<TrainResult, TrainError> {
         let cfg = self.config.clone();
+        let ft = cfg.ft.clone();
+        self.validate_ft(&ft)?;
         let mut opt = cfg.optimizer.build(model.params(), cfg.lr);
         let traced = rec.is_enabled();
         opt.set_instrumented(traced);
-        let mut rng = Prng::new(cfg.seed);
+        let guard_on = ft.guard != GuardPolicy::Off;
         // Budget accounting is sample-exact: schedule progress advances by
         // the number of samples actually consumed, so a partial final
         // mini-batch moves the clock by its true size rather than a full
@@ -243,35 +324,69 @@ impl Trainer {
         let total_samples = train_labels.len() as u64 * cfg.epochs as u64;
         let needs_val = cfg.schedule.needs_validation_feedback();
 
-        rec.emit(Event::RunStart {
-            run: "classifier".to_owned(),
-            schedule: self.schedule.name().to_owned(),
-            optimizer: cfg.optimizer.name().to_owned(),
-            seed: cfg.seed,
-            total_samples,
-        });
+        let mut rng = Prng::new(cfg.seed);
+        let mut st = LoopSt::fresh(cfg.lr, cfg.epochs);
+        if let Some(resume_path) = &ft.resume_from {
+            let state = TrainState::load(resume_path).map_err(|source| TrainError::Checkpoint {
+                action: "load",
+                path: resume_path.clone(),
+                source,
+            })?;
+            self.check_resume(&state, &cfg, total_samples)?;
+            restore_from(&state, model, opt.as_mut(), &mut rng, &mut st, rec)?;
+            rec.emit(Event::Resume { step: st.step });
+        } else {
+            rec.emit(Event::RunStart {
+                run: "classifier".to_owned(),
+                schedule: self.schedule.name().to_owned(),
+                optimizer: cfg.optimizer.name().to_owned(),
+                seed: cfg.seed,
+                total_samples,
+            });
+        }
 
-        let mut history = Vec::with_capacity(cfg.epochs);
-        let mut samples_done: u64 = 0;
-        let mut step: u64 = 0;
-        for epoch in 0..cfg.epochs {
-            let mut epoch_loss = 0.0f64;
-            let mut epoch_batches = 0usize;
-            let mut last_lr = cfg.lr;
-            let epoch_batches_vec = batches_traced(
-                train_images,
-                train_labels,
-                cfg.batch_size,
-                Some(&mut rng),
-                rec,
-                epoch as u64,
-            );
-            for (batch_id, batch) in epoch_batches_vec.into_iter().enumerate() {
+        // rollback target: the last checkpoint, kept in memory alongside
+        // the on-disk file so restoring needs no I/O
+        let mut mem_snap: Option<TrainState> = None;
+        let mut rolled_back_at: Option<u64> = None;
+
+        'run: while (st.epoch as usize) < cfg.epochs {
+            let batch_vec = if st.mid_epoch {
+                st.mid_epoch = false;
+                // Rebuild the in-flight epoch's batch order by replaying
+                // the saved pre-shuffle RNG state; the live stream `rng`
+                // already sits past the shuffle (and every completed
+                // batch's augmentation), exactly where the uninterrupted
+                // run was. The Epoch event is in the trace prefix — not
+                // re-emitted.
+                let mut epoch_rng = Prng::from_state(st.rng_epoch_start);
+                batches(
+                    train_images,
+                    train_labels,
+                    cfg.batch_size,
+                    Some(&mut epoch_rng),
+                )
+            } else {
+                st.rng_epoch_start = rng.state();
+                st.batch_in_epoch = 0;
+                st.epoch_loss = 0.0;
+                st.epoch_batches = 0;
+                batches_traced(
+                    train_images,
+                    train_labels,
+                    cfg.batch_size,
+                    Some(&mut rng),
+                    rec,
+                    st.epoch,
+                )
+            };
+            while (st.batch_in_epoch as usize) < batch_vec.len() {
+                let batch = &batch_vec[st.batch_in_epoch as usize];
                 let step_start = traced.then(Instant::now);
-                let factor = self.schedule.factor(samples_done, total_samples) as f32;
-                last_lr = cfg.lr * factor;
-                opt.set_lr(last_lr);
-                if let Some(m) = self.schedule.momentum(samples_done, total_samples) {
+                let factor = self.schedule.factor(st.samples_done, total_samples) as f32;
+                st.last_lr = cfg.lr * factor;
+                opt.set_lr(st.last_lr);
+                if let Some(m) = self.schedule.momentum(st.samples_done, total_samples) {
                     opt.set_momentum(m as f32);
                 }
                 opt.zero_grad();
@@ -284,25 +399,75 @@ impl Trainer {
                 let x = g.constant(images);
                 let logits = model.forward(&mut g, x)?;
                 let loss = g.cross_entropy(logits, &batch.labels)?;
-                let batch_loss = g.value(loss).item() as f64;
-                epoch_loss += batch_loss;
-                epoch_batches += 1;
+                let mut batch_loss = g.value(loss).item() as f64;
+                if rex_faults::poison_loss(st.step) {
+                    batch_loss = f64::NAN;
+                }
+                if guard_on && !batch_loss.is_finite() {
+                    match self.trip_guard(
+                        &ft,
+                        "loss".to_owned(),
+                        batch_loss,
+                        batch.labels.len() as u64,
+                        &mut st,
+                        &mut rolled_back_at,
+                        &mem_snap,
+                        model,
+                        opt.as_mut(),
+                        &mut rng,
+                        rec,
+                    )? {
+                        GuardOutcome::SkipBatch => continue,
+                        GuardOutcome::RestartFromSnapshot => continue 'run,
+                    }
+                }
+                st.epoch_loss += batch_loss;
+                st.epoch_batches += 1;
                 g.backward(loss)?;
+                if let Some(seed_idx) = rex_faults::poison_grad(st.step) {
+                    let params = opt.params();
+                    if !params.is_empty() {
+                        params[seed_idx % params.len()].grad_mut().data_mut()[0] = f32::NAN;
+                    }
+                }
                 let grad_norm = if let Some(max_norm) = cfg.grad_clip {
                     clip_grad_norm(opt.params(), max_norm)
-                } else if traced {
+                } else if traced || guard_on {
                     global_grad_norm(opt.params())
                 } else {
                     0.0
                 };
+                if guard_on && !grad_norm.is_finite() {
+                    // the accumulators already counted this batch; undo so
+                    // skip/rollback leave them consistent
+                    st.epoch_loss -= batch_loss;
+                    st.epoch_batches -= 1;
+                    let what = offending_grad(opt.params());
+                    match self.trip_guard(
+                        &ft,
+                        what,
+                        grad_norm as f64,
+                        batch.labels.len() as u64,
+                        &mut st,
+                        &mut rolled_back_at,
+                        &mem_snap,
+                        model,
+                        opt.as_mut(),
+                        &mut rng,
+                        rec,
+                    )? {
+                        GuardOutcome::SkipBatch => continue,
+                        GuardOutcome::RestartFromSnapshot => continue 'run,
+                    }
+                }
                 opt.step();
-                samples_done += batch.labels.len() as u64;
+                st.samples_done += batch.labels.len() as u64;
                 if traced {
                     rec.emit(Event::Step(StepRecord {
-                        step,
-                        epoch: epoch as u64,
-                        batch_id: batch_id as u64,
-                        lr: last_lr as f64,
+                        step: st.step,
+                        epoch: st.epoch,
+                        batch_id: st.batch_in_epoch,
+                        lr: st.last_lr as f64,
                         loss: batch_loss,
                         grad_norm: grad_norm as f64,
                         param_norm: global_param_norm(opt.params()) as f64,
@@ -311,14 +476,51 @@ impl Trainer {
                             .unwrap_or(0),
                     }));
                 }
-                step += 1;
+                st.batch_in_epoch += 1;
+                st.step += 1;
+
+                if let Some(every) = ft.checkpoint_every {
+                    if st.step.is_multiple_of(every) {
+                        let path = ft.checkpoint_path.as_ref().expect("validated upfront");
+                        // cursor ordering: the checkpoint line joins the
+                        // deterministic stream first, then the flush makes
+                        // the whole prefix durable, then the snapshot
+                        // records the cursor — a resume truncates the
+                        // trace to exactly this prefix
+                        rec.emit(Event::Checkpoint { step: st.step });
+                        rec.flush();
+                        let state = capture_state(
+                            &cfg,
+                            &st,
+                            &rng,
+                            opt.as_ref(),
+                            model,
+                            rec.lines_emitted(),
+                            total_samples,
+                            &self.schedule.name(),
+                        );
+                        state.save(path).map_err(|source| TrainError::Checkpoint {
+                            action: "save",
+                            path: path.clone(),
+                            source,
+                        })?;
+                        if ft.guard == GuardPolicy::Rollback {
+                            mem_snap = Some(state);
+                        }
+                    }
+                }
+                rex_faults::crash_point(st.step);
+                if ft.halt_after_step == Some(st.step) {
+                    rec.flush();
+                    return Err(TrainError::Halted { step: st.step });
+                }
             }
             let val_loss = if needs_val {
                 let vl = classification_loss(model, test_images, test_labels, cfg.batch_size)?;
                 self.schedule.on_validation(vl);
                 if traced {
                     rec.emit(Event::Validation {
-                        epoch: epoch as u64,
+                        epoch: st.epoch,
                         loss: vl,
                     });
                 }
@@ -326,19 +528,20 @@ impl Trainer {
             } else {
                 None
             };
-            let mean_loss = epoch_loss / epoch_batches.max(1) as f64;
+            let mean_loss = st.epoch_loss / st.epoch_batches.max(1) as f64;
             if traced {
                 rec.emit(Event::EpochEnd {
-                    epoch: epoch as u64,
+                    epoch: st.epoch,
                     mean_loss,
-                    lr: last_lr as f64,
+                    lr: st.last_lr as f64,
                 });
             }
-            history.push(EpochStats {
+            st.history.push(EpochStats {
                 train_loss: mean_loss,
                 val_loss,
-                lr: last_lr,
+                lr: st.last_lr,
             });
+            st.epoch += 1;
         }
 
         let final_metric = evaluate_classifier(model, test_images, test_labels, cfg.batch_size)?;
@@ -348,9 +551,301 @@ impl Trainer {
         rec.flush();
         Ok(TrainResult {
             final_metric,
-            history,
+            history: st.history,
         })
     }
+
+    fn validate_ft(&self, ft: &FtConfig) -> Result<(), TrainError> {
+        if ft.checkpoint_every == Some(0) {
+            return Err(TrainError::Config(
+                "checkpoint interval must be at least 1 step".to_owned(),
+            ));
+        }
+        if ft.checkpoint_every.is_some() && ft.checkpoint_path.is_none() {
+            return Err(TrainError::Config(
+                "checkpoint_every is set but checkpoint_path is not".to_owned(),
+            ));
+        }
+        if (ft.checkpoint_every.is_some() || ft.resume_from.is_some()) && self.schedule.stateful() {
+            return Err(TrainError::Config(format!(
+                "schedule {:?} reacts to validation feedback, which a snapshot cannot \
+                 capture; checkpoint/resume is unavailable for it",
+                self.schedule.name()
+            )));
+        }
+        if ft.guard == GuardPolicy::Rollback && ft.checkpoint_every.is_none() {
+            return Err(TrainError::Config(
+                "guard policy rollback requires checkpoint_every".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_resume(
+        &self,
+        state: &TrainState,
+        cfg: &TrainConfig,
+        total_samples: u64,
+    ) -> Result<(), TrainError> {
+        let mismatch = |field: &str, run: String, ckpt: String| {
+            Err(TrainError::Resume(format!(
+                "{field} mismatch: run has {run}, checkpoint has {ckpt}"
+            )))
+        };
+        if state.run != "classifier" {
+            return mismatch("run kind", "classifier".to_owned(), state.run.clone());
+        }
+        if state.schedule != self.schedule.name() {
+            return mismatch("schedule", self.schedule.name(), state.schedule.clone());
+        }
+        if state.optimizer != cfg.optimizer.name() {
+            return mismatch(
+                "optimizer",
+                cfg.optimizer.name().to_owned(),
+                state.optimizer.clone(),
+            );
+        }
+        if state.seed != cfg.seed {
+            return mismatch("seed", cfg.seed.to_string(), state.seed.to_string());
+        }
+        if state.batch_size != cfg.batch_size as u64 {
+            return mismatch(
+                "batch size",
+                cfg.batch_size.to_string(),
+                state.batch_size.to_string(),
+            );
+        }
+        if state.epochs != cfg.epochs as u64 {
+            return mismatch("epochs", cfg.epochs.to_string(), state.epochs.to_string());
+        }
+        if state.lr.to_bits() != cfg.lr.to_bits() {
+            return mismatch("initial lr", cfg.lr.to_string(), state.lr.to_string());
+        }
+        if state.total_samples != total_samples {
+            return mismatch(
+                "dataset size (total samples)",
+                total_samples.to_string(),
+                state.total_samples.to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Handles one numeric-guard trip. Returns how the loop should
+    /// proceed, or the abort error.
+    #[allow(clippy::too_many_arguments)]
+    fn trip_guard(
+        &mut self,
+        ft: &FtConfig,
+        what: String,
+        value: f64,
+        batch_samples: u64,
+        st: &mut LoopSt,
+        rolled_back_at: &mut Option<u64>,
+        mem_snap: &Option<TrainState>,
+        model: &dyn Module,
+        opt: &mut dyn Optimizer,
+        rng: &mut Prng,
+        rec: &mut Recorder,
+    ) -> Result<GuardOutcome, TrainError> {
+        rec.emit(Event::GuardTrip {
+            step: st.step,
+            what: what.clone(),
+            value,
+            action: ft.guard.name().to_owned(),
+        });
+        match ft.guard {
+            GuardPolicy::Off | GuardPolicy::Abort => {
+                rec.flush();
+                Err(TrainError::NonFinite {
+                    step: st.step,
+                    what,
+                    value,
+                })
+            }
+            GuardPolicy::SkipStep => {
+                // the step is dropped but its samples still count toward
+                // the budget clock — the schedule keeps decaying on real
+                // time, and a repeatable injection does not loop forever
+                st.samples_done += batch_samples;
+                st.batch_in_epoch += 1;
+                st.step += 1;
+                Ok(GuardOutcome::SkipBatch)
+            }
+            GuardPolicy::Rollback => {
+                if *rolled_back_at == Some(st.step) {
+                    rec.flush();
+                    return Err(TrainError::NonFinite {
+                        step: st.step,
+                        what: format!("{what} (again after rollback)"),
+                        value,
+                    });
+                }
+                let Some(snap) = mem_snap else {
+                    rec.flush();
+                    return Err(TrainError::Resume(
+                        "rollback requested before any checkpoint was taken".to_owned(),
+                    ));
+                };
+                *rolled_back_at = Some(st.step);
+                restore_from(snap, model, opt, rng, st, rec)?;
+                Ok(GuardOutcome::RestartFromSnapshot)
+            }
+        }
+    }
+}
+
+/// How the training loop continues after a guard trip that did not abort.
+enum GuardOutcome {
+    /// Skip this batch and continue the inner loop.
+    SkipBatch,
+    /// State was restored from the last checkpoint; restart the epoch
+    /// loop (mid-epoch).
+    RestartFromSnapshot,
+}
+
+/// Mutable position of the training loop — everything a snapshot captures
+/// besides the model/optimizer tensors.
+struct LoopSt {
+    epoch: u64,
+    batch_in_epoch: u64,
+    step: u64,
+    samples_done: u64,
+    epoch_loss: f64,
+    epoch_batches: u64,
+    last_lr: f32,
+    history: Vec<EpochStats>,
+    /// RNG state immediately before the current epoch's shuffle.
+    rng_epoch_start: [u64; 4],
+    /// Entered the epoch loop with restored mid-epoch state: rebuild the
+    /// batch order from `rng_epoch_start` instead of shuffling afresh.
+    mid_epoch: bool,
+}
+
+impl LoopSt {
+    fn fresh(lr: f32, epochs: usize) -> Self {
+        LoopSt {
+            epoch: 0,
+            batch_in_epoch: 0,
+            step: 0,
+            samples_done: 0,
+            epoch_loss: 0.0,
+            epoch_batches: 0,
+            last_lr: lr,
+            history: Vec::with_capacity(epochs),
+            rng_epoch_start: [0; 4],
+            mid_epoch: false,
+        }
+    }
+}
+
+/// Installs a snapshot into the live training objects (model params,
+/// optimizer internals, RNG stream, loop position, telemetry cursor).
+/// Shared by resume-from-file and in-memory rollback.
+fn restore_from(
+    state: &TrainState,
+    model: &dyn Module,
+    opt: &mut dyn Optimizer,
+    rng: &mut Prng,
+    st: &mut LoopSt,
+    rec: &mut Recorder,
+) -> Result<(), TrainError> {
+    checkpoint::restore_params(&state.model, &model.params()).map_err(TrainError::Resume)?;
+    let live = model.buffers();
+    if live.len() != state.buffers.len() {
+        return Err(TrainError::Resume(format!(
+            "model has {} buffers, checkpoint has {}",
+            live.len(),
+            state.buffers.len()
+        )));
+    }
+    for (name, cell) in live {
+        let saved = state
+            .buffers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .ok_or_else(|| TrainError::Resume(format!("checkpoint is missing buffer {name:?}")))?;
+        if saved.1.shape() != cell.borrow().shape() {
+            return Err(TrainError::Resume(format!(
+                "buffer {name:?} has shape {:?}, checkpoint has {:?}",
+                cell.borrow().shape(),
+                saved.1.shape()
+            )));
+        }
+        *cell.borrow_mut() = saved.1.clone();
+    }
+    opt.import_state(&state.optim).map_err(TrainError::Resume)?;
+    *rng = Prng::from_state(state.rng);
+    rec.set_lines_emitted(state.trace_events);
+    *st = LoopSt {
+        epoch: state.epoch,
+        batch_in_epoch: state.batch_in_epoch,
+        step: state.step,
+        samples_done: state.samples_done,
+        epoch_loss: state.epoch_loss,
+        epoch_batches: state.epoch_batches,
+        last_lr: state.last_lr,
+        history: state.history.clone(),
+        rng_epoch_start: state.rng_epoch_start,
+        mid_epoch: true,
+    };
+    Ok(())
+}
+
+/// Photographs the live training objects into a [`TrainState`].
+#[allow(clippy::too_many_arguments)]
+fn capture_state(
+    cfg: &TrainConfig,
+    st: &LoopSt,
+    rng: &Prng,
+    opt: &dyn Optimizer,
+    model: &dyn Module,
+    trace_events: u64,
+    total_samples: u64,
+    schedule_name: &str,
+) -> TrainState {
+    TrainState {
+        run: "classifier".to_owned(),
+        schedule: schedule_name.to_owned(),
+        optimizer: cfg.optimizer.name().to_owned(),
+        seed: cfg.seed,
+        total_samples,
+        batch_size: cfg.batch_size as u64,
+        epochs: cfg.epochs as u64,
+        lr: cfg.lr,
+        epoch: st.epoch,
+        batch_in_epoch: st.batch_in_epoch,
+        step: st.step,
+        samples_done: st.samples_done,
+        epoch_loss: st.epoch_loss,
+        epoch_batches: st.epoch_batches,
+        last_lr: st.last_lr,
+        history: st.history.clone(),
+        rng: rng.state(),
+        rng_epoch_start: st.rng_epoch_start,
+        trace_events,
+        model: model
+            .params()
+            .iter()
+            .map(|p| (p.name(), p.value().clone()))
+            .collect(),
+        buffers: model
+            .buffers()
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.borrow().clone()))
+            .collect(),
+        optim: opt.export_state(),
+    }
+}
+
+/// Names the first parameter whose gradient holds a non-finite value.
+fn offending_grad(params: &[Param]) -> String {
+    for p in params {
+        if p.grad().data().iter().any(|v| !v.is_finite()) {
+            return format!("grad:{}", p.name());
+        }
+    }
+    "grad".to_owned()
 }
 
 /// Test-set classification error (%) in eval mode.
@@ -425,6 +920,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 2,
+            ft: FtConfig::default(),
         });
         let result = trainer
             .train_classifier(
@@ -460,6 +956,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 5,
+            ft: FtConfig::default(),
         });
         let result = trainer
             .train_classifier(
@@ -490,6 +987,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 8,
+            ft: FtConfig::default(),
         });
         let result = trainer
             .train_classifier(
@@ -512,6 +1010,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 8,
+            ft: FtConfig::default(),
         });
         let r2 = trainer2
             .train_classifier(
@@ -540,6 +1039,7 @@ mod tests {
                 augment: true,
                 grad_clip: None,
                 seed: 11,
+                ft: FtConfig::default(),
             });
             trainer
                 .train_classifier(
@@ -578,6 +1078,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 14,
+            ft: FtConfig::default(),
         });
         trainer
             .train_classifier_traced(
@@ -616,6 +1117,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 17,
+            ft: FtConfig::default(),
         });
         let result = trainer
             .train_classifier_traced(
@@ -666,6 +1168,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 17,
+            ft: FtConfig::default(),
         });
         let r2 = trainer2
             .train_classifier(

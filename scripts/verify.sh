@@ -50,4 +50,27 @@ cargo run --release --offline -p rex-cli --bin rexctl -- \
 grep -q '"ev":"step"' "$tmp_dir/run_a.jsonl"
 cmp "$tmp_dir/run_a.jsonl" "$tmp_dir/run_b.jsonl"
 
+echo "==> kill-and-resume (crash-safe checkpointing, 1 and 4 threads)"
+# kill the run after step 12 via fault injection (exit 86), resume from
+# the step-10 snapshot, and require the stitched trace to be byte-for-byte
+# identical to an uninterrupted run's — at both thread counts
+for t in 1 4; do
+  cargo run --release --offline -p rex-cli --bin rexctl -- \
+    train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 \
+    --threads "$t" --checkpoint "$tmp_dir/full_$t.state" --checkpoint-every 5 \
+    --trace "$tmp_dir/full_$t.jsonl" >/dev/null
+  rc=0
+  REX_FAULTS=kill-at-step=12 cargo run --release --offline -p rex-cli --bin rexctl -- \
+    train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 \
+    --threads "$t" --checkpoint "$tmp_dir/cut_$t.state" --checkpoint-every 5 \
+    --trace "$tmp_dir/cut_$t.jsonl" >/dev/null 2>&1 || rc=$?
+  test "$rc" -eq 86 # the injected kill's exit code
+  cargo run --release --offline -p rex-cli --bin rexctl -- \
+    train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 \
+    --threads "$t" --checkpoint "$tmp_dir/cut_$t.state" --checkpoint-every 5 \
+    --resume "$tmp_dir/cut_$t.state" --trace "$tmp_dir/cut_$t.jsonl" >/dev/null
+  cmp "$tmp_dir/full_$t.jsonl" "$tmp_dir/cut_$t.jsonl"
+done
+cmp "$tmp_dir/full_1.jsonl" "$tmp_dir/full_4.jsonl"
+
 echo "verify: OK"

@@ -52,7 +52,7 @@
 //!     42,
 //! )?;
 //! println!("test error at 10% budget: {err:.2}%");
-//! # Ok::<(), rex::tensor::TensorError>(())
+//! # Ok::<(), rex::train::TrainError>(())
 //! ```
 //!
 //! See `examples/` for runnable programs and DESIGN.md for the full
@@ -104,4 +104,10 @@ pub mod eval {
 /// (`rex-telemetry`).
 pub mod telemetry {
     pub use rex_telemetry::*;
+}
+
+/// Deterministic fault injection and crash-consistent file writes
+/// (`rex-faults`).
+pub mod faults {
+    pub use rex_faults::*;
 }

@@ -28,7 +28,7 @@ use rex::schedules::ScheduleSpec;
 use rex::telemetry::golden::{diff_traces, Tolerances};
 use rex::telemetry::{encode_trace, parse_trace, Event, MemorySink, Recorder};
 use rex::tensor::Prng;
-use rex::train::{Budget, OptimizerKind, TrainConfig, Trainer};
+use rex::train::{Budget, FtConfig, OptimizerKind, TrainConfig, Trainer};
 
 /// Maximum epochs of the golden setting; budgets are percentages of this.
 const MAX_EPOCHS: usize = 8;
@@ -55,6 +55,7 @@ fn run_trace(spec: &ScheduleSpec, budget_pct: u32) -> Vec<Event> {
         augment: false,
         grad_clip: None,
         seed: SEED ^ u64::from(budget_pct),
+        ft: FtConfig::default(),
     });
     trainer
         .train_classifier_traced(
