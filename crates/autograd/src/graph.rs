@@ -791,10 +791,10 @@ impl Graph {
         let mut out = vec![0.0f32; xv.len()];
         let mut x_hat = vec![0.0f32; xv.len()];
         let mut inv_std = vec![0.0f32; rows];
+        let be = rex_tensor::backend::active();
         for r in 0..rows {
             let row = &xv.data()[r * d..(r + 1) * d];
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let (mean, var) = be.mean_var_row(row);
             let istd = 1.0 / (var + eps).sqrt();
             inv_std[r] = istd;
             for i in 0..d {

@@ -1,19 +1,28 @@
 //! `kernel-bench` — self-contained perf harness for the rex-tensor
 //! compute kernels (std-only: no criterion, works fully offline).
 //!
-//! Measures three things and writes `BENCH_kernels.json` at the
-//! repository root:
+//! Measures four things and writes `BENCH_kernels.json` at the
+//! repository root (schema `rex-kernel-bench/v3`):
 //!
-//! 1. **cases** — the blocked-GEMM / im2col kernel stack against the
+//! 1. **cases** — the active compute backend's kernel stack against the
 //!    seed's naive reference implementations ([`rex_tensor::reference`]),
 //!    at the pool's configured thread count.
-//! 2. **thread_sweep** — the optimized kernels re-timed at 1/2/4/8 pool
-//!    threads (via scoped pool overrides), with per-case speedup-vs-1
-//!    and parallel efficiency (`speedup / threads`). `host_cores`
-//!    records how many cores the host actually has, so sweep numbers
-//!    from an oversubscribed host (threads > cores) read honestly:
-//!    there, efficiency is bounded by `host_cores / threads`.
-//! 3. **grid** — wall-clock of one small real [`rex_bench::run_schedule_grid`]
+//! 2. **backend_matrix** — the headline kernels re-timed for *every*
+//!    backend × sweep-thread-count pair (scoped [`with_backend`] /
+//!    pool overrides), each against a naive baseline re-timed adjacent
+//!    to it (same-moment ratios survive host-speed drift over the run).
+//!    Each cell records median and min timings: `speedup_vs_baseline`
+//!    is the median-based typical ratio, `speedup_best` the min-based
+//!    capability ratio (steal-immune — what `scripts/bench_guard.sh`
+//!    regresses against). This is the record that the SIMD backend
+//!    actually pays for itself on the host that produced the artifact.
+//! 3. **thread_sweep** — the active backend's kernels re-timed at each
+//!    sweep pool size, with per-case speedup-vs-1 and parallel
+//!    efficiency (`speedup / threads`). The default sweep is clamped to
+//!    `min(8, 2·host_cores)` — entries above that are recorded in
+//!    `skipped_threads` rather than timed, so a small host doesn't
+//!    publish meaningless oversubscribed numbers.
+//! 4. **grid** — wall-clock of one small real [`rex_bench::run_schedule_grid`]
 //!    training grid at 1 pool thread vs 4, i.e. the harness-level
 //!    speedup from running independent grid cells concurrently.
 //!
@@ -22,19 +31,23 @@
 //!
 //! ```text
 //! cargo run --release -p rex-bench --bin kernel-bench [-- --smoke] [--reps N]
-//!     [--threads N] [--out PATH]
+//!     [--threads N] [--backend scalar|simd|auto] [--out PATH]
 //! ```
 //!
 //! `--smoke` drops to 3 reps / 1 warmup for CI sanity. `--threads N`
 //! sizes the worker pool (overriding `REX_NUM_THREADS`) for the `cases`
-//! section; the sweep and grid sections always pin their own pool sizes.
-//! See DESIGN.md §"Compute kernels" for the JSON schema.
+//! section; the sweep, matrix, and grid sections always pin their own
+//! pool sizes. `--backend` pins the process default backend (overriding
+//! `REX_BACKEND`) for the `cases`/`thread_sweep` sections; the matrix
+//! always covers both backends. See DESIGN.md §"Compute kernels" and
+//! §"Compute backends" for the JSON schema.
 
 use std::time::Instant;
 
 use rex_bench::{run_schedule_grid, Cell};
 use rex_core::ScheduleSpec;
 use rex_data::images::synth_cifar10;
+use rex_tensor::backend::{self, with_backend, BackendKind};
 use rex_tensor::conv::{conv2d_backward, conv2d_forward, Window};
 use rex_tensor::ops::{batch_slice, matmul3};
 use rex_tensor::reference;
@@ -42,11 +55,19 @@ use rex_tensor::{kernels, Prng};
 use rex_train::tasks::{run_image_cell, ImageModel};
 use rex_train::{Budget, OptimizerKind};
 
-/// Pool sizes the scaling sweep measures.
+/// Pool sizes the scaling sweep would like to measure; entries above
+/// `min(8, 2·host_cores)` are skipped (and recorded as skipped).
 const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// Pool size for the parallel leg of the grid measurement.
 const GRID_THREADS: usize = 4;
+
+/// Splits [`SWEEP_THREADS`] into (measured, skipped) under the
+/// oversubscription clamp `min(8, 2·host_cores)`.
+fn sweep_split(host_cores: usize) -> (Vec<usize>, Vec<usize>) {
+    let cap = 8.min(2 * host_cores.max(1));
+    SWEEP_THREADS.iter().partition(|&&t| t <= cap)
+}
 
 struct Config {
     reps: usize,
@@ -77,6 +98,46 @@ impl Case {
 struct SweepEntry {
     threads: usize,
     case_ms: Vec<(&'static str, f64)>,
+}
+
+/// One case of a backend-matrix cell. The naive baseline is re-timed
+/// adjacent to the optimized kernel so the ratio is immune to
+/// host-speed drift over the run (shared hosts routinely halve their
+/// effective clock mid-benchmark). Median timings give the typical-cost
+/// speedup; min timings give `speedup_best`, the steal-immune
+/// capability ratio the bench-guard keys on.
+struct MatrixCase {
+    name: &'static str,
+    optimized_ms: f64,
+    optimized_min_ms: f64,
+    baseline_ms: f64,
+    baseline_min_ms: f64,
+}
+
+impl MatrixCase {
+    fn speedup(&self) -> f64 {
+        if self.optimized_ms > 0.0 {
+            self.baseline_ms / self.optimized_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn speedup_best(&self) -> f64 {
+        if self.optimized_min_ms > 0.0 {
+            self.baseline_min_ms / self.optimized_min_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One backend × thread-count cell of the backend matrix.
+struct MatrixEntry {
+    backend: &'static str,
+    simd_level: &'static str,
+    threads: usize,
+    cases: Vec<MatrixCase>,
 }
 
 /// The grid-harness measurement: same cells, 1 pool thread vs
@@ -127,6 +188,16 @@ fn parse_args() -> Config {
                     die(&format!("--threads {n}: {e}"));
                 }
             }
+            "--backend" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--backend needs scalar|simd|auto"));
+                let kind =
+                    BackendKind::parse(&v).unwrap_or_else(|e| die(&format!("--backend: {e}")));
+                if let Err(e) = backend::set_backend(kind) {
+                    die(&format!("--backend: {e}"));
+                }
+            }
             "--out" => {
                 cfg.out = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
@@ -138,13 +209,25 @@ fn parse_args() -> Config {
 
 fn die(msg: &str) -> ! {
     eprintln!("kernel-bench: {msg}");
-    eprintln!("usage: kernel-bench [--smoke] [--reps N] [--threads N] [--out PATH]");
+    eprintln!(
+        "usage: kernel-bench [--smoke] [--reps N] [--threads N] [--backend scalar|simd|auto] [--out PATH]"
+    );
     std::process::exit(2);
 }
 
 /// Median wall-clock milliseconds of `f` over `reps` runs after `warmup`
 /// discarded runs.
-fn time_median<T>(cfg: &Config, mut f: impl FnMut() -> T) -> f64 {
+fn time_median<T>(cfg: &Config, f: impl FnMut() -> T) -> f64 {
+    time_stats(cfg, f).0
+}
+
+/// `(median, min)` wall-clock milliseconds of `f` over `reps` runs after
+/// `warmup` discarded runs. The median is the honest typical cost; the
+/// min is the noise-robust capability estimate — external interference
+/// (CPU steal on a shared host) can only inflate a sample, never deflate
+/// it, so the min converges on the kernel's true cost while the median
+/// wanders with the host's load.
+fn time_stats<T>(cfg: &Config, mut f: impl FnMut() -> T) -> (f64, f64) {
     for _ in 0..cfg.warmup {
         std::hint::black_box(f());
     }
@@ -156,7 +239,39 @@ fn time_median<T>(cfg: &Config, mut f: impl FnMut() -> T) -> f64 {
         })
         .collect();
     samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+    (samples[samples.len() / 2], samples[0])
+}
+
+/// [`time_stats`] for an optimized/baseline pair, with the two sampled
+/// in strict alternation (opt, base, opt, base, …). On a shared host
+/// whose effective clock drifts over seconds, alternation keeps each
+/// pair of samples inside the same weather window, so the
+/// min-over-reps ratio cancels the drift instead of comparing a fast
+/// window of one kernel against a slow window of the other.
+fn time_pair<T, U>(
+    cfg: &Config,
+    mut opt: impl FnMut() -> T,
+    mut base: impl FnMut() -> U,
+) -> ((f64, f64), (f64, f64)) {
+    for _ in 0..cfg.warmup {
+        std::hint::black_box(opt());
+        std::hint::black_box(base());
+    }
+    let mut opt_samples = Vec::with_capacity(cfg.reps.max(1));
+    let mut base_samples = Vec::with_capacity(cfg.reps.max(1));
+    for _ in 0..cfg.reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(opt());
+        opt_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        std::hint::black_box(base());
+        base_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let stats = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        (v[v.len() / 2], v[0])
+    };
+    (stats(opt_samples), stats(base_samples))
 }
 
 fn max_abs_diff(a: &[f32], b: &[f32]) -> f64 {
@@ -263,50 +378,169 @@ fn bench_matmul3(cfg: &Config) -> Case {
     }
 }
 
-/// Re-times the optimized kernels at each sweep thread count. Scoped
-/// pool overrides keep the process-wide default untouched.
-fn bench_thread_sweep(cfg: &Config) -> Vec<SweepEntry> {
-    let (m, k, n) = (256, 256, 256);
-    let mut rng = Prng::new(7);
-    let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
-    let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
-    let mut rng = Prng::new(11);
-    let input = rng.normal_tensor(&[32, 3, 32, 32], 0.0, 1.0);
-    let weight = rng.normal_tensor(&[16, 3, 3, 3], 0.0, 0.3);
-    let bias = rng.normal_tensor(&[16], 0.0, 0.1);
-    let win = Window {
-        kernel: 3,
-        stride: 1,
-        padding: 1,
-    };
-    let (_, saved) = conv2d_forward(&input, &weight, None, win).unwrap();
-    let mut rng = Prng::new(13);
-    let d_out = rng.normal_tensor(&[32, 16, 32, 32], 0.0, 1.0);
+/// The shared fixture for the sweep and matrix sections: the three
+/// headline kernels with their inputs pre-built.
+struct SweepFixture {
+    a: rex_tensor::Tensor,
+    b: rex_tensor::Tensor,
+    input: rex_tensor::Tensor,
+    weight: rex_tensor::Tensor,
+    bias: rex_tensor::Tensor,
+    win: Window,
+    saved: rex_tensor::conv::Conv2dSaved,
+    d_out: rex_tensor::Tensor,
+}
 
-    SWEEP_THREADS
+impl SweepFixture {
+    fn build() -> SweepFixture {
+        let (m, k, n) = (256, 256, 256);
+        let mut rng = Prng::new(7);
+        let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+        let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+        let mut rng = Prng::new(11);
+        let input = rng.normal_tensor(&[32, 3, 32, 32], 0.0, 1.0);
+        let weight = rng.normal_tensor(&[16, 3, 3, 3], 0.0, 0.3);
+        let bias = rng.normal_tensor(&[16], 0.0, 0.1);
+        let win = Window {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let (_, saved) = conv2d_forward(&input, &weight, None, win).unwrap();
+        let mut rng = Prng::new(13);
+        let d_out = rng.normal_tensor(&[32, 16, 32, 32], 0.0, 1.0);
+        SweepFixture {
+            a,
+            b,
+            input,
+            weight,
+            bias,
+            win,
+            saved,
+            d_out,
+        }
+    }
+
+    /// Times the three headline kernels (`(name, median_ms, min_ms)`)
+    /// under whatever backend/pool scope the caller has installed.
+    fn time_cases(&self, cfg: &Config) -> Vec<(&'static str, f64, f64)> {
+        let mm = time_stats(cfg, || self.a.matmul(&self.b).unwrap());
+        let fwd = time_stats(cfg, || {
+            conv2d_forward(&self.input, &self.weight, Some(&self.bias), self.win).unwrap()
+        });
+        let bwd = time_stats(cfg, || {
+            conv2d_backward(&self.d_out, &self.weight, &self.saved).unwrap()
+        });
+        vec![
+            ("matmul_256x256x256", mm.0, mm.1),
+            ("conv2d_fwd_32x3x32x32_k3", fwd.0, fwd.1),
+            ("conv2d_bwd_32x3x32x32_k3", bwd.0, bwd.1),
+        ]
+    }
+
+    /// Times the three headline kernels against their naive references
+    /// for one matrix cell, each pair sampled in [`time_pair`]
+    /// alternation so the speedup ratios survive host-speed drift.
+    fn matrix_cases(&self, cfg: &Config) -> Vec<MatrixCase> {
+        let case = |name, (opt, base): ((f64, f64), (f64, f64))| MatrixCase {
+            name,
+            optimized_ms: opt.0,
+            optimized_min_ms: opt.1,
+            baseline_ms: base.0,
+            baseline_min_ms: base.1,
+        };
+        vec![
+            case(
+                "matmul_256x256x256",
+                time_pair(
+                    cfg,
+                    || self.a.matmul(&self.b).unwrap(),
+                    || reference::matmul_naive(256, 256, 256, self.a.data(), self.b.data()),
+                ),
+            ),
+            case(
+                "conv2d_fwd_32x3x32x32_k3",
+                time_pair(
+                    cfg,
+                    || {
+                        conv2d_forward(&self.input, &self.weight, Some(&self.bias), self.win)
+                            .unwrap()
+                    },
+                    || {
+                        reference::conv2d_direct(
+                            &self.input,
+                            &self.weight,
+                            Some(&self.bias),
+                            self.win,
+                        )
+                        .unwrap()
+                    },
+                ),
+            ),
+            case(
+                "conv2d_bwd_32x3x32x32_k3",
+                time_pair(
+                    cfg,
+                    || conv2d_backward(&self.d_out, &self.weight, &self.saved).unwrap(),
+                    || {
+                        reference::conv2d_direct_backward(
+                            &self.d_out,
+                            &self.input,
+                            &self.weight,
+                            self.win,
+                        )
+                        .unwrap()
+                    },
+                ),
+            ),
+        ]
+    }
+}
+
+/// Re-times the optimized kernels (active backend) at each measured
+/// sweep thread count. Scoped pool overrides keep the process-wide
+/// default untouched.
+fn bench_thread_sweep(cfg: &Config, fixture: &SweepFixture, threads: &[usize]) -> Vec<SweepEntry> {
+    threads
         .iter()
         .map(|&t| {
             rex_pool::with_pool_size(t, || SweepEntry {
                 threads: t,
-                case_ms: vec![
-                    (
-                        "matmul_256x256x256",
-                        time_median(cfg, || a.matmul(&b).unwrap()),
-                    ),
-                    (
-                        "conv2d_fwd_32x3x32x32_k3",
-                        time_median(cfg, || {
-                            conv2d_forward(&input, &weight, Some(&bias), win).unwrap()
-                        }),
-                    ),
-                    (
-                        "conv2d_bwd_32x3x32x32_k3",
-                        time_median(cfg, || conv2d_backward(&d_out, &weight, &saved).unwrap()),
-                    ),
-                ],
+                case_ms: fixture
+                    .time_cases(cfg)
+                    .into_iter()
+                    .map(|(name, med, _min)| (name, med))
+                    .collect(),
             })
         })
         .collect()
+}
+
+/// The backend × thread matrix: every backend at every measured sweep
+/// size, timed on the same fixture. The naive baselines are re-timed
+/// inside each cell (adjacent to the optimized kernels) so
+/// `speedup_vs_baseline` is a same-moment ratio rather than a
+/// comparison against timings taken minutes earlier.
+fn bench_backend_matrix(
+    cfg: &Config,
+    fixture: &SweepFixture,
+    threads: &[usize],
+) -> Vec<MatrixEntry> {
+    let mut entries = Vec::new();
+    for kind in [BackendKind::Scalar, BackendKind::Simd] {
+        let be = backend::for_kind(kind);
+        for &t in threads {
+            entries.push(with_backend(kind, || {
+                rex_pool::with_pool_size(t, || MatrixEntry {
+                    backend: be.name(),
+                    simd_level: be.simd_level(),
+                    threads: t,
+                    cases: fixture.matrix_cases(cfg),
+                })
+            }));
+        }
+    }
+    entries
 }
 
 /// Times one small real training grid (2 schedules × 2 trials of a
@@ -363,17 +597,23 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
     cfg: &Config,
     cases: &[Case],
+    matrix: &[MatrixEntry],
     sweep: &[SweepEntry],
+    skipped_threads: &[usize],
     grid: &GridBench,
 ) -> std::io::Result<()> {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let be = backend::active();
     let mut body = String::new();
     body.push_str("{\n");
-    body.push_str("  \"schema\": \"rex-kernel-bench/v2\",\n");
+    body.push_str("  \"schema\": \"rex-kernel-bench/v3\",\n");
+    body.push_str(&format!("  \"backend\": \"{}\",\n", be.name()));
+    body.push_str(&format!("  \"simd_level\": \"{}\",\n", be.simd_level()));
     body.push_str(&format!("  \"threads\": {},\n", kernels::num_threads()));
     body.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     body.push_str(&format!("  \"reps\": {},\n", cfg.reps));
@@ -394,6 +634,46 @@ fn write_json(
         ));
     }
     body.push_str("  ],\n");
+    // backend × thread matrix: each cell's naive baseline is re-timed
+    // adjacent to its optimized kernels, so the speedup is a same-moment
+    // ratio (robust to host-speed drift over the run)
+    body.push_str("  \"backend_matrix\": [\n");
+    for (i, entry) in matrix.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"simd_level\": \"{}\", \"threads\": {}, \"cases\": [\n",
+            json_escape(entry.backend),
+            json_escape(entry.simd_level),
+            entry.threads
+        ));
+        for (j, c) in entry.cases.iter().enumerate() {
+            body.push_str(&format!(
+                "      {{\"name\": \"{}\", \"optimized_ms\": {:.4}, \"baseline_ms\": {:.4}, \
+                 \"speedup_vs_baseline\": {:.3}, \"optimized_min_ms\": {:.4}, \
+                 \"baseline_min_ms\": {:.4}, \"speedup_best\": {:.3}}}{}\n",
+                json_escape(c.name),
+                c.optimized_ms,
+                c.baseline_ms,
+                c.speedup(),
+                c.optimized_min_ms,
+                c.baseline_min_ms,
+                c.speedup_best(),
+                if j + 1 < entry.cases.len() { "," } else { "" }
+            ));
+        }
+        body.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < matrix.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str(&format!(
+        "  \"skipped_threads\": [{}],\n",
+        skipped_threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     body.push_str("  \"thread_sweep\": [\n");
     let base = &sweep[0];
     for (i, entry) in sweep.iter().enumerate() {
@@ -442,14 +722,23 @@ fn main() {
     // force the thread-count read (and honour --threads) before timing
     let threads = kernels::num_threads();
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let be = backend::active();
+    let (sweep_threads, skipped_threads) = sweep_split(host_cores);
     println!(
-        "kernel-bench: reps={} warmup={} threads={} host_cores={}{}",
+        "kernel-bench: reps={} warmup={} threads={} host_cores={} backend={} ({}){}",
         cfg.reps,
         cfg.warmup,
         threads,
         host_cores,
+        be.name(),
+        be.simd_level(),
         if cfg.smoke { " (smoke)" } else { "" }
     );
+    if !skipped_threads.is_empty() {
+        println!(
+            "sweep clamped to min(8, 2*host_cores): skipping {skipped_threads:?} pool threads"
+        );
+    }
 
     let cases = [
         bench_matmul(&cfg),
@@ -473,7 +762,28 @@ fn main() {
         );
     }
 
-    let sweep = bench_thread_sweep(&cfg);
+    let fixture = SweepFixture::build();
+    let matrix = bench_backend_matrix(&cfg, &fixture, &sweep_threads);
+    println!("\nbackend x thread matrix (speedup vs adjacent naive baseline):");
+    println!(
+        "{:<10} {:<10} {:>8} {:>14} {:>12} {:>12}",
+        "backend", "level", "threads", "matmul ms", "speedup", "best"
+    );
+    for entry in &matrix {
+        let c = &entry.cases[0];
+        debug_assert_eq!(c.name, "matmul_256x256x256");
+        println!(
+            "{:<10} {:<10} {:>8} {:>14.3} {:>11.2}x {:>11.2}x",
+            entry.backend,
+            entry.simd_level,
+            entry.threads,
+            c.optimized_ms,
+            c.speedup(),
+            c.speedup_best()
+        );
+    }
+
+    let sweep = bench_thread_sweep(&cfg, &fixture, &sweep_threads);
     println!("\nthread scaling (optimized kernels, scoped pool sizes):");
     println!(
         "{:<26} {:>9} {:>12} {:>11} {:>10}",
@@ -510,7 +820,7 @@ fn main() {
 
     let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     let path = cfg.out.as_deref().unwrap_or(default_path);
-    match write_json(path, &cfg, &cases, &sweep, &grid) {
+    match write_json(path, &cfg, &cases, &matrix, &sweep, &skipped_threads, &grid) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => {
             eprintln!("kernel-bench: failed to write {path}: {e}");

@@ -90,6 +90,9 @@ pub struct Args {
     /// Worker-thread override (`--threads N`); `None` leaves the pool at
     /// its `REX_NUM_THREADS`/core-count default.
     pub threads: Option<usize>,
+    /// Compute-backend override (`--backend scalar|simd|auto`); `None`
+    /// leaves the `REX_BACKEND`/auto-detected default.
+    pub backend: Option<rex_tensor::BackendKind>,
     /// Per-cell resume directory: finished cells leave done-markers here
     /// and are skipped (score replayed) on the next run.
     pub resume: Option<PathBuf>,
@@ -105,6 +108,7 @@ impl Args {
         let mut trace = None;
         let mut threads = None;
         let mut resume = None;
+        let mut backend = None;
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
@@ -158,9 +162,17 @@ impl Args {
                     threads = Some(n);
                     i += 2;
                 }
+                "--backend" => {
+                    let v = need_value(i);
+                    backend = Some(rex_tensor::BackendKind::parse(&v).unwrap_or_else(|e| {
+                        eprintln!("--backend {v:?}: {e}");
+                        std::process::exit(2);
+                    }));
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S] [--trace DIR] [--threads N] [--resume DIR]"
+                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S] [--trace DIR] [--threads N] [--backend scalar|simd|auto] [--resume DIR]"
                     );
                     std::process::exit(0);
                 }
@@ -176,6 +188,12 @@ impl Args {
                 std::process::exit(2);
             }
         }
+        if let Some(kind) = backend {
+            if let Err(e) = rex_tensor::backend::set_backend(kind) {
+                eprintln!("--backend: {e}");
+                std::process::exit(2);
+            }
+        }
         Args {
             scale,
             out,
@@ -184,6 +202,7 @@ impl Args {
             trace,
             threads,
             resume,
+            backend,
         }
     }
 }

@@ -24,6 +24,21 @@ fn threads_from_flags(flags: &Flags) -> Result<(), String> {
     }
 }
 
+/// Applies the optional `--backend scalar|simd|auto` flag to the compute
+/// dispatch. Like `--threads`, it overrides the `REX_BACKEND` environment
+/// variable and must run before the first dispatched op, which holds for
+/// flag parsing at subcommand entry.
+fn backend_from_flags(flags: &Flags) -> Result<(), String> {
+    match flags.get("backend") {
+        None => Ok(()),
+        Some(v) => {
+            let kind =
+                rex_tensor::BackendKind::parse(v).map_err(|e| format!("--backend {v:?}: {e}"))?;
+            rex_tensor::backend::set_backend(kind).map_err(|e| format!("--backend: {e}"))
+        }
+    }
+}
+
 /// Builds a recorder from the optional `--trace <path>` flag: a JSONL
 /// writer when given, otherwise disabled.
 fn recorder_from_flags(flags: &Flags) -> Result<Recorder, String> {
@@ -229,6 +244,7 @@ pub fn train(argv: &[String]) -> i32 {
 fn train_inner(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
     threads_from_flags(&flags)?;
+    backend_from_flags(&flags)?;
     let seed: u64 = flags.get_or("seed", 0u64)?;
     let setting = load_setting(flags.require("setting")?, seed)?;
     let budget_pct: u32 = flags.get_or("budget", 100u32)?;
@@ -371,6 +387,7 @@ pub fn sweep(argv: &[String]) -> i32 {
 fn sweep_inner(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
     threads_from_flags(&flags)?;
+    backend_from_flags(&flags)?;
     let seed: u64 = flags.get_or("seed", 0u64)?;
     let setting = load_setting(flags.require("setting")?, seed)?;
     let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
@@ -475,6 +492,7 @@ pub fn range_test(argv: &[String]) -> i32 {
 fn range_test_inner(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
     threads_from_flags(&flags)?;
+    backend_from_flags(&flags)?;
     let seed: u64 = flags.get_or("seed", 0u64)?;
     let setting = load_setting(flags.require("setting")?, seed)?;
     let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;

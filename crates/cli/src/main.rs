@@ -45,7 +45,8 @@ USAGE:
 
   rexctl train --setting <SETTING> [--budget PCT] [--schedule NAME]
                [--optimizer sgdm|adam] [--lr LR] [--seed S] [--trace FILE]
-               [--threads N] [--checkpoint FILE --checkpoint-every N]
+               [--threads N] [--backend scalar|simd|auto]
+               [--checkpoint FILE --checkpoint-every N]
                [--resume FILE] [--guard off|abort|skip|rollback]
                [--halt-after STEP]
       Train one budgeted cell and print the final metric. With --trace,
@@ -55,19 +56,26 @@ USAGE:
 
   rexctl sweep --setting <SETTING> [--budgets 1,5,10,25,50,100]
                [--schedules rex,linear,...] [--optimizer sgdm|adam]
-               [--threads N] [--resume DIR]
+               [--threads N] [--backend scalar|simd|auto] [--resume DIR]
       Run a schedule x budget mini-grid and print a markdown table.
       --resume DIR leaves a done-marker per finished cell and skips
       marked cells on the next run.
 
   rexctl range-test --setting <SETTING> [--optimizer sgdm|adam] [--trace FILE]
-               [--threads N]
+               [--threads N] [--backend scalar|simd|auto]
       Run an LR range test and print the suggested initial LR.
 
 THREADS:
   --threads N sizes the persistent worker pool (overrides the
   REX_NUM_THREADS environment variable). Results are bitwise identical
   at any thread count.
+
+BACKEND:
+  --backend scalar|simd|auto picks the compute backend (overrides the
+  REX_BACKEND environment variable; default auto = simd wherever a
+  vector unit exists). Numerics are a property of the backend: within
+  one backend results are bitwise identical at any thread count, across
+  backends they agree to rounding.
 
 FAULT TOLERANCE (train, image settings):
   --checkpoint FILE --checkpoint-every N snapshot the full training

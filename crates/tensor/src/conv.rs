@@ -269,19 +269,40 @@ fn conv2d_backward_impl(
     }
 
     // Phase 2 — d_weight / d_bias accumulate across samples into shared
-    // buffers; the sample loop stays serial so the accumulation order (and
-    // hence the float result) matches the single-threaded history exactly.
-    // Each gemm_nt still row-shards internally on the pool.
+    // buffers. Each sample's dW term is computed into a scratch buffer and
+    // folded in with Kahan compensation: the batch-axis sum is the longest
+    // accumulation chain in the conv backward, and compensating it is what
+    // holds the conv2d_bwd parity error (vs the f64 oracle) under the
+    // pinned 1e-4 bound. The sample loop stays serial — a fixed fold order
+    // plus per-sample GEMMs that are partition-invariant keeps the result
+    // bitwise identical at any thread count (within a backend).
+    let be = crate::backend::active();
+    let mut dw_term = PooledBuf::zeroed(o * ckk);
+    let mut dw_comp = PooledBuf::zeroed(o * ckk);
+    let mut db_comp = PooledBuf::zeroed(if want_bias { o } else { 0 });
     for s in 0..n {
         let dmat = &d_out.data()[s * o * ohw..(s + 1) * o * ohw];
         let colmat = &saved.cols[s * ckk * ohw..(s + 1) * ckk * ohw];
-        // dW += dOut × colsᵀ (GEMM accumulates across samples directly)
-        kernels::gemm_nt(o, ohw, ckk, dmat, colmat, d_weight.data_mut());
-        // dB += sum over space (skipped for bias-free layers)
+        // dW_s = dOut_s × cols_sᵀ, then d_weight += dW_s (compensated)
+        dw_term.fill(0.0);
+        kernels::gemm_nt(o, ohw, ckk, dmat, colmat, &mut dw_term);
+        let dw = d_weight.data_mut();
+        for (i, &term) in dw_term.iter().enumerate() {
+            let y = term - dw_comp[i];
+            let t = dw[i] + y;
+            dw_comp[i] = (t - dw[i]) - y;
+            dw[i] = t;
+        }
+        // dB += sum over space (skipped for bias-free layers), same
+        // compensated fold across the batch axis
         if want_bias {
+            let db = d_bias.data_mut();
             for oc in 0..o {
-                let sum: f32 = dmat[oc * ohw..(oc + 1) * ohw].iter().sum();
-                d_bias.data_mut()[oc] += sum;
+                let sum = be.sum(&dmat[oc * ohw..(oc + 1) * ohw]);
+                let y = sum - db_comp[oc];
+                let t = db[oc] + y;
+                db_comp[oc] = (t - db[oc]) - y;
+                db[oc] = t;
             }
         }
     }

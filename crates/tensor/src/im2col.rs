@@ -48,10 +48,12 @@ pub fn im2col_sample(
     // Channels are fully independent (disjoint input planes, disjoint cols
     // row blocks), so the channel axis parallelizes with no float-order
     // change; nested calls (from the batch-parallel conv driver) run
-    // inline on their worker.
+    // inline on their worker. Backend resolved once so a thread-local
+    // override reaches the chunk bodies.
+    let be = crate::backend::active();
     if c >= 2 && c * per_ch >= PAR_ELEMS && rex_pool::current_num_threads() > 1 {
         rex_pool::parallel_for_slices(&mut cols[..c * per_ch], per_ch, |ch, _, chunk| {
-            im2col_channel(
+            be.im2col_channel(
                 &input[ch * h * w..(ch + 1) * h * w],
                 h,
                 w,
@@ -63,7 +65,7 @@ pub fn im2col_sample(
         });
     } else {
         for (ch, chunk) in cols[..c * per_ch].chunks_mut(per_ch).enumerate() {
-            im2col_channel(
+            be.im2col_channel(
                 &input[ch * h * w..(ch + 1) * h * w],
                 h,
                 w,
@@ -80,8 +82,10 @@ pub fn im2col_sample(
 const PAR_ELEMS: usize = 1 << 16;
 
 /// Unrolls one input plane (`[H, W]`) into its `K·K` rows of the patch
-/// matrix (`cols` is the channel's `[K·K, OH·OW]` block).
-fn im2col_channel(
+/// matrix (`cols` is the channel's `[K·K, OH·OW]` block) — the scalar
+/// backend's implementation (the SIMD backend adds a stride-1 padded
+/// segment path in [`crate::simd`]).
+pub(crate) fn im2col_channel_scalar(
     plane: &[f32],
     h: usize,
     w: usize,
@@ -146,9 +150,10 @@ pub fn col2im_sample(
     // distinct channels scatter onto disjoint `[H, W]` planes, so only the
     // channel axis is safe to shard — and doing so leaves every plane's
     // accumulation order untouched (bitwise identical to serial).
+    let be = crate::backend::active();
     if c >= 2 && c * per_ch >= PAR_ELEMS && rex_pool::current_num_threads() > 1 {
         rex_pool::parallel_for_slices(&mut out[..c * h * w], h * w, |ch, _, plane| {
-            col2im_channel(
+            be.col2im_channel(
                 &cols[ch * per_ch..(ch + 1) * per_ch],
                 h,
                 w,
@@ -160,7 +165,7 @@ pub fn col2im_sample(
         });
     } else {
         for (ch, plane) in out[..c * h * w].chunks_mut(h * w).enumerate() {
-            col2im_channel(
+            be.col2im_channel(
                 &cols[ch * per_ch..(ch + 1) * per_ch],
                 h,
                 w,
@@ -174,8 +179,15 @@ pub fn col2im_sample(
 }
 
 /// Scatter-adds one channel's `[K·K, OH·OW]` gradient block onto its
-/// `[H, W]` input-gradient plane.
-fn col2im_channel(
+/// `[H, W]` input-gradient plane with **compensated (Kahan) accumulation**:
+/// each input-grid element keeps a running compensation term in a pooled
+/// side plane, so the `K²` overlapping contributions per element lose
+/// almost no low-order bits regardless of their magnitudes.
+///
+/// Both backends share this implementation, and each element's
+/// compensation stream runs in the same `(ky, kx, oy, ox)` order
+/// everywhere, so col2im results are bitwise identical scalar-vs-SIMD.
+pub(crate) fn col2im_channel_compensated(
     cols: &[f32],
     h: usize,
     w: usize,
@@ -186,6 +198,7 @@ fn col2im_channel(
 ) {
     let k = win.kernel;
     let ohw = oh * ow;
+    let mut comp = PooledBuf::zeroed(h * w);
     for ky in 0..k {
         for kx in 0..k {
             let base = (ky * k + kx) * ohw;
@@ -200,7 +213,13 @@ fn col2im_channel(
                     if ix < 0 || ix >= w as isize {
                         continue;
                     }
-                    plane[iy * w + ix as usize] += cols[base + oy * ow + ox];
+                    let idx = iy * w + ix as usize;
+                    // Kahan step: recover the low-order bits lost by the
+                    // previous add and fold them into this contribution
+                    let y = cols[base + oy * ow + ox] - comp[idx];
+                    let t = plane[idx] + y;
+                    comp[idx] = (t - plane[idx]) - y;
+                    plane[idx] = t;
                 }
             }
         }

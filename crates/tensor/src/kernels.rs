@@ -40,6 +40,7 @@
 //! [`rex_pool::num_threads`]: `--threads` flag > `REX_NUM_THREADS` > core
 //! count.
 
+use crate::backend::Layout;
 use crate::scratch::PooledBuf;
 
 /// Rows of `A` per packed block (`MC × KC` block ≈ 64 KiB, L2-resident).
@@ -51,8 +52,10 @@ pub const KC: usize = 256;
 pub const NC: usize = 256;
 
 /// Below this many multiply–adds (`m·k·n`) the unpacked small-product
-/// path runs instead of the blocked algorithm.
-const SMALL_FLOPS: usize = 1 << 15;
+/// path runs instead of the blocked algorithm (the SIMD backend uses the
+/// same gate to fall back to the scalar kernel, where packing would
+/// dominate).
+pub(crate) const SMALL_FLOPS: usize = 1 << 15;
 
 /// Minimum `m·k·n` (times batch for the batched entry points) before work
 /// is handed to the thread pool; below it, handoff cost dominates.
@@ -65,17 +68,6 @@ pub(crate) const PAR_FLOPS: usize = 1 << 20;
 /// count, with scoped overrides from `rex_pool::with_pool_size` honoured.
 pub fn num_threads() -> usize {
     rex_pool::current_num_threads()
-}
-
-/// Operand layout of a product `C += op(A)·op(B)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Layout {
-    /// `A[m,k] · B[k,n]`
-    Nn,
-    /// `A[k,m]ᵀ · B[k,n]`
-    Tn,
-    /// `A[m,k] · B[n,k]ᵀ`
-    Nt,
 }
 
 /// `C[m,n] += A[m,k] · B[k,n]` (all row-major slices).
@@ -163,15 +155,19 @@ fn gemm_driver(layout: Layout, m: usize, k: usize, n: usize, a: &[f32], b: &[f32
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    // resolve the backend once, before sharding: chunk bodies run on pool
+    // workers, and the captured reference is what propagates a thread-local
+    // `with_backend` override into them
+    let be = crate::backend::active();
     if num_threads() > 1 && m > MC && m * k * n >= PAR_FLOPS {
         // MC-row chunks: the grid depends only on m, and each C row's
         // accumulation order is row-local, so any partition of the rows is
         // bitwise identical to the serial pass.
         rex_pool::parallel_for_slices(c, MC * n, |_, offset, rows| {
-            gemm_rows(layout, m, k, n, a, b, rows, offset / n);
+            be.gemm_rows(layout, m, k, n, a, b, rows, offset / n);
         });
     } else {
-        gemm_rows(layout, m, k, n, a, b, c, 0);
+        be.gemm_rows(layout, m, k, n, a, b, c, 0);
     }
 }
 
@@ -193,9 +189,10 @@ fn batch_driver(
         return;
     }
     let (sa, sb, sc) = (m * k, k * n, m * n);
+    let be = crate::backend::active();
     let run_range = move |a: &[f32], b: &[f32], c: &mut [f32], s0: usize, count: usize| {
         for s in s0..s0 + count {
-            gemm_rows(
+            be.gemm_rows(
                 layout,
                 m,
                 k,
@@ -216,9 +213,10 @@ fn batch_driver(
 }
 
 /// Computes rows `row0 .. row0 + c_rows.len()/n` of the product into
-/// `c_rows` (a contiguous row-range of `C`).
+/// `c_rows` (a contiguous row-range of `C`) with the historical scalar
+/// kernels — the [`crate::backend::ScalarBackend`] GEMM implementation.
 #[allow(clippy::too_many_arguments)]
-fn gemm_rows(
+pub(crate) fn gemm_rows_scalar(
     layout: Layout,
     m: usize,
     k: usize,

@@ -9,13 +9,18 @@
 //! * [`Tensor`] — contiguous row-major storage with shape metadata,
 //!   constructors, elementwise arithmetic with NumPy-style broadcasting,
 //!   reductions, matrix multiplication, and activations.
+//! * [`backend`] — the [`backend::ComputeBackend`] trait behind every
+//!   numeric kernel: the historical [`backend::ScalarBackend`] and a
+//!   runtime-dispatched [`backend::SimdBackend`] (AVX2/FMA, SSE2, or
+//!   portable 8-wide chunked loops), selected via `REX_BACKEND` /
+//!   `--backend` / auto-detection.
 //! * [`kernels`] — the blocked, register-tiled f32 GEMM every matrix
 //!   product lowers onto, with optional `REX_NUM_THREADS` row sharding.
 //! * [`conv`] — 2-D convolution and pooling lowered onto the GEMM via
 //!   [`im2col`], with explicit backward passes (consumed by
 //!   `rex-autograd`) and pooled scratch buffers ([`scratch`]).
 //! * [`reference`] — the seed's naive kernels, kept as the parity-test
-//!   oracle and the `kernel-bench` baseline.
+//!   oracle (for **both** backends) and the `kernel-bench` baseline.
 //! * [`rng`] — a deterministic xoshiro256\*\*-based PRNG ([`rng::Prng`]) with
 //!   uniform/normal sampling and weight-initialisation helpers, so every
 //!   experiment in the workspace is seed-reproducible across platforms.
@@ -34,7 +39,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(clippy::missing_safety_doc)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 
+pub mod backend;
 pub mod conv;
 mod error;
 pub mod im2col;
@@ -44,8 +52,10 @@ pub mod reference;
 pub mod rng;
 pub mod scratch;
 mod shape;
+mod simd;
 mod tensor;
 
+pub use backend::{BackendKind, ComputeBackend};
 pub use error::TensorError;
 pub use rng::Prng;
 pub use shape::{broadcast_shapes, strides_for};

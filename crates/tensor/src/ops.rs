@@ -68,18 +68,11 @@ fn rowwise_par(
 pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
     let (r, c) = as_2d(x)?;
     let mut out = vec![0.0f32; r * c];
+    // backend resolved once so the row closure (which may run on pool
+    // workers) uses the caller's backend
+    let be = crate::backend::active();
     rowwise_par(r, c, x.data(), &mut out, |row, orow| {
-        let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let mut sum = 0.0;
-        for j in 0..c {
-            let e = (row[j] - m).exp();
-            orow[j] = e;
-            sum += e;
-        }
-        let inv = 1.0 / sum;
-        for v in orow.iter_mut() {
-            *v *= inv;
-        }
+        be.softmax_row(row, orow);
     });
     Tensor::from_vec(out, &[r, c])
 }
@@ -92,19 +85,27 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
 pub fn log_softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
     let (r, c) = as_2d(x)?;
     let mut out = vec![0.0f32; r * c];
+    let be = crate::backend::active();
     rowwise_par(r, c, x.data(), &mut out, |row, orow| {
-        let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-        for (o, &v) in orow.iter_mut().zip(row) {
-            *o = v - lse;
-        }
+        be.log_softmax_row(row, orow);
     });
     Tensor::from_vec(out, &[r, c])
 }
 
-/// Rectified linear unit.
+/// Rectified linear unit (backend slice kernel; elementwise, so results
+/// are bitwise identical on every backend and thread count).
 pub fn relu(x: &Tensor) -> Tensor {
-    unary_par(x, |v| v.max(0.0))
+    let be = crate::backend::active();
+    let src = x.data();
+    let mut out = vec![0.0f32; src.len()];
+    if src.len() < PAR_ELEMS || rex_pool::current_num_threads() == 1 {
+        be.relu(src, &mut out);
+    } else {
+        rex_pool::parallel_for_slices(&mut out, PAR_ELEMS / 8, |_, offset, window| {
+            be.relu(&src[offset..offset + window.len()], window);
+        });
+    }
+    Tensor::from_vec(out, x.shape()).expect("shape preserved")
 }
 
 /// Leaky ReLU with slope `alpha` for negative inputs.

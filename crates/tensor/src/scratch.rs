@@ -42,33 +42,53 @@ impl PooledBuf {
     /// `resize` after `clear` zero-fills only up to `len`, so a warm
     /// buffer costs one memset and no allocation.
     pub fn zeroed(len: usize) -> Self {
-        let mut buf = POOL
-            .with_borrow_mut(|pool| {
-                // best fit: the smallest capacity that already holds `len`,
-                // falling back to the largest buffer available
-                let mut best: Option<usize> = None;
-                for (i, b) in pool.iter().enumerate() {
-                    let better = match best {
-                        None => true,
-                        Some(j) => {
-                            let (bc, jc) = (b.capacity(), pool[j].capacity());
-                            if jc >= len {
-                                bc >= len && bc < jc
-                            } else {
-                                bc > jc
-                            }
-                        }
-                    };
-                    if better {
-                        best = Some(i);
-                    }
-                }
-                best.map(|i| pool.swap_remove(i))
-            })
-            .unwrap_or_default();
+        let mut buf = Self::acquire(len);
         buf.clear();
         buf.resize(len, 0.0);
         PooledBuf { buf }
+    }
+
+    /// Acquires a buffer of exactly `len` elements with **unspecified**
+    /// (possibly recycled) contents — no memset.
+    ///
+    /// For workspaces that are fully overwritten before any element is
+    /// read (the SIMD GEMM packing panels), where [`PooledBuf::zeroed`]'s
+    /// clear-and-fill would be pure overhead on every call.
+    pub fn uninit(len: usize) -> Self {
+        let mut buf = Self::acquire(len);
+        if buf.len() >= len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0.0);
+        }
+        PooledBuf { buf }
+    }
+
+    /// Pulls the best-fitting free buffer from the thread-local pool: the
+    /// smallest capacity that already holds `len`, falling back to the
+    /// largest buffer available (or a fresh empty `Vec`).
+    fn acquire(len: usize) -> Vec<f32> {
+        POOL.with_borrow_mut(|pool| {
+            let mut best: Option<usize> = None;
+            for (i, b) in pool.iter().enumerate() {
+                let better = match best {
+                    None => true,
+                    Some(j) => {
+                        let (bc, jc) = (b.capacity(), pool[j].capacity());
+                        if jc >= len {
+                            bc >= len && bc < jc
+                        } else {
+                            bc > jc
+                        }
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            best.map(|i| pool.swap_remove(i))
+        })
+        .unwrap_or_default()
     }
 
     /// Consumes the buffer without returning it to the pool, yielding the

@@ -1,0 +1,159 @@
+//! SSE2 kernels (x86-64 baseline — always available there).
+//!
+//! Used when the host lacks AVX2/FMA. The micro-tile is 4×8 (4 rows × two
+//! 4-lane XMM columns) with separate multiply and add (no FMA at this ISA
+//! level, and using one would change rounding anyway). Elementwise and
+//! reduction paths need no wrappers at this level: SSE2 *is* the x86-64
+//! baseline, so the portable bodies already compile to it.
+//!
+//! Determinism note: SSE2 results differ from AVX2+FMA results (fused vs
+//! separate rounding in the GEMM micro-kernel) but are bitwise stable
+//! across thread counts and tilings for the same partition-invariance
+//! reason — each `C` element accumulates along `k` in a single lane.
+
+use std::arch::x86_64::*;
+
+use crate::backend::Layout;
+use crate::scratch::PooledBuf;
+
+/// Micro-tile rows.
+pub(super) const MR: usize = 4;
+/// Micro-tile columns (two 4-lane XMM registers).
+pub(super) const NR: usize = 8;
+/// Rows of packed `A` per cache block (multiple of [`MR`]).
+const MC: usize = 96;
+/// Depth per packed block.
+const KC: usize = 256;
+/// Columns of packed `B` per panel (multiple of [`NR`]).
+const NC: usize = 256;
+
+/// Blocked GEMM over a contiguous row range of `C` — the SSE2 sibling of
+/// [`super::avx2::gemm_rows`].
+///
+/// # Safety
+///
+/// Requires SSE2 (guaranteed on x86-64). Slice geometry must satisfy the
+/// GEMM dimension invariants checked by the drivers in [`crate::kernels`].
+#[target_feature(enable = "sse2")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn gemm_rows(
+    layout: Layout,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    row0: usize,
+) {
+    let rows = c_rows.len() / n;
+    // uninit is fine: pack_a/pack_b fully overwrite every panel slot the
+    // micro-kernel reads (including the zero padding)
+    let mut apack = PooledBuf::uninit(MC * KC);
+    let mut bpack = PooledBuf::uninit(KC * NC);
+    for j0 in (0..n).step_by(NC) {
+        let nb = NC.min(n - j0);
+        let jpanels = nb.div_ceil(NR);
+        for k0 in (0..k).step_by(KC) {
+            let kb = KC.min(k - k0);
+            super::pack_b(layout, b, k, n, k0, kb, j0, nb, NR, &mut bpack);
+            for i0 in (0..rows).step_by(MC) {
+                let mb = MC.min(rows - i0);
+                super::pack_a(layout, a, m, k, row0 + i0, mb, k0, kb, MR, &mut apack);
+                let ipanels = mb.div_ceil(MR);
+                for jp in 0..jpanels {
+                    let ncols = NR.min(nb - jp * NR);
+                    let bp = bpack.as_ptr().add(jp * kb * NR);
+                    for ip in 0..ipanels {
+                        let mrows = MR.min(mb - ip * MR);
+                        let ap = apack.as_ptr().add(ip * kb * MR);
+                        let cptr = c_rows.as_mut_ptr().add((i0 + ip * MR) * n + j0 + jp * NR);
+                        // SAFETY: ap/bp point at `kb`-deep packed panels,
+                        // and cptr addresses an mrows×ncols window of
+                        // c_rows with stride n (in bounds by construction
+                        // of the tile grid above).
+                        unsafe { mk4x8(kb, ap, bp, cptr, n, mrows, ncols) };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The 4×8 SSE2 micro-kernel: `C[mrows,ncols] += Ap·Bp` over one packed
+/// depth run of `kb`. Multiply-then-add (two roundings per step).
+///
+/// # Safety
+///
+/// Requires SSE2. `ap` must be valid for `kb * MR` reads, `bp` for
+/// `kb * NR` reads, and `c` for an `mrows × ncols` strided window with row
+/// stride `c_stride`.
+#[target_feature(enable = "sse2")]
+unsafe fn mk4x8(
+    kb: usize,
+    ap: *const f32,
+    bp: *const f32,
+    c: *mut f32,
+    c_stride: usize,
+    mrows: usize,
+    ncols: usize,
+) {
+    // SAFETY: (for every intrinsic below) SSE2 availability is the
+    // function's safety contract; all pointer arithmetic stays within the
+    // ranges documented above.
+    unsafe {
+        let mut acc00 = _mm_setzero_ps();
+        let mut acc01 = _mm_setzero_ps();
+        let mut acc10 = _mm_setzero_ps();
+        let mut acc11 = _mm_setzero_ps();
+        let mut acc20 = _mm_setzero_ps();
+        let mut acc21 = _mm_setzero_ps();
+        let mut acc30 = _mm_setzero_ps();
+        let mut acc31 = _mm_setzero_ps();
+        let mut a = ap;
+        let mut b = bp;
+        for _ in 0..kb {
+            let b0 = _mm_loadu_ps(b);
+            let b1 = _mm_loadu_ps(b.add(4));
+            let a0 = _mm_set1_ps(*a);
+            acc00 = _mm_add_ps(acc00, _mm_mul_ps(a0, b0));
+            acc01 = _mm_add_ps(acc01, _mm_mul_ps(a0, b1));
+            let a1 = _mm_set1_ps(*a.add(1));
+            acc10 = _mm_add_ps(acc10, _mm_mul_ps(a1, b0));
+            acc11 = _mm_add_ps(acc11, _mm_mul_ps(a1, b1));
+            let a2 = _mm_set1_ps(*a.add(2));
+            acc20 = _mm_add_ps(acc20, _mm_mul_ps(a2, b0));
+            acc21 = _mm_add_ps(acc21, _mm_mul_ps(a2, b1));
+            let a3 = _mm_set1_ps(*a.add(3));
+            acc30 = _mm_add_ps(acc30, _mm_mul_ps(a3, b0));
+            acc31 = _mm_add_ps(acc31, _mm_mul_ps(a3, b1));
+            a = a.add(MR);
+            b = b.add(NR);
+        }
+        let acc = [
+            [acc00, acc01],
+            [acc10, acc11],
+            [acc20, acc21],
+            [acc30, acc31],
+        ];
+        if mrows == MR && ncols == NR {
+            for (r, pair) in acc.iter().enumerate() {
+                let cr = c.add(r * c_stride);
+                _mm_storeu_ps(cr, _mm_add_ps(_mm_loadu_ps(cr), pair[0]));
+                let cr4 = cr.add(4);
+                _mm_storeu_ps(cr4, _mm_add_ps(_mm_loadu_ps(cr4), pair[1]));
+            }
+        } else {
+            let mut tmp = [0.0f32; MR * NR];
+            for (r, pair) in acc.iter().enumerate() {
+                _mm_storeu_ps(tmp.as_mut_ptr().add(r * NR), pair[0]);
+                _mm_storeu_ps(tmp.as_mut_ptr().add(r * NR + 4), pair[1]);
+            }
+            for (r, trow) in tmp.chunks_exact(NR).enumerate().take(mrows) {
+                for (j, &v) in trow.iter().enumerate().take(ncols) {
+                    *c.add(r * c_stride + j) += v;
+                }
+            }
+        }
+    }
+}

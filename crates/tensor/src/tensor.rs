@@ -1,3 +1,4 @@
+use crate::backend::ComputeBackend;
 use crate::shape::broadcast_strides;
 use crate::{broadcast_shapes, TensorError};
 
@@ -20,6 +21,28 @@ const REDUCE_PAR_MIN: usize = 1 << 15;
 
 /// Chunk length for the deterministic reduction tree.
 const REDUCE_CHUNK: usize = 1 << 13;
+
+/// Dispatch key routing [`Tensor::add`]/[`Tensor::sub`]/[`Tensor::mul`]/
+/// [`Tensor::div`] onto the corresponding [`ComputeBackend`] slice kernel.
+#[derive(Clone, Copy)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    #[inline]
+    fn apply(self, be: &dyn ComputeBackend, a: &[f32], b: &[f32], out: &mut [f32]) {
+        match self {
+            BinOp::Add => be.add_slices(a, b, out),
+            BinOp::Sub => be.sub_slices(a, b, out),
+            BinOp::Mul => be.mul_slices(a, b, out),
+            BinOp::Div => be.div_slices(a, b, out),
+        }
+    }
+}
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
@@ -359,6 +382,108 @@ impl Tensor {
         self.broadcast_op(other, f)
     }
 
+    /// Backend-routed binary op. Equal shapes, scalar operands, and the
+    /// `[.., c] ⊕ [c]` row-broadcast (bias) pattern run on the active
+    /// [`ComputeBackend`]'s slice kernels; any other broadcast falls back
+    /// to the historical closure walk. Every fast path is a pure
+    /// elementwise map, so within a backend the result is bitwise
+    /// identical at any thread count; under [`crate::backend::ScalarBackend`]
+    /// it also matches the historical [`Tensor::broadcast_op`] bit for bit
+    /// (scalar subtraction becomes `x + (-s)`, which IEEE 754 defines as
+    /// the same operation).
+    fn binary_backend(&self, other: &Tensor, op: BinOp) -> Result<Tensor, TensorError> {
+        let be = crate::backend::active();
+        if self.shape == other.shape {
+            let mut data = vec![0.0f32; self.data.len()];
+            if self.data.len() < ELEM_PAR_MIN || rex_pool::current_num_threads() == 1 {
+                op.apply(be, &self.data, &other.data, &mut data);
+            } else {
+                rex_pool::parallel_for_slices(&mut data, ELEM_CHUNK, |_, offset, window| {
+                    let len = window.len();
+                    op.apply(
+                        be,
+                        &self.data[offset..offset + len],
+                        &other.data[offset..offset + len],
+                        window,
+                    );
+                });
+            }
+            return Ok(Tensor {
+                data,
+                shape: self.shape.clone(),
+            });
+        }
+        if other.data.len() == 1 {
+            let s = other.data[0];
+            return match op {
+                BinOp::Add => {
+                    Ok(self.unary_backend(move |be, src, out| be.add_scalar(s, src, out)))
+                }
+                BinOp::Sub => {
+                    Ok(self.unary_backend(move |be, src, out| be.add_scalar(-s, src, out)))
+                }
+                BinOp::Mul => Ok(self.unary_backend(move |be, src, out| be.scale(s, src, out))),
+                // x / s must stay a true division (not a multiply by 1/s)
+                BinOp::Div => Ok(self.map_par(move |a| a / s)),
+            };
+        }
+        if other.ndim() == 1 && self.ndim() >= 2 && self.shape.last() == Some(&other.data.len()) {
+            // row-broadcast bias pattern: apply the slice kernel per row
+            let c = other.data.len();
+            let mut data = vec![0.0f32; self.data.len()];
+            if data.is_empty() {
+                return Ok(Tensor {
+                    data,
+                    shape: self.shape.clone(),
+                });
+            }
+            let body = |offset: usize, window: &mut [f32]| {
+                for (i, orow) in window.chunks_mut(c).enumerate() {
+                    let r0 = offset / c + i;
+                    op.apply(be, &self.data[r0 * c..(r0 + 1) * c], &other.data, orow);
+                }
+            };
+            if self.data.len() < ELEM_PAR_MIN || rex_pool::current_num_threads() == 1 {
+                body(0, &mut data);
+            } else {
+                // chunk on whole-row boundaries so each body call sees full rows
+                let chunk = (ELEM_CHUNK / c).max(1) * c;
+                rex_pool::parallel_for_slices(&mut data, chunk, |_, offset, window| {
+                    body(offset, window);
+                });
+            }
+            return Ok(Tensor {
+                data,
+                shape: self.shape.clone(),
+            });
+        }
+        match op {
+            BinOp::Add => self.broadcast_op_par(other, |a, b| a + b),
+            BinOp::Sub => self.broadcast_op_par(other, |a, b| a - b),
+            BinOp::Mul => self.broadcast_op_par(other, |a, b| a * b),
+            BinOp::Div => self.broadcast_op_par(other, |a, b| a / b),
+        }
+    }
+
+    /// Backend-routed unary slice op (scale / add-scalar), sharded like
+    /// [`Tensor::map_par`].
+    fn unary_backend(&self, f: impl Fn(&dyn ComputeBackend, &[f32], &mut [f32]) + Sync) -> Tensor {
+        let be = crate::backend::active();
+        let mut data = vec![0.0f32; self.data.len()];
+        if self.data.len() < ELEM_PAR_MIN || rex_pool::current_num_threads() == 1 {
+            f(be, &self.data, &mut data);
+        } else {
+            rex_pool::parallel_for_slices(&mut data, ELEM_CHUNK, |_, offset, window| {
+                let len = window.len();
+                f(be, &self.data[offset..offset + len], window);
+            });
+        }
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
@@ -461,7 +586,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
     pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        self.broadcast_op_par(other, |a, b| a + b)
+        self.binary_backend(other, BinOp::Add)
     }
 
     /// Elementwise difference with broadcasting.
@@ -470,7 +595,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        self.broadcast_op_par(other, |a, b| a - b)
+        self.binary_backend(other, BinOp::Sub)
     }
 
     /// Elementwise product with broadcasting.
@@ -479,7 +604,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        self.broadcast_op_par(other, |a, b| a * b)
+        self.binary_backend(other, BinOp::Mul)
     }
 
     /// Elementwise quotient with broadcasting.
@@ -488,17 +613,17 @@ impl Tensor {
     ///
     /// Returns [`TensorError::BroadcastMismatch`] on incompatible shapes.
     pub fn div(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        self.broadcast_op_par(other, |a, b| a / b)
+        self.binary_backend(other, BinOp::Div)
     }
 
-    /// Multiplies every element by `s`.
+    /// Multiplies every element by `s` (on the active compute backend).
     pub fn scale(&self, s: f32) -> Tensor {
-        self.map_par(|x| x * s)
+        self.unary_backend(move |be, src, out| be.scale(s, src, out))
     }
 
-    /// Adds `s` to every element.
+    /// Adds `s` to every element (on the active compute backend).
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        self.map_par(|x| x + s)
+        self.unary_backend(move |be, src, out| be.add_scalar(s, src, out))
     }
 
     /// In-place `self += other * alpha` for same-shaped tensors (the hot
@@ -513,18 +638,15 @@ impl Tensor {
             "axpy shape mismatch {:?} vs {:?}",
             self.shape, other.shape
         );
+        let be = crate::backend::active();
         if self.data.len() >= ELEM_PAR_MIN && rex_pool::current_num_threads() > 1 {
             let src = &other.data;
             rex_pool::parallel_for_slices(&mut self.data, ELEM_CHUNK, |_, offset, window| {
                 let len = window.len();
-                for (a, &b) in window.iter_mut().zip(&src[offset..offset + len]) {
-                    *a += alpha * b;
-                }
+                be.axpy(alpha, &src[offset..offset + len], window);
             });
         } else {
-            for (a, &b) in self.data.iter_mut().zip(&other.data) {
-                *a += alpha * b;
-            }
+            be.axpy(alpha, &other.data, &mut self.data);
         }
     }
 
@@ -532,23 +654,24 @@ impl Tensor {
     // Reductions
     // ---------------------------------------------------------------------
 
-    /// Sum of all elements.
+    /// Sum of all elements (folded by the active compute backend:
+    /// [`crate::backend::ScalarBackend`] keeps the historical serial fold,
+    /// [`crate::backend::SimdBackend`] uses its fixed 8-lane chunked fold).
     ///
     /// Tensors of at least [`REDUCE_PAR_MIN`] elements reduce through the
-    /// pool's fixed-chunk deterministic tree ([`rex_pool::parallel_reduce`]).
-    /// The path is chosen by *length alone* — never thread count — so the
-    /// result is bitwise identical for any pool size. (The tree's float
-    /// grouping differs from a plain serial fold, which is why the
-    /// threshold exists: tensors small enough to appear in pinned golden
-    /// traces keep the historical serial fold.)
+    /// pool's fixed-chunk deterministic tree ([`rex_pool::parallel_reduce`])
+    /// with the backend fold applied per chunk. Both the path and the chunk
+    /// grid are chosen by *length alone* — never thread count — so within a
+    /// backend the result is bitwise identical for any pool size.
     pub fn sum(&self) -> f32 {
+        let be = crate::backend::active();
         if self.data.len() < REDUCE_PAR_MIN {
-            return self.data.iter().sum();
+            return be.sum(&self.data);
         }
         rex_pool::parallel_reduce(
             self.data.len(),
             REDUCE_CHUNK,
-            |_, r| self.data[r].iter().sum::<f32>(),
+            |_, r| be.sum(&self.data[r]),
             |a, b| a + b,
         )
         .unwrap_or(0.0)
@@ -570,8 +693,9 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn max(&self) -> f32 {
         assert!(!self.data.is_empty(), "max of empty tensor");
+        let be = crate::backend::active();
         if self.data.len() < REDUCE_PAR_MIN {
-            return self.data.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            return be.max(&self.data);
         }
         // f32::max is associative and commutative (NaN-ignoring), so any
         // grouping yields the same value; the fixed tree is used for
@@ -579,11 +703,7 @@ impl Tensor {
         rex_pool::parallel_reduce(
             self.data.len(),
             REDUCE_CHUNK,
-            |_, r| {
-                self.data[r]
-                    .iter()
-                    .fold(f32::NEG_INFINITY, |m, &x| m.max(x))
-            },
+            |_, r| be.max(&self.data[r]),
             f32::max,
         )
         .unwrap_or(f32::NEG_INFINITY)
@@ -596,13 +716,14 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn min(&self) -> f32 {
         assert!(!self.data.is_empty(), "min of empty tensor");
+        let be = crate::backend::active();
         if self.data.len() < REDUCE_PAR_MIN {
-            return self.data.iter().fold(f32::INFINITY, |m, &x| m.min(x));
+            return be.min(&self.data);
         }
         rex_pool::parallel_reduce(
             self.data.len(),
             REDUCE_CHUNK,
-            |_, r| self.data[r].iter().fold(f32::INFINITY, |m, &x| m.min(x)),
+            |_, r| be.min(&self.data[r]),
             f32::min,
         )
         .unwrap_or(f32::INFINITY)
@@ -611,13 +732,14 @@ impl Tensor {
     /// Squared L2 norm (same deterministic chunked path as [`Tensor::sum`]
     /// above [`REDUCE_PAR_MIN`]).
     pub fn sq_norm(&self) -> f32 {
+        let be = crate::backend::active();
         if self.data.len() < REDUCE_PAR_MIN {
-            return self.data.iter().map(|x| x * x).sum();
+            return be.sq_sum(&self.data);
         }
         rex_pool::parallel_reduce(
             self.data.len(),
             REDUCE_CHUNK,
-            |_, r| self.data[r].iter().map(|x| x * x).sum::<f32>(),
+            |_, r| be.sq_sum(&self.data[r]),
             |a, b| a + b,
         )
         .unwrap_or(0.0)

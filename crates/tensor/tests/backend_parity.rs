@@ -1,0 +1,204 @@
+//! Backend parity suite: the SIMD backend must agree with the scalar
+//! backend to rounding on every op, and with *itself* bitwise at any
+//! thread count.
+//!
+//! The GEMM grid is a deterministic [`Prng`]-driven fuzz over awkward
+//! shapes — odd M/N/K, K smaller than one SIMD lane group (tail-only
+//! kernels), batched products whose per-slice strides are not multiples
+//! of the micro-tile, and zero-size edges — because those are exactly the
+//! shapes where a packed micro-kernel's edge handling goes wrong.
+//!
+//! Two determinism courts:
+//!
+//! * **SIMD vs scalar**: ≤ 1e-5·√K relative error (the two backends
+//!   reassociate reductions differently, so agreement is to rounding).
+//! * **SIMD vs SIMD**: bitwise identity (`to_bits`) across pool sizes
+//!   1/2/3/7 — the partition-invariance contract of
+//!   [`rex_tensor::backend::ComputeBackend::gemm_rows`].
+
+use rex_tensor::backend::{self, BackendKind};
+use rex_tensor::ops::matmul3;
+use rex_tensor::{Prng, Tensor};
+
+/// Thread counts exercised by the bitwise-identity court: 1 (serial), 2
+/// (even split), 3 and 7 (ragged splits that misalign chunk boundaries
+/// with the micro-tile grid).
+const THREADS: &[usize] = &[1, 2, 3, 7];
+
+/// Relative tolerance for SIMD-vs-scalar agreement on a reduction of
+/// `red` terms.
+fn tol_for(red: usize) -> f32 {
+    1e-5 * (red as f32).sqrt().max(1.0)
+}
+
+fn assert_rel_close(a: &[f32], b: &[f32], tol: f32, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let bound = tol * (1.0 + x.abs().max(y.abs()));
+        assert!(
+            (x - y).abs() <= bound,
+            "{ctx}: index {i}: {x} vs {y} (|diff| {} > {bound})",
+            (x - y).abs()
+        );
+    }
+}
+
+fn assert_bitwise(a: &[f32], b: &[f32], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{ctx}: index {i}: {x:?} vs {y:?} (bitwise mismatch)"
+        );
+    }
+}
+
+/// Awkward GEMM shapes: odd dims, tail-only K, micro-tile remainders,
+/// and zero-size edges.
+const GEMM_CASES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (7, 3, 5),     // everything odd, smaller than any micro-tile
+    (13, 5, 33),   // K < 8: tail-only depth loop
+    (6, 7, 16),    // exactly one AVX2 tile wide, odd K
+    (97, 61, 127), // odd everything, crosses MC/NR boundaries
+    (64, 256, 64), // exactly one KC block
+    (65, 257, 95), // one past every block boundary
+    (130, 300, 170),
+    (0, 5, 7), // zero-size edges: empty output
+    (5, 0, 7), // K = 0: pure accumulate of nothing
+    (5, 7, 0),
+];
+
+/// One deterministic fuzz case per (layout, shape): SIMD matches scalar
+/// to rounding, and SIMD is bitwise identical to itself at every pool
+/// size in [`THREADS`].
+fn check_gemm_case(m: usize, k: usize, n: usize, seed: u64) {
+    let mut rng = Prng::new(seed);
+    let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+    let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+    let at = rng.normal_tensor(&[k, m], 0.0, 1.0);
+    let bt = rng.normal_tensor(&[n, k], 0.0, 1.0);
+
+    type GemmFn = fn(&Tensor, &Tensor) -> Tensor;
+    let cases: [(&str, &Tensor, &Tensor, GemmFn); 3] = [
+        ("nn", &a, &b, |x, y| x.matmul(y).unwrap()),
+        ("tn", &at, &b, |x, y| x.matmul_tn(y).unwrap()),
+        ("nt", &a, &bt, |x, y| x.matmul_nt(y).unwrap()),
+    ];
+    for (name, x, y, f) in cases {
+        let ctx = format!("gemm_{name} {m}x{k}x{n}");
+        let scalar = backend::with_backend(BackendKind::Scalar, || f(x, y));
+        let simd1 =
+            rex_pool::with_pool_size(1, || backend::with_backend(BackendKind::Simd, || f(x, y)));
+        assert_rel_close(simd1.data(), scalar.data(), tol_for(k), &ctx);
+        for &t in &THREADS[1..] {
+            let simd_t = rex_pool::with_pool_size(t, || {
+                backend::with_backend(BackendKind::Simd, || f(x, y))
+            });
+            assert_bitwise(simd_t.data(), simd1.data(), &format!("{ctx} @{t}T"));
+        }
+    }
+}
+
+#[test]
+fn gemm_simd_matches_scalar_and_is_thread_invariant() {
+    for (i, &(m, k, n)) in GEMM_CASES.iter().enumerate() {
+        check_gemm_case(m, k, n, 0xBAC0 + i as u64);
+    }
+}
+
+/// Batched matmul: per-slice strides `m·k` / `k·n` are deliberately not
+/// multiples of any micro-tile, so every slice starts misaligned with
+/// the packing grid.
+#[test]
+fn batched_gemm_simd_matches_scalar_and_is_thread_invariant() {
+    for &(bs, m, k, n) in &[
+        (3usize, 7usize, 5usize, 9usize),
+        (5, 33, 6, 17),
+        (2, 96, 300, 64),
+    ] {
+        let mut rng = Prng::new((bs * 1009 + m) as u64);
+        let a = rng.normal_tensor(&[bs, m, k], 0.0, 1.0);
+        let b = rng.normal_tensor(&[bs, k, n], 0.0, 1.0);
+        let ctx = format!("matmul3 {bs}x{m}x{k}x{n}");
+        let scalar = backend::with_backend(BackendKind::Scalar, || matmul3(&a, &b).unwrap());
+        let simd1 = rex_pool::with_pool_size(1, || {
+            backend::with_backend(BackendKind::Simd, || matmul3(&a, &b).unwrap())
+        });
+        assert_rel_close(simd1.data(), scalar.data(), tol_for(k), &ctx);
+        for &t in &THREADS[1..] {
+            let simd_t = rex_pool::with_pool_size(t, || {
+                backend::with_backend(BackendKind::Simd, || matmul3(&a, &b).unwrap())
+            });
+            assert_bitwise(simd_t.data(), simd1.data(), &format!("{ctx} @{t}T"));
+        }
+    }
+}
+
+/// Elementwise, scalar-broadcast, row-broadcast, activation, and
+/// reduction ops: same two courts as the GEMM grid. Sizes straddle
+/// `ELEM_PAR_MIN`/`REDUCE_PAR_MIN` so both the serial and sharded paths
+/// are exercised.
+#[test]
+fn elementwise_and_reductions_match_across_backends_and_threads() {
+    for &len in &[1usize, 7, 63, 4096, 1 << 15, (1 << 16) + 9] {
+        let mut rng = Prng::new(len as u64 ^ 0xE1E);
+        let rows = len.div_ceil(64).max(1);
+        let x = rng.normal_tensor(&[rows, 64], 0.0, 1.0);
+        let y = rng.normal_tensor(&[rows, 64], 0.0, 1.0);
+        let bias = rng.normal_tensor(&[64], 0.0, 1.0);
+
+        let run = || {
+            let mut acc = y.clone();
+            acc.axpy(0.25, &x);
+            vec![
+                x.add(&y).unwrap().into_vec(),
+                x.sub(&y).unwrap().into_vec(),
+                x.mul(&y).unwrap().into_vec(),
+                x.add(&bias).unwrap().into_vec(), // row broadcast
+                x.scale(1.7).into_vec(),
+                x.add_scalar(-0.3).into_vec(),
+                rex_tensor::ops::relu(&x).into_vec(),
+                rex_tensor::ops::softmax_rows(&x).unwrap().into_vec(),
+                vec![x.sum(), x.sq_norm(), x.max(), x.min()],
+                acc.into_vec(),
+            ]
+        };
+
+        let scalar = backend::with_backend(BackendKind::Scalar, run);
+        let simd1 = rex_pool::with_pool_size(1, || backend::with_backend(BackendKind::Simd, run));
+        for (s, v) in scalar.iter().zip(&simd1) {
+            // reductions reassociate; everything else is a pure map, but a
+            // single rel bound covers both
+            assert_rel_close(v, s, tol_for(x.len()), &format!("elementwise len {len}"));
+        }
+        for &t in &THREADS[1..] {
+            let simd_t =
+                rex_pool::with_pool_size(t, || backend::with_backend(BackendKind::Simd, run));
+            for (a, b) in simd_t.iter().zip(&simd1) {
+                assert_bitwise(b, a, &format!("elementwise len {len} @{t}T"));
+            }
+            // the scalar backend carries the same thread-invariance contract
+            let scalar_t =
+                rex_pool::with_pool_size(t, || backend::with_backend(BackendKind::Scalar, run));
+            for (a, b) in scalar_t.iter().zip(&scalar) {
+                assert_bitwise(b, a, &format!("elementwise(scalar) len {len} @{t}T"));
+            }
+        }
+    }
+}
+
+/// The override resolution order: a `with_backend` override beats the
+/// process default, and nesting restores the outer choice.
+#[test]
+fn with_backend_override_nests_and_restores() {
+    let outer = backend::active().kind();
+    backend::with_backend(BackendKind::Scalar, || {
+        assert_eq!(backend::active().kind(), BackendKind::Scalar);
+        backend::with_backend(BackendKind::Simd, || {
+            assert_eq!(backend::active().kind(), BackendKind::Simd);
+        });
+        assert_eq!(backend::active().kind(), BackendKind::Scalar);
+    });
+    assert_eq!(backend::active().kind(), outer);
+}

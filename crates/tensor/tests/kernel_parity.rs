@@ -211,10 +211,13 @@ fn conv2d_backward_matches_direct_reference() {
         let (di, dw, db) = conv2d_backward(&d_out, &weight, &saved).unwrap();
         let (rdi, rdw, rdb) =
             reference::conv2d_direct_backward(&d_out, &input, &weight, win).unwrap();
+        // The col2im scatter and the batch-axis dW/dB folds use compensated
+        // accumulation, so the conv backward holds a *pinned* 1e-4 bound
+        // even where the √red scaling would allow more drift.
         assert_close(
             di.data(),
             rdi.data(),
-            tol_for(cout * kernel * kernel),
+            tol_for(cout * kernel * kernel).min(1e-4),
             &format!("{ctx} d_input"),
         );
         // d_weight and d_bias reduce over all batch·OH·OW output positions
@@ -222,13 +225,13 @@ fn conv2d_backward_matches_direct_reference() {
         assert_close(
             dw.data(),
             rdw.data(),
-            tol_for(red_w),
+            tol_for(red_w).min(1e-4),
             &format!("{ctx} d_weight"),
         );
         assert_close(
             db.data(),
             rdb.data(),
-            tol_for(red_w),
+            tol_for(red_w).min(1e-4),
             &format!("{ctx} d_bias"),
         );
     }

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Perf-regression guard for the GEMM backend: regenerates the kernel
+# benchmark into a scratch file and fails if the SIMD single-thread
+# matmul_256x256x256 speedup-vs-naive drops more than 10 % below the
+# committed BENCH_kernels.json. The guard compares `speedup_best` —
+# the ratio of *minimum* timings, measured adjacent in the same run.
+# External interference (CPU steal on a shared host) can only inflate a
+# sample, so the min-of-reps ratio tracks kernel capability rather than
+# host weather; a real code regression shifts it, noise does not.
+#
+# BENCH_GUARD_REPS overrides the rep count (default 15, matching the
+# committed artifact, so the min-of-reps estimators are comparable).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+committed="BENCH_kernels.json"
+if [ ! -f "$committed" ]; then
+  echo "bench-guard: missing committed $committed" >&2
+  exit 1
+fi
+if ! command -v python3 >/dev/null; then
+  echo "bench-guard: python3 is required to compare benchmark JSON" >&2
+  exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+reps="${BENCH_GUARD_REPS:-15}"
+cargo run --release --offline -q -p rex-bench --bin kernel-bench -- \
+  --reps "$reps" --out "$tmp/bench.json" >/dev/null
+
+python3 - "$committed" "$tmp/bench.json" <<'EOF'
+import json
+import sys
+
+def simd_1t_matmul(path):
+    with open(path) as f:
+        d = json.load(f)
+    if d.get("schema") != "rex-kernel-bench/v3":
+        sys.exit(f"bench-guard: {path}: expected rex-kernel-bench/v3, got {d.get('schema')!r}")
+    for entry in d["backend_matrix"]:
+        if entry["backend"] == "simd" and entry["threads"] == 1:
+            for case in entry["cases"]:
+                if case["name"] == "matmul_256x256x256":
+                    return case["speedup_best"]
+    sys.exit(f"bench-guard: {path}: no simd @ 1-thread matmul_256x256x256 entry")
+
+committed = simd_1t_matmul(sys.argv[1])
+fresh = simd_1t_matmul(sys.argv[2])
+floor = 0.9 * committed
+ok = fresh >= floor
+print(
+    f"bench-guard: simd@1T matmul speedup committed {committed:.2f}x, "
+    f"fresh {fresh:.2f}x, floor {floor:.2f}x -> {'OK' if ok else 'FAIL'}"
+)
+sys.exit(0 if ok else 1)
+EOF

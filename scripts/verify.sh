@@ -35,6 +35,26 @@ cargo run --release --offline -p rex-bench --bin kernel-bench -- \
 cargo run --release --offline -p rex-bench --bin kernel-bench -- \
   --smoke --threads 4 --out "$tmp_dir/bench_smoke_t4.json"
 
+echo "==> backend matrix (forced scalar / simd dispatch)"
+# the parity and golden suites again under each forced backend: the env
+# override must reach every kernel, and the committed goldens must hold
+# under both backends without re-blessing
+for bk in scalar simd; do
+  REX_BACKEND=$bk cargo test --offline -q -p rex-tensor --test kernel_parity
+  REX_BACKEND=$bk cargo test --offline -q -p rex-tensor --test backend_parity
+  REX_BACKEND=$bk cargo test --release --offline -q --test golden_traces
+done
+# the rexctl --backend flag end-to-end: a forced-scalar run must train
+# and trace; the default (auto) run above already covers simd wherever a
+# vector unit exists
+cargo run --release --offline -p rex-cli --bin rexctl -- \
+  train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 \
+  --backend scalar --threads 4 --trace "$tmp_dir/run_scalar.jsonl" >/dev/null
+grep -q '"ev":"step"' "$tmp_dir/run_scalar.jsonl"
+
+echo "==> bench-guard (GEMM speedup floor vs committed BENCH_kernels.json)"
+scripts/bench_guard.sh
+
 echo "==> trace-check (golden telemetry traces + CLI --trace)"
 # the golden suite in release mode: committed traces must match the
 # trajectories the release build produces

@@ -137,6 +137,46 @@ fn same_seed_traces_are_byte_identical() {
     assert!(a.ends_with('\n') && a.lines().count() > 4);
 }
 
+/// Forced-dispatch court: *both* compute backends must reproduce the
+/// committed goldens (the trace tolerances — LR nearly exact, losses and
+/// norms at 0.5 % relative — absorb the backends' reduction-order drift),
+/// and within each backend the same-seed trace must be byte-identical at
+/// every pool size. This is the end-to-end statement of the backend
+/// contract: numerics are a property of the *backend*, never of the
+/// thread count, and switching backends moves the trajectory by rounding
+/// only.
+#[test]
+fn traces_pass_under_both_forced_backends_at_any_thread_count() {
+    use rex::tensor::backend::{self, BackendKind};
+
+    for kind in [BackendKind::Scalar, BackendKind::Simd] {
+        let baseline = backend::with_backend(kind, || {
+            rex_pool::with_pool_size(1, || {
+                encode_trace(&run_trace(&ScheduleSpec::Rex, 10), false)
+            })
+        });
+        // the committed golden still holds under this backend
+        let events = parse_trace(&baseline).expect("trace must re-parse");
+        let text = std::fs::read_to_string(golden_path("rex", 10)).expect("golden file");
+        let golden = parse_trace(&text).expect("golden file must parse");
+        if let Err(diff) = diff_traces(&golden, &events, &Tolerances::default()) {
+            panic!("rex @ 10% under {kind:?}: {diff}");
+        }
+        // and the backend's trajectory is thread-count-invariant, byte for byte
+        for threads in [2usize, 3, 7] {
+            let run = backend::with_backend(kind, || {
+                rex_pool::with_pool_size(threads, || {
+                    encode_trace(&run_trace(&ScheduleSpec::Rex, 10), false)
+                })
+            });
+            assert_eq!(
+                run, baseline,
+                "{kind:?} trace diverged between 1 and {threads} threads"
+            );
+        }
+    }
+}
+
 /// The negative control: a one-step LR perturbation far smaller than any
 /// loss-level noise must still be caught, and the report must point at
 /// the exact step and field.
