@@ -1,13 +1,11 @@
 //! Subcommand implementations.
 
 use rex_core::{all_paper_schedules, ScheduleSpec};
-use rex_data::digits::synth_digits;
-use rex_data::images::{synth_cifar10, synth_cifar100, synth_stl10};
-use rex_data::ClassificationDataset;
 use rex_eval::table;
 use rex_telemetry::{JsonlSink, Recorder};
 use rex_train::range_test::lr_range_test_traced;
-use rex_train::tasks::{run_image_cell, run_image_cell_ft, run_vae_cell_traced, ImageModel};
+use rex_train::settings::{ft_is_active, load_setting, SettingSpec};
+use rex_train::tasks::run_image_cell;
 use rex_train::{Budget, FtConfig, GuardPolicy, TrainState};
 use std::path::{Path, PathBuf};
 
@@ -87,14 +85,8 @@ fn ft_from_flags(flags: &Flags) -> Result<FtConfig, String> {
         resume_from: flags.get("resume").map(PathBuf::from),
         guard,
         halt_after_step,
+        stop_flag: None,
     })
-}
-
-fn ft_is_active(ft: &FtConfig) -> bool {
-    ft.checkpoint_every.is_some()
-        || ft.resume_from.is_some()
-        || ft.guard != GuardPolicy::Off
-        || ft.halt_after_step.is_some()
 }
 
 /// Builds the trace recorder for `train`. A resumed run re-opens the
@@ -117,55 +109,6 @@ fn recorder_for_train(flags: &Flags, ft: &FtConfig) -> Result<Recorder, String> 
             .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?,
     };
     Ok(Recorder::new(Box::new(sink)))
-}
-
-/// A CLI-selectable experimental setting.
-enum Setting {
-    Image {
-        name: &'static str,
-        model: ImageModel,
-        data: ClassificationDataset,
-        max_epochs: usize,
-        lr_scale: f32,
-    },
-    Vae {
-        max_epochs: usize,
-    },
-}
-
-fn load_setting(name: &str, seed: u64) -> Result<Setting, String> {
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "rn20-cifar10" => Setting::Image {
-            name: "RN20-CIFAR10",
-            model: ImageModel::MicroResNet20,
-            data: synth_cifar10(40, 15, seed ^ 0x7AB4),
-            max_epochs: 24,
-            lr_scale: 1.0,
-        },
-        "rn38-cifar10" => Setting::Image {
-            name: "RN38-CIFAR10",
-            model: ImageModel::MicroResNet38,
-            data: synth_cifar10(40, 15, seed ^ 0x7AB4),
-            max_epochs: 24,
-            lr_scale: 1.0,
-        },
-        "wrn-stl10" => Setting::Image {
-            name: "WRN-STL10",
-            model: ImageModel::MicroWide(2),
-            data: synth_stl10(25, 10, seed ^ 0x57110),
-            max_epochs: 20,
-            lr_scale: 1.0,
-        },
-        "vgg16-cifar100" => Setting::Image {
-            name: "VGG16-CIFAR100",
-            model: ImageModel::MicroVgg(12),
-            data: synth_cifar100(20, 30, 10, seed ^ 0xC1F100),
-            max_epochs: 40,
-            lr_scale: 0.1,
-        },
-        "vae-mnist" => Setting::Vae { max_epochs: 200 },
-        other => return Err(format!("unknown setting {other:?} (see rexctl help)")),
-    })
 }
 
 /// `rexctl schedules`
@@ -258,69 +201,31 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
     let ft = ft_from_flags(&flags)?;
     let mut rec = recorder_for_train(&flags, &ft)?;
 
-    let t0 = std::time::Instant::now();
-    match setting {
-        Setting::Image {
-            name,
-            model,
-            data,
-            max_epochs,
-            lr_scale,
-        } => {
-            let budget = Budget::new(max_epochs, budget_pct);
-            let lr: f32 = flags.get_or("lr", optimizer.default_lr() * lr_scale)?;
-            let err = run_image_cell_ft(
-                model,
-                &data,
-                budget.epochs(),
-                32,
-                optimizer,
-                spec.clone(),
-                lr,
-                seed,
-                ft,
-                &mut rec,
-            )
-            .map_err(|e| e.to_string())?;
-            println!(
-                "{name} | {} | {} | budget {budget} | lr {lr} -> test error {err:.2}%  ({:.1?})",
-                optimizer.name(),
-                spec.name(),
-                t0.elapsed()
-            );
-        }
-        Setting::Vae { max_epochs } => {
-            if ft_is_active(&ft) {
-                return Err(
-                    "checkpoint/resume/guard flags support image settings; the VAE path \
-                     has no snapshot support yet"
-                        .into(),
-                );
-            }
-            let budget = Budget::new(max_epochs, budget_pct);
-            let lr: f32 = flags.get_or("lr", 1e-2f32)?;
-            let train = synth_digits(400, 12, seed ^ 0xD161);
-            let test = synth_digits(150, 12, seed ^ 0xD162);
-            let loss = run_vae_cell_traced(
-                &train,
-                &test,
-                budget.epochs(),
-                8,
-                optimizer,
-                spec.clone(),
-                lr,
-                seed,
-                &mut rec,
-            )
-            .map_err(|e| e.to_string())?;
-            println!(
-                "VAE-MNIST | {} | {} | budget {budget} | lr {lr} -> test loss {loss:.2}  ({:.1?})",
-                optimizer.name(),
-                spec.name(),
-                t0.elapsed()
-            );
-        }
+    if !setting.supports_ft() && ft_is_active(&ft) {
+        return Err(
+            "checkpoint/resume/guard flags support image and digits settings; the VAE \
+             path has no snapshot support yet"
+                .into(),
+        );
     }
+
+    let t0 = std::time::Instant::now();
+    let budget = Budget::new(setting.max_epochs(), budget_pct);
+    let lr: f32 = flags.get_or("lr", setting.default_lr(&optimizer))?;
+    let metric = setting
+        .run_ft(budget_pct, optimizer, spec.clone(), lr, seed, ft, &mut rec)
+        .map_err(|e| e.to_string())?;
+    let metric_rendered = match setting.metric_label() {
+        "test error" => format!("test error {metric:.2}%"),
+        label => format!("{label} {metric:.2}"),
+    };
+    println!(
+        "{} | {} | {} | budget {budget} | lr {lr} -> {metric_rendered}  ({:.1?})",
+        setting.name(),
+        optimizer.name(),
+        spec.name(),
+        t0.elapsed()
+    );
     if let Some(path) = flags.get("trace") {
         eprintln!("trace written to {path}");
     }
@@ -412,17 +317,15 @@ fn sweep_inner(argv: &[String]) -> Result<(), String> {
         }
     };
 
-    let (name, model, data, max_epochs, lr_scale) = match setting {
-        Setting::Image {
-            name,
-            model,
-            data,
-            max_epochs,
-            lr_scale,
-        } => (name, model, data, max_epochs, lr_scale),
-        Setting::Vae { .. } => {
-            return Err("sweep supports image settings; use `train` for the VAE".into())
-        }
+    let SettingSpec::Image {
+        name,
+        model,
+        data,
+        max_epochs,
+        lr_scale,
+    } = setting
+    else {
+        return Err("sweep supports image settings; use `train` for the rest".into());
     };
 
     let resume_dir = flags.get("resume").map(PathBuf::from);
@@ -478,6 +381,19 @@ fn sweep_inner(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `rexctl serve --data-dir DIR [--addr HOST:PORT] ...` — the HTTP job
+/// server, implemented in `rex-serve` (shared with the `rexd` binary).
+pub fn serve(argv: &[String]) -> i32 {
+    match rex_serve::cli::serve_cmd(argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", rex_serve::cli::USAGE);
+            2
+        }
+    }
+}
+
 /// `rexctl range-test --setting rn20-cifar10`
 pub fn range_test(argv: &[String]) -> i32 {
     match range_test_inner(argv) {
@@ -496,11 +412,11 @@ fn range_test_inner(argv: &[String]) -> Result<(), String> {
     let seed: u64 = flags.get_or("seed", 0u64)?;
     let setting = load_setting(flags.require("setting")?, seed)?;
     let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
-    let (name, model, data) = match setting {
-        Setting::Image {
-            name, model, data, ..
-        } => (name, model, data),
-        Setting::Vae { .. } => return Err("range-test supports image settings".into()),
+    let SettingSpec::Image {
+        name, model, data, ..
+    } = setting
+    else {
+        return Err("range-test supports image settings".into());
     };
     let built = model.build(data.num_classes, seed);
     let mut rec = recorder_from_flags(&flags)?;

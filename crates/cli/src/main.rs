@@ -19,6 +19,7 @@ fn main() {
         Some("train") => commands::train(&argv[1..]),
         Some("sweep") => commands::sweep(&argv[1..]),
         Some("range-test") => commands::range_test(&argv[1..]),
+        Some("serve") => commands::serve(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -65,6 +66,17 @@ USAGE:
                [--threads N] [--backend scalar|simd|auto]
       Run an LR range test and print the suggested initial LR.
 
+  rexctl serve --data-dir DIR [--addr HOST:PORT] [--queue-depth N]
+               [--workers N] [--checkpoint-every STEPS]
+               [--threads N] [--backend scalar|simd|auto]
+      Run the budgeted-training job server (HTTP/1.1, zero deps) in the
+      foreground. POST /v1/jobs submits a train job as flat JSON; a full
+      queue answers 429 + Retry-After. GET /v1/jobs/:id/trace streams the
+      live JSONL trace; GET /metrics is Prometheus-style. Job state lives
+      under --data-dir: restarting on the same directory re-enqueues
+      unfinished jobs, which resume from their last checkpoint and finish
+      with byte-identical traces.
+
 THREADS:
   --threads N sizes the persistent worker pool (overrides the
   REX_NUM_THREADS environment variable). Results are bitwise identical
@@ -77,7 +89,7 @@ BACKEND:
   one backend results are bitwise identical at any thread count, across
   backends they agree to rounding.
 
-FAULT TOLERANCE (train, image settings):
+FAULT TOLERANCE (train, image and digits settings):
   --checkpoint FILE --checkpoint-every N snapshot the full training
   state (model, optimizer, RNG, schedule progress, trace cursor) every
   N optimizer steps, crash-consistently. --resume FILE continues an
@@ -90,6 +102,7 @@ FAULT TOLERANCE (train, image settings):
 
 SETTINGS:
   rn20-cifar10 | rn38-cifar10 | wrn-stl10 | vgg16-cifar100 | vae-mnist
+  | digits-mlp (tiny MLP on synthetic digits — the load-test cell)
 
 SCHEDULES (case-insensitive):
   none, rex, linear, cosine, step, exp, onecycle, plateau,

@@ -30,6 +30,11 @@
 //!                               STAGE is pre (before the temp file exists),
 //!                               mid (half the temp file written), or
 //!                               post (after the atomic rename)
+//! slow-io-on-write=LABEL:N:MS   sleep MS milliseconds before the N-th
+//!                               labelled write begins (N=0: before every
+//!                               write with that label) — a deterministic
+//!                               stand-in for a slow disk, so timeout and
+//!                               slow-backend tests need no real clock luck
 //! ```
 //!
 //! Injection is intentionally *not* random: faults are addressed by step
@@ -74,6 +79,9 @@ pub struct FaultPlan {
     pub io_err_on_write: Option<(String, u64)>,
     /// Kill around the `.2` stage of the `.1`-th write labelled `.0`.
     pub kill_on_write: Option<(String, u64, WriteStage)>,
+    /// Sleep `.2` milliseconds before the `.1`-th write labelled `.0`
+    /// starts (ordinal 0 delays every write with the label).
+    pub slow_io_on_write: Option<(String, u64, u64)>,
 }
 
 impl FaultPlan {
@@ -139,6 +147,22 @@ impl FaultPlan {
                     };
                     check_done(parts.next(), clause)?;
                     plan.kill_on_write = Some((label.to_owned(), nth, stage));
+                }
+                "slow-io-on-write" => {
+                    let mut parts = value.split(':');
+                    let label = parts
+                        .next()
+                        .filter(|l| !l.is_empty())
+                        .ok_or_else(|| format!("fault clause {clause:?} needs LABEL:N:MS"))?;
+                    let nth = parse_num(parts.next().unwrap_or(""), clause)?;
+                    let ms = parse_num(
+                        parts
+                            .next()
+                            .ok_or_else(|| format!("fault clause {clause:?} needs LABEL:N:MS"))?,
+                        clause,
+                    )?;
+                    check_done(parts.next(), clause)?;
+                    plan.slow_io_on_write = Some((label.to_owned(), nth, ms));
                 }
                 other => return Err(format!("unknown fault kind {other:?}")),
             }
@@ -315,6 +339,11 @@ fn injected_kill(label: &str, nth: u64, stage: WriteStage) -> ! {
 pub fn atomic_write(label: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
     let ordinal = bump_write(label);
     let plan = active_plan();
+    if let Some((l, n, ms)) = &plan.slow_io_on_write {
+        if l == label && (*n == 0 || *n == ordinal) {
+            std::thread::sleep(std::time::Duration::from_millis(*ms));
+        }
+    }
     if let Some((l, n)) = &plan.io_err_on_write {
         if l == label && *n == ordinal {
             return Err(io::Error::other(format!(
@@ -423,6 +452,60 @@ mod tests {
             plan.kill_on_write,
             Some(("ckpt".to_owned(), 1, WriteStage::Mid))
         );
+    }
+
+    #[test]
+    fn parse_slow_io_grammar() {
+        let plan = FaultPlan::parse("slow-io-on-write=trace:3:250").unwrap();
+        assert_eq!(plan.slow_io_on_write, Some(("trace".to_owned(), 3, 250)));
+        let every = FaultPlan::parse("slow-io-on-write=state:0:10").unwrap();
+        assert_eq!(every.slow_io_on_write, Some(("state".to_owned(), 0, 10)));
+        for bad in [
+            "slow-io-on-write=state",
+            "slow-io-on-write=state:1",
+            "slow-io-on-write=:1:5",
+            "slow-io-on-write=state:1:5:9",
+            "slow-io-on-write=state:x:5",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn slow_io_delays_the_addressed_write_only() {
+        let path = tmp("slow");
+        let plan = FaultPlan::parse("slow-io-on-write=lag:2:60").unwrap();
+        with_plan(plan, || {
+            let t0 = std::time::Instant::now();
+            atomic_write("lag", &path, b"one").unwrap();
+            let first = t0.elapsed();
+            assert!(first < std::time::Duration::from_millis(50), "{first:?}");
+
+            let t1 = std::time::Instant::now();
+            atomic_write("lag", &path, b"two").unwrap();
+            let second = t1.elapsed();
+            assert!(second >= std::time::Duration::from_millis(60), "{second:?}");
+            // other labels are never delayed
+            let t2 = std::time::Instant::now();
+            atomic_write("fast", &path, b"three").unwrap();
+            assert!(t2.elapsed() < std::time::Duration::from_millis(50));
+        });
+        assert_eq!(fs::read(&path).unwrap(), b"three");
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn slow_io_ordinal_zero_delays_every_labelled_write() {
+        let path = tmp("slow_all");
+        let plan = FaultPlan::parse("slow-io-on-write=lag:0:25").unwrap();
+        with_plan(plan, || {
+            for _ in 0..2 {
+                let t = std::time::Instant::now();
+                atomic_write("lag", &path, b"x").unwrap();
+                assert!(t.elapsed() >= std::time::Duration::from_millis(25));
+            }
+        });
+        let _ = fs::remove_file(path);
     }
 
     #[test]

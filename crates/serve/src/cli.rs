@@ -1,0 +1,153 @@
+//! The `rexctl serve` / `rexd` entry point: flag parsing and foreground
+//! server lifecycle. Lives here (not in `rex-cli`) so the daemon binary
+//! and the subcommand share one implementation without a dependency
+//! cycle.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::server::{ServeConfig, Server};
+
+/// Usage text for the serve front end.
+pub const USAGE: &str = "\
+usage: rexctl serve --data-dir DIR [--addr HOST:PORT] [--queue-depth N]
+                    [--workers N] [--checkpoint-every STEPS]
+                    [--read-timeout-ms MS] [--retry-after-secs S]
+                    [--threads N] [--backend scalar|simd|auto]
+
+Runs the budgeted-training job server in the foreground. Durable job
+state (manifests, traces, REXSTATE1 checkpoints) lives under --data-dir;
+restarting on the same directory re-enqueues unfinished jobs, which
+resume from their last checkpoint. --addr defaults to 127.0.0.1:0 (an
+ephemeral port, printed on startup).";
+
+fn parse_flags(argv: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", argv[i]))?;
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for --{key}"))?;
+        map.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+/// Builds a [`ServeConfig`] from `--flag value` arguments.
+///
+/// # Errors
+///
+/// A usage message naming the offending flag.
+pub fn config_from_args(argv: &[String]) -> Result<ServeConfig, String> {
+    let flags = parse_flags(argv)?;
+    let known = [
+        "addr",
+        "data-dir",
+        "queue-depth",
+        "workers",
+        "checkpoint-every",
+        "read-timeout-ms",
+        "retry-after-secs",
+        "threads",
+        "backend",
+    ];
+    if let Some(k) = flags.keys().find(|k| !known.contains(&k.as_str())) {
+        return Err(format!("unknown flag --{k}"));
+    }
+
+    if let Some(threads) = flags.get("threads") {
+        let n: usize = threads
+            .parse()
+            .map_err(|_| format!("--threads must be an integer >= 1, got {threads:?}"))?;
+        rex_pool::set_num_threads(n).map_err(|e| format!("--threads {n}: {e}"))?;
+    }
+    if let Some(backend) = flags.get("backend") {
+        let kind = rex_tensor::BackendKind::parse(backend)
+            .map_err(|e| format!("--backend {backend:?}: {e}"))?;
+        rex_tensor::backend::set_backend(kind).map_err(|e| format!("--backend: {e}"))?;
+    }
+
+    let defaults = ServeConfig::default();
+    let num = |key: &str, default: u64| -> Result<u64, String> {
+        match flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} must be a non-negative integer, got {v:?}")),
+        }
+    };
+    let cfg = ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| defaults.addr.clone()),
+        data_dir: PathBuf::from(flags.get("data-dir").ok_or("missing required --data-dir")?),
+        queue_depth: num("queue-depth", defaults.queue_depth as u64)?.max(1) as usize,
+        workers: num("workers", defaults.workers as u64)?.max(1) as usize,
+        read_timeout_ms: num("read-timeout-ms", defaults.read_timeout_ms)?,
+        retry_after_secs: num("retry-after-secs", defaults.retry_after_secs)?,
+        default_checkpoint_every: num("checkpoint-every", defaults.default_checkpoint_every)?,
+    };
+    Ok(cfg)
+}
+
+/// Runs the server in the foreground until killed. Prints the bound
+/// address on stdout (`rexd listening on http://ADDR`) so harnesses
+/// started on port 0 can find it.
+///
+/// # Errors
+///
+/// Flag errors and bind/recovery failures, as a printable message.
+pub fn serve_cmd(argv: &[String]) -> Result<(), String> {
+    let cfg = config_from_args(argv)?;
+    let server = Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
+    println!("rexd listening on http://{}", server.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn config_defaults_and_overrides() {
+        let cfg = config_from_args(&sv(&["--data-dir", "/tmp/x"])).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.queue_depth, 16);
+        assert_eq!(cfg.workers, 1);
+
+        let cfg = config_from_args(&sv(&[
+            "--data-dir",
+            "/tmp/x",
+            "--queue-depth",
+            "3",
+            "--workers",
+            "2",
+            "--checkpoint-every",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.queue_depth, 3);
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.default_checkpoint_every, 1);
+    }
+
+    #[test]
+    fn config_rejects_bad_flags() {
+        assert!(config_from_args(&sv(&[])).is_err()); // missing --data-dir
+        assert!(config_from_args(&sv(&["--data-dir", "/tmp/x", "--warp", "9"])).is_err());
+        assert!(config_from_args(&sv(&["--data-dir", "/tmp/x", "--workers", "two"])).is_err());
+        assert!(config_from_args(&sv(&["--data-dir"])).is_err());
+    }
+}

@@ -1,0 +1,733 @@
+//! Job specs, the durable job ledger, and the job executor.
+//!
+//! A job is one budgeted training cell — the same cell `rexctl train`
+//! runs, specified as a flat JSON object and executed through
+//! [`rex_train::settings::SettingSpec::run_ft`]. The ledger keeps every
+//! job's record in memory and mirrors it to `jobs/<id>/job.json`
+//! (crash-consistently, via `rex_faults::atomic_write`), so a restarted
+//! server can rebuild its world from disk: terminal jobs stay queryable,
+//! non-terminal jobs re-enter the queue and resume from their last
+//! `REXSTATE1` checkpoint.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rex_core::ScheduleSpec;
+use rex_telemetry::json::{self, Value};
+use rex_telemetry::{FanoutSink, JsonlSink, MetricsRegistry, Recorder, RegistrySink};
+use rex_train::settings::load_setting;
+use rex_train::{FtConfig, GuardPolicy, OptimizerKind, TrainError, TrainState};
+
+/// Parses an optimizer family name (the `rexctl` vocabulary).
+///
+/// # Errors
+///
+/// Names the unknown optimizer.
+pub fn parse_optimizer(name: &str) -> Result<OptimizerKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "sgdm" | "sgd" => Ok(OptimizerKind::sgdm()),
+        "adam" => Ok(OptimizerKind::adam()),
+        "adamw" => Ok(OptimizerKind::adamw()),
+        other => Err(format!("unknown optimizer {other:?}")),
+    }
+}
+
+/// A validated training-job specification, as submitted over HTTP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Setting name from [`rex_train::settings::SETTING_NAMES`].
+    pub setting: String,
+    /// Budget as a percentage of the setting's maximum epochs.
+    pub budget: u32,
+    /// Schedule name (the `--schedule` vocabulary), parsed lazily so the
+    /// spec round-trips through JSON byte-exactly.
+    pub schedule: String,
+    /// Optimizer family name.
+    pub optimizer: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Initial LR; `None` means the setting's default for the optimizer.
+    pub lr: Option<f32>,
+    /// Checkpoint cadence in steps; 0 disables checkpointing (the job
+    /// cannot be resumed after an eviction).
+    pub checkpoint_every: u64,
+}
+
+impl JobSpec {
+    /// Parses and validates a flat-JSON job body.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field.
+    pub fn parse(body: &str, default_checkpoint_every: u64) -> Result<JobSpec, String> {
+        let obj = json::parse_object(body)?;
+        let known = [
+            "setting",
+            "budget",
+            "schedule",
+            "optimizer",
+            "seed",
+            "lr",
+            "checkpoint_every",
+        ];
+        if let Some(k) = obj.keys().find(|k| !known.contains(&k.as_str())) {
+            return Err(format!("unknown field {k:?}"));
+        }
+        let str_field = |key: &str, default: &str| -> Result<String, String> {
+            match obj.get(key) {
+                None => Ok(default.to_owned()),
+                Some(Value::Str(s)) => Ok(s.clone()),
+                Some(_) => Err(format!("field {key:?} must be a string")),
+            }
+        };
+        let spec = JobSpec {
+            setting: match obj.get("setting") {
+                Some(Value::Str(s)) => s.clone(),
+                Some(_) => return Err("field \"setting\" must be a string".to_owned()),
+                None => return Err("missing required field \"setting\"".to_owned()),
+            },
+            budget: match obj.get("budget") {
+                None => return Err("missing required field \"budget\"".to_owned()),
+                Some(v) => u32::try_from(
+                    v.as_u64()
+                        .ok_or_else(|| "field \"budget\" must be an integer".to_owned())?,
+                )
+                .map_err(|_| "field \"budget\" out of range".to_owned())?,
+            },
+            schedule: str_field("schedule", "rex")?,
+            optimizer: str_field("optimizer", "sgdm")?,
+            seed: match obj.get("seed") {
+                None => 0,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| "field \"seed\" must be a non-negative integer".to_owned())?,
+            },
+            lr: match obj.get("lr") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_f64()
+                        .filter(|f| f.is_finite() && *f > 0.0)
+                        .ok_or_else(|| "field \"lr\" must be a positive number".to_owned())?
+                        as f32,
+                ),
+            },
+            checkpoint_every: match obj.get("checkpoint_every") {
+                None => default_checkpoint_every,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    "field \"checkpoint_every\" must be a non-negative integer".to_owned()
+                })?,
+            },
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks every field against the vocabularies it will be run with.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        load_setting(&self.setting, 0)?;
+        self.parsed_schedule()?;
+        parse_optimizer(&self.optimizer)?;
+        if self.budget == 0 || self.budget > 100 {
+            return Err(format!("budget must be in 1..=100, got {}", self.budget));
+        }
+        Ok(())
+    }
+
+    /// The schedule, parsed.
+    ///
+    /// # Errors
+    ///
+    /// The schedule grammar's own message.
+    pub fn parsed_schedule(&self) -> Result<ScheduleSpec, String> {
+        self.schedule
+            .parse()
+            .map_err(|e: rex_core::ParseScheduleError| e.to_string())
+    }
+
+    /// Serializes the spec's fields (callers wrap them into an object).
+    fn json_fields(&self) -> String {
+        format!(
+            "\"setting\":\"{}\",\"budget\":{},\"schedule\":\"{}\",\"optimizer\":\"{}\",\
+             \"seed\":{},\"lr\":{},\"checkpoint_every\":{}",
+            json::escape(&self.setting),
+            self.budget,
+            json::escape(&self.schedule),
+            json::escape(&self.optimizer),
+            self.seed,
+            self.lr
+                .map_or("null".to_owned(), |lr| json::fmt_f64(f64::from(lr))),
+            self.checkpoint_every,
+        )
+    }
+}
+
+/// The lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is training it.
+    Running,
+    /// Finished; the metric is final.
+    Done,
+    /// Errored out; see the record's `error`.
+    Failed,
+    /// Canceled before completion.
+    Canceled,
+}
+
+impl JobState {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Canceled => "canceled",
+        }
+    }
+
+    /// Whether the job can never change state again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Canceled)
+    }
+
+    fn parse(name: &str) -> Result<JobState, String> {
+        Ok(match name {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "canceled" => JobState::Canceled,
+            other => return Err(format!("unknown job state {other:?}")),
+        })
+    }
+}
+
+/// One job's full record.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id (`job-000001`, …).
+    pub id: String,
+    /// The spec it was submitted with.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Final metric, once `Done`.
+    pub metric: Option<f64>,
+    /// Failure message, once `Failed`.
+    pub error: Option<String>,
+    /// Times this job re-entered the queue after a server restart.
+    pub resumes: u64,
+    /// Cooperative cancel flag, shared with the trainer's `stop_flag`.
+    pub cancel: Arc<AtomicBool>,
+}
+
+impl JobRecord {
+    /// Serializes the record as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",{},\"state\":\"{}\",\"metric\":{},\"error\":{},\"resumes\":{}}}",
+            json::escape(&self.id),
+            self.spec.json_fields(),
+            self.state.name(),
+            self.metric.map_or("null".to_owned(), json::fmt_f64),
+            self.error
+                .as_deref()
+                .map_or("null".to_owned(), |e| format!("\"{}\"", json::escape(e))),
+            self.resumes,
+        )
+    }
+
+    fn from_json(text: &str) -> Result<JobRecord, String> {
+        let obj = json::parse_object(text)?;
+        let get_str = |key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("job record missing string field {key:?}"))
+        };
+        let spec = JobSpec {
+            setting: get_str("setting")?,
+            budget: obj
+                .get("budget")
+                .and_then(Value::as_u64)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or("job record missing budget")?,
+            schedule: get_str("schedule")?,
+            optimizer: get_str("optimizer")?,
+            seed: obj
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or("job record missing seed")?,
+            lr: match obj.get("lr") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_f64().ok_or("job record lr not a number")? as f32),
+            },
+            checkpoint_every: obj
+                .get("checkpoint_every")
+                .and_then(Value::as_u64)
+                .ok_or("job record missing checkpoint_every")?,
+        };
+        Ok(JobRecord {
+            id: get_str("id")?,
+            spec,
+            state: JobState::parse(&get_str("state")?)?,
+            metric: match obj.get("metric") {
+                None | Some(Value::Null) => None,
+                Some(v) => v.as_f64().filter(|m| m.is_finite()),
+            },
+            error: match obj.get("error") {
+                None | Some(Value::Null) => None,
+                Some(v) => v.as_str().map(str::to_owned),
+            },
+            resumes: obj.get("resumes").and_then(Value::as_u64).unwrap_or(0),
+            cancel: Arc::new(AtomicBool::new(false)),
+        })
+    }
+}
+
+/// Per-state job counts, for `/metrics` and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct JobCounts {
+    /// Jobs in `Queued`.
+    pub queued: u64,
+    /// Jobs in `Running`.
+    pub running: u64,
+    /// Jobs in `Done`.
+    pub done: u64,
+    /// Jobs in `Failed`.
+    pub failed: u64,
+    /// Jobs in `Canceled`.
+    pub canceled: u64,
+}
+
+/// The durable job ledger: in-memory records mirrored to
+/// `<data_dir>/jobs/<id>/job.json`.
+pub struct Ledger {
+    jobs: Mutex<BTreeMap<String, JobRecord>>,
+    data_dir: PathBuf,
+}
+
+impl Ledger {
+    /// Opens (or creates) the ledger under `data_dir`, loading every job
+    /// record found on disk. Jobs recorded as `Running` by a previous
+    /// server life are flipped back to `Queued` (their next run resumes
+    /// from the checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; corrupt `job.json` files are
+    /// reported, not skipped — silently dropping a job would violate the
+    /// no-lost-jobs contract.
+    pub fn open(data_dir: &Path) -> std::io::Result<Ledger> {
+        let jobs_root = data_dir.join("jobs");
+        std::fs::create_dir_all(&jobs_root)?;
+        let mut jobs = BTreeMap::new();
+        for entry in std::fs::read_dir(&jobs_root)? {
+            let dir = entry?.path();
+            let manifest = dir.join("job.json");
+            if !manifest.is_file() {
+                continue;
+            }
+            let text = std::fs::read_to_string(&manifest)?;
+            let mut record = JobRecord::from_json(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt job manifest {}: {e}", manifest.display()),
+                )
+            })?;
+            if record.state == JobState::Running {
+                record.state = JobState::Queued;
+                record.resumes += 1;
+            }
+            jobs.insert(record.id.clone(), record);
+        }
+        Ok(Ledger {
+            jobs: Mutex::new(jobs),
+            data_dir: data_dir.to_owned(),
+        })
+    }
+
+    /// Ids of non-terminal jobs, oldest first — the startup re-enqueue
+    /// list. Persists their (possibly reset) state first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest-write errors.
+    pub fn recoverable(&self) -> std::io::Result<Vec<String>> {
+        let jobs = self.jobs.lock().unwrap();
+        let mut ids = Vec::new();
+        for (id, record) in jobs.iter() {
+            if !record.state.is_terminal() {
+                self.persist(record)?;
+                ids.push(id.clone());
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Allocates the next job id and registers `spec` as `Queued`,
+    /// without touching disk yet (see [`Ledger::commit`] /
+    /// [`Ledger::discard`]).
+    pub fn create(&self, spec: JobSpec) -> JobRecord {
+        let mut jobs = self.jobs.lock().unwrap();
+        let next = jobs
+            .keys()
+            .filter_map(|id| id.strip_prefix("job-")?.parse::<u64>().ok())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let record = JobRecord {
+            id: format!("job-{next:06}"),
+            spec,
+            state: JobState::Queued,
+            metric: None,
+            error: None,
+            resumes: 0,
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+        jobs.insert(record.id.clone(), record.clone());
+        record
+    }
+
+    /// Persists a freshly created record — call once it is safely in the
+    /// queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest-write errors.
+    pub fn commit(&self, record: &JobRecord) -> std::io::Result<()> {
+        self.persist(record)
+    }
+
+    /// Forgets a record that never made it into the queue (admission
+    /// rejected): the id is not reused, the map entry and any stray dir
+    /// are dropped.
+    pub fn discard(&self, id: &str) {
+        self.jobs.lock().unwrap().remove(id);
+        let _ = std::fs::remove_dir_all(self.job_dir(id));
+    }
+
+    /// A point-in-time copy of one record.
+    pub fn get(&self, id: &str) -> Option<JobRecord> {
+        self.jobs.lock().unwrap().get(id).cloned()
+    }
+
+    /// Point-in-time copies of every record, id order.
+    pub fn list(&self) -> Vec<JobRecord> {
+        self.jobs.lock().unwrap().values().cloned().collect()
+    }
+
+    /// Per-state counts.
+    pub fn counts(&self) -> JobCounts {
+        let jobs = self.jobs.lock().unwrap();
+        let mut c = JobCounts::default();
+        for record in jobs.values() {
+            match record.state {
+                JobState::Queued => c.queued += 1,
+                JobState::Running => c.running += 1,
+                JobState::Done => c.done += 1,
+                JobState::Failed => c.failed += 1,
+                JobState::Canceled => c.canceled += 1,
+            }
+        }
+        c
+    }
+
+    /// Transitions `id` to `state` (with optional metric/error) and
+    /// persists the record. Returns the updated record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest-write errors; unknown ids are a no-op `None`.
+    pub fn set_state(
+        &self,
+        id: &str,
+        state: JobState,
+        metric: Option<f64>,
+        error: Option<String>,
+    ) -> std::io::Result<Option<JobRecord>> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let Some(record) = jobs.get_mut(id) else {
+            return Ok(None);
+        };
+        record.state = state;
+        if metric.is_some() {
+            record.metric = metric;
+        }
+        if error.is_some() {
+            record.error = error;
+        }
+        let snapshot = record.clone();
+        drop(jobs);
+        self.persist(&snapshot)?;
+        Ok(Some(snapshot))
+    }
+
+    /// Sets the cancel flag of every non-terminal job (server shutdown).
+    pub fn cancel_all(&self) {
+        for record in self.jobs.lock().unwrap().values() {
+            if !record.state.is_terminal() {
+                record.cancel.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// The job's working directory.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.data_dir.join("jobs").join(id)
+    }
+
+    /// The job's JSONL trace path.
+    pub fn trace_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("trace.jsonl")
+    }
+
+    /// The job's `REXSTATE1` checkpoint path.
+    pub fn ckpt_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("ckpt.state")
+    }
+
+    fn persist(&self, record: &JobRecord) -> std::io::Result<()> {
+        let dir = self.job_dir(&record.id);
+        std::fs::create_dir_all(&dir)?;
+        let mut text = record.to_json();
+        text.push('\n');
+        rex_faults::atomic_write("job", &dir.join("job.json"), text.as_bytes())
+    }
+}
+
+/// How one job execution ended.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Trained to completion.
+    Done,
+    /// Stopped by its cancel flag.
+    Canceled,
+    /// Errored.
+    Failed,
+}
+
+/// Executes job `id` to a terminal state: builds the trace sink (resuming
+/// both trace and training state from the job's checkpoint when one
+/// exists), runs the cell through the shared setting runner, and persists
+/// the outcome.
+///
+/// # Errors
+///
+/// Only infrastructure failures surface as `Err` (manifest/trace IO);
+/// training failures are recorded on the job and returned as
+/// [`RunOutcome::Failed`].
+pub fn run_job(
+    ledger: &Ledger,
+    registry: &Arc<MetricsRegistry>,
+    id: &str,
+) -> std::io::Result<RunOutcome> {
+    let Some(record) = ledger.get(id) else {
+        return Ok(RunOutcome::Failed);
+    };
+    // A cancel that raced admission: honor it without spinning up a run.
+    if record.cancel.load(Ordering::Acquire) {
+        ledger.set_state(id, JobState::Canceled, None, None)?;
+        return Ok(RunOutcome::Canceled);
+    }
+    ledger.set_state(id, JobState::Running, None, None)?;
+
+    let spec = &record.spec;
+    let trace_path = ledger.trace_path(id);
+    let ckpt_path = ledger.ckpt_path(id);
+    let resuming = spec.checkpoint_every > 0 && ckpt_path.is_file();
+
+    let jsonl = if resuming {
+        let cursor = TrainState::load(&ckpt_path)?.trace_events;
+        JsonlSink::resume(&trace_path, cursor)?
+    } else {
+        JsonlSink::create(&trace_path)?
+    };
+    let mut rec = Recorder::new(Box::new(FanoutSink::new(vec![
+        Box::new(jsonl),
+        Box::new(RegistrySink::new(Arc::clone(registry))),
+    ])));
+
+    let outcome = (|| -> Result<f64, TrainError> {
+        let setting = load_setting(&spec.setting, spec.seed).map_err(TrainError::Config)?;
+        let optimizer = parse_optimizer(&spec.optimizer).map_err(TrainError::Config)?;
+        let schedule = spec.parsed_schedule().map_err(TrainError::Config)?;
+        let lr = spec.lr.unwrap_or_else(|| setting.default_lr(&optimizer));
+        let ft = FtConfig {
+            checkpoint_every: (spec.checkpoint_every > 0).then_some(spec.checkpoint_every),
+            checkpoint_path: (spec.checkpoint_every > 0).then(|| ckpt_path.clone()),
+            resume_from: resuming.then(|| ckpt_path.clone()),
+            guard: GuardPolicy::Off,
+            halt_after_step: None,
+            stop_flag: Some(Arc::clone(&record.cancel)),
+        };
+        setting.run_ft(
+            spec.budget,
+            optimizer,
+            schedule,
+            lr,
+            spec.seed,
+            ft,
+            &mut rec,
+        )
+    })();
+    rec.flush();
+    drop(rec);
+
+    match outcome {
+        Ok(metric) => {
+            ledger.set_state(id, JobState::Done, Some(metric), None)?;
+            registry.counter_inc("rex_jobs_completed_total", 1);
+            Ok(RunOutcome::Done)
+        }
+        Err(TrainError::Halted { .. }) if record.cancel.load(Ordering::Acquire) => {
+            ledger.set_state(id, JobState::Canceled, None, None)?;
+            registry.counter_inc("rex_jobs_canceled_total", 1);
+            Ok(RunOutcome::Canceled)
+        }
+        Err(e) => {
+            ledger.set_state(id, JobState::Failed, None, Some(e.to_string()))?;
+            registry.counter_inc("rex_jobs_failed_total", 1);
+            Ok(RunOutcome::Failed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rex_ledger_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            setting: "digits-mlp".to_owned(),
+            budget: 25,
+            schedule: "rex".to_owned(),
+            optimizer: "sgdm".to_owned(),
+            seed: 7,
+            lr: None,
+            checkpoint_every: 2,
+        }
+    }
+
+    #[test]
+    fn spec_parses_defaults_and_rejects_garbage() {
+        let s = JobSpec::parse(r#"{"setting":"digits-mlp","budget":25}"#, 5).unwrap();
+        assert_eq!(s.schedule, "rex");
+        assert_eq!(s.optimizer, "sgdm");
+        assert_eq!(s.checkpoint_every, 5);
+        assert_eq!(s.seed, 0);
+        assert!(s.lr.is_none());
+
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"setting":"warp-drive","budget":10}"#,
+            r#"{"setting":"digits-mlp","budget":0}"#,
+            r#"{"setting":"digits-mlp","budget":101}"#,
+            r#"{"setting":"digits-mlp","budget":10,"schedule":"warp"}"#,
+            r#"{"setting":"digits-mlp","budget":10,"optimizer":"lion"}"#,
+            r#"{"setting":"digits-mlp","budget":10,"lr":-1}"#,
+            r#"{"setting":"digits-mlp","budget":10,"surprise":1}"#,
+        ] {
+            assert!(JobSpec::parse(bad, 5).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let record = JobRecord {
+            id: "job-000042".to_owned(),
+            spec: spec(),
+            state: JobState::Done,
+            metric: Some(12.5),
+            error: None,
+            resumes: 1,
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+        let back = JobRecord::from_json(&record.to_json()).unwrap();
+        assert_eq!(back.id, record.id);
+        assert_eq!(back.spec, record.spec);
+        assert_eq!(back.state, record.state);
+        assert_eq!(back.metric, record.metric);
+        assert_eq!(back.resumes, 1);
+    }
+
+    #[test]
+    fn ledger_persists_and_reopens() {
+        let dir = tmp_dir("reopen");
+        {
+            let ledger = Ledger::open(&dir).unwrap();
+            let a = ledger.create(spec());
+            ledger.commit(&a).unwrap();
+            ledger
+                .set_state(&a.id, JobState::Done, Some(3.5), None)
+                .unwrap();
+            let b = ledger.create(spec());
+            ledger.commit(&b).unwrap();
+            ledger
+                .set_state(&b.id, JobState::Running, None, None)
+                .unwrap();
+            // a discarded record leaves no trace
+            let c = ledger.create(spec());
+            ledger.discard(&c.id);
+        }
+        let ledger = Ledger::open(&dir).unwrap();
+        let jobs = ledger.list();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].state, JobState::Done);
+        assert_eq!(jobs[0].metric, Some(3.5));
+        // the running job came back queued, resume count bumped
+        assert_eq!(jobs[1].state, JobState::Queued);
+        assert_eq!(jobs[1].resumes, 1);
+        assert_eq!(ledger.recoverable().unwrap(), vec![jobs[1].id.clone()]);
+        // the discarded id was never accepted, so allocation reclaims it
+        let d = ledger.create(spec());
+        assert_eq!(d.id, "job-000003");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn run_job_trains_to_done_and_cancel_pre_run_short_circuits() {
+        let dir = tmp_dir("run");
+        let ledger = Ledger::open(&dir).unwrap();
+        let registry = MetricsRegistry::shared();
+
+        let job = ledger.create(spec());
+        ledger.commit(&job).unwrap();
+        assert_eq!(
+            run_job(&ledger, &registry, &job.id).unwrap(),
+            RunOutcome::Done
+        );
+        let done = ledger.get(&job.id).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert!(done.metric.is_some());
+        assert!(ledger.trace_path(&job.id).is_file());
+        assert!(ledger.ckpt_path(&job.id).is_file());
+        assert_eq!(registry.counter("rex_jobs_completed_total"), 1);
+
+        let job2 = ledger.create(spec());
+        ledger.commit(&job2).unwrap();
+        job2.cancel.store(true, Ordering::Release);
+        assert_eq!(
+            run_job(&ledger, &registry, &job2.id).unwrap(),
+            RunOutcome::Canceled
+        );
+        assert_eq!(ledger.get(&job2.id).unwrap().state, JobState::Canceled);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

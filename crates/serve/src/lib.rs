@@ -1,0 +1,47 @@
+//! # rex-serve — budgeted training as a service
+//!
+//! A zero-dependency HTTP/1.1 front door over the REX training stack:
+//! `rexctl serve` (or the `rexd` binary) turns the single-run CLI into a
+//! long-lived daemon that accepts training jobs as JSON, executes them on
+//! a bounded worker pool, and exposes status, live JSONL trace streams,
+//! and Prometheus-style metrics — all on `std::net`, no frameworks.
+//!
+//! ## Contract
+//!
+//! * **Same cell, same bytes.** An HTTP job runs through
+//!   [`rex_train::settings::SettingSpec::run_ft`], the exact code path
+//!   `rexctl train` uses, so a job's `trace.jsonl` is byte-identical to
+//!   the trace of the equivalent CLI invocation.
+//! * **Explicit backpressure.** Admission is a bounded FIFO queue
+//!   ([`queue::BoundedQueue`]); a full queue answers `429` with
+//!   `Retry-After` instead of buffering unboundedly.
+//! * **Evict and resume.** Job state is mirrored crash-consistently to
+//!   disk; a killed server restarted on the same data dir re-enqueues
+//!   every non-terminal job, which resumes from its last `REXSTATE1`
+//!   checkpoint and finishes with the same trace bytes an uninterrupted
+//!   run produces.
+//!
+//! ## Routes
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness |
+//! | `POST /v1/jobs` | submit a job (`202`) or hit backpressure (`429`) |
+//! | `GET /v1/jobs` | list all jobs, one JSON object per line |
+//! | `GET /v1/jobs/:id` | one job's record |
+//! | `DELETE /v1/jobs/:id` | cancel (queued: immediate; running: cooperative) |
+//! | `GET /v1/jobs/:id/trace` | chunked live JSONL trace stream |
+//! | `GET /metrics` | Prometheus-style text format |
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod queue;
+pub mod server;
+
+pub use jobs::{JobCounts, JobRecord, JobSpec, JobState, Ledger};
+pub use queue::{BoundedQueue, QueueFull};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,177 @@
+//! A bounded FIFO work queue with explicit backpressure.
+//!
+//! The admission contract behind `POST /v1/jobs`: [`BoundedQueue::try_push`]
+//! never blocks — a full queue is surfaced to the submitter as an error
+//! (HTTP 429 + `Retry-After`) instead of an unbounded in-memory backlog.
+//! Workers block in [`BoundedQueue::pop`] until work or shutdown. Every
+//! admitted item carries a monotonically increasing ticket, and pops hand
+//! out items in strict ticket order, so admission order *is* execution
+//! order regardless of how many workers drain the queue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// `try_push` on a full queue.
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+struct Inner<T> {
+    items: VecDeque<(u64, T)>,
+    next_ticket: u64,
+    shutdown: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items at a time (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                next_ticket: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (admitted, not yet popped).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits `item` if there is room, returning its ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the queue is at capacity (or shut down) —
+    /// the caller owes the submitter a backpressure signal.
+    pub fn try_push(&self, item: T) -> Result<u64, QueueFull> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown || inner.items.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        inner.items.push_back((ticket, item));
+        drop(inner);
+        self.cv.notify_one();
+        Ok(ticket)
+    }
+
+    /// Admits `item` even past the capacity bound. Recovery only: jobs
+    /// found non-terminal on disk at startup must all re-enter the queue,
+    /// however many there are — dropping one would lose it forever.
+    pub fn push_unbounded(&self, item: T) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        inner.items.push_back((ticket, item));
+        drop(inner);
+        self.cv.notify_one();
+        ticket
+    }
+
+    /// Blocks until an item is available (returning the oldest ticket) or
+    /// the queue is shut down and drained (`None`).
+    pub fn pop(&self) -> Option<(u64, T)> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(pair) = inner.items.pop_front() {
+                return Some(pair);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Removes and returns the first queued item matching `pred` (cancel
+    /// of a still-queued job). The freed slot is immediately reusable.
+    pub fn remove<F: FnMut(&T) -> bool>(&self, mut pred: F) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        let idx = inner.items.iter().position(|(_, item)| pred(item))?;
+        inner.items.remove(idx).map(|(_, item)| item)
+    }
+
+    /// Marks the queue shut down: pushes fail, pops drain the backlog and
+    /// then return `None`.
+    pub fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(3);
+        assert_eq!(q.try_push('a').unwrap(), 0);
+        assert_eq!(q.try_push('b').unwrap(), 1);
+        assert_eq!(q.pop(), Some((0, 'a')));
+        assert_eq!(q.pop(), Some((1, 'b')));
+    }
+
+    #[test]
+    fn full_queue_rejects_then_recovers() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(QueueFull));
+        assert_eq!(q.len(), 2);
+        q.pop().unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn remove_frees_a_slot() {
+        let q = BoundedQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.remove(|item| *item == "a"), Some("a"));
+        q.try_push("c").unwrap();
+        assert_eq!(q.pop().map(|(_, v)| v), Some("b"));
+        assert_eq!(q.pop().map(|(_, v)| v), Some("c"));
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.shutdown();
+        assert_eq!(q.try_push(2), Err(QueueFull));
+        assert_eq!(q.pop(), Some((0, 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_unbounded_ignores_capacity() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(QueueFull));
+        q.push_unbounded(2);
+        assert_eq!(q.len(), 2);
+    }
+}

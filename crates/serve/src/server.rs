@@ -1,0 +1,437 @@
+//! The HTTP server: listener, connection handlers, and the worker pool
+//! that drains the job queue.
+//!
+//! Architecture: one acceptor thread takes connections off a
+//! `TcpListener` and hands each to a short-lived handler thread; handler
+//! threads parse requests with the [`crate::http`] codec and touch only
+//! the shared [`Ledger`]/[`BoundedQueue`]/[`MetricsRegistry`]; `workers`
+//! long-lived worker threads block on the queue and run jobs to terminal
+//! states. Training never happens on a connection thread, so a slow or
+//! dead client cannot stall a run, and admission control (the bounded
+//! queue) is the only thing standing between a submission burst and the
+//! trainer.
+
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rex_telemetry::MetricsRegistry;
+
+use crate::http::{self, ChunkedWriter, Request};
+use crate::jobs::{run_job, JobSpec, JobState, Ledger};
+use crate::queue::BoundedQueue;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Root of the server's durable state (`jobs/<id>/…`).
+    pub data_dir: PathBuf,
+    /// Admission bound of the job queue.
+    pub queue_depth: usize,
+    /// Number of job-executing worker threads.
+    pub workers: usize,
+    /// Socket read timeout for request parsing, milliseconds.
+    pub read_timeout_ms: u64,
+    /// `Retry-After` value advertised on 429 responses, seconds.
+    pub retry_after_secs: u64,
+    /// Checkpoint cadence for jobs that do not specify one; 0 disables.
+    pub default_checkpoint_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            data_dir: PathBuf::from("serve-data"),
+            queue_depth: 16,
+            workers: 1,
+            read_timeout_ms: 5_000,
+            retry_after_secs: 1,
+            default_checkpoint_every: 5,
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: BoundedQueue<String>,
+    ledger: Ledger,
+    metrics: Arc<MetricsRegistry>,
+    stop: AtomicBool,
+}
+
+/// A running server: listener, acceptor, and worker threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Opens the ledger, re-enqueues every non-terminal job found on
+    /// disk, binds the listener, and spawns the acceptor and workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and ledger-recovery failures.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let ledger = Ledger::open(&cfg.data_dir)?;
+        let metrics = MetricsRegistry::shared();
+        let queue = BoundedQueue::new(cfg.queue_depth);
+
+        let recovered = ledger.recoverable()?;
+        for id in &recovered {
+            // recovery must not be bounced by the admission bound
+            queue.push_unbounded(id.clone());
+            metrics.counter_inc("rex_jobs_resumed_total", 1);
+        }
+
+        let shared = Arc::new(Shared {
+            cfg,
+            queue,
+            ledger,
+            metrics,
+            stop: AtomicBool::new(false),
+        });
+
+        let mut workers = Vec::new();
+        for _ in 0..shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || handle_conn(&shared, stream));
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Blocks forever on the acceptor (the `rexd` foreground mode).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Graceful stop: refuse new work, cancel running jobs cooperatively,
+    /// and join the acceptor and workers.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.queue.shutdown();
+        self.shared.ledger.cancel_all();
+        // unblock the acceptor's blocking accept with a throwaway conn
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some((_ticket, id)) = shared.queue.pop() {
+        shared
+            .metrics
+            .gauge_set("rex_queue_depth", shared.queue.len() as f64);
+        let started = Instant::now();
+        // An IO failure (full disk, fault injection) must not kill the
+        // worker; record it on the job if the manifest is still writable.
+        if let Err(e) = run_job(&shared.ledger, &shared.metrics, &id) {
+            let _ = shared.ledger.set_state(
+                &id,
+                JobState::Failed,
+                None,
+                Some(format!("job infrastructure error: {e}")),
+            );
+            shared.metrics.counter_inc("rex_jobs_failed_total", 1);
+        }
+        shared.metrics.timer_observe_ns(
+            "rex_job_duration",
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
+}
+
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.cfg.read_timeout_ms.max(1),
+    )));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let req = match http::read_request(&mut reader) {
+            Ok(req) => req,
+            Err(e) => {
+                if let Some((status, _)) = e.status() {
+                    shared.metrics.counter_inc("rex_http_errors_total", 1);
+                    let body = format!(
+                        "{{\"error\":\"{}\"}}\n",
+                        rex_telemetry::json::escape(&e.to_string())
+                    );
+                    let _ = http::write_response(
+                        &mut writer,
+                        status,
+                        "application/json",
+                        &[("Connection", "close")],
+                        body.as_bytes(),
+                    );
+                }
+                return;
+            }
+        };
+        shared.metrics.counter_inc("rex_http_requests_total", 1);
+        let close = req.wants_close();
+        if route(shared, &req, &mut writer).is_err() {
+            return; // peer went away mid-response
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// JSON-body convenience around [`http::write_response`].
+fn respond(
+    w: &mut TcpStream,
+    status: u16,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    http::write_response(w, status, "application/json", extra, body.as_bytes())
+}
+
+fn error_body(message: &str) -> String {
+    format!(
+        "{{\"error\":\"{}\"}}\n",
+        rex_telemetry::json::escape(message)
+    )
+}
+
+fn route(shared: &Shared, req: &Request, w: &mut TcpStream) -> std::io::Result<()> {
+    let path = req.path().to_owned();
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = req.method.as_str();
+    let status = match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            return http::write_response(w, 200, "text/plain", &[], b"ok\n");
+        }
+        ("POST", ["v1", "jobs"]) => return submit_job(shared, req, w),
+        ("GET", ["v1", "jobs"]) => {
+            let mut body = String::new();
+            for record in shared.ledger.list() {
+                body.push_str(&record.to_json());
+                body.push('\n');
+            }
+            return http::write_response(w, 200, "application/x-ndjson", &[], body.as_bytes());
+        }
+        ("GET", ["v1", "jobs", id]) => match shared.ledger.get(id) {
+            Some(record) => {
+                let mut body = record.to_json();
+                body.push('\n');
+                return respond(w, 200, &[], &body);
+            }
+            None => 404,
+        },
+        ("DELETE", ["v1", "jobs", id]) => return cancel_job(shared, id, w),
+        ("GET", ["v1", "jobs", id, "trace"]) => return stream_trace(shared, id, w),
+        ("GET", ["metrics"]) => {
+            let counts = shared.ledger.counts();
+            shared
+                .metrics
+                .gauge_set("rex_queue_depth", shared.queue.len() as f64);
+            shared
+                .metrics
+                .gauge_set("rex_jobs_running", counts.running as f64);
+            shared
+                .metrics
+                .gauge_set("rex_jobs_queued", counts.queued as f64);
+            let body = shared.metrics.render_prometheus();
+            return http::write_response(w, 200, "text/plain; version=0.0.4", &[], body.as_bytes());
+        }
+        (_, ["healthz" | "metrics"]) | (_, ["v1", "jobs", ..]) => 405,
+        _ => 404,
+    };
+    shared.metrics.counter_inc("rex_http_errors_total", 1);
+    let message = match status {
+        405 => format!("method {method} not allowed on {path}"),
+        _ => format!("no such resource {path}"),
+    };
+    respond(w, status, &[], &error_body(&message))
+}
+
+fn submit_job(shared: &Shared, req: &Request, w: &mut TcpStream) -> std::io::Result<()> {
+    if shared.stop.load(Ordering::Acquire) {
+        shared.metrics.counter_inc("rex_http_errors_total", 1);
+        return respond(w, 429, &[], &error_body("server is shutting down"));
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            shared.metrics.counter_inc("rex_http_errors_total", 1);
+            return respond(w, 400, &[], &error_body("body is not UTF-8"));
+        }
+    };
+    let spec = match JobSpec::parse(body, shared.cfg.default_checkpoint_every) {
+        Ok(spec) => spec,
+        Err(e) => {
+            shared.metrics.counter_inc("rex_http_errors_total", 1);
+            return respond(w, 400, &[], &error_body(&e));
+        }
+    };
+
+    let retry_after = shared.cfg.retry_after_secs.to_string();
+    let reject = |shared: &Shared, w: &mut TcpStream| -> std::io::Result<()> {
+        shared.metrics.counter_inc("rex_jobs_rejected_total", 1);
+        shared.metrics.counter_inc("rex_http_errors_total", 1);
+        respond(
+            w,
+            429,
+            &[("Retry-After", retry_after.as_str())],
+            &format!(
+                "{{\"error\":\"queue full\",\"queue_depth\":{}}}\n",
+                shared.cfg.queue_depth
+            ),
+        )
+    };
+
+    // optimistic pre-check so a saturated queue doesn't cost ledger IO
+    if shared.queue.len() >= shared.queue.capacity() {
+        return reject(shared, w);
+    }
+    let record = shared.ledger.create(spec);
+    // persist before enqueueing: a crash between the two re-enqueues the
+    // job at startup instead of losing it
+    if let Err(e) = shared.ledger.commit(&record) {
+        shared.ledger.discard(&record.id);
+        shared.metrics.counter_inc("rex_http_errors_total", 1);
+        return respond(
+            w,
+            500,
+            &[],
+            &error_body(&format!("ledger write failed: {e}")),
+        );
+    }
+    if shared.queue.try_push(record.id.clone()).is_err() {
+        shared.ledger.discard(&record.id);
+        return reject(shared, w);
+    }
+    shared.metrics.counter_inc("rex_jobs_submitted_total", 1);
+    shared
+        .metrics
+        .gauge_set("rex_queue_depth", shared.queue.len() as f64);
+    respond(
+        w,
+        202,
+        &[],
+        &format!("{{\"id\":\"{}\",\"state\":\"queued\"}}\n", record.id),
+    )
+}
+
+fn cancel_job(shared: &Shared, id: &str, w: &mut TcpStream) -> std::io::Result<()> {
+    let Some(record) = shared.ledger.get(id) else {
+        shared.metrics.counter_inc("rex_http_errors_total", 1);
+        return respond(w, 404, &[], &error_body(&format!("no such job {id}")));
+    };
+    if record.state.is_terminal() {
+        shared.metrics.counter_inc("rex_http_errors_total", 1);
+        return respond(
+            w,
+            409,
+            &[],
+            &error_body(&format!("job {id} is already {}", record.state.name())),
+        );
+    }
+    // set the flag first: if a worker pops the job in this window, it
+    // observes the flag before training starts
+    record.cancel.store(true, Ordering::Release);
+    if record.state == JobState::Queued && shared.queue.remove(|qid| qid == id).is_some() {
+        shared
+            .ledger
+            .set_state(id, JobState::Canceled, None, None)?;
+        shared.metrics.counter_inc("rex_jobs_canceled_total", 1);
+        shared
+            .metrics
+            .gauge_set("rex_queue_depth", shared.queue.len() as f64);
+        return respond(w, 200, &[], "{\"state\":\"canceled\"}\n");
+    }
+    respond(w, 202, &[], "{\"state\":\"canceling\"}\n")
+}
+
+/// Streams a job's JSONL trace as a chunked response, following the file
+/// while the job is live — `curl` sees step lines appear as the trainer
+/// emits them.
+fn stream_trace(shared: &Shared, id: &str, w: &mut TcpStream) -> std::io::Result<()> {
+    if shared.ledger.get(id).is_none() {
+        shared.metrics.counter_inc("rex_http_errors_total", 1);
+        return respond(w, 404, &[], &error_body(&format!("no such job {id}")));
+    }
+    let path = shared.ledger.trace_path(id);
+    http::write_chunked_head(w, 200, "application/x-ndjson")?;
+    let mut chunks = ChunkedWriter::new(w);
+    let mut offset: u64 = 0;
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let terminal = shared.ledger.get(id).is_none_or(|r| r.state.is_terminal());
+        let mut drained = true;
+        if let Ok(mut file) = std::fs::File::open(&path) {
+            file.seek(SeekFrom::Start(offset))?;
+            loop {
+                let n = file.read(&mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                offset += n as u64;
+                chunks.write_chunk(&buf[..n])?;
+                drained = false;
+            }
+        }
+        if terminal && drained {
+            return chunks.finish();
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            return chunks.finish();
+        }
+        if drained {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}

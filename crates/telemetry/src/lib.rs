@@ -61,8 +61,10 @@ mod event;
 pub mod golden;
 pub mod json;
 mod recorder;
+pub mod registry;
 mod sink;
 
 pub use event::{encode_trace, parse_trace, Event, StepRecord};
 pub use recorder::{Recorder, TimerGuard};
+pub use registry::{FanoutSink, MetricsRegistry, RegistrySink, TimerStat};
 pub use sink::{JsonlSink, MemoryHandle, MemorySink, NullSink, Sink};

@@ -23,6 +23,7 @@
 mod budget;
 mod error;
 pub mod range_test;
+pub mod settings;
 pub mod snapshot;
 pub mod tasks;
 mod trainer;

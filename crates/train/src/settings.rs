@@ -1,0 +1,354 @@
+//! Named experimental settings, shared by every front end.
+//!
+//! Historically the CLI owned the mapping from a setting name
+//! (`rn20-cifar10`, `vae-mnist`, …) to a model, a synthetic dataset, a
+//! maximum epoch count, and an LR scale. With the HTTP front door
+//! (`rexctl serve`) that mapping must live in one place: a job submitted
+//! over a socket has to run *exactly* the code a `rexctl train` invocation
+//! runs, or the two can never produce byte-identical traces. This module
+//! is that single place.
+//!
+//! The `digits-mlp` setting is the cheapest cell in the catalogue (a
+//! 144-24-10 MLP on synthetic 12×12 digits, ~8 optimizer steps per
+//! epoch) — the workhorse for load tests and serving benchmarks where
+//! hundreds of concurrent budgeted jobs have to finish in seconds.
+
+use rex_core::ScheduleSpec;
+use rex_data::digits::synth_digits;
+use rex_data::images::{synth_cifar10, synth_cifar100, synth_stl10};
+use rex_data::ClassificationDataset;
+use rex_nn::Mlp;
+use rex_telemetry::Recorder;
+use rex_tensor::Prng;
+
+use crate::error::TrainError;
+use crate::tasks::{run_image_cell_ft, run_vae_cell_traced, ImageModel};
+use crate::trainer::{FtConfig, OptimizerKind, TrainConfig, Trainer};
+use crate::Budget;
+
+/// A named experimental setting: everything needed to run one budgeted
+/// cell except the budget, schedule, optimizer, and seed.
+pub enum SettingSpec {
+    /// An image-classification setting (ResNet/WRN/VGG analogue).
+    Image {
+        /// Display name (`"RN20-CIFAR10"`, …).
+        name: &'static str,
+        /// Architecture to build.
+        model: ImageModel,
+        /// Synthetic dataset (seeded deterministically from the run seed).
+        data: ClassificationDataset,
+        /// Literature-standard maximum epochs (budgets are % of this).
+        max_epochs: usize,
+        /// Multiplier on the optimizer's default LR.
+        lr_scale: f32,
+    },
+    /// The VAE-MNIST analogue (no checkpoint support yet).
+    Vae {
+        /// Maximum epochs.
+        max_epochs: usize,
+    },
+    /// A tiny digits MLP — the cheapest cell, for load tests and serving
+    /// benchmarks. Full fault-tolerance support.
+    Digits {
+        /// Maximum epochs.
+        max_epochs: usize,
+    },
+}
+
+/// Setting names accepted by [`load_setting`], in display order.
+pub const SETTING_NAMES: &[&str] = &[
+    "rn20-cifar10",
+    "rn38-cifar10",
+    "wrn-stl10",
+    "vgg16-cifar100",
+    "vae-mnist",
+    "digits-mlp",
+];
+
+/// Resolves a setting name (case-insensitive) into a [`SettingSpec`],
+/// synthesizing its dataset from `seed`.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown setting.
+pub fn load_setting(name: &str, seed: u64) -> Result<SettingSpec, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "rn20-cifar10" => SettingSpec::Image {
+            name: "RN20-CIFAR10",
+            model: ImageModel::MicroResNet20,
+            data: synth_cifar10(40, 15, seed ^ 0x7AB4),
+            max_epochs: 24,
+            lr_scale: 1.0,
+        },
+        "rn38-cifar10" => SettingSpec::Image {
+            name: "RN38-CIFAR10",
+            model: ImageModel::MicroResNet38,
+            data: synth_cifar10(40, 15, seed ^ 0x7AB4),
+            max_epochs: 24,
+            lr_scale: 1.0,
+        },
+        "wrn-stl10" => SettingSpec::Image {
+            name: "WRN-STL10",
+            model: ImageModel::MicroWide(2),
+            data: synth_stl10(25, 10, seed ^ 0x57110),
+            max_epochs: 20,
+            lr_scale: 1.0,
+        },
+        "vgg16-cifar100" => SettingSpec::Image {
+            name: "VGG16-CIFAR100",
+            model: ImageModel::MicroVgg(12),
+            data: synth_cifar100(20, 30, 10, seed ^ 0xC1F100),
+            max_epochs: 40,
+            lr_scale: 0.1,
+        },
+        "vae-mnist" => SettingSpec::Vae { max_epochs: 200 },
+        "digits-mlp" | "digits" => SettingSpec::Digits { max_epochs: 8 },
+        other => return Err(format!("unknown setting {other:?} (see rexctl help)")),
+    })
+}
+
+impl SettingSpec {
+    /// Display name of the setting.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SettingSpec::Image { name, .. } => name,
+            SettingSpec::Vae { .. } => "VAE-MNIST",
+            SettingSpec::Digits { .. } => "DIGITS-MLP",
+        }
+    }
+
+    /// Literature-standard maximum epochs; budgets are percentages of
+    /// this.
+    pub fn max_epochs(&self) -> usize {
+        match self {
+            SettingSpec::Image { max_epochs, .. }
+            | SettingSpec::Vae { max_epochs }
+            | SettingSpec::Digits { max_epochs } => *max_epochs,
+        }
+    }
+
+    /// Whether checkpoint/resume/guard knobs are supported.
+    pub fn supports_ft(&self) -> bool {
+        !matches!(self, SettingSpec::Vae { .. })
+    }
+
+    /// The headline metric's name (`"test error"` / `"test loss"`).
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            SettingSpec::Image { .. } | SettingSpec::Digits { .. } => "test error",
+            SettingSpec::Vae { .. } => "test loss",
+        }
+    }
+
+    /// The default initial LR for this setting under `optimizer`.
+    pub fn default_lr(&self, optimizer: &OptimizerKind) -> f32 {
+        match self {
+            SettingSpec::Image { lr_scale, .. } => optimizer.default_lr() * lr_scale,
+            SettingSpec::Vae { .. } => 1e-2,
+            SettingSpec::Digits { .. } => 0.1,
+        }
+    }
+
+    /// Runs one budgeted cell of this setting and returns its headline
+    /// metric. This is the *only* cell runner: `rexctl train` and the
+    /// HTTP job executor both call it, so a job produces the same
+    /// trajectory — and, traced, the same trace bytes — no matter which
+    /// front end submitted it.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Config`] when fault-tolerance knobs are set for a
+    /// setting without snapshot support; otherwise whatever the
+    /// underlying cell runner surfaces.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_ft(
+        &self,
+        budget_pct: u32,
+        optimizer: OptimizerKind,
+        schedule: ScheduleSpec,
+        lr: f32,
+        seed: u64,
+        ft: FtConfig,
+        rec: &mut Recorder,
+    ) -> Result<f64, TrainError> {
+        let budget = Budget::new(self.max_epochs(), budget_pct);
+        match self {
+            SettingSpec::Image { model, data, .. } => run_image_cell_ft(
+                *model,
+                data,
+                budget.epochs(),
+                32,
+                optimizer,
+                schedule,
+                lr,
+                seed,
+                ft,
+                rec,
+            ),
+            SettingSpec::Vae { .. } => {
+                if ft_is_active(&ft) {
+                    return Err(TrainError::Config(
+                        "checkpoint/resume/guard flags support image and digits settings; \
+                         the VAE path has no snapshot support yet"
+                            .to_owned(),
+                    ));
+                }
+                let train = synth_digits(400, 12, seed ^ 0xD161);
+                let test = synth_digits(150, 12, seed ^ 0xD162);
+                Ok(run_vae_cell_traced(
+                    &train,
+                    &test,
+                    budget.epochs(),
+                    8,
+                    optimizer,
+                    schedule,
+                    lr,
+                    seed,
+                    rec,
+                )?)
+            }
+            SettingSpec::Digits { .. } => {
+                let train = synth_digits(120, 12, seed ^ 0xD1_6217);
+                let test = synth_digits(40, 12, seed ^ 0xD1_6218);
+                let mut rng = Prng::new(seed);
+                let model = Mlp::new("m", &[144, 24, 10], &mut rng);
+                let mut trainer = Trainer::new(TrainConfig {
+                    epochs: budget.epochs(),
+                    batch_size: 16,
+                    lr,
+                    optimizer,
+                    schedule,
+                    augment: false,
+                    grad_clip: None,
+                    seed: seed ^ 0x7EA1,
+                    ft,
+                });
+                Ok(trainer
+                    .train_classifier_traced(
+                        &model,
+                        &train.images,
+                        &train.labels,
+                        &test.images,
+                        &test.labels,
+                        rec,
+                    )?
+                    .final_metric)
+            }
+        }
+    }
+}
+
+/// Whether any fault-tolerance knob is switched on.
+pub fn ft_is_active(ft: &FtConfig) -> bool {
+    ft.checkpoint_every.is_some()
+        || ft.resume_from.is_some()
+        || ft.guard != crate::GuardPolicy::Off
+        || ft.halt_after_step.is_some()
+        || ft.stop_flag.is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_telemetry::{MemorySink, Recorder};
+
+    #[test]
+    fn every_catalogued_name_loads() {
+        for name in SETTING_NAMES {
+            let spec = load_setting(name, 7).unwrap();
+            assert!(spec.max_epochs() > 0);
+            assert!(!spec.name().is_empty());
+        }
+        assert!(load_setting("warp-drive", 7).is_err());
+    }
+
+    #[test]
+    fn digits_cell_trains_and_traces() {
+        let spec = load_setting("digits-mlp", 11).unwrap();
+        assert!(spec.supports_ft());
+        let sink = MemorySink::unbounded();
+        let handle = sink.handle();
+        let mut rec = Recorder::new(Box::new(sink));
+        let err = spec
+            .run_ft(
+                25,
+                OptimizerKind::sgdm(),
+                ScheduleSpec::Rex,
+                spec.default_lr(&OptimizerKind::sgdm()),
+                11,
+                FtConfig::default(),
+                &mut rec,
+            )
+            .unwrap();
+        assert!((0.0..=100.0).contains(&err), "{err}");
+        // 25% of 8 epochs = 2 epochs × 8 batches (120 samples / 16,
+        // partial final batch of 8) = 16 steps
+        assert_eq!(handle.steps().len(), 16);
+    }
+
+    #[test]
+    fn digits_cell_is_deterministic_across_runs() {
+        let metric = |seed| {
+            let spec = load_setting("digits", seed).unwrap();
+            spec.run_ft(
+                25,
+                OptimizerKind::sgdm(),
+                ScheduleSpec::Rex,
+                0.1,
+                seed,
+                FtConfig::default(),
+                &mut Recorder::disabled(),
+            )
+            .unwrap()
+        };
+        assert_eq!(metric(3).to_bits(), metric(3).to_bits());
+    }
+
+    #[test]
+    fn stop_flag_halts_a_digits_run() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let spec = load_setting("digits-mlp", 5).unwrap();
+        let flag = Arc::new(AtomicBool::new(true)); // pre-set: halts after step 1
+        let err = spec
+            .run_ft(
+                100,
+                OptimizerKind::sgdm(),
+                ScheduleSpec::Rex,
+                0.1,
+                5,
+                FtConfig {
+                    stop_flag: Some(Arc::clone(&flag)),
+                    ..FtConfig::default()
+                },
+                &mut Recorder::disabled(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, TrainError::Halted { step: 1 }),
+            "expected Halted after the first completed step, got {err}"
+        );
+        flag.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn vae_rejects_ft_knobs() {
+        let spec = load_setting("vae-mnist", 1).unwrap();
+        assert!(!spec.supports_ft());
+        let err = spec
+            .run_ft(
+                1,
+                OptimizerKind::sgdm(),
+                ScheduleSpec::Rex,
+                1e-2,
+                1,
+                FtConfig {
+                    halt_after_step: Some(3),
+                    ..FtConfig::default()
+                },
+                &mut Recorder::disabled(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TrainError::Config(_)), "{err}");
+    }
+}

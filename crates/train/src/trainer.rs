@@ -161,6 +161,20 @@ pub struct FtConfig {
     /// Stop cleanly with [`TrainError::Halted`] after this step completes
     /// (its checkpoint included) — deterministic in-process "kill".
     pub halt_after_step: Option<u64>,
+    /// Cooperative cancellation: checked once per optimizer step (after
+    /// the step's checkpoint, like `halt_after_step`); when another
+    /// thread sets it, the run stops with [`TrainError::Halted`]. The
+    /// snapshot on disk (if checkpointing is on) resumes the run.
+    pub stop_flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl FtConfig {
+    /// Whether the cooperative stop flag is set.
+    fn stop_requested(&self) -> bool {
+        self.stop_flag
+            .as_ref()
+            .is_some_and(|f| f.load(std::sync::atomic::Ordering::Acquire))
+    }
 }
 
 /// Configuration of one training run.
@@ -510,7 +524,7 @@ impl Trainer {
                     }
                 }
                 rex_faults::crash_point(st.step);
-                if ft.halt_after_step == Some(st.step) {
+                if ft.halt_after_step == Some(st.step) || ft.stop_requested() {
                     rec.flush();
                     return Err(TrainError::Halted { step: st.step });
                 }

@@ -1,16 +1,34 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerates every table and figure of the REX paper at the given scale.
 # Usage: ./run_experiments.sh [smoke|fast|full] [outdir]
+#
+# Each experiment's failure is reported inline and counted; the script
+# keeps going so one broken binary doesn't mask the rest, but it exits
+# non-zero if anything failed — `|| echo` alone would swallow the status
+# and report success to CI.
+set -euo pipefail
 SCALE="${1:-fast}"
 OUT="${2:-results}"
 mkdir -p "$OUT"
+failed=0
 for bin in table2 table4 table5 table6 table7 table8 table9 table10_11 \
            fig2 fig3 fig4 ablations; do
     echo "=== $bin ($SCALE) ==="
-    ./target/release/$bin --scale "$SCALE" --out "$OUT" \
-        > "$OUT/$bin.md" 2> "$OUT/$bin.log" || echo "FAILED: $bin (see $OUT/$bin.log)"
+    if ! ./target/release/$bin --scale "$SCALE" --out "$OUT" \
+        > "$OUT/$bin.md" 2> "$OUT/$bin.log"; then
+        echo "FAILED: $bin (see $OUT/$bin.log)"
+        failed=$((failed + 1))
+    fi
 done
 # aggregates (consume the CSVs above)
-./target/release/table1 --out "$OUT" > "$OUT/table1.md" 2> "$OUT/table1.log" || echo "FAILED: table1"
-./target/release/fig1   --out "$OUT" > "$OUT/fig1.md"   2> "$OUT/fig1.log"   || echo "FAILED: fig1"
+for bin in table1 fig1; do
+    if ! ./target/release/$bin --out "$OUT" > "$OUT/$bin.md" 2> "$OUT/$bin.log"; then
+        echo "FAILED: $bin (see $OUT/$bin.log)"
+        failed=$((failed + 1))
+    fi
+done
+if [ "$failed" -gt 0 ]; then
+    echo "$failed experiment(s) FAILED; outputs in $OUT/"
+    exit 1
+fi
 echo "all experiments complete; outputs in $OUT/"

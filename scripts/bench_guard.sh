@@ -10,17 +10,70 @@
 #
 # BENCH_GUARD_REPS overrides the rep count (default 15, matching the
 # committed artifact, so the min-of-reps estimators are comparable).
+#
+# The guard also sanity-checks the committed BENCH_serve.json (schema,
+# >=200 jobs, zero dropped/duplicated ids, sane latency quantiles).
+# `--serve-only` runs just that check, skipping the kernel re-run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+serve_only=0
+if [ "${1:-}" = "--serve-only" ]; then
+  serve_only=1
+fi
+
 committed="BENCH_kernels.json"
-if [ ! -f "$committed" ]; then
+serve_committed="BENCH_serve.json"
+if [ "$serve_only" -eq 0 ] && [ ! -f "$committed" ]; then
   echo "bench-guard: missing committed $committed" >&2
+  exit 1
+fi
+if [ ! -f "$serve_committed" ]; then
+  echo "bench-guard: missing committed $serve_committed" >&2
   exit 1
 fi
 if ! command -v python3 >/dev/null; then
   echo "bench-guard: python3 is required to compare benchmark JSON" >&2
   exit 1
+fi
+
+python3 - "$serve_committed" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    d = json.load(f)
+if d.get("schema") != "rex-serve-bench/v1":
+    sys.exit(f"bench-guard: {path}: expected rex-serve-bench/v1, got {d.get('schema')!r}")
+errors = []
+if d.get("jobs", 0) < 200:
+    errors.append(f"jobs {d.get('jobs')} < 200 (committed artifact must be a full run)")
+if d.get("smoke"):
+    errors.append("committed artifact is a --smoke run")
+if d.get("done") != d.get("jobs"):
+    errors.append(f"done {d.get('done')} != jobs {d.get('jobs')}")
+if d.get("dropped") != 0:
+    errors.append(f"dropped {d.get('dropped')} != 0")
+if d.get("duplicated") != 0:
+    errors.append(f"duplicated {d.get('duplicated')} != 0")
+for section in ("accept_ms", "complete_ms"):
+    q = d.get(section, {})
+    p50, p99, mx = q.get("p50", 0), q.get("p99", 0), q.get("max", 0)
+    if not (0 < p50 <= p99 <= mx):
+        errors.append(f"{section}: expected 0 < p50 <= p99 <= max, got {q}")
+if errors:
+    for e in errors:
+        print(f"bench-guard: {path}: {e}", file=sys.stderr)
+    sys.exit(1)
+print(
+    f"bench-guard: serve artifact OK ({d['jobs']} jobs, "
+    f"accept p99 {d['accept_ms']['p99']} ms, complete p99 {d['complete_ms']['p99']} ms)"
+)
+EOF
+
+if [ "$serve_only" -eq 1 ]; then
+  exit 0
 fi
 
 tmp="$(mktemp -d)"

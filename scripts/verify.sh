@@ -93,4 +93,27 @@ for t in 1 4; do
 done
 cmp "$tmp_dir/full_1.jsonl" "$tmp_dir/full_4.jsonl"
 
+echo "==> serve (HTTP job server: codec, queue, black-box e2e)"
+# the serve crate's own suites (codec + queue invariants + subprocess
+# e2e), then the root-level black-box harness in release mode — the same
+# binaries a deployment would run
+cargo test --offline -q -p rex-serve
+cargo test --release --offline -q --test serve_e2e
+# kill-and-resume over HTTP at 1 and 4 pool threads: rex-faults kills
+# rexd mid-job (exit 86), a restarted server must resume the job and
+# finish with a trace byte-identical to an uninterrupted CLI run
+for t in 1 4; do
+  REX_NUM_THREADS=$t cargo test --release --offline -q --test serve_e2e \
+    killed_server_resumes_job_with_identical_trace
+done
+
+echo "==> serve-bench --smoke"
+# smoke load numbers go to a scratch file so the committed
+# BENCH_serve.json (generated at >=200 jobs) is never clobbered
+cargo run --release --offline -q -p rex-bench --bin serve-bench -- \
+  --smoke --out "$tmp_dir/serve_smoke.json"
+
+echo "==> bench-guard (GEMM floor + BENCH_serve.json integrity)"
+scripts/bench_guard.sh --serve-only
+
 echo "verify: OK"

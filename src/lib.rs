@@ -18,7 +18,8 @@
 //! | [`data`] | `rex-data` | synthetic CIFAR/STL/ImageNet/MNIST/VOC/GLUE analogues |
 //! | [`train`] | `rex-train` | budgets, the training loop, per-setting drivers |
 //! | [`eval`] | `rex-eval` | statistics, Top-1/Top-3 ranking, mAP, tables |
-//! | [`telemetry`] | `rex-telemetry` | step records, sinks, golden-trace diffing |
+//! | [`telemetry`] | `rex-telemetry` | step records, sinks, golden-trace diffing, metrics registry |
+//! | [`serve`] | `rex-serve` | the HTTP job server behind `rexctl serve` / `rexd` |
 //!
 //! ## The REX schedule in three lines
 //!
@@ -110,4 +111,10 @@ pub mod telemetry {
 /// (`rex-faults`).
 pub mod faults {
     pub use rex_faults::*;
+}
+
+/// Budgeted training as a service: the HTTP/1.1 job server behind
+/// `rexctl serve` and `rexd` (`rex-serve`).
+pub mod serve {
+    pub use rex_serve::*;
 }
