@@ -88,6 +88,7 @@ fn main() {
                     cell.schedule.clone(),
                     cell.optimizer.default_lr(),
                     cell.seed,
+                    args.dtype,
                     rec,
                 )
                 .expect("training cell failed")

@@ -63,6 +63,7 @@ fn main() {
                         cell.schedule.clone(),
                         cell.optimizer.default_lr() * lr_scale,
                         cell.seed,
+                        args.dtype,
                         rec,
                     )
                     .expect("training cell failed")

@@ -1,8 +1,8 @@
 //! `kernel-bench` — self-contained perf harness for the rex-tensor
 //! compute kernels (std-only: no criterion, works fully offline).
 //!
-//! Measures four things and writes `BENCH_kernels.json` at the
-//! repository root (schema `rex-kernel-bench/v3`):
+//! Measures six things and writes `BENCH_kernels.json` at the
+//! repository root (schema `rex-kernel-bench/v4`):
 //!
 //! 1. **cases** — the active compute backend's kernel stack against the
 //!    seed's naive reference implementations ([`rex_tensor::reference`]),
@@ -22,7 +22,26 @@
 //!    `min(8, 2·host_cores)` — entries above that are recorded in
 //!    `skipped_threads` rather than timed, so a small host doesn't
 //!    publish meaningless oversubscribed numbers.
-//! 4. **grid** — wall-clock of one small real [`rex_bench::run_schedule_grid`]
+//! 4. **conversions** — f32↔f16 and f32↔bf16 conversion bandwidth
+//!    (GB/s over bytes read + written) for both backends, sampled in
+//!    [`time_pair`] alternation. The conversions are pure per-element
+//!    bit functions, so the scalar/SIMD outputs are asserted bitwise
+//!    equal before timing.
+//! 5. **quant_matmul** — the Q8_0 quantized GEMM microkernel
+//!    ([`kernels::qgemm_nt`], per-block scales consumed in place)
+//!    against the materializing baseline (dequantize the whole weight
+//!    matrix to f32, then dense [`kernels::gemm_nt`]) at the GEMV
+//!    shapes quantized inference exists for: M = 1, K = 1024,
+//!    N ∈ {1024, 4096} — the `speedup_best ≥ 1.5×` acceptance cases
+//!    `scripts/bench_guard.sh --quant-only` regresses against. Each
+//!    case records the weight-bytes ratio (f32 vs Q8_0 ≈ 3.76×) and
+//!    the max |diff| between the two outputs. The regime boundary is
+//!    real and worth stating: once M grows past a handful of rows the
+//!    two sides do the same FLOPs and the baseline's one-off
+//!    dequantization amortizes away, so dense GEMM wins — quantization
+//!    pays for *memory* (3.76× fewer weight bytes) and for batch-1
+//!    latency, not for throughput-shaped products.
+//! 6. **grid** — wall-clock of one small real [`rex_bench::run_schedule_grid`]
 //!    training grid at 1 pool thread vs 4, i.e. the harness-level
 //!    speedup from running independent grid cells concurrently.
 //!
@@ -378,6 +397,209 @@ fn bench_matmul3(cfg: &Config) -> Case {
     }
 }
 
+/// One conversion-bandwidth case: a narrowing or widening pass over
+/// [`CONV_ELEMS`] elements, timed per backend with the naive scalar
+/// loop sampled adjacent to the SIMD kernel.
+struct ConversionCase {
+    name: &'static str,
+    /// Bytes read + written per element (f32 word + half word = 6).
+    bytes_per_elem: usize,
+    scalar_ms: f64,
+    scalar_min_ms: f64,
+    simd_ms: f64,
+    simd_min_ms: f64,
+}
+
+/// Element count for the conversion-bandwidth cases (24 MB of f32 —
+/// well past L2, so the numbers are stream bandwidth, not cache echo).
+const CONV_ELEMS: usize = 6 * 1024 * 1024;
+
+impl ConversionCase {
+    fn gbps(ms: f64, bytes: usize) -> f64 {
+        if ms > 0.0 {
+            bytes as f64 / (ms * 1e-3) / 1e9
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn simd_gbps(&self) -> f64 {
+        Self::gbps(self.simd_min_ms, self.bytes_per_elem * CONV_ELEMS)
+    }
+
+    fn scalar_gbps(&self) -> f64 {
+        Self::gbps(self.scalar_min_ms, self.bytes_per_elem * CONV_ELEMS)
+    }
+
+    fn speedup(&self) -> f64 {
+        if self.simd_ms > 0.0 {
+            self.scalar_ms / self.simd_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn speedup_best(&self) -> f64 {
+        if self.simd_min_ms > 0.0 {
+            self.scalar_min_ms / self.simd_min_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Times the four conversion kernels under both backends. The outputs
+/// are asserted bitwise equal first — the conversions are pure bit
+/// functions, so any backend divergence is a bug, not rounding.
+fn bench_conversions(cfg: &Config) -> Vec<ConversionCase> {
+    let mut rng = Prng::new(0xC0DEC);
+    let src: Vec<f32> = (0..CONV_ELEMS).map(|_| rng.uniform_in(-8.0, 8.0)).collect();
+    let scalar = backend::for_kind(BackendKind::Scalar);
+    let simd = backend::for_kind(BackendKind::Simd);
+
+    let mut half_a = vec![0u16; CONV_ELEMS];
+    let mut half_b = vec![0u16; CONV_ELEMS];
+    let mut wide_a = vec![0f32; CONV_ELEMS];
+    let mut wide_b = vec![0f32; CONV_ELEMS];
+    scalar.f32_to_f16_slice(&src, &mut half_a);
+    simd.f32_to_f16_slice(&src, &mut half_b);
+    assert_eq!(half_a, half_b, "f32->f16 backends disagree bitwise");
+    scalar.f16_to_f32_slice(&half_a, &mut wide_a);
+    simd.f16_to_f32_slice(&half_a, &mut wide_b);
+    assert_eq!(
+        wide_a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        wide_b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        "f16->f32 backends disagree bitwise"
+    );
+    scalar.f32_to_bf16_slice(&src, &mut half_a);
+    simd.f32_to_bf16_slice(&src, &mut half_b);
+    assert_eq!(half_a, half_b, "f32->bf16 backends disagree bitwise");
+    let halves = half_a.clone();
+
+    let case = |name, (simd_t, scalar_t): ((f64, f64), (f64, f64))| ConversionCase {
+        name,
+        bytes_per_elem: 6,
+        scalar_ms: scalar_t.0,
+        scalar_min_ms: scalar_t.1,
+        simd_ms: simd_t.0,
+        simd_min_ms: simd_t.1,
+    };
+    vec![
+        case(
+            "f32_to_f16",
+            time_pair(
+                cfg,
+                || simd.f32_to_f16_slice(&src, &mut half_a),
+                || scalar.f32_to_f16_slice(&src, &mut half_b),
+            ),
+        ),
+        case(
+            "f16_to_f32",
+            time_pair(
+                cfg,
+                || simd.f16_to_f32_slice(&halves, &mut wide_a),
+                || scalar.f16_to_f32_slice(&halves, &mut wide_b),
+            ),
+        ),
+        case(
+            "f32_to_bf16",
+            time_pair(
+                cfg,
+                || simd.f32_to_bf16_slice(&src, &mut half_a),
+                || scalar.f32_to_bf16_slice(&src, &mut half_b),
+            ),
+        ),
+        case(
+            "bf16_to_f32",
+            time_pair(
+                cfg,
+                || simd.bf16_to_f32_slice(&halves, &mut wide_a),
+                || scalar.bf16_to_f32_slice(&halves, &mut wide_b),
+            ),
+        ),
+    ]
+}
+
+/// One quantized-matmul case: `C[m,n] = A[m,k]·Bq[n,k]ᵀ` with the Q8_0
+/// weight consumed in place vs dequantize-everything-then-dense-GEMM.
+struct QuantCase {
+    m: usize,
+    k: usize,
+    n: usize,
+    qgemm_ms: f64,
+    qgemm_min_ms: f64,
+    dequant_gemm_ms: f64,
+    dequant_gemm_min_ms: f64,
+    /// f32 weight bytes / Q8_0 weight bytes (≈ 3.76 for k % 32 == 0).
+    weight_bytes_ratio: f64,
+    max_abs_diff: f64,
+}
+
+impl QuantCase {
+    fn speedup(&self) -> f64 {
+        if self.qgemm_ms > 0.0 {
+            self.dequant_gemm_ms / self.qgemm_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn speedup_best(&self) -> f64 {
+        if self.qgemm_min_ms > 0.0 {
+            self.dequant_gemm_min_ms / self.qgemm_min_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Benchmarks [`kernels::qgemm_nt`] against its materializing baseline
+/// at the GEMV shapes quantized inference exists for: M = 1,
+/// K = 1024, N ∈ {1024, 4096}.
+fn bench_quant_matmul(cfg: &Config) -> Vec<QuantCase> {
+    use rex_tensor::dtype::{dequantize_q8_0, quantize_q8_0, QK};
+    let mut rng = Prng::new(0x5108);
+
+    [(1usize, 1024usize, 1024usize), (1, 1024, 4096)]
+        .iter()
+        .map(|&(m, k, n)| {
+            let b: Vec<f32> = (0..n * k).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+            let mut b_scales = vec![0u16; (n * k) / QK];
+            let mut b_quants = vec![0i8; n * k];
+            quantize_q8_0(&b, &mut b_scales, &mut b_quants);
+            let q_bytes = 2 * b_scales.len() + b_quants.len();
+            let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+            let mut c_q = vec![0f32; m * n];
+            let mut c_d = vec![0f32; m * n];
+            let dequant_then_gemm = |c: &mut [f32]| {
+                let mut dense = vec![0f32; n * k];
+                dequantize_q8_0(&b_scales, &b_quants, &mut dense);
+                c.fill(0.0);
+                kernels::gemm_nt(m, k, n, &a, &dense, c);
+            };
+            kernels::qgemm_nt(m, k, n, &a, &b_scales, &b_quants, &mut c_q);
+            dequant_then_gemm(&mut c_d);
+            let diff = max_abs_diff(&c_q, &c_d);
+            let ((q_med, q_min), (d_med, d_min)) = time_pair(
+                cfg,
+                || kernels::qgemm_nt(m, k, n, &a, &b_scales, &b_quants, &mut c_q),
+                || dequant_then_gemm(&mut c_d),
+            );
+            QuantCase {
+                m,
+                k,
+                n,
+                qgemm_ms: q_med,
+                qgemm_min_ms: q_min,
+                dequant_gemm_ms: d_med,
+                dequant_gemm_min_ms: d_min,
+                weight_bytes_ratio: (4 * n * k) as f64 / q_bytes as f64,
+                max_abs_diff: diff,
+            }
+        })
+        .collect()
+}
+
 /// The shared fixture for the sweep and matrix sections: the three
 /// headline kernels with their inputs pre-built.
 struct SweepFixture {
@@ -605,13 +827,15 @@ fn write_json(
     matrix: &[MatrixEntry],
     sweep: &[SweepEntry],
     skipped_threads: &[usize],
+    conversions: &[ConversionCase],
+    quant: &[QuantCase],
     grid: &GridBench,
 ) -> std::io::Result<()> {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let be = backend::active();
     let mut body = String::new();
     body.push_str("{\n");
-    body.push_str("  \"schema\": \"rex-kernel-bench/v3\",\n");
+    body.push_str("  \"schema\": \"rex-kernel-bench/v4\",\n");
     body.push_str(&format!("  \"backend\": \"{}\",\n", be.name()));
     body.push_str(&format!("  \"simd_level\": \"{}\",\n", be.simd_level()));
     body.push_str(&format!("  \"threads\": {},\n", kernels::num_threads()));
@@ -701,6 +925,55 @@ fn write_json(
         body.push_str(&format!(
             "    ]}}{}\n",
             if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n");
+    // conversion bandwidth: f32<->f16/bf16 narrowing and widening, both
+    // backends, GB/s over bytes read + written (min-based: steal-immune)
+    body.push_str("  \"conversions\": [\n");
+    for (i, c) in conversions.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"elems\": {}, \"scalar_ms\": {:.4}, \"simd_ms\": {:.4}, \
+             \"speedup\": {:.3}, \"scalar_min_ms\": {:.4}, \"simd_min_ms\": {:.4}, \
+             \"speedup_best\": {:.3}, \"scalar_gbps\": {:.2}, \"simd_gbps\": {:.2}}}{}\n",
+            json_escape(c.name),
+            CONV_ELEMS,
+            c.scalar_ms,
+            c.simd_ms,
+            c.speedup(),
+            c.scalar_min_ms,
+            c.simd_min_ms,
+            c.speedup_best(),
+            c.scalar_gbps(),
+            c.simd_gbps(),
+            if i + 1 < conversions.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n");
+    // quantized matmul: Q8_0 GEMM in place vs dequantize-then-dense-GEMM
+    // (bench_guard --quant-only regresses speedup_best of these cases)
+    body.push_str("  \"quant_matmul\": [\n");
+    for (i, q) in quant.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"qgemm_nt_{}x{}x{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"qgemm_ms\": {:.4}, \"dequant_gemm_ms\": {:.4}, \"speedup\": {:.3}, \
+             \"qgemm_min_ms\": {:.4}, \"dequant_gemm_min_ms\": {:.4}, \"speedup_best\": {:.3}, \
+             \"weight_bytes_ratio\": {:.3}, \"max_abs_diff\": {:.3e}}}{}\n",
+            q.m,
+            q.k,
+            q.n,
+            q.m,
+            q.k,
+            q.n,
+            q.qgemm_ms,
+            q.dequant_gemm_ms,
+            q.speedup(),
+            q.qgemm_min_ms,
+            q.dequant_gemm_min_ms,
+            q.speedup_best(),
+            q.weight_bytes_ratio,
+            q.max_abs_diff,
+            if i + 1 < quant.len() { "," } else { "" }
         ));
     }
     body.push_str("  ],\n");
@@ -808,6 +1081,42 @@ fn main() {
         }
     }
 
+    let conversions = bench_conversions(&cfg);
+    println!("\nhalf-precision conversion bandwidth ({CONV_ELEMS} elems):");
+    println!(
+        "{:<13} {:>12} {:>12} {:>8} {:>12} {:>12}",
+        "case", "scalar ms", "simd ms", "best", "scalar GB/s", "simd GB/s"
+    );
+    for c in &conversions {
+        println!(
+            "{:<13} {:>12.3} {:>12.3} {:>7.2}x {:>12.2} {:>12.2}",
+            c.name,
+            c.scalar_ms,
+            c.simd_ms,
+            c.speedup_best(),
+            c.scalar_gbps(),
+            c.simd_gbps()
+        );
+    }
+
+    let quant = bench_quant_matmul(&cfg);
+    println!("\nquantized matmul (Q8_0 in place vs dequantize + dense GEMM):");
+    println!(
+        "{:<20} {:>10} {:>16} {:>8} {:>8} {:>12}",
+        "case", "qgemm ms", "dequant+gemm ms", "speedup", "best", "max|diff|"
+    );
+    for q in &quant {
+        println!(
+            "{:<20} {:>10.3} {:>16.3} {:>7.2}x {:>7.2}x {:>12.3e}",
+            format!("qgemm_nt_{}x{}x{}", q.m, q.k, q.n),
+            q.qgemm_ms,
+            q.dequant_gemm_ms,
+            q.speedup(),
+            q.speedup_best(),
+            q.max_abs_diff
+        );
+    }
+
     let grid = bench_grid(&cfg);
     println!(
         "\nschedule-grid harness ({} cells): 1 thread {:.1} ms, {} threads {:.1} ms -> {:.2}x",
@@ -820,7 +1129,17 @@ fn main() {
 
     let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     let path = cfg.out.as_deref().unwrap_or(default_path);
-    match write_json(path, &cfg, &cases, &matrix, &sweep, &skipped_threads, &grid) {
+    match write_json(
+        path,
+        &cfg,
+        &cases,
+        &matrix,
+        &sweep,
+        &skipped_threads,
+        &conversions,
+        &quant,
+        &grid,
+    ) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => {
             eprintln!("kernel-bench: failed to write {path}: {e}");

@@ -6,13 +6,21 @@
 //! threads (each request a fresh `Connection: close` socket, exactly how
 //! an external client would arrive), and polls every job to a terminal
 //! state. It then writes `BENCH_serve.json` at the repository root
-//! (schema `rex-serve-bench/v1`) recording:
+//! (schema `rex-serve-bench/v2`) recording:
 //!
 //! * **accept latency** — first submit attempt to the `202 Accepted`
 //!   response, p50/p99/max. Includes any 429-backpressure retries, so
 //!   the number reflects what a client actually waits at the door.
 //! * **complete latency** — first submit attempt to the job first being
 //!   observed terminal, p50/p99/max.
+//! * **retry behaviour** — total 429 rejections absorbed plus a
+//!   `retries_histogram` bucketing jobs by how many rejections each one
+//!   ate before admission. Rejected submits back off exponentially with
+//!   full jitter (deterministic [`Prng`] per job), ceilinged by the
+//!   server's advertised `Retry-After` — clients respect the server's
+//!   own pacing hint instead of re-stampeding on a fixed timer.
+//! * **provenance** — the active compute `backend` and `simd_level`, so
+//!   a committed artifact records which numerics produced it.
 //! * **integrity** — `dropped` (submitted ids the ledger never finished)
 //!   and `duplicated` (ids handed out twice) must both be 0; the process
 //!   exits non-zero otherwise. `scripts/bench_guard.sh` re-checks the
@@ -36,13 +44,18 @@ use std::time::{Duration, Instant};
 use rex_serve::client::request;
 use rex_serve::{ServeConfig, Server};
 use rex_telemetry::json::{fmt_f64, parse_object, Value};
+use rex_tensor::{backend, Prng};
 
 /// Per-request client timeout; generous because a saturated queue can
 /// stall accepts behind running jobs.
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Pause between 429-rejected submit attempts.
-const RETRY_PAUSE: Duration = Duration::from_millis(25);
+/// Floor of the first backoff pause after a 429 rejection, milliseconds.
+const RETRY_BASE_MS: u64 = 5;
+
+/// Hard ceiling on any single backoff pause, milliseconds — guards
+/// against a nonsensical `Retry-After` keeping the bench asleep.
+const RETRY_CAP_MS: u64 = 2_000;
 
 /// Pause between status-poll sweeps.
 const POLL_PAUSE: Duration = Duration::from_millis(5);
@@ -132,12 +145,20 @@ struct Submitted {
 
 /// Submits one job, retrying on 429 until accepted. Returns the job id,
 /// the accept latency, and how many rejections were absorbed.
+///
+/// Rejected submits honor the server's `Retry-After` header: the pause
+/// grows exponentially from [`RETRY_BASE_MS`] up to the advertised value
+/// (seconds, converted to ms, capped at [`RETRY_CAP_MS`]), and the actual
+/// sleep is drawn uniformly from `[1, ceiling]` ("full jitter") off a
+/// [`Prng`] seeded from the job index — deterministic, and decorrelated
+/// across clients so they do not re-stampede the door in lockstep.
 fn submit_one(addr: SocketAddr, seed: u64) -> Submitted {
     let body = format!(
         "{{\"setting\":\"digits-mlp\",\"budget\":1,\"seed\":{seed},\"checkpoint_every\":0}}"
     );
     let started = Instant::now();
     let mut retries = 0u64;
+    let mut jitter = Prng::new(0x0B0F_F5E5 ^ seed);
     loop {
         let resp = request(addr, "POST", "/v1/jobs", Some(&body), REQUEST_TIMEOUT)
             .unwrap_or_else(|e| die(&format!("submit failed: {e}")));
@@ -157,7 +178,14 @@ fn submit_one(addr: SocketAddr, seed: u64) -> Submitted {
             }
             429 => {
                 retries += 1;
-                std::thread::sleep(RETRY_PAUSE);
+                let advertised_ms = resp
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .map_or(1_000, |s| s.saturating_mul(1_000))
+                    .clamp(RETRY_BASE_MS, RETRY_CAP_MS);
+                let ceiling = (RETRY_BASE_MS << (retries - 1).min(8)).min(advertised_ms);
+                let pause_ms = 1 + jitter.below(ceiling as usize) as u64;
+                std::thread::sleep(Duration::from_millis(pause_ms));
             }
             other => die(&format!("submit got unexpected status {other}")),
         }
@@ -201,10 +229,26 @@ fn r3(x: f64) -> f64 {
     (x * 1e3).round() / 1e3
 }
 
+/// Histogram bucket labels: jobs grouped by how many 429 rejections each
+/// absorbed before its submit was accepted.
+const HIST_BUCKETS: [&str; 6] = ["0", "1", "2", "3", "4-7", "8+"];
+
+/// Buckets one job's retry count into [`HIST_BUCKETS`].
+fn hist_bucket(retries: u64) -> usize {
+    match retries {
+        0..=3 => retries as usize,
+        4..=7 => 4,
+        _ => 5,
+    }
+}
+
 fn write_json(path: &str, cfg: &Config, report: &Report) -> std::io::Result<()> {
+    let be = backend::active();
     let mut body = String::new();
     body.push_str("{\n");
-    body.push_str("  \"schema\": \"rex-serve-bench/v1\",\n");
+    body.push_str("  \"schema\": \"rex-serve-bench/v2\",\n");
+    body.push_str(&format!("  \"backend\": \"{}\",\n", be.name()));
+    body.push_str(&format!("  \"simd_level\": \"{}\",\n", be.simd_level()));
     body.push_str(&format!("  \"jobs\": {},\n", cfg.jobs));
     body.push_str(&format!("  \"clients\": {},\n", cfg.clients));
     body.push_str(&format!("  \"workers\": {},\n", cfg.workers));
@@ -215,6 +259,13 @@ fn write_json(path: &str, cfg: &Config, report: &Report) -> std::io::Result<()> 
     body.push_str(&format!("  \"dropped\": {},\n", report.dropped));
     body.push_str(&format!("  \"duplicated\": {},\n", report.duplicated));
     body.push_str(&format!("  \"retries_429\": {},\n", report.retries));
+    let hist = HIST_BUCKETS
+        .iter()
+        .zip(report.retries_hist)
+        .map(|(label, count)| format!("\"{label}\": {count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    body.push_str(&format!("  \"retries_histogram\": {{{hist}}},\n"));
     body.push_str(&format!(
         "  \"accept_ms\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
         fmt_f64(r3(report.accept.0)),
@@ -242,6 +293,7 @@ struct Report {
     dropped: usize,
     duplicated: usize,
     retries: u64,
+    retries_hist: [usize; 6],
     accept: (f64, f64, f64),
     complete: (f64, f64, f64),
     wall_s: f64,
@@ -338,6 +390,10 @@ fn main() {
     let done = submitted.iter().filter(|(_, s, _)| s == "done").count();
     let failed = submitted.iter().filter(|(_, s, _)| s == "failed").count();
     let retries: u64 = submitted.iter().map(|(sub, _, _)| sub.retries).sum();
+    let mut retries_hist = [0usize; 6];
+    for (sub, _, _) in &submitted {
+        retries_hist[hist_bucket(sub.retries)] += 1;
+    }
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&data_dir);
@@ -350,6 +406,7 @@ fn main() {
         dropped,
         duplicated,
         retries,
+        retries_hist,
         accept,
         complete,
         wall_s,
@@ -360,6 +417,13 @@ fn main() {
         "accept   p50 {:>8.2} ms   p99 {:>8.2} ms   max {:>8.2} ms   (429 retries: {retries})",
         accept.0, accept.1, accept.2
     );
+    let hist_line = HIST_BUCKETS
+        .iter()
+        .zip(retries_hist)
+        .map(|(label, count)| format!("{label}:{count}"))
+        .collect::<Vec<_>>()
+        .join("  ");
+    println!("retries histogram (jobs by 429s absorbed)   {hist_line}");
     println!(
         "complete p50 {:>8.2} ms   p99 {:>8.2} ms   max {:>8.2} ms",
         complete.0, complete.1, complete.2

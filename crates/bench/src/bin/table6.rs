@@ -52,6 +52,7 @@ fn main() {
                         _ => 3e-3,
                     },
                     cell.seed,
+                    args.dtype,
                     rec,
                 )
                 .expect("training cell failed")

@@ -96,6 +96,9 @@ pub struct Args {
     /// Per-cell resume directory: finished cells leave done-markers here
     /// and are skipped (score replayed) on the next run.
     pub resume: Option<PathBuf>,
+    /// Parameter storage precision (`--dtype f32|f16|bf16`); the default
+    /// `f32` is the legacy bit-exact path that golden traces pin.
+    pub dtype: rex_tensor::DType,
 }
 
 impl Args {
@@ -109,6 +112,7 @@ impl Args {
         let mut threads = None;
         let mut resume = None;
         let mut backend = None;
+        let mut dtype = rex_tensor::DType::F32;
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
@@ -170,9 +174,19 @@ impl Args {
                     }));
                     i += 2;
                 }
+                "--dtype" => {
+                    let v = need_value(i);
+                    dtype = rex_tensor::DType::parse(&v)
+                        .filter(|d| d.trainable())
+                        .unwrap_or_else(|| {
+                            eprintln!("bad dtype {v:?}; expected f32|f16|bf16");
+                            std::process::exit(2);
+                        });
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S] [--trace DIR] [--threads N] [--backend scalar|simd|auto] [--resume DIR]"
+                        "usage: <bin> [--scale smoke|fast|full] [--out DIR] [--trials N] [--seed S] [--trace DIR] [--threads N] [--backend scalar|simd|auto] [--dtype f32|f16|bf16] [--resume DIR]"
                     );
                     std::process::exit(0);
                 }
@@ -203,6 +217,7 @@ impl Args {
             threads,
             resume,
             backend,
+            dtype,
         }
     }
 }

@@ -20,6 +20,7 @@ fn main() {
         Some("sweep") => commands::sweep(&argv[1..]),
         Some("range-test") => commands::range_test(&argv[1..]),
         Some("serve") => commands::serve(&argv[1..]),
+        Some("export") => commands::export(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -47,6 +48,7 @@ USAGE:
   rexctl train --setting <SETTING> [--budget PCT] [--schedule NAME]
                [--optimizer sgdm|adam] [--lr LR] [--seed S] [--trace FILE]
                [--threads N] [--backend scalar|simd|auto]
+               [--dtype f32|f16|bf16]
                [--checkpoint FILE --checkpoint-every N]
                [--resume FILE] [--guard off|abort|skip|rollback]
                [--halt-after STEP]
@@ -57,7 +59,8 @@ USAGE:
 
   rexctl sweep --setting <SETTING> [--budgets 1,5,10,25,50,100]
                [--schedules rex,linear,...] [--optimizer sgdm|adam]
-               [--threads N] [--backend scalar|simd|auto] [--resume DIR]
+               [--threads N] [--backend scalar|simd|auto]
+               [--dtype f32|f16|bf16] [--resume DIR]
       Run a schedule x budget mini-grid and print a markdown table.
       --resume DIR leaves a done-marker per finished cell and skips
       marked cells on the next run.
@@ -65,6 +68,14 @@ USAGE:
   rexctl range-test --setting <SETTING> [--optimizer sgdm|adam] [--trace FILE]
                [--threads N] [--backend scalar|simd|auto]
       Run an LR range test and print the suggested initial LR.
+
+  rexctl export --from CKPT --out FILE [--quant q8_0|f16|f32]
+      Convert a REXSTATE1 training checkpoint into a REXGGUF model file:
+      a single mmap-friendly image holding the model tensors (parameters
+      plus batch-norm statistics), every payload 32-byte aligned. --quant
+      picks the storage format (default f16); q8_0 block-quantizes 2-D+
+      tensors (32-element blocks, one f16 scale each) and keeps biases
+      and norm parameters f32.
 
   rexctl serve --data-dir DIR [--addr HOST:PORT] [--queue-depth N]
                [--workers N] [--checkpoint-every STEPS]
@@ -81,6 +92,14 @@ THREADS:
   --threads N sizes the persistent worker pool (overrides the
   REX_NUM_THREADS environment variable). Results are bitwise identical
   at any thread count.
+
+PRECISION:
+  --dtype f32|f16|bf16 picks the parameter storage precision. All
+  arithmetic stays in f32 (master weights); f16/bf16 round stored
+  parameters, optimizer state, and buffers after every step, halving
+  checkpoint tensor sections. A checkpoint records its dtype and a
+  resume with a different --dtype is refused. Default f32 is the
+  legacy path with byte-identical traces and snapshots.
 
 BACKEND:
   --backend scalar|simd|auto picks the compute backend (overrides the

@@ -30,7 +30,8 @@ use std::io::{self, BufReader, Read};
 use std::path::Path;
 
 use rex_autograd::Param;
-use rex_tensor::Tensor;
+use rex_tensor::dtype::{bf16_bits_to_f32, f16_bits_to_f32, f32_to_bf16_bits, f32_to_f16_bits};
+use rex_tensor::{DType, Tensor};
 
 const MAGIC: &[u8; 8] = b"REXCKPT1";
 /// Magic of the full training-state container.
@@ -94,9 +95,61 @@ pub fn encode_entries(entries: &[(String, Tensor)]) -> Vec<u8> {
 /// Returns `InvalidData`/`UnexpectedEof` on malformed input, including
 /// trailing garbage after the last entry.
 pub fn decode_entries(bytes: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
+    decode_entries_dtype(bytes, DType::F32)
+}
+
+/// [`encode_entries`] with a storage precision. `F32` produces bytes
+/// identical to the legacy codec (so default-precision snapshots are
+/// unchanged); `F16`/`Bf16` store one little-endian `u16` per element —
+/// half the payload. Values are expected to already be rounded to
+/// `dtype` (the optimizer's storage-rounding step guarantees this), so
+/// the narrowing here is lossless for live training state.
+///
+/// # Panics
+///
+/// Panics if `dtype` is not trainable (`q8_0` has no training codec).
+pub fn encode_entries_dtype(entries: &[(String, Tensor)], dtype: DType) -> Vec<u8> {
+    assert!(dtype.trainable(), "{dtype} is not a trainable dtype");
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, value) in entries {
+        match dtype {
+            DType::F32 => push_entry(&mut buf, name, value),
+            DType::F16 => push_entry_half(&mut buf, name, value, f32_to_f16_bits),
+            DType::Bf16 => push_entry_half(&mut buf, name, value, f32_to_bf16_bits),
+            DType::Q80 => unreachable!("rejected above"),
+        }
+    }
+    buf
+}
+
+/// Decodes a byte slice produced by [`encode_entries_dtype`] with the
+/// same `dtype`.
+///
+/// # Errors
+///
+/// Returns `InvalidData`/`UnexpectedEof` on malformed input, including
+/// trailing garbage after the last entry.
+///
+/// # Panics
+///
+/// Panics if `dtype` is not trainable (`q8_0` has no training codec).
+pub fn decode_entries_dtype(bytes: &[u8], dtype: DType) -> io::Result<Vec<(String, Tensor)>> {
+    assert!(dtype.trainable(), "{dtype} is not a trainable dtype");
     let mut r = bytes;
     let count = read_u32(&mut r)? as usize;
-    let entries = read_entries(&mut r, count)?;
+    let entries = match dtype {
+        DType::F32 => read_entries_with(&mut r, count, 4, |c| {
+            f32::from_le_bytes(c.try_into().unwrap())
+        })?,
+        DType::F16 => read_entries_with(&mut r, count, 2, |c| {
+            f16_bits_to_f32(u16::from_le_bytes(c.try_into().unwrap()))
+        })?,
+        DType::Bf16 => read_entries_with(&mut r, count, 2, |c| {
+            bf16_bits_to_f32(u16::from_le_bytes(c.try_into().unwrap()))
+        })?,
+        DType::Q80 => unreachable!("rejected above"),
+    };
     if !r.is_empty() {
         return Err(invalid(format!(
             "{} trailing bytes after the last checkpoint entry",
@@ -104,6 +157,18 @@ pub fn decode_entries(bytes: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
         )));
     }
     Ok(entries)
+}
+
+fn push_entry_half(buf: &mut Vec<u8>, name: &str, value: &Tensor, to_bits: fn(f32) -> u16) {
+    buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    buf.extend_from_slice(name.as_bytes());
+    buf.extend_from_slice(&(value.ndim() as u32).to_le_bytes());
+    for &d in value.shape() {
+        buf.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in value.data() {
+        buf.extend_from_slice(&to_bits(v).to_le_bytes());
+    }
 }
 
 /// Reads all `(name, tensor)` entries from a checkpoint.
@@ -124,6 +189,15 @@ pub fn load_raw(path: &Path) -> io::Result<Vec<(String, Tensor)>> {
 }
 
 fn read_entries(r: &mut impl Read, count: usize) -> io::Result<Vec<(String, Tensor)>> {
+    read_entries_with(r, count, 4, |c| f32::from_le_bytes(c.try_into().unwrap()))
+}
+
+fn read_entries_with(
+    r: &mut impl Read,
+    count: usize,
+    elem_bytes: usize,
+    decode: impl Fn(&[u8]) -> f32,
+) -> io::Result<Vec<(String, Tensor)>> {
     if count > MAX_ENTRIES {
         return Err(invalid(format!(
             "implausible entry count {count} in checkpoint"
@@ -171,11 +245,11 @@ fn read_entries(r: &mut impl Read, count: usize) -> io::Result<Vec<(String, Tens
         let mut buf = [0u8; 4 * 4096];
         while remaining > 0 {
             let take = remaining.min(4096);
-            r.read_exact(&mut buf[..4 * take])?;
+            r.read_exact(&mut buf[..elem_bytes * take])?;
             data.extend(
-                buf[..4 * take]
-                    .chunks_exact(4)
-                    .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+                buf[..elem_bytes * take]
+                    .chunks_exact(elem_bytes)
+                    .map(&decode),
             );
             remaining -= take;
         }
@@ -468,6 +542,40 @@ mod tests {
         padded.push(0);
         let err = decode_entries(&padded).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn half_entry_codec_roundtrips_rounded_values_exactly() {
+        for dtype in [DType::F16, DType::Bf16] {
+            // values already rounded to the storage dtype, as the
+            // optimizer guarantees for live training state
+            let vals: Vec<f32> = [0.0, -1.5, 3.0e-5, 271.25, -6.1e4]
+                .iter()
+                .map(|&v| dtype.round_val(v))
+                .collect();
+            let entries = vec![("w".to_owned(), Tensor::from_vec(vals, &[5]).unwrap())];
+            let bytes = encode_entries_dtype(&entries, dtype);
+            let f32_bytes = encode_entries_dtype(&entries, DType::F32);
+            // same header, half the payload
+            assert_eq!(bytes.len(), f32_bytes.len() - 2 * 5);
+            assert_eq!(decode_entries_dtype(&bytes, dtype).unwrap(), entries);
+
+            let mut padded = bytes.clone();
+            padded.push(0);
+            assert!(decode_entries_dtype(&padded, dtype).is_err());
+        }
+    }
+
+    #[test]
+    fn f32_entry_codec_is_byte_identical_to_legacy() {
+        let entries = vec![(
+            "a".to_owned(),
+            Tensor::from_vec(vec![1.0, -2.5, 3.25], &[3]).unwrap(),
+        )];
+        assert_eq!(
+            encode_entries_dtype(&entries, DType::F32),
+            encode_entries(&entries)
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 mod attention;
 pub mod checkpoint;
+pub mod export;
 mod layers;
 pub mod losses;
 mod models;

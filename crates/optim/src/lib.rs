@@ -30,7 +30,7 @@
 #![warn(missing_docs)]
 
 use rex_autograd::Param;
-use rex_tensor::Tensor;
+use rex_tensor::{DType, Tensor};
 
 /// Common interface of all optimizers.
 ///
@@ -70,6 +70,29 @@ pub trait Optimizer {
     /// adaptive update only (decoupled weight decay excluded).
     fn last_update_norm(&self) -> Option<f32> {
         None
+    }
+
+    /// Sets the parameter *storage* dtype for mixed-precision training.
+    ///
+    /// All within-step arithmetic stays f32 (the widened stored value is
+    /// the master weight), but at the end of every step the parameter
+    /// values **and** the optimizer's moment buffers are rounded through
+    /// `dtype` (round-to-nearest-even), so the live state is exactly what
+    /// a `dtype`-tagged checkpoint serializes — which is what makes
+    /// kill→resume→finish bit-identical under f16/bf16 storage. `F32` (the
+    /// default) skips rounding entirely, keeping the legacy path
+    /// byte-identical. The default trait impl ignores the call.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `dtype` is not a trainable storage
+    /// format (see [`DType::trainable`]).
+    fn set_param_dtype(&mut self, _dtype: DType) {}
+
+    /// The parameter storage dtype last set via
+    /// [`Optimizer::set_param_dtype`] (`F32` when never set).
+    fn param_dtype(&self) -> DType {
+        DType::F32
     }
 
     /// The parameters being optimized.
@@ -169,6 +192,7 @@ pub struct Sgd {
     nesterov: bool,
     weight_decay: f32,
     velocity: Vec<Tensor>,
+    dtype: DType,
     instrumented: bool,
     last_update_norm: Option<f32>,
 }
@@ -187,6 +211,7 @@ impl Sgd {
             nesterov: false,
             velocity,
             weight_decay: 0.0,
+            dtype: DType::F32,
             instrumented: false,
             last_update_norm: None,
         }
@@ -223,12 +248,13 @@ struct SgdTask<'a> {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
-        let (lr, momentum, nesterov, weight_decay, instrumented) = (
+        let (lr, momentum, nesterov, weight_decay, instrumented, dtype) = (
             self.lr,
             self.momentum,
             self.nesterov,
             self.weight_decay,
             self.instrumented,
+            self.dtype,
         );
         // Gradients are cloned out before the value guards are taken:
         // `Param` keeps value and grad behind one `RefCell`, so `grad()`
@@ -281,6 +307,12 @@ impl Optimizer for Sgd {
             for (w, &g) in t.value.iter_mut().zip(t.grad.data()) {
                 *w += -lr * g;
             }
+            // mixed precision: round the stored value and velocity through
+            // the storage dtype (per element, so still partition-invariant)
+            if dtype != DType::F32 {
+                dtype.round_slice(t.value);
+                dtype.round_slice(t.velocity);
+            }
         });
         if instrumented {
             let update_sq: f32 = tasks.iter().map(|t| t.update_sq).sum();
@@ -321,6 +353,15 @@ impl Optimizer for Sgd {
 
     fn last_update_norm(&self) -> Option<f32> {
         self.last_update_norm
+    }
+
+    fn set_param_dtype(&mut self, dtype: DType) {
+        assert!(dtype.trainable(), "{dtype} is not a trainable dtype");
+        self.dtype = dtype;
+    }
+
+    fn param_dtype(&self) -> DType {
+        self.dtype
     }
 
     fn params(&self) -> &[Param] {
@@ -368,6 +409,7 @@ pub struct Adam {
     m: Vec<Tensor>,
     v: Vec<Tensor>,
     t: u64,
+    dtype: DType,
     instrumented: bool,
     last_update_norm: Option<f32>,
 }
@@ -394,6 +436,7 @@ impl Adam {
             m,
             v,
             t: 0,
+            dtype: DType::F32,
             instrumented: false,
             last_update_norm: None,
         }
@@ -441,7 +484,7 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let (lr, beta1, beta2, eps, weight_decay, decoupled, instrumented) = (
+        let (lr, beta1, beta2, eps, weight_decay, decoupled, instrumented, dtype) = (
             self.lr,
             self.beta1,
             self.beta2,
@@ -449,6 +492,7 @@ impl Optimizer for Adam {
             self.weight_decay,
             self.decoupled,
             self.instrumented,
+            self.dtype,
         );
         let grads: Vec<Tensor> = self.params.iter().map(|p| p.grad()).collect();
         let mut guards: Vec<_> = self.params.iter().map(|p| p.value_mut()).collect();
@@ -496,6 +540,14 @@ impl Optimizer for Adam {
                 }
                 *w -= delta;
             }
+            // mixed precision: round the stored value and both moment
+            // buffers through the storage dtype (per element, so still
+            // partition-invariant)
+            if dtype != DType::F32 {
+                dtype.round_slice(t.value);
+                dtype.round_slice(t.m);
+                dtype.round_slice(t.v);
+            }
             t.update_sq = update_sq;
         });
         if instrumented {
@@ -536,6 +588,15 @@ impl Optimizer for Adam {
 
     fn last_update_norm(&self) -> Option<f32> {
         self.last_update_norm
+    }
+
+    fn set_param_dtype(&mut self, dtype: DType) {
+        assert!(dtype.trainable(), "{dtype} is not a trainable dtype");
+        self.dtype = dtype;
+    }
+
+    fn param_dtype(&self) -> DType {
+        self.dtype
     }
 
     fn params(&self) -> &[Param] {

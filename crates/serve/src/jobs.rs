@@ -17,6 +17,7 @@ use std::sync::{Arc, Mutex};
 use rex_core::ScheduleSpec;
 use rex_telemetry::json::{self, Value};
 use rex_telemetry::{FanoutSink, JsonlSink, MetricsRegistry, Recorder, RegistrySink};
+use rex_tensor::DType;
 use rex_train::settings::load_setting;
 use rex_train::{FtConfig, GuardPolicy, OptimizerKind, TrainError, TrainState};
 
@@ -53,6 +54,9 @@ pub struct JobSpec {
     /// Checkpoint cadence in steps; 0 disables checkpointing (the job
     /// cannot be resumed after an eviction).
     pub checkpoint_every: u64,
+    /// Parameter storage precision (`"f32"` | `"f16"` | `"bf16"`);
+    /// defaults to `"f32"`, the legacy bit-exact path.
+    pub dtype: String,
 }
 
 impl JobSpec {
@@ -71,6 +75,7 @@ impl JobSpec {
             "seed",
             "lr",
             "checkpoint_every",
+            "dtype",
         ];
         if let Some(k) = obj.keys().find(|k| !known.contains(&k.as_str())) {
             return Err(format!("unknown field {k:?}"));
@@ -119,6 +124,7 @@ impl JobSpec {
                     "field \"checkpoint_every\" must be a non-negative integer".to_owned()
                 })?,
             },
+            dtype: str_field("dtype", "f32")?,
         };
         spec.validate()?;
         Ok(spec)
@@ -136,7 +142,24 @@ impl JobSpec {
         if self.budget == 0 || self.budget > 100 {
             return Err(format!("budget must be in 1..=100, got {}", self.budget));
         }
+        self.parsed_dtype()?;
         Ok(())
+    }
+
+    /// The storage dtype, parsed and restricted to trainable precisions.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the invalid value.
+    pub fn parsed_dtype(&self) -> Result<DType, String> {
+        match DType::parse(&self.dtype) {
+            Some(d) if d.trainable() => Ok(d),
+            Some(d) => Err(format!("dtype {d} is not trainable (use f32 | f16 | bf16)")),
+            None => Err(format!(
+                "unknown dtype {:?} (expected f32 | f16 | bf16)",
+                self.dtype
+            )),
+        }
     }
 
     /// The schedule, parsed.
@@ -154,7 +177,7 @@ impl JobSpec {
     fn json_fields(&self) -> String {
         format!(
             "\"setting\":\"{}\",\"budget\":{},\"schedule\":\"{}\",\"optimizer\":\"{}\",\
-             \"seed\":{},\"lr\":{},\"checkpoint_every\":{}",
+             \"seed\":{},\"lr\":{},\"checkpoint_every\":{},\"dtype\":\"{}\"",
             json::escape(&self.setting),
             self.budget,
             json::escape(&self.schedule),
@@ -163,6 +186,7 @@ impl JobSpec {
             self.lr
                 .map_or("null".to_owned(), |lr| json::fmt_f64(f64::from(lr))),
             self.checkpoint_every,
+            json::escape(&self.dtype),
         )
     }
 }
@@ -275,6 +299,14 @@ impl JobRecord {
                 .get("checkpoint_every")
                 .and_then(Value::as_u64)
                 .ok_or("job record missing checkpoint_every")?,
+            // manifests written before the dtype field existed are f32
+            dtype: match obj.get("dtype") {
+                None => "f32".to_owned(),
+                Some(v) => v
+                    .as_str()
+                    .map(str::to_owned)
+                    .ok_or("job record dtype not a string")?,
+            },
         };
         Ok(JobRecord {
             id: get_str("id")?,
@@ -562,6 +594,7 @@ pub fn run_job(
         let optimizer = parse_optimizer(&spec.optimizer).map_err(TrainError::Config)?;
         let schedule = spec.parsed_schedule().map_err(TrainError::Config)?;
         let lr = spec.lr.unwrap_or_else(|| setting.default_lr(&optimizer));
+        let dtype = spec.parsed_dtype().map_err(TrainError::Config)?;
         let ft = FtConfig {
             checkpoint_every: (spec.checkpoint_every > 0).then_some(spec.checkpoint_every),
             checkpoint_path: (spec.checkpoint_every > 0).then(|| ckpt_path.clone()),
@@ -576,6 +609,7 @@ pub fn run_job(
             schedule,
             lr,
             spec.seed,
+            dtype,
             ft,
             &mut rec,
         )
@@ -621,6 +655,7 @@ mod tests {
             seed: 7,
             lr: None,
             checkpoint_every: 2,
+            dtype: "f32".to_owned(),
         }
     }
 
@@ -643,9 +678,15 @@ mod tests {
             r#"{"setting":"digits-mlp","budget":10,"optimizer":"lion"}"#,
             r#"{"setting":"digits-mlp","budget":10,"lr":-1}"#,
             r#"{"setting":"digits-mlp","budget":10,"surprise":1}"#,
+            r#"{"setting":"digits-mlp","budget":10,"dtype":"f64"}"#,
+            r#"{"setting":"digits-mlp","budget":10,"dtype":"q8_0"}"#,
         ] {
             assert!(JobSpec::parse(bad, 5).is_err(), "accepted {bad:?}");
         }
+
+        let s = JobSpec::parse(r#"{"setting":"digits-mlp","budget":25,"dtype":"f16"}"#, 5).unwrap();
+        assert_eq!(s.dtype, "f16");
+        assert_eq!(s.parsed_dtype().unwrap(), DType::F16);
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! Element dtypes and software precision-conversion kernels.
+//!
+//! The stack computes in f32 everywhere; this module defines the *storage*
+//! formats a tensor's values may be held in between computations:
+//!
+//! * [`DType::F32`] — the native format; storage is lossless.
+//! * [`DType::F16`] — IEEE 754 binary16, converted with round-to-nearest-even
+//!   including gradual underflow (subnormals), signed zeros, ±inf and NaN.
+//! * [`DType::Bf16`] — bfloat16 (truncated-exponent f32), round-to-nearest-even.
+//! * [`DType::Q80`] — "Q8_0" block quantization: groups of [`QK`] values share
+//!   one f16 scale and store one signed byte each, the layout used by
+//!   GGUF-family inference formats.
+//!
+//! Every conversion here is a pure elementwise (or pure per-block) function of
+//! its input bits, so any backend — scalar fold, portable SIMD body, or a
+//! `#[target_feature]` recompilation of the portable body — produces bitwise
+//! identical results at any thread count. That property is what lets the
+//! mixed-precision training path keep the repo's determinism contract.
+//!
+//! The half-precision conversions are software implementations (no `f16`
+//! language type, no intrinsics) so they behave identically on every host.
+
+/// Number of elements per Q8_0 quantization block.
+pub const QK: usize = 32;
+
+/// A tensor element storage format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit IEEE float — the native compute format.
+    F32,
+    /// 16-bit IEEE binary16 with gradual underflow.
+    F16,
+    /// bfloat16: f32 with the low 16 mantissa bits rounded away.
+    Bf16,
+    /// Q8_0 block quantization: [`QK`]-element blocks, one f16 scale plus
+    /// one `i8` quant per element. Storage/export only — not a training
+    /// dtype.
+    Q80,
+}
+
+impl DType {
+    /// Canonical lower-case name (`"f32"`, `"f16"`, `"bf16"`, `"q8_0"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::Bf16 => "bf16",
+            DType::Q80 => "q8_0",
+        }
+    }
+
+    /// Parses a dtype name (case-insensitive). Accepts `q8_0`/`q80`.
+    pub fn parse(s: &str) -> Option<DType> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "f32" => DType::F32,
+            "f16" => DType::F16,
+            "bf16" => DType::Bf16,
+            "q8_0" | "q80" => DType::Q80,
+            _ => None?,
+        })
+    }
+
+    /// Whether parameters may be *stored* in this dtype during training.
+    /// Q8_0 is export-only: its per-block scales make in-place rounding of a
+    /// live parameter tensor ill-defined.
+    pub fn trainable(self) -> bool {
+        !matches!(self, DType::Q80)
+    }
+
+    /// Exact serialized payload size, in bytes, of `n` elements.
+    pub fn nbytes(self, n: usize) -> usize {
+        match self {
+            DType::F32 => n * 4,
+            DType::F16 | DType::Bf16 => n * 2,
+            // per block: one u16 scale; per element: one i8 quant
+            DType::Q80 => n.div_ceil(QK) * 2 + n,
+        }
+    }
+
+    /// Rounds one value through this storage format and back to f32.
+    /// Identity for `F32`. Panics for `Q80` (block formats cannot round a
+    /// single element; see [`quantize_q8_0`]).
+    pub fn round_val(self, x: f32) -> f32 {
+        match self {
+            DType::F32 => x,
+            DType::F16 => f16_bits_to_f32(f32_to_f16_bits(x)),
+            DType::Bf16 => bf16_bits_to_f32(f32_to_bf16_bits(x)),
+            DType::Q80 => panic!("q8_0 is a block format; round_val is undefined"),
+        }
+    }
+
+    /// Rounds every element of `xs` in place through this storage format.
+    /// No-op for `F32`; panics for `Q80` (see [`round_val`](Self::round_val)).
+    pub fn round_slice(self, xs: &mut [f32]) {
+        match self {
+            DType::F32 => {}
+            DType::F16 => {
+                for x in xs {
+                    *x = f16_bits_to_f32(f32_to_f16_bits(*x));
+                }
+            }
+            DType::Bf16 => {
+                for x in xs {
+                    *x = bf16_bits_to_f32(f32_to_bf16_bits(*x));
+                }
+            }
+            DType::Q80 => panic!("q8_0 is a block format; round_slice is undefined"),
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Converts an f32 to IEEE binary16 bits with round-to-nearest-even.
+///
+/// Handles every edge of the format explicitly: values whose magnitude
+/// rounds to ≥ 2^16 become ±inf, magnitudes below 2^-25 (or exactly 2^-25,
+/// which ties to even) become signed zero, the range [2^-25, 2^-14) lands on
+/// the subnormal grid with a correct tie-to-even at every halfway point, and
+/// NaNs map to the canonical quiet NaN preserving sign.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 255 {
+        // inf stays inf; any NaN payload collapses to the canonical quiet NaN
+        return if man == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00
+        };
+    }
+    let e = exp - 127 + 15; // rebiased f16 exponent
+    if e >= 31 {
+        return sign | 0x7c00; // overflow to inf
+    }
+    if e <= 0 {
+        // subnormal range (or underflow to zero)
+        if e < -10 {
+            // magnitude < 2^-25, or == 2^-25 tying to even zero
+            return sign;
+        }
+        // implicit leading 1, then shift the 24-bit significand onto the
+        // 2^-24 subnormal grid with round-to-nearest-even on the dropped bits
+        let m = man | 0x0080_0000;
+        let shift = (14 - e) as u32; // 14..=24
+        let h = (m >> shift) as u16;
+        let rem = m & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        // a carry out of the subnormal mantissa lands on exponent 1 with
+        // mantissa 0, which is exactly the smallest normal — no special case
+        return if rem > half || (rem == half && (h & 1) == 1) {
+            sign | (h + 1)
+        } else {
+            sign | h
+        };
+    }
+    // normal range: keep the top 10 mantissa bits, RNE on the dropped 13
+    let h = (((e as u32) << 10) as u16) | ((man >> 13) as u16);
+    let rem = man & 0x1fff;
+    // a carry here can overflow the mantissa into the exponent (correct:
+    // rounds up to the next binade) and from 0x7bff into 0x7c00 = inf
+    // (correct: magnitudes ≥ 65520 round to inf)
+    if rem > 0x1000 || (rem == 0x1000 && (h & 1) == 1) {
+        sign | (h + 1)
+    } else {
+        sign | h
+    }
+}
+
+/// Widens IEEE binary16 bits to f32. Exact: every f16 value (including
+/// subnormals) is representable in f32. NaN payloads are preserved.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let man = (h & 0x03ff) as u32;
+    if exp == 0 {
+        if man == 0 {
+            return f32::from_bits(sign); // signed zero
+        }
+        // subnormal: man × 2^-24, computed exactly in f32
+        let v = (man as f32) * (1.0 / 16_777_216.0);
+        return if sign != 0 { -v } else { v };
+    }
+    if exp == 31 {
+        return f32::from_bits(sign | 0x7f80_0000 | (man << 13));
+    }
+    f32::from_bits(sign | ((exp as u32 + 112) << 23) | (man << 13))
+}
+
+/// Converts an f32 to bfloat16 bits with round-to-nearest-even.
+///
+/// bf16 shares f32's exponent, so this is a pure mantissa rounding: add the
+/// tie-breaking bias and truncate. Overflow to ±inf falls out of the carry.
+/// NaNs map to the canonical quiet NaN preserving sign (the bias trick could
+/// otherwise round a NaN's mantissa to zero, turning it into inf).
+pub fn f32_to_bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return (((bits >> 16) & 0x8000) | 0x7fc0) as u16;
+    }
+    let round = 0x7fff + ((bits >> 16) & 1);
+    ((bits + round) >> 16) as u16
+}
+
+/// Widens bfloat16 bits to f32 (exact: bf16 is a prefix of f32).
+pub fn bf16_bits_to_f32(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// Smallest positive f16 (the subnormal 2^-24), as bits.
+const F16_SMALLEST_SUB: u16 = 0x0001;
+
+/// The next representable f16 above a non-negative finite f16. On bits this
+/// is a plain increment: it walks the subnormal grid, crosses into the
+/// normals, and widens binades, in value order.
+fn next_f16_up(bits: u16) -> u16 {
+    debug_assert!(bits & 0x8000 == 0 && bits < 0x7c00);
+    bits + 1
+}
+
+/// Quantizes `src` into Q8_0 blocks: for each run of [`QK`] values (the
+/// final block may be shorter), one f16 scale and one `i8` per element.
+///
+/// `scales` must hold `src.len().div_ceil(QK)` elements and `quants` must
+/// hold `src.len()`.
+///
+/// The scale is chosen so that *no* quant saturates: starting from
+/// `amax / 127` rounded to f16, it is bumped to the next representable f16
+/// until `round(amax / scale) ≤ 127`. That guarantees the reconstruction
+/// error bound `|x − q·s| ≤ s/2` for every element — a clamped quant would
+/// break it, and the bump is needed because an f16-rounded scale can land
+/// below the exact `amax / 127` (by up to 33 % when the scale is subnormal).
+///
+/// # Panics
+///
+/// If `scales` or `quants` has the wrong length.
+pub fn quantize_q8_0(src: &[f32], scales: &mut [u16], quants: &mut [i8]) {
+    assert_eq!(scales.len(), src.len().div_ceil(QK), "scale count");
+    assert_eq!(quants.len(), src.len(), "quant count");
+    for (bi, block) in src.chunks(QK).enumerate() {
+        let mut amax = 0.0f32;
+        for &x in block {
+            amax = amax.max(x.abs());
+        }
+        if amax == 0.0 {
+            scales[bi] = 0;
+            for q in &mut quants[bi * QK..bi * QK + block.len()] {
+                *q = 0;
+            }
+            continue;
+        }
+        let mut sbits = f32_to_f16_bits(amax / 127.0);
+        if sbits == 0 {
+            sbits = F16_SMALLEST_SUB;
+        }
+        while (amax / f16_bits_to_f32(sbits)).round() > 127.0 {
+            sbits = next_f16_up(sbits);
+        }
+        let s = f16_bits_to_f32(sbits);
+        scales[bi] = sbits;
+        let inv = 1.0 / s;
+        for (q, &x) in quants[bi * QK..].iter_mut().zip(block) {
+            // round half away from zero; the scale bump above guarantees
+            // the result is already within ±127, but clamp defensively
+            *q = (x * inv).round().clamp(-127.0, 127.0) as i8;
+        }
+    }
+}
+
+/// Dequantizes Q8_0 blocks back to f32: `out[i] = quants[i] × scale(block)`.
+/// Exact f32 arithmetic — the product of an i8 and an f16 value never needs
+/// more than 19 significand bits and never underflows f32.
+///
+/// # Panics
+///
+/// If `scales` or `out`/`quants` lengths disagree.
+pub fn dequantize_q8_0(scales: &[u16], quants: &[i8], out: &mut [f32]) {
+    assert_eq!(out.len(), quants.len(), "element count");
+    assert_eq!(scales.len(), out.len().div_ceil(QK), "scale count");
+    for (bi, chunk) in out.chunks_mut(QK).enumerate() {
+        let s = f16_bits_to_f32(scales[bi]);
+        for (o, &q) in chunk.iter_mut().zip(&quants[bi * QK..]) {
+            *o = q as f32 * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_basic_values() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff); // f16 max
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xfc00);
+        assert_eq!(f32_to_f16_bits(f32::NAN) & 0x7c00, 0x7c00);
+        assert_ne!(f32_to_f16_bits(f32::NAN) & 0x03ff, 0);
+    }
+
+    #[test]
+    fn f16_overflow_and_ties() {
+        // 65520 is the midpoint between f16 max (65504) and the next
+        // binade: ties to even = inf
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7c00);
+        assert_eq!(f32_to_f16_bits(65519.9), 0x7bff);
+        // 2^-25 ties to even zero; anything above rounds to the smallest
+        // subnormal
+        assert_eq!(f32_to_f16_bits(f32::from_bits(0x3300_0000)), 0x0000);
+        assert_eq!(f32_to_f16_bits(f32::from_bits(0x3300_0001)), 0x0001);
+        // 1.5 × 2^-25 ties to even 2^-24
+        assert_eq!(f32_to_f16_bits(1.5 * f32::from_bits(0x3300_0000)), 0x0001);
+    }
+
+    #[test]
+    fn f16_round_trip_all_bit_patterns() {
+        // every finite f16 must survive widen → narrow exactly
+        for h in 0u16..=0xffff {
+            let exp = (h >> 10) & 0x1f;
+            if exp == 31 {
+                continue; // inf/NaN handled elsewhere
+            }
+            let back = f32_to_f16_bits(f16_bits_to_f32(h));
+            assert_eq!(back, h, "f16 bits {h:#06x} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn bf16_basic_and_ties() {
+        assert_eq!(f32_to_bf16_bits(1.0), 0x3f80);
+        assert_eq!(bf16_bits_to_f32(0x3f80), 1.0);
+        assert_eq!(f32_to_bf16_bits(f32::INFINITY), 0x7f80);
+        // tie: mantissa 0x8000 below an even target truncates
+        assert_eq!(f32_to_bf16_bits(f32::from_bits(0x3f80_8000)), 0x3f80);
+        // tie above an odd target rounds up
+        assert_eq!(f32_to_bf16_bits(f32::from_bits(0x3f81_8000)), 0x3f82);
+        // NaN survives (the carry trick alone would produce inf here)
+        let n = f32_to_bf16_bits(f32::from_bits(0x7f80_0001));
+        assert!(bf16_bits_to_f32(n).is_nan());
+    }
+
+    #[test]
+    fn q8_0_zero_block_and_sizes() {
+        let src = [0.0f32; 40];
+        let mut scales = vec![0u16; 2];
+        let mut quants = vec![0i8; 40];
+        quantize_q8_0(&src, &mut scales, &mut quants);
+        assert_eq!(scales, vec![0, 0]);
+        assert!(quants.iter().all(|&q| q == 0));
+        assert_eq!(DType::Q80.nbytes(40), 2 * 2 + 40);
+        assert_eq!(DType::F16.nbytes(40), 80);
+        assert_eq!(DType::F32.nbytes(40), 160);
+    }
+
+    #[test]
+    fn q8_0_error_bound_including_tiny_scales() {
+        // the subnormal-scale regime is exactly where a naive f16 scale
+        // would saturate quants and break the bound
+        let mut rng = crate::Prng::new(0xD7E0);
+        for &mag in &[1.0f32, 1e-3, 3e-6, 1e-7, 6e-8, 1e4] {
+            let src: Vec<f32> = (0..QK * 3 + 7)
+                .map(|_| rng.uniform_in(-1.0, 1.0) * mag)
+                .collect();
+            let mut scales = vec![0u16; src.len().div_ceil(QK)];
+            let mut quants = vec![0i8; src.len()];
+            quantize_q8_0(&src, &mut scales, &mut quants);
+            let mut out = vec![0.0f32; src.len()];
+            dequantize_q8_0(&scales, &quants, &mut out);
+            for (bi, block) in src.chunks(QK).enumerate() {
+                let s = f16_bits_to_f32(scales[bi]);
+                for (i, &x) in block.iter().enumerate() {
+                    let err = (x - out[bi * QK + i]).abs();
+                    assert!(
+                        err <= s / 2.0 + f32::EPSILON * x.abs(),
+                        "mag {mag}: block {bi} elem {i}: |{x} - {}| = {err} > s/2 = {}",
+                        out[bi * QK + i],
+                        s / 2.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dtype_parse_and_round() {
+        assert_eq!(DType::parse("F16"), Some(DType::F16));
+        assert_eq!(DType::parse("q8_0"), Some(DType::Q80));
+        assert_eq!(DType::parse("q80"), Some(DType::Q80));
+        assert_eq!(DType::parse("f64"), None);
+        assert!(DType::F32.trainable());
+        assert!(!DType::Q80.trainable());
+        assert_eq!(DType::F32.round_val(0.1), 0.1);
+        let r = DType::F16.round_val(0.1);
+        assert!(r != 0.1 && (r - 0.1).abs() < 1e-4);
+        let mut xs = [1.0f32, 2.5e-5, -3.0];
+        DType::Bf16.round_slice(&mut xs);
+        assert_eq!(xs[0], 1.0);
+        assert_eq!(xs[2], -3.0);
+    }
+}

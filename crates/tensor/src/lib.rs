@@ -44,6 +44,7 @@
 
 pub mod backend;
 pub mod conv;
+pub mod dtype;
 mod error;
 pub mod im2col;
 pub mod kernels;
@@ -53,10 +54,13 @@ pub mod rng;
 pub mod scratch;
 mod shape;
 mod simd;
+pub mod storage;
 mod tensor;
 
 pub use backend::{BackendKind, ComputeBackend};
+pub use dtype::DType;
 pub use error::TensorError;
 pub use rng::Prng;
 pub use shape::{broadcast_shapes, strides_for};
+pub use storage::Storage;
 pub use tensor::Tensor;

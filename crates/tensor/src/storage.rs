@@ -1,0 +1,202 @@
+//! Typed value storage: a flat buffer of elements in one [`DType`].
+//!
+//! [`Storage`] is the serialization/interchange container behind
+//! mixed-precision checkpoints and the quantized export path. It is *not*
+//! wired into [`Tensor`](crate::Tensor) — compute stays f32 — it is the
+//! canonical "values at rest" representation: narrow on write, widen on read,
+//! with exact byte accounting so callers can reason about file sizes.
+
+use crate::dtype::{
+    bf16_bits_to_f32, dequantize_q8_0, f16_bits_to_f32, f32_to_bf16_bits, f32_to_f16_bits,
+    quantize_q8_0, DType, QK,
+};
+
+/// A flat buffer of elements held in one storage format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Storage {
+    /// Native f32 values.
+    F32(Vec<f32>),
+    /// IEEE binary16 bit patterns.
+    F16(Vec<u16>),
+    /// bfloat16 bit patterns.
+    Bf16(Vec<u16>),
+    /// Q8_0 blocks: one f16 scale per [`QK`]-element block plus one `i8`
+    /// quant per element. `len` is the logical element count (the final
+    /// block may be partial).
+    Q80 {
+        /// f16 scale bits, one per block.
+        scales: Vec<u16>,
+        /// Signed quants, one per element.
+        quants: Vec<i8>,
+        /// Logical element count.
+        len: usize,
+    },
+}
+
+impl Storage {
+    /// Narrows `src` into storage format `dtype`.
+    pub fn from_f32(dtype: DType, src: &[f32]) -> Storage {
+        match dtype {
+            DType::F32 => Storage::F32(src.to_vec()),
+            DType::F16 => Storage::F16(src.iter().map(|&x| f32_to_f16_bits(x)).collect()),
+            DType::Bf16 => Storage::Bf16(src.iter().map(|&x| f32_to_bf16_bits(x)).collect()),
+            DType::Q80 => {
+                let mut scales = vec![0u16; src.len().div_ceil(QK)];
+                let mut quants = vec![0i8; src.len()];
+                quantize_q8_0(src, &mut scales, &mut quants);
+                Storage::Q80 {
+                    scales,
+                    quants,
+                    len: src.len(),
+                }
+            }
+        }
+    }
+
+    /// Widens back to f32.
+    pub fn to_f32(&self) -> Vec<f32> {
+        match self {
+            Storage::F32(v) => v.clone(),
+            Storage::F16(v) => v.iter().map(|&h| f16_bits_to_f32(h)).collect(),
+            Storage::Bf16(v) => v.iter().map(|&b| bf16_bits_to_f32(b)).collect(),
+            Storage::Q80 {
+                scales,
+                quants,
+                len,
+            } => {
+                let mut out = vec![0.0f32; *len];
+                dequantize_q8_0(scales, quants, &mut out);
+                out
+            }
+        }
+    }
+
+    /// The storage format of this buffer.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Storage::F32(_) => DType::F32,
+            Storage::F16(_) => DType::F16,
+            Storage::Bf16(_) => DType::Bf16,
+            Storage::Q80 { .. } => DType::Q80,
+        }
+    }
+
+    /// Logical element count.
+    pub fn len(&self) -> usize {
+        match self {
+            Storage::F32(v) => v.len(),
+            Storage::F16(v) | Storage::Bf16(v) => v.len(),
+            Storage::Q80 { len, .. } => *len,
+        }
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact serialized payload size in bytes (no headers).
+    pub fn nbytes(&self) -> usize {
+        self.dtype().nbytes(self.len())
+    }
+
+    /// Serializes the payload little-endian: f32/f16/bf16 as consecutive
+    /// LE words; Q8_0 as all scale words followed by all quant bytes.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.nbytes());
+        match self {
+            Storage::F32(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Storage::F16(v) | Storage::Bf16(v) => {
+                for h in v {
+                    out.extend_from_slice(&h.to_le_bytes());
+                }
+            }
+            Storage::Q80 { scales, quants, .. } => {
+                for s in scales {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+                for &q in quants {
+                    out.push(q as u8);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a payload written by [`to_le_bytes`](Self::to_le_bytes).
+    /// Returns `None` when `bytes` is not exactly `dtype.nbytes(len)` long.
+    pub fn from_le_bytes(dtype: DType, len: usize, bytes: &[u8]) -> Option<Storage> {
+        if bytes.len() != dtype.nbytes(len) {
+            return None;
+        }
+        let words = |b: &[u8]| -> Vec<u16> {
+            b.chunks_exact(2)
+                .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                .collect()
+        };
+        Some(match dtype {
+            DType::F32 => Storage::F32(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            ),
+            DType::F16 => Storage::F16(words(bytes)),
+            DType::Bf16 => Storage::Bf16(words(bytes)),
+            DType::Q80 => {
+                let nscales = len.div_ceil(QK);
+                let (sb, qb) = bytes.split_at(nscales * 2);
+                Storage::Q80 {
+                    scales: words(sb),
+                    quants: qb.iter().map(|&b| b as i8).collect(),
+                    len,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_sizes() {
+        let mut rng = crate::Prng::new(42);
+        let src: Vec<f32> = (0..77).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        for dtype in [DType::F32, DType::F16, DType::Bf16, DType::Q80] {
+            let st = Storage::from_f32(dtype, &src);
+            assert_eq!(st.dtype(), dtype);
+            assert_eq!(st.len(), src.len());
+            assert!(!st.is_empty());
+            let bytes = st.to_le_bytes();
+            assert_eq!(bytes.len(), st.nbytes());
+            assert_eq!(bytes.len(), dtype.nbytes(src.len()));
+            let back = Storage::from_le_bytes(dtype, src.len(), &bytes).unwrap();
+            assert_eq!(back, st);
+            let widened = st.to_f32();
+            for (a, b) in src.iter().zip(&widened) {
+                let tol = match dtype {
+                    DType::F32 => 0.0,
+                    DType::F16 => 1e-3 * a.abs().max(1.0),
+                    DType::Bf16 => 1e-2 * a.abs().max(1.0),
+                    DType::Q80 => 2e-2 * a.abs().max(1.0),
+                };
+                assert!((a - b).abs() <= tol, "{dtype}: {a} vs {b}");
+            }
+        }
+        // truncated payloads are rejected
+        assert!(Storage::from_le_bytes(DType::F16, 77, &[0u8; 3]).is_none());
+    }
+
+    #[test]
+    fn f32_storage_is_lossless() {
+        let src = vec![0.1f32, -3.25, 1e-30, f32::MAX];
+        let st = Storage::from_f32(DType::F32, &src);
+        assert_eq!(st.to_f32(), src);
+    }
+}

@@ -19,7 +19,7 @@ use rex_data::images::{synth_cifar10, synth_cifar100, synth_stl10};
 use rex_data::ClassificationDataset;
 use rex_nn::Mlp;
 use rex_telemetry::Recorder;
-use rex_tensor::Prng;
+use rex_tensor::{DType, Prng};
 
 use crate::error::TrainError;
 use crate::tasks::{run_image_cell_ft, run_vae_cell_traced, ImageModel};
@@ -168,6 +168,7 @@ impl SettingSpec {
         schedule: ScheduleSpec,
         lr: f32,
         seed: u64,
+        dtype: DType,
         ft: FtConfig,
         rec: &mut Recorder,
     ) -> Result<f64, TrainError> {
@@ -182,6 +183,7 @@ impl SettingSpec {
                 schedule,
                 lr,
                 seed,
+                dtype,
                 ft,
                 rec,
             ),
@@ -190,6 +192,13 @@ impl SettingSpec {
                     return Err(TrainError::Config(
                         "checkpoint/resume/guard flags support image and digits settings; \
                          the VAE path has no snapshot support yet"
+                            .to_owned(),
+                    ));
+                }
+                if dtype != DType::F32 {
+                    return Err(TrainError::Config(
+                        "--dtype supports image and digits settings; the VAE path \
+                         stores f32 only"
                             .to_owned(),
                     ));
                 }
@@ -221,6 +230,7 @@ impl SettingSpec {
                     augment: false,
                     grad_clip: None,
                     seed: seed ^ 0x7EA1,
+                    dtype,
                     ft,
                 });
                 Ok(trainer
@@ -276,6 +286,7 @@ mod tests {
                 ScheduleSpec::Rex,
                 spec.default_lr(&OptimizerKind::sgdm()),
                 11,
+                DType::F32,
                 FtConfig::default(),
                 &mut rec,
             )
@@ -296,6 +307,7 @@ mod tests {
                 ScheduleSpec::Rex,
                 0.1,
                 seed,
+                DType::F32,
                 FtConfig::default(),
                 &mut Recorder::disabled(),
             )
@@ -317,6 +329,7 @@ mod tests {
                 ScheduleSpec::Rex,
                 0.1,
                 5,
+                DType::F32,
                 FtConfig {
                     stop_flag: Some(Arc::clone(&flag)),
                     ..FtConfig::default()
@@ -342,6 +355,7 @@ mod tests {
                 ScheduleSpec::Rex,
                 1e-2,
                 1,
+                DType::F32,
                 FtConfig {
                     halt_after_step: Some(3),
                     ..FtConfig::default()

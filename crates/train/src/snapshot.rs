@@ -15,7 +15,7 @@
 use crate::trainer::EpochStats;
 use rex_nn::checkpoint;
 use rex_optim::OptimizerState;
-use rex_tensor::Tensor;
+use rex_tensor::{DType, Tensor};
 use std::io;
 use std::path::Path;
 
@@ -38,6 +38,18 @@ pub struct TrainState {
     pub epochs: u64,
     /// Initial learning rate η₀ (bit pattern compared on resume).
     pub lr: f32,
+    /// Parameter storage precision. Governs the tensor-section codec:
+    /// `f32` keeps the legacy byte-identical layout, `f16`/`bf16` store
+    /// one `u16` per element. Resume refuses a dtype mismatch — the
+    /// stored bits are not losslessly re-interpretable across dtypes.
+    pub dtype: DType,
+    /// Compute backend that produced the snapshot (`"scalar"`/`"simd"`).
+    /// Provenance only: recorded so a resumed-elsewhere divergence can be
+    /// diagnosed, never compared on resume.
+    pub backend: String,
+    /// SIMD dispatch level at capture time (e.g. `"avx2+fma"`,
+    /// `"portable"`). Provenance only, like `backend`.
+    pub simd_level: String,
     /// Epoch in flight when the snapshot was taken.
     pub epoch: u64,
     /// Batches of the in-flight epoch already consumed.
@@ -86,12 +98,15 @@ impl TrainState {
             ("loop".to_owned(), self.encode_loop()),
             ("rng".to_owned(), self.encode_rng()),
             ("trace".to_owned(), self.trace_events.to_le_bytes().to_vec()),
-            ("model".to_owned(), checkpoint::encode_entries(&self.model)),
+            (
+                "model".to_owned(),
+                checkpoint::encode_entries_dtype(&self.model, self.dtype),
+            ),
             (
                 "buffers".to_owned(),
-                checkpoint::encode_entries(&self.buffers),
+                checkpoint::encode_entries_dtype(&self.buffers, self.dtype),
             ),
-            ("optim".to_owned(), encode_optim(&self.optim)),
+            ("optim".to_owned(), encode_optim(&self.optim, self.dtype)),
         ];
         checkpoint::save_state(path, &sections)
     }
@@ -127,6 +142,9 @@ impl TrainState {
             batch_size: 0,
             epochs: 0,
             lr: 0.0,
+            dtype: DType::F32,
+            backend: String::new(),
+            simd_level: String::new(),
             epoch: 0,
             batch_in_epoch: 0,
             step: 0,
@@ -154,9 +172,9 @@ impl TrainState {
             state.trace_events = r.u64()?;
             r.done()?;
         }
-        state.model = checkpoint::decode_entries(get("model")?)?;
-        state.buffers = checkpoint::decode_entries(get("buffers")?)?;
-        state.optim = decode_optim(get("optim")?)?;
+        state.model = checkpoint::decode_entries_dtype(get("model")?, state.dtype)?;
+        state.buffers = checkpoint::decode_entries_dtype(get("buffers")?, state.dtype)?;
+        state.optim = decode_optim(get("optim")?, state.dtype)?;
         Ok(state)
     }
 
@@ -195,6 +213,9 @@ impl TrainState {
         buf.extend_from_slice(&self.batch_size.to_le_bytes());
         buf.extend_from_slice(&self.epochs.to_le_bytes());
         buf.extend_from_slice(&self.lr.to_bits().to_le_bytes());
+        put_str(&mut buf, self.dtype.name());
+        put_str(&mut buf, &self.backend);
+        put_str(&mut buf, &self.simd_level);
         buf
     }
 
@@ -208,6 +229,21 @@ impl TrainState {
         self.batch_size = r.u64()?;
         self.epochs = r.u64()?;
         self.lr = f32::from_bits(r.u32()?);
+        let dtype_name = r.string()?;
+        self.dtype = DType::parse(&dtype_name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("snapshot has unknown dtype {dtype_name:?}"),
+            )
+        })?;
+        if !self.dtype.trainable() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("snapshot dtype {} is not a training dtype", self.dtype),
+            ));
+        }
+        self.backend = r.string()?;
+        self.simd_level = r.string()?;
         r.done()
     }
 
@@ -287,7 +323,7 @@ impl TrainState {
     }
 }
 
-fn encode_optim(state: &OptimizerState) -> Vec<u8> {
+fn encode_optim(state: &OptimizerState, dtype: DType) -> Vec<u8> {
     let mut buf = Vec::new();
     put_str(&mut buf, &state.kind);
     buf.extend_from_slice(&(state.scalars.len() as u32).to_le_bytes());
@@ -295,11 +331,11 @@ fn encode_optim(state: &OptimizerState) -> Vec<u8> {
         put_str(&mut buf, name);
         buf.extend_from_slice(&value.to_bits().to_le_bytes());
     }
-    buf.extend_from_slice(&checkpoint::encode_entries(&state.tensors));
+    buf.extend_from_slice(&checkpoint::encode_entries_dtype(&state.tensors, dtype));
     buf
 }
 
-fn decode_optim(bytes: &[u8]) -> io::Result<OptimizerState> {
+fn decode_optim(bytes: &[u8], dtype: DType) -> io::Result<OptimizerState> {
     let mut r = Reader::new(bytes);
     let kind = r.string()?;
     let n = r.u32()? as usize;
@@ -314,7 +350,7 @@ fn decode_optim(bytes: &[u8]) -> io::Result<OptimizerState> {
         let name = r.string()?;
         scalars.push((name, f64::from_bits(r.u64()?)));
     }
-    let tensors = checkpoint::decode_entries(r.rest())?;
+    let tensors = checkpoint::decode_entries_dtype(r.rest(), dtype)?;
     Ok(OptimizerState {
         kind,
         scalars,
@@ -411,6 +447,9 @@ mod tests {
             batch_size: 16,
             epochs: 8,
             lr: 0.05,
+            dtype: DType::F32,
+            backend: "simd".to_owned(),
+            simd_level: "avx2+fma".to_owned(),
             epoch: 2,
             batch_in_epoch: 3,
             step: 19,
@@ -465,6 +504,62 @@ mod tests {
         assert_eq!(TrainState::trace_cursor(&path).unwrap(), 23);
         let _ = std::fs::remove_file(&path);
         assert_eq!(state, back);
+    }
+
+    #[test]
+    fn half_precision_state_roundtrips_and_shrinks_tensor_sections() {
+        let mut state = sample_state();
+        state.dtype = DType::F16;
+        // live training state is always pre-rounded to the storage dtype
+        for (_, t) in state
+            .model
+            .iter_mut()
+            .chain(state.buffers.iter_mut())
+            .chain(state.optim.tensors.iter_mut())
+        {
+            DType::F16.round_slice(t.data_mut());
+        }
+        let path = tmp("half");
+        state.save(&path).unwrap();
+        let half_len = std::fs::metadata(&path).unwrap().len();
+        let back = TrainState::load(&path).unwrap();
+        assert_eq!(state, back);
+
+        let mut full = state.clone();
+        full.dtype = DType::F32;
+        full.save(&path).unwrap();
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        let _ = std::fs::remove_file(&path);
+        // 16 tensor elements in the sample state, 2 bytes saved each
+        assert_eq!(full_len - half_len, 2 * 16);
+    }
+
+    #[test]
+    fn unknown_dtype_in_meta_is_invalid_data() {
+        let state = sample_state();
+        let path = tmp("dtype");
+        state.save(&path).unwrap();
+        let sections = checkpoint::load_state(&path).unwrap();
+        let doctored: Vec<(String, Vec<u8>)> = sections
+            .into_iter()
+            .map(|(name, bytes)| {
+                if name == "meta" {
+                    // the dtype string "f32" is the last-but-two field;
+                    // rewrite its bytes in place
+                    let mut b = bytes;
+                    let pos = b.windows(3).rposition(|w| w == b"f32").unwrap();
+                    b[pos..pos + 3].copy_from_slice(b"f99");
+                    (name, b)
+                } else {
+                    (name, bytes)
+                }
+            })
+            .collect();
+        checkpoint::save_state(&path, &doctored).unwrap();
+        let err = TrainState::load(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unknown dtype"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use rex_nn::{
 };
 use rex_optim::{clip_grad_norm, global_grad_norm, global_param_norm, Optimizer};
 use rex_telemetry::{Event, Recorder, StepRecord};
-use rex_tensor::{Prng, TensorError};
+use rex_tensor::{DType, Prng, TensorError};
 
 use crate::error::TrainError;
 use crate::trainer::{FtConfig, OptimizerKind, TrainConfig, Trainer};
@@ -77,12 +77,14 @@ pub fn run_image_cell(
         schedule,
         lr,
         seed,
+        DType::F32,
         &mut Recorder::disabled(),
     )
 }
 
 /// [`run_image_cell`] with telemetry emitted into `rec` (see
-/// [`Trainer::train_classifier_traced`]).
+/// [`Trainer::train_classifier_traced`]) and an explicit parameter
+/// storage precision (`DType::F32` is the legacy bit-exact path).
 ///
 /// # Errors
 ///
@@ -97,6 +99,7 @@ pub fn run_image_cell_traced(
     schedule: ScheduleSpec,
     lr: f32,
     seed: u64,
+    dtype: DType,
     rec: &mut Recorder,
 ) -> Result<f64, TrainError> {
     run_image_cell_ft(
@@ -108,6 +111,7 @@ pub fn run_image_cell_traced(
         schedule,
         lr,
         seed,
+        dtype,
         FtConfig::default(),
         rec,
     )
@@ -129,6 +133,7 @@ pub fn run_image_cell_ft(
     schedule: ScheduleSpec,
     lr: f32,
     seed: u64,
+    dtype: DType,
     ft: FtConfig,
     rec: &mut Recorder,
 ) -> Result<f64, TrainError> {
@@ -142,6 +147,7 @@ pub fn run_image_cell_ft(
         augment: true,
         grad_clip: None,
         seed: seed ^ 0x7EA1,
+        dtype,
         ft,
     });
     Ok(trainer

@@ -6,7 +6,7 @@ use rex_data::{augment_hflip, batches, batches_traced};
 use rex_nn::{checkpoint, Module};
 use rex_optim::{clip_grad_norm, global_grad_norm, global_param_norm, Adam, Optimizer, Sgd};
 use rex_telemetry::{Event, Recorder, StepRecord};
-use rex_tensor::{Prng, Tensor, TensorError};
+use rex_tensor::{DType, Prng, Tensor, TensorError};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -196,6 +196,11 @@ pub struct TrainConfig {
     pub grad_clip: Option<f32>,
     /// RNG seed for shuffling/augmentation.
     pub seed: u64,
+    /// Parameter storage precision. `F32` is the legacy bit-exact path;
+    /// `F16`/`Bf16` keep all arithmetic in f32 (master weights) but round
+    /// stored parameters, optimizer state, and buffers to the narrow
+    /// dtype after every step, halving checkpoint tensor sections.
+    pub dtype: DType,
     /// Fault-tolerance settings (checkpoint/resume/guards); default off.
     pub ft: FtConfig,
 }
@@ -212,6 +217,7 @@ impl TrainConfig {
             augment: true,
             grad_clip: None,
             seed,
+            dtype: DType::F32,
             ft: FtConfig::default(),
         }
     }
@@ -325,7 +331,22 @@ impl Trainer {
         let cfg = self.config.clone();
         let ft = cfg.ft.clone();
         self.validate_ft(&ft)?;
+        if !cfg.dtype.trainable() {
+            return Err(TrainError::Config(format!(
+                "{} is not a trainable dtype (expected f32 | f16 | bf16)",
+                cfg.dtype
+            )));
+        }
         let mut opt = cfg.optimizer.build(model.params(), cfg.lr);
+        opt.set_param_dtype(cfg.dtype);
+        if cfg.dtype != DType::F32 {
+            // project the fresh initialisation onto the storage grid; from
+            // here the optimizer's per-step rounding keeps params there
+            for p in opt.params() {
+                cfg.dtype.round_slice(p.value_mut().data_mut());
+            }
+            round_buffers(cfg.dtype, model);
+        }
         let traced = rec.is_enabled();
         opt.set_instrumented(traced);
         let guard_on = ft.guard != GuardPolicy::Off;
@@ -475,6 +496,12 @@ impl Trainer {
                     }
                 }
                 opt.step();
+                if cfg.dtype != DType::F32 {
+                    // batch-norm running stats were updated by the forward
+                    // pass in full precision; round them like the params so
+                    // a checkpoint serializes them losslessly
+                    round_buffers(cfg.dtype, model);
+                }
                 st.samples_done += batch.labels.len() as u64;
                 if traced {
                     rec.emit(Event::Step(StepRecord {
@@ -634,6 +661,9 @@ impl Trainer {
         }
         if state.lr.to_bits() != cfg.lr.to_bits() {
             return mismatch("initial lr", cfg.lr.to_string(), state.lr.to_string());
+        }
+        if state.dtype != cfg.dtype {
+            return mismatch("dtype", cfg.dtype.to_string(), state.dtype.to_string());
         }
         if state.total_samples != total_samples {
             return mismatch(
@@ -827,6 +857,9 @@ fn capture_state(
         batch_size: cfg.batch_size as u64,
         epochs: cfg.epochs as u64,
         lr: cfg.lr,
+        dtype: cfg.dtype,
+        backend: rex_tensor::backend::kind().to_string(),
+        simd_level: rex_tensor::backend::active().simd_level().to_owned(),
         epoch: st.epoch,
         batch_in_epoch: st.batch_in_epoch,
         step: st.step,
@@ -849,6 +882,15 @@ fn capture_state(
             .map(|(name, cell)| (name.clone(), cell.borrow().clone()))
             .collect(),
         optim: opt.export_state(),
+    }
+}
+
+/// Rounds non-trainable model state (batch-norm running statistics) to
+/// the storage dtype in place. Pure per-element bit functions: identical
+/// at every backend and thread count.
+fn round_buffers(dtype: DType, model: &dyn Module) {
+    for (_, cell) in model.buffers() {
+        dtype.round_slice(cell.borrow_mut().data_mut());
     }
 }
 
@@ -934,6 +976,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 2,
+            dtype: DType::F32,
             ft: FtConfig::default(),
         });
         let result = trainer
@@ -970,6 +1013,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 5,
+            dtype: DType::F32,
             ft: FtConfig::default(),
         });
         let result = trainer
@@ -1001,6 +1045,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 8,
+            dtype: DType::F32,
             ft: FtConfig::default(),
         });
         let result = trainer
@@ -1024,6 +1069,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 8,
+            dtype: DType::F32,
             ft: FtConfig::default(),
         });
         let r2 = trainer2
@@ -1053,6 +1099,7 @@ mod tests {
                 augment: true,
                 grad_clip: None,
                 seed: 11,
+                dtype: DType::F32,
                 ft: FtConfig::default(),
             });
             trainer
@@ -1092,6 +1139,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 14,
+            dtype: DType::F32,
             ft: FtConfig::default(),
         });
         trainer
@@ -1131,6 +1179,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 17,
+            dtype: DType::F32,
             ft: FtConfig::default(),
         });
         let result = trainer
@@ -1182,6 +1231,7 @@ mod tests {
             augment: false,
             grad_clip: None,
             seed: 17,
+            dtype: DType::F32,
             ft: FtConfig::default(),
         });
         let r2 = trainer2

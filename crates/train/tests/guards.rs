@@ -39,6 +39,7 @@ fn config(epochs: usize, batch_size: usize, ft: FtConfig) -> TrainConfig {
         augment: false,
         grad_clip: None,
         seed: 33,
+        dtype: rex_tensor::DType::F32,
         ft,
     }
 }

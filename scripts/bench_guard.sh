@@ -1,34 +1,49 @@
 #!/usr/bin/env bash
-# Perf-regression guard for the GEMM backend: regenerates the kernel
-# benchmark into a scratch file and fails if the SIMD single-thread
-# matmul_256x256x256 speedup-vs-naive drops more than 10 % below the
-# committed BENCH_kernels.json. The guard compares `speedup_best` —
-# the ratio of *minimum* timings, measured adjacent in the same run.
-# External interference (CPU steal on a shared host) can only inflate a
-# sample, so the min-of-reps ratio tracks kernel capability rather than
-# host weather; a real code regression shifts it, noise does not.
+# Perf-regression guard for the compute kernels: regenerates the kernel
+# benchmark into a scratch file and fails if a guarded speedup drops more
+# than 10 % below the committed BENCH_kernels.json. The guard compares
+# `speedup_best` — the ratio of *minimum* timings, measured adjacent in
+# the same run. External interference (CPU steal on a shared host) can
+# only inflate a sample, so the min-of-reps ratio tracks kernel
+# capability rather than host weather; a real code regression shifts it,
+# noise does not.
+#
+# Guarded cases:
+#   * simd single-thread matmul_256x256x256 speedup-vs-naive
+#   * every quant_matmul case's qgemm-vs-dequant+GEMM speedup, which must
+#     also stay above the 1.5x acceptance floor in the committed artifact
 #
 # BENCH_GUARD_REPS overrides the rep count (default 15, matching the
 # committed artifact, so the min-of-reps estimators are comparable).
 #
 # The guard also sanity-checks the committed BENCH_serve.json (schema,
-# >=200 jobs, zero dropped/duplicated ids, sane latency quantiles).
-# `--serve-only` runs just that check, skipping the kernel re-run.
+# >=200 jobs, zero dropped/duplicated ids, sane latency quantiles, a
+# retries histogram that accounts for every job, backend provenance).
+#
+#   --serve-only   run just the serve-artifact check (no kernel re-run)
+#   --quant-only   re-run the kernel bench but guard only the
+#                  quantized-matmul cases (skips the GEMM floor)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-serve_only=0
-if [ "${1:-}" = "--serve-only" ]; then
-  serve_only=1
-fi
+mode=full
+case "${1:-}" in
+  "") ;;
+  --serve-only) mode=serve ;;
+  --quant-only) mode=quant ;;
+  *)
+    echo "bench-guard: unknown flag ${1:?} (expected --serve-only | --quant-only)" >&2
+    exit 2
+    ;;
+esac
 
 committed="BENCH_kernels.json"
 serve_committed="BENCH_serve.json"
-if [ "$serve_only" -eq 0 ] && [ ! -f "$committed" ]; then
+if [ "$mode" != "serve" ] && [ ! -f "$committed" ]; then
   echo "bench-guard: missing committed $committed" >&2
   exit 1
 fi
-if [ ! -f "$serve_committed" ]; then
+if [ "$mode" != "quant" ] && [ ! -f "$serve_committed" ]; then
   echo "bench-guard: missing committed $serve_committed" >&2
   exit 1
 fi
@@ -37,15 +52,16 @@ if ! command -v python3 >/dev/null; then
   exit 1
 fi
 
-python3 - "$serve_committed" <<'EOF'
+if [ "$mode" != "quant" ]; then
+  python3 - "$serve_committed" <<'EOF'
 import json
 import sys
 
 path = sys.argv[1]
 with open(path) as f:
     d = json.load(f)
-if d.get("schema") != "rex-serve-bench/v1":
-    sys.exit(f"bench-guard: {path}: expected rex-serve-bench/v1, got {d.get('schema')!r}")
+if d.get("schema") != "rex-serve-bench/v2":
+    sys.exit(f"bench-guard: {path}: expected rex-serve-bench/v2, got {d.get('schema')!r}")
 errors = []
 if d.get("jobs", 0) < 200:
     errors.append(f"jobs {d.get('jobs')} < 200 (committed artifact must be a full run)")
@@ -57,6 +73,14 @@ if d.get("dropped") != 0:
     errors.append(f"dropped {d.get('dropped')} != 0")
 if d.get("duplicated") != 0:
     errors.append(f"duplicated {d.get('duplicated')} != 0")
+for key in ("backend", "simd_level"):
+    if not d.get(key):
+        errors.append(f"missing provenance field {key!r}")
+hist = d.get("retries_histogram")
+if not isinstance(hist, dict) or sum(hist.values()) != d.get("jobs"):
+    errors.append(
+        f"retries_histogram must account for every job, got {hist}"
+    )
 for section in ("accept_ms", "complete_ms"):
     q = d.get(section, {})
     p50, p99, mx = q.get("p50", 0), q.get("p99", 0), q.get("max", 0)
@@ -68,11 +92,13 @@ if errors:
     sys.exit(1)
 print(
     f"bench-guard: serve artifact OK ({d['jobs']} jobs, "
-    f"accept p99 {d['accept_ms']['p99']} ms, complete p99 {d['complete_ms']['p99']} ms)"
+    f"accept p99 {d['accept_ms']['p99']} ms, complete p99 {d['complete_ms']['p99']} ms, "
+    f"{d['retries_429']} retries)"
 )
 EOF
+fi
 
-if [ "$serve_only" -eq 1 ]; then
+if [ "$mode" = "serve" ]; then
   exit 0
 fi
 
@@ -83,15 +109,18 @@ reps="${BENCH_GUARD_REPS:-15}"
 cargo run --release --offline -q -p rex-bench --bin kernel-bench -- \
   --reps "$reps" --out "$tmp/bench.json" >/dev/null
 
-python3 - "$committed" "$tmp/bench.json" <<'EOF'
+python3 - "$committed" "$tmp/bench.json" "$mode" <<'EOF'
 import json
 import sys
 
-def simd_1t_matmul(path):
+def load(path):
     with open(path) as f:
         d = json.load(f)
-    if d.get("schema") != "rex-kernel-bench/v3":
-        sys.exit(f"bench-guard: {path}: expected rex-kernel-bench/v3, got {d.get('schema')!r}")
+    if d.get("schema") != "rex-kernel-bench/v4":
+        sys.exit(f"bench-guard: {path}: expected rex-kernel-bench/v4, got {d.get('schema')!r}")
+    return d
+
+def simd_1t_matmul(d, path):
     for entry in d["backend_matrix"]:
         if entry["backend"] == "simd" and entry["threads"] == 1:
             for case in entry["cases"]:
@@ -99,13 +128,44 @@ def simd_1t_matmul(path):
                     return case["speedup_best"]
     sys.exit(f"bench-guard: {path}: no simd @ 1-thread matmul_256x256x256 entry")
 
-committed = simd_1t_matmul(sys.argv[1])
-fresh = simd_1t_matmul(sys.argv[2])
-floor = 0.9 * committed
-ok = fresh >= floor
-print(
-    f"bench-guard: simd@1T matmul speedup committed {committed:.2f}x, "
-    f"fresh {fresh:.2f}x, floor {floor:.2f}x -> {'OK' if ok else 'FAIL'}"
-)
-sys.exit(0 if ok else 1)
+def quant_cases(d, path):
+    cases = {c["name"]: c["speedup_best"] for c in d.get("quant_matmul", [])}
+    if not cases:
+        sys.exit(f"bench-guard: {path}: no quant_matmul cases")
+    return cases
+
+committed = load(sys.argv[1])
+fresh = load(sys.argv[2])
+mode = sys.argv[3]
+failed = False
+
+if mode != "quant":
+    c = simd_1t_matmul(committed, sys.argv[1])
+    f = simd_1t_matmul(fresh, sys.argv[2])
+    ok = f >= 0.9 * c
+    failed |= not ok
+    print(
+        f"bench-guard: simd@1T matmul speedup committed {c:.2f}x, "
+        f"fresh {f:.2f}x, floor {0.9 * c:.2f}x -> {'OK' if ok else 'FAIL'}"
+    )
+
+cq = quant_cases(committed, sys.argv[1])
+fq = quant_cases(fresh, sys.argv[2])
+for name, c in sorted(cq.items()):
+    if c < 1.5:
+        print(f"bench-guard: {name}: committed speedup {c:.2f}x below the 1.5x acceptance floor")
+        failed = True
+    f = fq.get(name)
+    if f is None:
+        print(f"bench-guard: {name}: missing from fresh run")
+        failed = True
+        continue
+    ok = f >= 0.9 * c
+    failed |= not ok
+    print(
+        f"bench-guard: {name} qgemm speedup committed {c:.2f}x, "
+        f"fresh {f:.2f}x, floor {0.9 * c:.2f}x -> {'OK' if ok else 'FAIL'}"
+    )
+
+sys.exit(1 if failed else 0)
 EOF

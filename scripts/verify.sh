@@ -52,7 +52,7 @@ cargo run --release --offline -p rex-cli --bin rexctl -- \
   --backend scalar --threads 4 --trace "$tmp_dir/run_scalar.jsonl" >/dev/null
 grep -q '"ev":"step"' "$tmp_dir/run_scalar.jsonl"
 
-echo "==> bench-guard (GEMM speedup floor vs committed BENCH_kernels.json)"
+echo "==> bench-guard (GEMM + quantized-matmul floors vs committed BENCH_kernels.json)"
 scripts/bench_guard.sh
 
 echo "==> trace-check (golden telemetry traces + CLI --trace)"
@@ -92,6 +92,59 @@ for t in 1 4; do
   cmp "$tmp_dir/full_$t.jsonl" "$tmp_dir/cut_$t.jsonl"
 done
 cmp "$tmp_dir/full_1.jsonl" "$tmp_dir/full_4.jsonl"
+
+echo "==> dtype matrix (--dtype f16/bf16 smoke + kill-and-resume, 1 and 4 threads)"
+# mixed-precision storage obeys the same contracts as f32: a same-seed
+# run is thread-count-invariant, and kill → resume → finish stitches a
+# trace byte-identical to the uninterrupted run's. A dtype-mismatched
+# resume must be refused.
+for dt in f16 bf16; do
+  for t in 1 4; do
+    cargo run --release --offline -p rex-cli --bin rexctl -- \
+      train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 --dtype "$dt" \
+      --threads "$t" --checkpoint "$tmp_dir/${dt}_full_$t.state" --checkpoint-every 5 \
+      --trace "$tmp_dir/${dt}_full_$t.jsonl" >/dev/null
+    rc=0
+    REX_FAULTS=kill-at-step=12 cargo run --release --offline -p rex-cli --bin rexctl -- \
+      train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 --dtype "$dt" \
+      --threads "$t" --checkpoint "$tmp_dir/${dt}_cut_$t.state" --checkpoint-every 5 \
+      --trace "$tmp_dir/${dt}_cut_$t.jsonl" >/dev/null 2>&1 || rc=$?
+    test "$rc" -eq 86
+    cargo run --release --offline -p rex-cli --bin rexctl -- \
+      train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 --dtype "$dt" \
+      --threads "$t" --checkpoint "$tmp_dir/${dt}_cut_$t.state" --checkpoint-every 5 \
+      --resume "$tmp_dir/${dt}_cut_$t.state" --trace "$tmp_dir/${dt}_cut_$t.jsonl" >/dev/null
+    cmp "$tmp_dir/${dt}_full_$t.jsonl" "$tmp_dir/${dt}_cut_$t.jsonl"
+  done
+  cmp "$tmp_dir/${dt}_full_1.jsonl" "$tmp_dir/${dt}_full_4.jsonl"
+done
+# refusal: an f16 snapshot must not resume under --dtype bf16
+rc=0
+cargo run --release --offline -p rex-cli --bin rexctl -- \
+  train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 --dtype bf16 \
+  --threads 1 --resume "$tmp_dir/f16_full_1.state" >/dev/null 2>"$tmp_dir/mismatch.err" || rc=$?
+test "$rc" -ne 0
+grep -qi "dtype" "$tmp_dir/mismatch.err"
+# and the f16 checkpoint's tensor sections halve: the whole file must be
+# well under 3/4 of the f32 run's (headers are small for this model)
+cargo run --release --offline -p rex-cli --bin rexctl -- \
+  train --setting rn20-cifar10 --budget 5 --schedule rex --seed 7 --dtype f32 \
+  --threads 1 --checkpoint "$tmp_dir/f32_ref.state" --checkpoint-every 5 >/dev/null
+f32_bytes=$(wc -c < "$tmp_dir/f32_ref.state")
+f16_bytes=$(wc -c < "$tmp_dir/f16_full_1.state")
+test $((f16_bytes * 4)) -lt $((f32_bytes * 3))
+
+echo "==> export (REXGGUF model files from a checkpoint)"
+# every quant level round-trips through the parser (the unit tests cover
+# payload equality; here we exercise the CLI end-to-end) and q8_0 comes
+# in well under half the f32 file
+for q in f32 f16 q8_0; do
+  cargo run --release --offline -p rex-cli --bin rexctl -- \
+    export --from "$tmp_dir/f32_ref.state" --out "$tmp_dir/model_$q.rexgguf" --quant "$q" >/dev/null
+done
+gguf_f32=$(wc -c < "$tmp_dir/model_f32.rexgguf")
+gguf_q8=$(wc -c < "$tmp_dir/model_q8_0.rexgguf")
+test $((gguf_q8 * 2)) -lt "$gguf_f32"
 
 echo "==> serve (HTTP job server: codec, queue, black-box e2e)"
 # the serve crate's own suites (codec + queue invariants + subprocess

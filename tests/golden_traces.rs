@@ -55,6 +55,7 @@ fn run_trace(spec: &ScheduleSpec, budget_pct: u32) -> Vec<Event> {
         augment: false,
         grad_clip: None,
         seed: SEED ^ u64::from(budget_pct),
+        dtype: rex::tensor::DType::F32,
         ft: FtConfig::default(),
     });
     trainer
@@ -175,6 +176,66 @@ fn traces_pass_under_both_forced_backends_at_any_thread_count() {
             );
         }
     }
+}
+
+/// Dtype court: the default `--dtype f32` path must be a no-op relative
+/// to the pre-dtype trainer — every committed golden file reproduces
+/// *byte-identically* under the scalar backend (the backend the goldens
+/// were blessed under), at serial and ragged pool sizes, and passes the
+/// trace tolerances under the SIMD backend (whose reduction order drifts
+/// by rounding, per the backend contract). If the mixed-precision
+/// machinery ever perturbed the f32 path — an extra round-trip through a
+/// narrowing kernel, a reordered update — this is the test that names
+/// the file.
+#[test]
+fn dtype_f32_default_keeps_all_goldens_byte_identical() {
+    use rex::tensor::backend::{self, BackendKind};
+
+    let cells: [(&str, ScheduleSpec); 4] = [
+        ("rex", ScheduleSpec::Rex),
+        ("linear", ScheduleSpec::Linear),
+        ("cosine", ScheduleSpec::Cosine),
+        ("step", ScheduleSpec::Step),
+    ];
+    let mut checked = 0;
+    for (name, spec) in &cells {
+        for pct in [10u32, 50] {
+            let path = golden_path(name, pct);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+            for threads in [1usize, 3] {
+                let run = backend::with_backend(BackendKind::Scalar, || {
+                    rex_pool::with_pool_size(threads, || encode_trace(&run_trace(spec, pct), false))
+                });
+                assert_eq!(
+                    run, text,
+                    "{name} @ {pct}%: scalar f32 trace is not byte-identical \
+                     to the committed golden at {threads} thread(s)"
+                );
+            }
+            let simd = backend::with_backend(BackendKind::Simd, || {
+                rex_pool::with_pool_size(1, || run_trace(spec, pct))
+            });
+            let golden = parse_trace(&text).expect("golden file must parse");
+            if let Err(diff) = diff_traces(&golden, &simd, &Tolerances::default()) {
+                panic!("{name} @ {pct}% under simd: {diff}");
+            }
+            checked += 1;
+        }
+    }
+    // the glob above must cover every committed golden — a new cell
+    // added to tests/golden/ without a row here should fail loudly
+    let committed = std::fs::read_dir(golden_path("rex", 10).parent().unwrap())
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .is_ok_and(|e| e.path().extension().is_some_and(|x| x == "jsonl"))
+        })
+        .count();
+    assert_eq!(
+        checked, committed,
+        "a committed golden file was not checked"
+    );
 }
 
 /// The negative control: a one-step LR perturbation far smaller than any

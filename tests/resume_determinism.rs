@@ -39,6 +39,17 @@ fn run_cell(
     sink: JsonlSink,
     ft: FtConfig,
 ) -> Result<TrainResult, TrainError> {
+    run_cell_dtype(spec, opt, sink, ft, rex::tensor::DType::F32)
+}
+
+/// [`run_cell`] with an explicit parameter-storage dtype.
+fn run_cell_dtype(
+    spec: &ScheduleSpec,
+    opt: OptimizerKind,
+    sink: JsonlSink,
+    ft: FtConfig,
+    dtype: rex::tensor::DType,
+) -> Result<TrainResult, TrainError> {
     let train = synth_digits(60, 12, 0xD1_617);
     let test = synth_digits(30, 12, 0xD1_618);
     let mut rng = Prng::new(SEED);
@@ -53,6 +64,7 @@ fn run_cell(
         augment: false,
         grad_clip: None,
         seed: SEED,
+        dtype,
         ft,
     })
     .train_classifier_traced(
@@ -70,6 +82,18 @@ fn run_cell(
 /// Full run vs. halt-at-step-6 + resume: byte-identical traces, equal
 /// final metrics.
 fn check_cell(spec: &ScheduleSpec, opt: OptimizerKind, cell: &str) {
+    check_cell_dtype(spec, opt, cell, rex::tensor::DType::F32);
+}
+
+/// [`check_cell`] with an explicit parameter-storage dtype; returns the
+/// size in bytes of the finished run's snapshot so dtype-size tests can
+/// compare storage footprints.
+fn check_cell_dtype(
+    spec: &ScheduleSpec,
+    opt: OptimizerKind,
+    cell: &str,
+    dtype: rex::tensor::DType,
+) -> u64 {
     let dir = workdir(cell);
     let full_trace = dir.join("full.jsonl");
     let cut_trace = dir.join("cut.jsonl");
@@ -77,20 +101,21 @@ fn check_cell(spec: &ScheduleSpec, opt: OptimizerKind, cell: &str) {
     let cut_ckpt = dir.join("cut.state");
 
     // uninterrupted baseline (checkpointing on, so the event streams match)
-    let baseline = run_cell(
+    let baseline = run_cell_dtype(
         spec,
         opt,
         JsonlSink::create(&full_trace).unwrap(),
         FtConfig {
             checkpoint_every: Some(CHECKPOINT_EVERY),
-            checkpoint_path: Some(full_ckpt),
+            checkpoint_path: Some(full_ckpt.clone()),
             ..FtConfig::default()
         },
+        dtype,
     )
     .expect("baseline run");
 
     // interrupted run: snapshot at step 5, halt after step 6
-    let err = run_cell(
+    let err = run_cell_dtype(
         spec,
         opt,
         JsonlSink::create(&cut_trace).unwrap(),
@@ -100,6 +125,7 @@ fn check_cell(spec: &ScheduleSpec, opt: OptimizerKind, cell: &str) {
             halt_after_step: Some(HALT_AFTER),
             ..FtConfig::default()
         },
+        dtype,
     )
     .expect_err("interrupted run must halt");
     assert!(
@@ -109,7 +135,7 @@ fn check_cell(spec: &ScheduleSpec, opt: OptimizerKind, cell: &str) {
 
     // resume: truncate the trace to the snapshot's line cursor, finish
     let cursor = TrainState::trace_cursor(&cut_ckpt).expect("snapshot readable");
-    let resumed = run_cell(
+    let resumed = run_cell_dtype(
         spec,
         opt,
         JsonlSink::resume(&cut_trace, cursor).unwrap(),
@@ -119,6 +145,7 @@ fn check_cell(spec: &ScheduleSpec, opt: OptimizerKind, cell: &str) {
             resume_from: Some(cut_ckpt),
             ..FtConfig::default()
         },
+        dtype,
     )
     .expect("resumed run");
 
@@ -133,7 +160,9 @@ fn check_cell(spec: &ScheduleSpec, opt: OptimizerKind, cell: &str) {
         full, cut,
         "{cell}: resumed trace is not byte-identical to the uninterrupted run"
     );
+    let ckpt_bytes = std::fs::metadata(&full_ckpt).unwrap().len();
     let _ = std::fs::remove_dir_all(dir);
+    ckpt_bytes
 }
 
 #[test]
@@ -164,6 +193,90 @@ fn resume_is_byte_identical_cosine_sgdm() {
 #[test]
 fn resume_is_byte_identical_cosine_adam() {
     check_cell(&ScheduleSpec::Cosine, OptimizerKind::adam(), "cosine_adam");
+}
+
+/// The mixed-precision cells obey the same kill→resume→finish contract:
+/// halved parameter storage changes the trajectory, never the
+/// reproducibility. The f16 run's finished snapshot must also come in at
+/// roughly half the f32 run's bytes — tensor sections (model, buffers,
+/// optimizer master+stored pairs) dominate this model's snapshot, and
+/// every stored tensor narrows from 4 to 2 bytes per element.
+#[test]
+fn resume_is_byte_identical_at_f16_and_checkpoint_halves() {
+    let f32_bytes = check_cell_dtype(
+        &ScheduleSpec::Rex,
+        OptimizerKind::sgdm(),
+        "rex_sgdm_f32ref",
+        rex::tensor::DType::F32,
+    );
+    let f16_bytes = check_cell_dtype(
+        &ScheduleSpec::Rex,
+        OptimizerKind::sgdm(),
+        "rex_sgdm_f16",
+        rex::tensor::DType::F16,
+    );
+    let ratio = f32_bytes as f64 / f16_bytes as f64;
+    assert!(
+        (1.4..=2.1).contains(&ratio),
+        "f16 snapshot is {f16_bytes} B vs f32 {f32_bytes} B \
+         (ratio {ratio:.2}, expected ≈2 with header overhead)"
+    );
+}
+
+#[test]
+fn resume_is_byte_identical_at_bf16() {
+    check_cell_dtype(
+        &ScheduleSpec::Rex,
+        OptimizerKind::adam(),
+        "rex_adam_bf16",
+        rex::tensor::DType::Bf16,
+    );
+}
+
+/// A snapshot written at one dtype must refuse to resume at another —
+/// the stored bits are not losslessly re-interpretable — and the error
+/// must name both dtypes.
+#[test]
+fn dtype_mismatched_resume_is_refused() {
+    let dir = workdir("dtype_mismatch");
+    let trace = dir.join("trace.jsonl");
+    let ckpt = dir.join("ckpt.state");
+
+    let err = run_cell_dtype(
+        &ScheduleSpec::Rex,
+        OptimizerKind::sgdm(),
+        JsonlSink::create(&trace).unwrap(),
+        FtConfig {
+            checkpoint_every: Some(CHECKPOINT_EVERY),
+            checkpoint_path: Some(ckpt.clone()),
+            halt_after_step: Some(HALT_AFTER),
+            ..FtConfig::default()
+        },
+        rex::tensor::DType::F16,
+    )
+    .expect_err("interrupted run must halt");
+    assert!(matches!(err, TrainError::Halted { .. }), "{err:?}");
+
+    let cursor = TrainState::trace_cursor(&ckpt).expect("snapshot readable");
+    let err = run_cell_dtype(
+        &ScheduleSpec::Rex,
+        OptimizerKind::sgdm(),
+        JsonlSink::resume(&trace, cursor).unwrap(),
+        FtConfig {
+            checkpoint_every: Some(CHECKPOINT_EVERY),
+            checkpoint_path: Some(ckpt.clone()),
+            resume_from: Some(ckpt),
+            ..FtConfig::default()
+        },
+        rex::tensor::DType::Bf16,
+    )
+    .expect_err("dtype-mismatched resume must be refused");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("dtype") && msg.contains("f16") && msg.contains("bf16"),
+        "refusal must name the field and both dtypes, got: {msg}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 /// Resuming the *final* snapshot of a finished run is a no-op that still

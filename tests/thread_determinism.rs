@@ -199,6 +199,7 @@ fn traced_training_run_is_byte_identical_across_thread_counts() {
                 ScheduleSpec::Rex,
                 0.05,
                 23,
+                rex::tensor::DType::F32,
                 &mut rec,
             )
             .unwrap();
