@@ -104,6 +104,38 @@ fn ft_from_flags(flags: &Flags) -> Result<FtConfig, String> {
     })
 }
 
+/// Applies the optional `--profile FILE [--profile-detail phase|kernel]`
+/// flags: enables the thread-local span profiler and returns the output
+/// path. The profiler is invisible to the Recorder, so traces stay
+/// byte-identical with profiling on.
+fn profile_from_flags(flags: &Flags) -> Result<Option<PathBuf>, String> {
+    let Some(path) = flags.get("profile") else {
+        if flags.get("profile-detail").is_some() {
+            return Err("--profile-detail requires --profile FILE".into());
+        }
+        return Ok(None);
+    };
+    let detail = match flags.get("profile-detail") {
+        None => rex_telemetry::span::Detail::Phase,
+        Some(v) => {
+            rex_telemetry::span::Detail::parse(v).map_err(|e| format!("--profile-detail: {e}"))?
+        }
+    };
+    rex_telemetry::span::enable(detail);
+    Ok(Some(PathBuf::from(path)))
+}
+
+/// Writes the collected span profile as Chrome trace JSON and prints its
+/// phase table — the end-of-run self-profile.
+fn finish_profile(path: &Path) -> Result<(), String> {
+    let profile = rex_telemetry::span::take();
+    std::fs::write(path, profile.to_chrome_trace())
+        .map_err(|e| format!("cannot write profile {}: {e}", path.display()))?;
+    print!("{}", profile.render_phase_table());
+    eprintln!("profile written to {}", path.display());
+    Ok(())
+}
+
 /// Builds the trace recorder for `train`. A resumed run re-opens the
 /// existing trace and truncates it to the snapshot's line cursor, so the
 /// finished file is byte-identical to an uninterrupted run's; a fresh run
@@ -215,6 +247,7 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
     let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
     let dtype = dtype_from_flags(&flags)?;
     let ft = ft_from_flags(&flags)?;
+    let profile_path = profile_from_flags(&flags)?;
     let mut rec = recorder_for_train(&flags, &ft)?;
 
     if !setting.supports_ft() && ft_is_active(&ft) {
@@ -253,6 +286,9 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
     );
     if let Some(path) = flags.get("trace") {
         eprintln!("trace written to {path}");
+    }
+    if let Some(path) = &profile_path {
+        finish_profile(path)?;
     }
     Ok(())
 }
@@ -359,6 +395,9 @@ fn sweep_inner(argv: &[String]) -> Result<(), String> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create resume dir {}: {e}", dir.display()))?;
     }
+    // Cells run serially on this thread, so one thread-local profiler
+    // aggregates spans across the whole grid.
+    let profile_path = profile_from_flags(&flags)?;
 
     let mut headers = vec![format!("{name} ({})", optimizer.name())];
     headers.extend(budgets.iter().map(|b| format!("{b}%")));
@@ -406,6 +445,9 @@ fn sweep_inner(argv: &[String]) -> Result<(), String> {
         table::mark_best_per_column(&mut rows, ci + 1, values, true);
     }
     println!("{}", table::markdown(&headers, &rows));
+    if let Some(path) = &profile_path {
+        finish_profile(path)?;
+    }
     Ok(())
 }
 

@@ -10,6 +10,7 @@
 
 mod args;
 mod commands;
+mod trace_cmd;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +22,7 @@ fn main() {
         Some("range-test") => commands::range_test(&argv[1..]),
         Some("serve") => commands::serve(&argv[1..]),
         Some("export") => commands::export(&argv[1..]),
+        Some("trace") => trace_cmd::trace(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -49,21 +51,37 @@ USAGE:
                [--optimizer sgdm|adam] [--lr LR] [--seed S] [--trace FILE]
                [--threads N] [--backend scalar|simd|auto]
                [--dtype f32|f16|bf16]
+               [--profile FILE] [--profile-detail phase|kernel]
                [--checkpoint FILE --checkpoint-every N]
                [--resume FILE] [--guard off|abort|skip|rollback]
                [--halt-after STEP]
       Train one budgeted cell and print the final metric. With --trace,
       write a JSONL telemetry trace (one step record per optimizer step)
       to FILE; same-seed runs produce byte-identical traces at any
-      thread count.
+      thread count. With --profile, collect a hierarchical span profile
+      (job/epoch/step/data|forward|backward|optimizer/...), print its
+      phase table at run end, and write Chrome trace-event JSON to FILE
+      (load in Perfetto); --profile-detail kernel adds per-op compute
+      spans. Profiling never changes the trace bytes.
 
   rexctl sweep --setting <SETTING> [--budgets 1,5,10,25,50,100]
                [--schedules rex,linear,...] [--optimizer sgdm|adam]
                [--threads N] [--backend scalar|simd|auto]
                [--dtype f32|f16|bf16] [--resume DIR]
+               [--profile FILE] [--profile-detail phase|kernel]
       Run a schedule x budget mini-grid and print a markdown table.
       --resume DIR leaves a done-marker per finished cell and skips
-      marked cells on the next run.
+      marked cells on the next run. --profile aggregates a span profile
+      across every cell and writes it to FILE as Chrome trace JSON.
+
+  rexctl trace summary FILE
+  rexctl trace diff EXPECTED ACTUAL
+  rexctl trace profile FILE [--top K]
+      Offline trace analysis: summarize a JSONL training trace (run
+      header plus lr/loss sparklines), diff two traces with the golden
+      comparator (exit 0 and silence when they match; the first
+      divergent event and step otherwise), or rank the hottest spans of
+      a --profile Chrome trace.
 
   rexctl range-test --setting <SETTING> [--optimizer sgdm|adam] [--trace FILE]
                [--threads N] [--backend scalar|simd|auto]
@@ -80,13 +98,19 @@ USAGE:
   rexctl serve --data-dir DIR [--addr HOST:PORT] [--queue-depth N]
                [--workers N] [--checkpoint-every STEPS]
                [--threads N] [--backend scalar|simd|auto]
+               [--access-log FILE] [--profile on|off]
+               [--metrics-compat on|off]
       Run the budgeted-training job server (HTTP/1.1, zero deps) in the
       foreground. POST /v1/jobs submits a train job as flat JSON; a full
       queue answers 429 + Retry-After. GET /v1/jobs/:id/trace streams the
-      live JSONL trace; GET /metrics is Prometheus-style. Job state lives
-      under --data-dir: restarting on the same directory re-enqueues
+      live JSONL trace; GET /metrics is Prometheus-style (histogram
+      timers with _bucket/_sum/_count). Job state lives under
+      --data-dir: restarting on the same directory re-enqueues
       unfinished jobs, which resume from their last checkpoint and finish
-      with byte-identical traces.
+      with byte-identical traces. --access-log appends one key=value
+      line per request; every response carries an X-Request-Id that also
+      lands in the submitted job's manifest; --profile on writes a span
+      profile per job to jobs/<id>/profile.json.
 
 THREADS:
   --threads N sizes the persistent worker pool (overrides the

@@ -1,0 +1,143 @@
+//! `rexctl trace` end to end, against the committed golden traces.
+//!
+//! The committed pair pins the diff contract: the golden
+//! `tests/golden/rex_b10.jsonl` against itself must match silently
+//! (exit 0), and against the fixture
+//! `crates/cli/tests/data/rex_b10_lr_perturbed.jsonl` — identical
+//! except step 2's learning rate — must name exactly that first
+//! divergent step and exit 1. (The fixture lives here, not in
+//! `tests/golden/`, because that directory holds only blessed
+//! trajectories and its coverage test counts every file.) A
+//! `--profile` run must emit Chrome trace-event JSON that
+//! `trace profile` loads and ranks.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn golden(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+fn rexctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rexctl"))
+        .args(args)
+        .output()
+        .expect("rexctl must spawn")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn diff_of_identical_traces_is_silent_success() {
+    let path = golden("rex_b10.jsonl");
+    let out = rexctl(&[
+        "trace",
+        "diff",
+        path.to_str().unwrap(),
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
+    assert!(
+        stdout_of(&out).contains("traces match (8 events)"),
+        "unexpected output: {}",
+        stdout_of(&out)
+    );
+}
+
+#[test]
+fn diff_names_the_first_divergent_step_of_the_committed_perturbed_pair() {
+    let expected = golden("rex_b10.jsonl");
+    let perturbed = fixture("rex_b10_lr_perturbed.jsonl");
+    let out = rexctl(&[
+        "trace",
+        "diff",
+        expected.to_str().unwrap(),
+        perturbed.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "diff must exit 1 on mismatch");
+    let text = stdout_of(&out);
+    // event 4 is the step-2 record; lr is the perturbed field
+    assert!(
+        text.contains("trace diverges at event 4 (optimizer step 2)"),
+        "diff must name the first divergent event/step: {text}"
+    );
+    assert!(text.contains("step.lr"), "diff must name the field: {text}");
+    assert!(
+        text.contains("0.05"),
+        "diff must show the perturbed value: {text}"
+    );
+}
+
+#[test]
+fn summary_reports_counts_and_sparklines_for_a_golden_trace() {
+    let path = golden("rex_b10.jsonl");
+    let out = rexctl(&["trace", "summary", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout_of(&out);
+    assert!(text.contains("schedule REX"), "{text}");
+    assert!(text.contains("8 events | 1 epochs | 4 steps"), "{text}");
+    assert!(text.contains("lr"), "{text}");
+    assert!(text.contains("final metric: 80"), "{text}");
+}
+
+#[test]
+fn profiled_run_writes_a_chrome_trace_that_profile_ranks() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let profile_path = dir.join(format!("rexctl_trace_cli_{pid}.json"));
+    let out = rexctl(&[
+        "train",
+        "--setting",
+        "digits-mlp",
+        "--budget",
+        "25",
+        "--seed",
+        "3",
+        "--profile",
+        profile_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&profile_path).unwrap();
+    assert!(text.starts_with("{\"traceEvents\":["), "not a Chrome trace");
+
+    let out = rexctl(&[
+        "trace",
+        "profile",
+        profile_path.to_str().unwrap(),
+        "--top",
+        "3",
+    ]);
+    let _ = std::fs::remove_file(&profile_path);
+    assert_eq!(out.status.code(), Some(0));
+    let table = stdout_of(&out);
+    assert!(table.contains("excl(ms)"), "{table}");
+    // phase spans of the training loop must appear as slash paths
+    assert!(table.contains("job/epoch/step"), "{table}");
+    assert_eq!(
+        table.lines().count(),
+        5,
+        "--top 3 must print header + 3 rows: {table}"
+    );
+}
+
+#[test]
+fn trace_without_subcommand_prints_usage() {
+    let out = rexctl(&["trace"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("usage: rexctl trace summary"), "{err}");
+}

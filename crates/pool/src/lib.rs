@@ -54,9 +54,10 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+use std::time::Instant;
 
 /// Upper bound on the *default* thread count when neither
 /// [`set_num_threads`] nor `REX_NUM_THREADS` pins one. Explicit settings
@@ -129,6 +130,9 @@ struct Job {
     next: AtomicUsize,
     state: Mutex<JobState>,
     done: Condvar,
+    /// When the job was pushed onto the queue; chunk 0's claim records
+    /// `enqueued_at.elapsed()` as the job's queue-wait.
+    enqueued_at: Instant,
 }
 
 impl Job {
@@ -136,13 +140,34 @@ impl Job {
     /// the submitting thread. Panics in the body are caught so `completed`
     /// always reaches `n_chunks` (no deadlock); the first payload is kept
     /// for the submitter to re-raise.
+    ///
+    /// Instrumentation: `fetch_add` hands chunk 0 to exactly one claimant —
+    /// the first thread to start this job — so that claim measures the
+    /// submit-to-first-run queue wait. Each chunk body's wall time is
+    /// accumulated separately (worker vs submitter), none of which touches
+    /// the chunk bodies themselves, so computed bytes are unchanged.
     fn run_to_completion(&self) {
         loop {
             let chunk = self.next.fetch_add(1, Ordering::Relaxed);
             if chunk >= self.n_chunks {
                 return;
             }
+            if chunk == 0 {
+                STATS.queue_wait_ns.fetch_add(
+                    self.enqueued_at.elapsed().as_nanos() as u64,
+                    Ordering::Relaxed,
+                );
+            }
+            let t0 = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| (self.body)(chunk)));
+            let dt = t0.elapsed().as_nanos() as u64;
+            STATS.chunks.fetch_add(1, Ordering::Relaxed);
+            STATS.exec_ns.fetch_add(dt, Ordering::Relaxed);
+            if IN_WORKER.with(|f| f.get()) {
+                STATS.worker_busy_ns.fetch_add(dt, Ordering::Relaxed);
+            } else {
+                STATS.submitter_busy_ns.fetch_add(dt, Ordering::Relaxed);
+            }
             let mut st = self.state.lock().unwrap();
             if let Err(payload) = result {
                 if st.panic.is_none() {
@@ -154,6 +179,63 @@ impl Job {
                 self.done.notify_all();
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation counters
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct StatsCells {
+    jobs: AtomicU64,
+    chunks: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    exec_ns: AtomicU64,
+    worker_busy_ns: AtomicU64,
+    submitter_busy_ns: AtomicU64,
+}
+
+static STATS: StatsCells = StatsCells {
+    jobs: AtomicU64::new(0),
+    chunks: AtomicU64::new(0),
+    queue_wait_ns: AtomicU64::new(0),
+    exec_ns: AtomicU64::new(0),
+    worker_busy_ns: AtomicU64::new(0),
+    submitter_busy_ns: AtomicU64::new(0),
+};
+
+/// Snapshot of the pool's cumulative instrumentation counters.
+///
+/// Only *pooled* jobs are counted — the inline path (single chunk, one
+/// thread, or nested-in-worker) bypasses the queue and stays unmeasured so
+/// small hot ops pay nothing. All fields are process-lifetime cumulative;
+/// rates come from differencing two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs pushed onto the worker queue.
+    pub jobs: u64,
+    /// Chunks executed across all pooled jobs.
+    pub chunks: u64,
+    /// Total submit-to-first-claim wait across jobs, in nanoseconds.
+    pub queue_wait_ns: u64,
+    /// Total chunk-body execution time across all threads, in nanoseconds.
+    pub exec_ns: u64,
+    /// Portion of `exec_ns` spent on pool worker threads.
+    pub worker_busy_ns: u64,
+    /// Portion of `exec_ns` spent on the submitting thread itself.
+    pub submitter_busy_ns: u64,
+}
+
+/// Current values of the pool's instrumentation counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        jobs: STATS.jobs.load(Ordering::Relaxed),
+        chunks: STATS.chunks.load(Ordering::Relaxed),
+        queue_wait_ns: STATS.queue_wait_ns.load(Ordering::Relaxed),
+        exec_ns: STATS.exec_ns.load(Ordering::Relaxed),
+        worker_busy_ns: STATS.worker_busy_ns.load(Ordering::Relaxed),
+        submitter_busy_ns: STATS.submitter_busy_ns.load(Ordering::Relaxed),
     }
 }
 
@@ -326,7 +408,9 @@ fn run_chunked(n_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
             panic: None,
         }),
         done: Condvar::new(),
+        enqueued_at: Instant::now(),
     });
+    STATS.jobs.fetch_add(1, Ordering::Relaxed);
     {
         let mut q = core.queue.lock().unwrap();
         // One queue entry per worker that could usefully help; each entry
@@ -549,6 +633,44 @@ mod tests {
             assert_eq!(current_num_threads(), 5);
         });
         assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn stats_count_pooled_jobs_and_split_wait_from_exec() {
+        let before = stats();
+        with_pool_size(3, || {
+            parallel_for(1000, 10, |_, range| {
+                // enough work per chunk that exec_ns registers
+                let mut acc = 0u64;
+                for i in range {
+                    acc = acc.wrapping_add((i as u64).wrapping_mul(2654435761));
+                }
+                std::hint::black_box(acc);
+            });
+        });
+        let after = stats();
+        assert_eq!(after.jobs, before.jobs + 1);
+        assert_eq!(after.chunks, before.chunks + 100);
+        assert!(
+            after.queue_wait_ns > before.queue_wait_ns,
+            "first chunk claim must record a queue wait"
+        );
+        assert!(after.exec_ns > before.exec_ns);
+        assert_eq!(
+            after.exec_ns - before.exec_ns,
+            (after.worker_busy_ns - before.worker_busy_ns)
+                + (after.submitter_busy_ns - before.submitter_busy_ns),
+            "exec time must split exactly into worker + submitter shares"
+        );
+
+        // the inline path (1 thread) bypasses the queue and stays unmeasured
+        let before = stats();
+        with_pool_size(1, || {
+            parallel_for(100, 10, |_, _| {});
+        });
+        let after = stats();
+        assert_eq!(after.jobs, before.jobs);
+        assert_eq!(after.chunks, before.chunks);
     }
 
     #[test]

@@ -14,12 +14,21 @@ usage: rexctl serve --data-dir DIR [--addr HOST:PORT] [--queue-depth N]
                     [--workers N] [--checkpoint-every STEPS]
                     [--read-timeout-ms MS] [--retry-after-secs S]
                     [--threads N] [--backend scalar|simd|auto]
+                    [--access-log FILE] [--profile on|off]
+                    [--metrics-compat on|off]
 
 Runs the budgeted-training job server in the foreground. Durable job
 state (manifests, traces, REXSTATE1 checkpoints) lives under --data-dir;
 restarting on the same directory re-enqueues unfinished jobs, which
 resume from their last checkpoint. --addr defaults to 127.0.0.1:0 (an
-ephemeral port, printed on startup).";
+ephemeral port, printed on startup).
+
+Observability: --access-log appends one key=value line per request
+(request id, method, path, status, bytes, duration, job id);
+--profile on collects a phase-span profile per job and writes it to
+jobs/<id>/profile.json as Chrome trace-event JSON (load in Perfetto);
+--metrics-compat on re-exports the legacy *_min_seconds/*_max_seconds
+timer gauges alongside the /metrics histograms for one release.";
 
 fn parse_flags(argv: &[String]) -> Result<BTreeMap<String, String>, String> {
     let mut map = BTreeMap::new();
@@ -54,6 +63,9 @@ pub fn config_from_args(argv: &[String]) -> Result<ServeConfig, String> {
         "retry-after-secs",
         "threads",
         "backend",
+        "access-log",
+        "profile",
+        "metrics-compat",
     ];
     if let Some(k) = flags.keys().find(|k| !known.contains(&k.as_str())) {
         return Err(format!("unknown flag --{k}"));
@@ -80,6 +92,13 @@ pub fn config_from_args(argv: &[String]) -> Result<ServeConfig, String> {
                 .map_err(|_| format!("--{key} must be a non-negative integer, got {v:?}")),
         }
     };
+    let switch = |key: &str| -> Result<bool, String> {
+        match flags.get(key).map(String::as_str) {
+            None | Some("off" | "false" | "0") => Ok(false),
+            Some("on" | "true" | "1") => Ok(true),
+            Some(v) => Err(format!("--{key} must be on|off, got {v:?}")),
+        }
+    };
     let cfg = ServeConfig {
         addr: flags
             .get("addr")
@@ -91,6 +110,9 @@ pub fn config_from_args(argv: &[String]) -> Result<ServeConfig, String> {
         read_timeout_ms: num("read-timeout-ms", defaults.read_timeout_ms)?,
         retry_after_secs: num("retry-after-secs", defaults.retry_after_secs)?,
         default_checkpoint_every: num("checkpoint-every", defaults.default_checkpoint_every)?,
+        access_log: flags.get("access-log").map(PathBuf::from),
+        profile: switch("profile")?,
+        metrics_compat: switch("metrics-compat")?,
     };
     Ok(cfg)
 }
@@ -126,6 +148,24 @@ mod tests {
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert_eq!(cfg.queue_depth, 16);
         assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.access_log, None);
+        assert!(!cfg.profile);
+        assert!(!cfg.metrics_compat);
+
+        let cfg = config_from_args(&sv(&[
+            "--data-dir",
+            "/tmp/x",
+            "--access-log",
+            "/tmp/x/access.log",
+            "--profile",
+            "on",
+            "--metrics-compat",
+            "on",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.access_log, Some(PathBuf::from("/tmp/x/access.log")));
+        assert!(cfg.profile);
+        assert!(cfg.metrics_compat);
 
         let cfg = config_from_args(&sv(&[
             "--data-dir",
@@ -148,6 +188,7 @@ mod tests {
         assert!(config_from_args(&sv(&[])).is_err()); // missing --data-dir
         assert!(config_from_args(&sv(&["--data-dir", "/tmp/x", "--warp", "9"])).is_err());
         assert!(config_from_args(&sv(&["--data-dir", "/tmp/x", "--workers", "two"])).is_err());
+        assert!(config_from_args(&sv(&["--data-dir", "/tmp/x", "--profile", "maybe"])).is_err());
         assert!(config_from_args(&sv(&["--data-dir"])).is_err());
     }
 }

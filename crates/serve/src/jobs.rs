@@ -250,6 +250,10 @@ pub struct JobRecord {
     pub error: Option<String>,
     /// Times this job re-entered the queue after a server restart.
     pub resumes: u64,
+    /// Id of the HTTP request that submitted the job (`c<N>-r<M>`), for
+    /// correlating manifests with access-log lines. Deliberately kept out
+    /// of the job's trace: traces must stay byte-identical to CLI runs.
+    pub request_id: Option<String>,
     /// Cooperative cancel flag, shared with the trainer's `stop_flag`.
     pub cancel: Arc<AtomicBool>,
 }
@@ -258,7 +262,8 @@ impl JobRecord {
     /// Serializes the record as one flat JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"id\":\"{}\",{},\"state\":\"{}\",\"metric\":{},\"error\":{},\"resumes\":{}}}",
+            "{{\"id\":\"{}\",{},\"state\":\"{}\",\"metric\":{},\"error\":{},\"resumes\":{},\
+             \"request_id\":{}}}",
             json::escape(&self.id),
             self.spec.json_fields(),
             self.state.name(),
@@ -267,6 +272,9 @@ impl JobRecord {
                 .as_deref()
                 .map_or("null".to_owned(), |e| format!("\"{}\"", json::escape(e))),
             self.resumes,
+            self.request_id
+                .as_deref()
+                .map_or("null".to_owned(), |r| format!("\"{}\"", json::escape(r))),
         )
     }
 
@@ -321,6 +329,11 @@ impl JobRecord {
                 Some(v) => v.as_str().map(str::to_owned),
             },
             resumes: obj.get("resumes").and_then(Value::as_u64).unwrap_or(0),
+            // manifests written before request ids existed have none
+            request_id: match obj.get("request_id") {
+                None | Some(Value::Null) => None,
+                Some(v) => v.as_str().map(str::to_owned),
+            },
             cancel: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -408,8 +421,9 @@ impl Ledger {
 
     /// Allocates the next job id and registers `spec` as `Queued`,
     /// without touching disk yet (see [`Ledger::commit`] /
-    /// [`Ledger::discard`]).
-    pub fn create(&self, spec: JobSpec) -> JobRecord {
+    /// [`Ledger::discard`]). `request_id` ties the manifest back to the
+    /// submitting HTTP request, when there was one.
+    pub fn create(&self, spec: JobSpec, request_id: Option<String>) -> JobRecord {
         let mut jobs = self.jobs.lock().unwrap();
         let next = jobs
             .keys()
@@ -424,6 +438,7 @@ impl Ledger {
             metric: None,
             error: None,
             resumes: 0,
+            request_id,
             cancel: Arc::new(AtomicBool::new(false)),
         };
         jobs.insert(record.id.clone(), record.clone());
@@ -698,6 +713,7 @@ mod tests {
             metric: Some(12.5),
             error: None,
             resumes: 1,
+            request_id: Some("c3-r1".to_owned()),
             cancel: Arc::new(AtomicBool::new(false)),
         };
         let back = JobRecord::from_json(&record.to_json()).unwrap();
@@ -706,6 +722,11 @@ mod tests {
         assert_eq!(back.state, record.state);
         assert_eq!(back.metric, record.metric);
         assert_eq!(back.resumes, 1);
+        assert_eq!(back.request_id.as_deref(), Some("c3-r1"));
+
+        // manifests written before request ids existed still parse
+        let legacy = record.to_json().replace(",\"request_id\":\"c3-r1\"", "");
+        assert_eq!(JobRecord::from_json(&legacy).unwrap().request_id, None);
     }
 
     #[test]
@@ -713,18 +734,18 @@ mod tests {
         let dir = tmp_dir("reopen");
         {
             let ledger = Ledger::open(&dir).unwrap();
-            let a = ledger.create(spec());
+            let a = ledger.create(spec(), None);
             ledger.commit(&a).unwrap();
             ledger
                 .set_state(&a.id, JobState::Done, Some(3.5), None)
                 .unwrap();
-            let b = ledger.create(spec());
+            let b = ledger.create(spec(), None);
             ledger.commit(&b).unwrap();
             ledger
                 .set_state(&b.id, JobState::Running, None, None)
                 .unwrap();
             // a discarded record leaves no trace
-            let c = ledger.create(spec());
+            let c = ledger.create(spec(), None);
             ledger.discard(&c.id);
         }
         let ledger = Ledger::open(&dir).unwrap();
@@ -737,7 +758,7 @@ mod tests {
         assert_eq!(jobs[1].resumes, 1);
         assert_eq!(ledger.recoverable().unwrap(), vec![jobs[1].id.clone()]);
         // the discarded id was never accepted, so allocation reclaims it
-        let d = ledger.create(spec());
+        let d = ledger.create(spec(), None);
         assert_eq!(d.id, "job-000003");
         let _ = std::fs::remove_dir_all(dir);
     }
@@ -748,7 +769,7 @@ mod tests {
         let ledger = Ledger::open(&dir).unwrap();
         let registry = MetricsRegistry::shared();
 
-        let job = ledger.create(spec());
+        let job = ledger.create(spec(), None);
         ledger.commit(&job).unwrap();
         assert_eq!(
             run_job(&ledger, &registry, &job.id).unwrap(),
@@ -761,7 +782,7 @@ mod tests {
         assert!(ledger.ckpt_path(&job.id).is_file());
         assert_eq!(registry.counter("rex_jobs_completed_total"), 1);
 
-        let job2 = ledger.create(spec());
+        let job2 = ledger.create(spec(), None);
         ledger.commit(&job2).unwrap();
         job2.cancel.store(true, Ordering::Release);
         assert_eq!(

@@ -11,12 +11,12 @@
 //! queue) is the only thing standing between a submission burst and the
 //! trainer.
 
-use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use rex_telemetry::MetricsRegistry;
 
@@ -41,6 +41,14 @@ pub struct ServeConfig {
     pub retry_after_secs: u64,
     /// Checkpoint cadence for jobs that do not specify one; 0 disables.
     pub default_checkpoint_every: u64,
+    /// Access-log destination; `None` disables request logging.
+    pub access_log: Option<PathBuf>,
+    /// When set, each job's worker collects a phase-span profile and
+    /// writes `jobs/<id>/profile.json` (Chrome trace-event JSON).
+    pub profile: bool,
+    /// Re-export the legacy `*_min_seconds` / `*_max_seconds` timer
+    /// gauges alongside the histogram series (one-release compat shim).
+    pub metrics_compat: bool,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +61,9 @@ impl Default for ServeConfig {
             read_timeout_ms: 5_000,
             retry_after_secs: 1,
             default_checkpoint_every: 5,
+            access_log: None,
+            profile: false,
+            metrics_compat: false,
         }
     }
 }
@@ -63,6 +74,12 @@ struct Shared {
     ledger: Ledger,
     metrics: Arc<MetricsRegistry>,
     stop: AtomicBool,
+    /// Open access-log sink (append mode), when enabled.
+    access_log: Option<Mutex<std::fs::File>>,
+    /// Server start time, for `/healthz` uptime and utilization gauges.
+    started: Instant,
+    /// Connection counter feeding request ids (`c<N>-r<M>`).
+    conn_seq: AtomicU64,
 }
 
 /// A running server: listener, acceptor, and worker threads.
@@ -93,6 +110,16 @@ impl Server {
             queue.push_unbounded(id.clone());
             metrics.counter_inc("rex_jobs_resumed_total", 1);
         }
+        metrics.set_summary_compat(cfg.metrics_compat);
+        let access_log = match &cfg.access_log {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+            None => None,
+        };
 
         let shared = Arc::new(Shared {
             cfg,
@@ -100,6 +127,9 @@ impl Server {
             ledger,
             metrics,
             stop: AtomicBool::new(false),
+            access_log,
+            started: Instant::now(),
+            conn_seq: AtomicU64::new(0),
         });
 
         let mut workers = Vec::new();
@@ -170,6 +200,13 @@ fn worker_loop(shared: &Shared) {
             .metrics
             .gauge_set("rex_queue_depth", shared.queue.len() as f64);
         let started = Instant::now();
+        // Profiling is per worker thread: the whole job (trainer loop and
+        // kernel dispatch) runs on this thread, so the thread-local span
+        // collector sees the full tree. Spans never touch the Recorder,
+        // so the job's JSONL trace stays byte-identical either way.
+        if shared.cfg.profile {
+            rex_telemetry::span::enable(rex_telemetry::span::Detail::Phase);
+        }
         // An IO failure (full disk, fault injection) must not kill the
         // worker; record it on the job if the manifest is still writable.
         if let Err(e) = run_job(&shared.ledger, &shared.metrics, &id) {
@@ -181,10 +218,77 @@ fn worker_loop(shared: &Shared) {
             );
             shared.metrics.counter_inc("rex_jobs_failed_total", 1);
         }
+        if shared.cfg.profile {
+            let profile = rex_telemetry::span::take();
+            let path = shared.ledger.job_dir(&id).join("profile.json");
+            let _ = std::fs::write(&path, profile.to_chrome_trace());
+        }
         shared.metrics.timer_observe_ns(
             "rex_job_duration",
             u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
         );
+    }
+}
+
+/// A byte-counting [`Write`] wrapper around the connection stream.
+///
+/// Buffers the response head until the status line is complete, then
+/// injects an `X-Request-Id` header right after it — so every handler
+/// gets the header and the access log gets the status code without
+/// threading either through each route branch.
+struct Metered<'a> {
+    inner: &'a mut TcpStream,
+    request_id: &'a str,
+    /// Bytes written on the wire (including the injected header).
+    bytes: u64,
+    /// Status code parsed off the status line; 0 until one is written.
+    status: u16,
+    head: Vec<u8>,
+    head_done: bool,
+}
+
+impl<'a> Metered<'a> {
+    fn new(inner: &'a mut TcpStream, request_id: &'a str) -> Metered<'a> {
+        Metered {
+            inner,
+            request_id,
+            bytes: 0,
+            status: 0,
+            head: Vec::new(),
+            head_done: false,
+        }
+    }
+}
+
+impl Write for Metered<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.head_done {
+            let n = self.inner.write(buf)?;
+            self.bytes += n as u64;
+            return Ok(n);
+        }
+        self.head.extend_from_slice(buf);
+        if let Some(pos) = self.head.windows(2).position(|w| w == b"\r\n") {
+            // "HTTP/1.1 NNN ..." — the three digits after the version
+            self.status = std::str::from_utf8(&self.head[..pos])
+                .ok()
+                .and_then(|line| line.split(' ').nth(1))
+                .and_then(|code| code.parse().ok())
+                .unwrap_or(0);
+            let mut out = Vec::with_capacity(self.head.len() + 32);
+            out.extend_from_slice(&self.head[..pos + 2]);
+            out.extend_from_slice(format!("X-Request-Id: {}\r\n", self.request_id).as_bytes());
+            out.extend_from_slice(&self.head[pos + 2..]);
+            self.inner.write_all(&out)?;
+            self.bytes += out.len() as u64;
+            self.head_done = true;
+            self.head.clear();
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -197,10 +301,14 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         Err(_) => return,
     });
     let mut writer = stream;
+    let conn = shared.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut reqno: u64 = 0;
     loop {
         let req = match http::read_request(&mut reader) {
             Ok(req) => req,
             Err(e) => {
+                // Not a parseable request: no request id, no access-log
+                // line — just the protocol error response.
                 if let Some((status, _)) = e.status() {
                     shared.metrics.counter_inc("rex_http_errors_total", 1);
                     let body = format!(
@@ -219,8 +327,41 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             }
         };
         shared.metrics.counter_inc("rex_http_requests_total", 1);
+        reqno += 1;
+        let request_id = format!("c{conn}-r{reqno}");
         let close = req.wants_close();
-        if route(shared, &req, &mut writer).is_err() {
+        let started = Instant::now();
+        let mut metered = Metered::new(&mut writer, &request_id);
+        let routed = route(shared, &req, &mut metered, &request_id);
+        let (status, bytes) = (metered.status, metered.bytes);
+        // Job id for the log line: the id submit_job allocated, or the id
+        // embedded in a job-scoped path.
+        let job = match &routed {
+            Ok(Some(id)) => Some(id.clone()),
+            _ => {
+                let mut segments = req.path().split('/').filter(|s| !s.is_empty());
+                (segments.next() == Some("v1") && segments.next() == Some("jobs"))
+                    .then(|| segments.next().map(str::to_owned))
+                    .flatten()
+            }
+        };
+        if let Some(log) = &shared.access_log {
+            let ts_ms = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis());
+            let line = format!(
+                "ts_ms={ts_ms} req={request_id} method={} path={} status={status} \
+                 bytes={bytes} dur_us={} job={}\n",
+                req.method,
+                req.path(),
+                started.elapsed().as_micros(),
+                job.as_deref().unwrap_or("-"),
+            );
+            if let Ok(mut file) = log.lock() {
+                let _ = file.write_all(line.as_bytes());
+            }
+        }
+        if routed.is_err() {
             return; // peer went away mid-response
         }
         if close {
@@ -230,8 +371,8 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
 }
 
 /// JSON-body convenience around [`http::write_response`].
-fn respond(
-    w: &mut TcpStream,
+fn respond<W: Write>(
+    w: &mut W,
     status: u16,
     extra: &[(&str, &str)],
     body: &str,
@@ -246,46 +387,73 @@ fn error_body(message: &str) -> String {
     )
 }
 
-fn route(shared: &Shared, req: &Request, w: &mut TcpStream) -> std::io::Result<()> {
+/// Dispatches one request. Returns the job id allocated by a submission
+/// (for the access log); every other route returns `Ok(None)`.
+fn route<W: Write>(
+    shared: &Shared,
+    req: &Request,
+    w: &mut W,
+    request_id: &str,
+) -> std::io::Result<Option<String>> {
     let path = req.path().to_owned();
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let method = req.method.as_str();
     let status = match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            return http::write_response(w, 200, "text/plain", &[], b"ok\n");
+            let counts = shared.ledger.counts();
+            let body = format!(
+                "{{\"status\":\"ok\",\"queue_depth\":{},\"jobs_running\":{},\
+                 \"uptime_seconds\":{}}}\n",
+                shared.queue.len(),
+                counts.running,
+                shared.started.elapsed().as_secs(),
+            );
+            return respond(w, 200, &[], &body).map(|()| None);
         }
-        ("POST", ["v1", "jobs"]) => return submit_job(shared, req, w),
+        ("POST", ["v1", "jobs"]) => return submit_job(shared, req, w, request_id),
         ("GET", ["v1", "jobs"]) => {
             let mut body = String::new();
             for record in shared.ledger.list() {
                 body.push_str(&record.to_json());
                 body.push('\n');
             }
-            return http::write_response(w, 200, "application/x-ndjson", &[], body.as_bytes());
+            return http::write_response(w, 200, "application/x-ndjson", &[], body.as_bytes())
+                .map(|()| None);
         }
         ("GET", ["v1", "jobs", id]) => match shared.ledger.get(id) {
             Some(record) => {
                 let mut body = record.to_json();
                 body.push('\n');
-                return respond(w, 200, &[], &body);
+                return respond(w, 200, &[], &body).map(|()| None);
             }
             None => 404,
         },
-        ("DELETE", ["v1", "jobs", id]) => return cancel_job(shared, id, w),
-        ("GET", ["v1", "jobs", id, "trace"]) => return stream_trace(shared, id, w),
+        ("DELETE", ["v1", "jobs", id]) => return cancel_job(shared, id, w).map(|()| None),
+        ("GET", ["v1", "jobs", id, "trace"]) => return stream_trace(shared, id, w).map(|()| None),
         ("GET", ["metrics"]) => {
             let counts = shared.ledger.counts();
-            shared
-                .metrics
-                .gauge_set("rex_queue_depth", shared.queue.len() as f64);
-            shared
-                .metrics
-                .gauge_set("rex_jobs_running", counts.running as f64);
-            shared
-                .metrics
-                .gauge_set("rex_jobs_queued", counts.queued as f64);
+            let m = &shared.metrics;
+            m.gauge_set("rex_queue_depth", shared.queue.len() as f64);
+            m.gauge_set("rex_jobs_running", counts.running as f64);
+            m.gauge_set("rex_jobs_queued", counts.queued as f64);
+            // Compute-pool instrumentation, sampled at scrape time.
+            let pool = rex_pool::stats();
+            m.gauge_set("rex_pool_tasks_total", pool.jobs as f64);
+            m.gauge_set("rex_pool_chunks_total", pool.chunks as f64);
+            m.gauge_set(
+                "rex_pool_queue_wait_seconds_total",
+                pool.queue_wait_ns as f64 / 1e9,
+            );
+            m.gauge_set("rex_pool_exec_seconds_total", pool.exec_ns as f64 / 1e9);
+            let capacity_ns =
+                shared.started.elapsed().as_nanos() as f64 * rex_pool::num_threads().max(1) as f64;
+            m.gauge_set(
+                "rex_pool_worker_utilization",
+                (pool.worker_busy_ns + pool.submitter_busy_ns) as f64 / capacity_ns.max(1.0),
+            );
             let body = shared.metrics.render_prometheus();
-            return http::write_response(w, 200, "text/plain; version=0.0.4", &[], body.as_bytes());
+            return http::write_response(w, 200, "text/plain; version=0.0.4", &[], body.as_bytes())
+                .map(|()| None);
         }
         (_, ["healthz" | "metrics"]) | (_, ["v1", "jobs", ..]) => 405,
         _ => 404,
@@ -295,31 +463,36 @@ fn route(shared: &Shared, req: &Request, w: &mut TcpStream) -> std::io::Result<(
         405 => format!("method {method} not allowed on {path}"),
         _ => format!("no such resource {path}"),
     };
-    respond(w, status, &[], &error_body(&message))
+    respond(w, status, &[], &error_body(&message)).map(|()| None)
 }
 
-fn submit_job(shared: &Shared, req: &Request, w: &mut TcpStream) -> std::io::Result<()> {
+fn submit_job<W: Write>(
+    shared: &Shared,
+    req: &Request,
+    w: &mut W,
+    request_id: &str,
+) -> std::io::Result<Option<String>> {
     if shared.stop.load(Ordering::Acquire) {
         shared.metrics.counter_inc("rex_http_errors_total", 1);
-        return respond(w, 429, &[], &error_body("server is shutting down"));
+        return respond(w, 429, &[], &error_body("server is shutting down")).map(|()| None);
     }
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
         Err(_) => {
             shared.metrics.counter_inc("rex_http_errors_total", 1);
-            return respond(w, 400, &[], &error_body("body is not UTF-8"));
+            return respond(w, 400, &[], &error_body("body is not UTF-8")).map(|()| None);
         }
     };
     let spec = match JobSpec::parse(body, shared.cfg.default_checkpoint_every) {
         Ok(spec) => spec,
         Err(e) => {
             shared.metrics.counter_inc("rex_http_errors_total", 1);
-            return respond(w, 400, &[], &error_body(&e));
+            return respond(w, 400, &[], &error_body(&e)).map(|()| None);
         }
     };
 
     let retry_after = shared.cfg.retry_after_secs.to_string();
-    let reject = |shared: &Shared, w: &mut TcpStream| -> std::io::Result<()> {
+    let reject = |shared: &Shared, w: &mut W| -> std::io::Result<Option<String>> {
         shared.metrics.counter_inc("rex_jobs_rejected_total", 1);
         shared.metrics.counter_inc("rex_http_errors_total", 1);
         respond(
@@ -331,13 +504,14 @@ fn submit_job(shared: &Shared, req: &Request, w: &mut TcpStream) -> std::io::Res
                 shared.cfg.queue_depth
             ),
         )
+        .map(|()| None)
     };
 
     // optimistic pre-check so a saturated queue doesn't cost ledger IO
     if shared.queue.len() >= shared.queue.capacity() {
         return reject(shared, w);
     }
-    let record = shared.ledger.create(spec);
+    let record = shared.ledger.create(spec, Some(request_id.to_owned()));
     // persist before enqueueing: a crash between the two re-enqueues the
     // job at startup instead of losing it
     if let Err(e) = shared.ledger.commit(&record) {
@@ -348,7 +522,8 @@ fn submit_job(shared: &Shared, req: &Request, w: &mut TcpStream) -> std::io::Res
             500,
             &[],
             &error_body(&format!("ledger write failed: {e}")),
-        );
+        )
+        .map(|()| None);
     }
     if shared.queue.try_push(record.id.clone()).is_err() {
         shared.ledger.discard(&record.id);
@@ -364,9 +539,10 @@ fn submit_job(shared: &Shared, req: &Request, w: &mut TcpStream) -> std::io::Res
         &[],
         &format!("{{\"id\":\"{}\",\"state\":\"queued\"}}\n", record.id),
     )
+    .map(|()| Some(record.id))
 }
 
-fn cancel_job(shared: &Shared, id: &str, w: &mut TcpStream) -> std::io::Result<()> {
+fn cancel_job<W: Write>(shared: &Shared, id: &str, w: &mut W) -> std::io::Result<()> {
     let Some(record) = shared.ledger.get(id) else {
         shared.metrics.counter_inc("rex_http_errors_total", 1);
         return respond(w, 404, &[], &error_body(&format!("no such job {id}")));
@@ -399,7 +575,7 @@ fn cancel_job(shared: &Shared, id: &str, w: &mut TcpStream) -> std::io::Result<(
 /// Streams a job's JSONL trace as a chunked response, following the file
 /// while the job is live — `curl` sees step lines appear as the trainer
 /// emits them.
-fn stream_trace(shared: &Shared, id: &str, w: &mut TcpStream) -> std::io::Result<()> {
+fn stream_trace<W: Write>(shared: &Shared, id: &str, w: &mut W) -> std::io::Result<()> {
     if shared.ledger.get(id).is_none() {
         shared.metrics.counter_inc("rex_http_errors_total", 1);
         return respond(w, 404, &[], &error_body(&format!("no such job {id}")));

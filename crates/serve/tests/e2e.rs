@@ -147,7 +147,11 @@ fn job_lifecycle_end_to_end() {
 
     let health = get(&daemon, "/healthz");
     assert_eq!(health.status, 200);
-    assert_eq!(health.text(), "ok\n");
+    let health = json_of(&health);
+    assert_eq!(health["status"].as_str(), Some("ok"));
+    assert_eq!(health["queue_depth"].as_u64(), Some(0));
+    assert_eq!(health["jobs_running"].as_u64(), Some(0));
+    assert!(health["uptime_seconds"].as_u64().is_some());
 
     let id = submit(&daemon, QUICK_JOB);
     assert_eq!(id, "job-000001");
@@ -330,6 +334,82 @@ fn metrics_agree_with_the_ledger() {
         .filter(|l| parse_object(l).unwrap()["state"].as_str() == Some("done"))
         .count();
     assert_eq!(done, 3);
+}
+
+/// Observability surfaces: request ids on every response and in the job
+/// manifest, access-log lines correlating requests with jobs, and the
+/// per-job span profile written when the server runs with `--profile on`.
+#[test]
+fn access_log_request_ids_and_job_profiles() {
+    // outside the daemon's data dir, which Drop removes before we read it
+    let log_path =
+        std::env::temp_dir().join(format!("rex_e2e_obs_access_{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let daemon = start_daemon(
+        "obs",
+        &[
+            "--access-log",
+            log_path.to_str().unwrap(),
+            "--profile",
+            "on",
+        ],
+        &[],
+    );
+
+    let resp = post(&daemon, "/v1/jobs", QUICK_JOB);
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let req_id = resp.header("x-request-id").expect("request id").to_owned();
+    let id = json_of(&resp)["id"].as_str().expect("job id").to_owned();
+    wait_terminal(&daemon, &id, Duration::from_secs(60));
+
+    // the submitting request's id landed in the job manifest
+    let record = json_of(&get(&daemon, &format!("/v1/jobs/{id}")));
+    assert_eq!(record["request_id"].as_str(), Some(req_id.as_str()));
+
+    // every response carries an id, even error responses
+    assert!(get(&daemon, "/healthz").header("x-request-id").is_some());
+    assert!(get(&daemon, "/no/such/path")
+        .header("x-request-id")
+        .is_some());
+
+    // the worker wrote a Chrome-trace profile next to the job's trace
+    let profile = daemon.data_dir.join("jobs").join(&id).join("profile.json");
+    let profile_text = std::fs::read_to_string(&profile).expect("profile.json");
+    assert!(
+        profile_text.starts_with("{\"traceEvents\":["),
+        "{profile_text:?}"
+    );
+    assert!(profile_text.contains("\"name\":\"job\""));
+    // ...and the profiled run's trace is still byte-identical to the
+    // unprofiled run of the same spec (spans never touch the Recorder)
+    let plain = start_daemon("obs_plain", &[], &[]);
+    let plain_id = submit(&plain, QUICK_JOB);
+    wait_terminal(&plain, &plain_id, Duration::from_secs(60));
+    let profiled_trace =
+        std::fs::read(daemon.data_dir.join("jobs").join(&id).join("trace.jsonl")).unwrap();
+    let plain_trace = std::fs::read(
+        plain
+            .data_dir
+            .join("jobs")
+            .join(&plain_id)
+            .join("trace.jsonl"),
+    )
+    .unwrap();
+    assert_eq!(profiled_trace, plain_trace);
+
+    // the access log has one line per request, keyed by request id
+    drop(daemon); // flush + stop before reading the log
+    let log = std::fs::read_to_string(&log_path).expect("access log");
+    let submit_line = log
+        .lines()
+        .find(|l| l.contains(&format!("req={req_id} ")))
+        .unwrap_or_else(|| panic!("no access-log line for {req_id}: {log}"));
+    assert!(submit_line.contains("method=POST"), "{submit_line}");
+    assert!(submit_line.contains("path=/v1/jobs"), "{submit_line}");
+    assert!(submit_line.contains("status=202"), "{submit_line}");
+    assert!(submit_line.contains(&format!("job={id}")), "{submit_line}");
+    assert!(log.lines().all(|l| l.contains("dur_us=")), "{log}");
+    let _ = std::fs::remove_file(&log_path);
 }
 
 /// Live streaming: a trace reader attached while the job runs sees the

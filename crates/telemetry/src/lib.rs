@@ -59,12 +59,16 @@
 
 mod event;
 pub mod golden;
+pub mod hist;
 pub mod json;
 mod recorder;
 pub mod registry;
 mod sink;
+pub mod span;
 
 pub use event::{encode_trace, parse_trace, Event, StepRecord};
+pub use hist::Histogram;
 pub use recorder::{Recorder, TimerGuard};
 pub use registry::{FanoutSink, MetricsRegistry, RegistrySink, TimerStat};
 pub use sink::{JsonlSink, MemoryHandle, MemorySink, NullSink, Sink};
+pub use span::{Detail, PhaseRow, Profile, SpanCollector, SpanEvent, SpanGuard};

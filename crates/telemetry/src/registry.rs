@@ -6,22 +6,25 @@
 //! hosting many concurrent runs needs the opposite: one shared place that
 //! every worker thread and every HTTP handler can update, and that a
 //! `/metrics` endpoint can render at any instant. [`MetricsRegistry`] is
-//! that place — monotone counters, point-in-time gauges, and duration
-//! summaries behind a single mutex, rendered in the Prometheus text
-//! exposition format.
+//! that place — monotone counters, point-in-time gauges, and log-bucketed
+//! duration [`Histogram`]s behind a single mutex, rendered in the
+//! Prometheus text exposition format (`_bucket`/`_sum`/`_count` series,
+//! so p50/p90/p99 are derivable by any Prometheus client).
 //!
 //! [`RegistrySink`] bridges the two worlds: it is a [`Sink`] that folds a
 //! run's deterministic event stream into a shared registry (steps into a
-//! counter, gauges into gauges, timers into summaries), so a per-job
+//! counter, gauges into gauges, timers into histograms), so a per-job
 //! recorder can feed both its JSONL trace and the server's `/metrics` via
 //! [`FanoutSink`].
 //!
 //! [`Recorder`]: crate::Recorder
 
 use crate::event::Event;
+use crate::hist::Histogram;
 use crate::json;
 use crate::sink::Sink;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Running summary of an observed duration series.
@@ -41,10 +44,10 @@ pub struct TimerStat {
 struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    timers: BTreeMap<String, TimerStat>,
+    timers: BTreeMap<String, Histogram>,
 }
 
-/// Thread-safe counters, gauges, and timer summaries.
+/// Thread-safe counters, gauges, and timer histograms.
 ///
 /// Metric names should be valid Prometheus identifiers
 /// (`[a-zA-Z_][a-zA-Z0-9_]*`); [`MetricsRegistry::render_prometheus`]
@@ -53,6 +56,7 @@ struct Inner {
 #[derive(Default)]
 pub struct MetricsRegistry {
     inner: Mutex<Inner>,
+    summary_compat: AtomicBool,
 }
 
 impl std::fmt::Debug for MetricsRegistry {
@@ -105,21 +109,36 @@ impl MetricsRegistry {
     /// Records one duration observation under `name`.
     pub fn timer_observe_ns(&self, name: &str, elapsed_ns: u64) {
         let mut inner = self.lock();
-        let stat = inner.timers.entry(name.to_owned()).or_default();
-        if stat.count == 0 {
-            stat.min_ns = elapsed_ns;
-            stat.max_ns = elapsed_ns;
-        } else {
-            stat.min_ns = stat.min_ns.min(elapsed_ns);
-            stat.max_ns = stat.max_ns.max(elapsed_ns);
-        }
-        stat.count += 1;
-        stat.sum_ns = stat.sum_ns.saturating_add(elapsed_ns);
+        inner
+            .timers
+            .entry(name.to_owned())
+            .or_default()
+            .observe_ns(elapsed_ns);
     }
 
     /// Summary of a timer series, if it has any observations.
     pub fn timer(&self, name: &str) -> Option<TimerStat> {
-        self.lock().timers.get(name).copied()
+        self.lock().timers.get(name).map(Histogram::stat)
+    }
+
+    /// Full histogram of a timer series, if it has any observations.
+    pub fn timer_histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().timers.get(name).cloned()
+    }
+
+    /// Estimated `q`-quantile of a timer series, in seconds.
+    pub fn timer_quantile_seconds(&self, name: &str, q: f64) -> Option<f64> {
+        self.lock()
+            .timers
+            .get(name)
+            .map(|h| h.quantile_ns(q) as f64 * 1e-9)
+    }
+
+    /// Additionally emits the deprecated `_min_seconds` / `_max_seconds`
+    /// summary gauges next to each timer histogram. One-release bridge
+    /// for scrapers of the pre-histogram names; off by default.
+    pub fn set_summary_compat(&self, on: bool) {
+        self.summary_compat.store(on, Ordering::Relaxed);
     }
 
     /// Snapshot of every counter, sorted by name.
@@ -132,10 +151,14 @@ impl MetricsRegistry {
     }
 
     /// Renders the registry in the Prometheus text exposition format:
-    /// counters and gauges as single samples, timers as summaries with
-    /// `_count` / `_sum` (seconds) / `_min_seconds` / `_max_seconds`
-    /// samples. Output is deterministic (sorted by metric name).
+    /// counters and gauges as single samples, timers as histograms with
+    /// cumulative `_bucket{le="..."}` series plus `_sum` / `_count`
+    /// (seconds). With [`MetricsRegistry::set_summary_compat`] enabled,
+    /// the deprecated `_min_seconds` / `_max_seconds` gauges of the old
+    /// summary form are appended after each histogram. Output is
+    /// deterministic (sorted by metric name).
     pub fn render_prometheus(&self) -> String {
+        let compat = self.summary_compat.load(Ordering::Relaxed);
         let inner = self.lock();
         let mut out = String::with_capacity(512);
         for (name, value) in &inner.counters {
@@ -149,19 +172,33 @@ impl MetricsRegistry {
                 json::fmt_f64(*value)
             ));
         }
-        for (name, stat) in &inner.timers {
+        for (name, hist) in &inner.timers {
             let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name}_seconds histogram\n"));
+            for (bound, cum) in hist.cumulative_buckets() {
+                let le = if bound.is_infinite() {
+                    "+Inf".to_owned()
+                } else {
+                    json::fmt_f64(bound)
+                };
+                out.push_str(&format!("{name}_seconds_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            let stat = hist.stat();
             out.push_str(&format!(
-                "# TYPE {name}_seconds summary\n\
-                 {name}_seconds_count {}\n\
-                 {name}_seconds_sum {}\n\
-                 {name}_min_seconds {}\n\
-                 {name}_max_seconds {}\n",
-                stat.count,
+                "{name}_seconds_sum {}\n{name}_seconds_count {}\n",
                 json::fmt_f64(stat.sum_ns as f64 * 1e-9),
-                json::fmt_f64(stat.min_ns as f64 * 1e-9),
-                json::fmt_f64(stat.max_ns as f64 * 1e-9),
+                stat.count,
             ));
+            if compat {
+                out.push_str(&format!(
+                    "# TYPE {name}_min_seconds gauge\n\
+                     {name}_min_seconds {}\n\
+                     # TYPE {name}_max_seconds gauge\n\
+                     {name}_max_seconds {}\n",
+                    json::fmt_f64(stat.min_ns as f64 * 1e-9),
+                    json::fmt_f64(stat.max_ns as f64 * 1e-9),
+                ));
+            }
         }
         out
     }
@@ -318,9 +355,46 @@ mod tests {
         assert_eq!(lines[2], "# TYPE b_total counter");
         assert_eq!(lines[3], "b_total 1");
         assert!(text.contains("# TYPE depth gauge\ndepth 1.5\n"));
-        assert!(text.contains("# TYPE lat_seconds summary\n"));
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 1\n"));
         assert!(text.contains("lat_seconds_count 1\n"));
         assert!(text.contains("lat_seconds_sum 2\n"));
+        // compat mode off: the deprecated summary gauges stay out
+        assert!(!text.contains("lat_min_seconds"));
+    }
+
+    #[test]
+    fn histogram_rendering_exposes_buckets_and_quantiles() {
+        let reg = MetricsRegistry::new();
+        // 9 fast (2 µs) + 1 slow (1 s) observation
+        for _ in 0..9 {
+            reg.timer_observe_ns("lat", 2_000);
+        }
+        reg.timer_observe_ns("lat", 1_000_000_000);
+        let text = reg.render_prometheus();
+        // cumulative bucket series: the 2 µs bucket holds 9, +Inf all 10
+        assert!(text.contains("lat_seconds_bucket{le=\"0.000002048\"} 9\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 10\n"));
+        assert!(text.contains("lat_seconds_count 10\n"));
+        // p50/p99 derivable from the same data via the registry API
+        let p50 = reg.timer_quantile_seconds("lat", 0.50).unwrap();
+        let p99 = reg.timer_quantile_seconds("lat", 0.99).unwrap();
+        assert!(p50 < 0.001, "p50 = {p50}");
+        assert!(p99 > 0.1, "p99 = {p99}");
+        assert!(reg.timer_histogram("lat").unwrap().count() == 10);
+    }
+
+    #[test]
+    fn summary_compat_appends_min_max_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.timer_observe_ns("lat", 2_000_000_000);
+        reg.set_summary_compat(true);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("# TYPE lat_min_seconds gauge\nlat_min_seconds 2\n"));
+        assert!(text.contains("# TYPE lat_max_seconds gauge\nlat_max_seconds 2\n"));
+        reg.set_summary_compat(false);
+        assert!(!reg.render_prometheus().contains("lat_min_seconds"));
     }
 
     #[test]

@@ -1,0 +1,696 @@
+//! Hierarchical span profiling with Chrome-trace export.
+//!
+//! Spans form a proper tree — `job → epoch → step → {data, forward,
+//! backward, optimizer, checkpoint}`, and under [`Detail::Kernel`] per-op
+//! spans inside the compute backend — recorded as a chronological
+//! begin/end stream on the *calling thread*. Kernel dispatch entry points
+//! run on the submitting thread (the pool fans out internally), so a
+//! thread-local collector captures full op durations without any
+//! cross-thread machinery and without touching the hot parallel loops.
+//!
+//! Profiling is off by default and costs one thread-local load per
+//! [`span`] call when disabled. Crucially, spans never pass through the
+//! [`Recorder`] event stream: wall-clock data stays out of the
+//! deterministic JSONL traces by construction, while the span *tree
+//! shape* (names and nesting, timestamps aside) is a pure function of the
+//! run configuration and is parity-tested as such.
+//!
+//! The recorded [`Profile`] aggregates into a per-phase self-profile
+//! (inclusive/exclusive time, call counts, % of root) and exports to
+//! Chrome trace-event JSON loadable in Perfetto (`chrome://tracing`).
+//!
+//! [`Recorder`]: crate::Recorder
+
+use crate::json;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// How much the profiler records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Detail {
+    /// Record nothing (the default; spans are no-ops).
+    #[default]
+    Off,
+    /// Record phase-level spans: job/epoch/step and the per-step phases.
+    Phase,
+    /// Additionally record per-op kernel spans inside backend dispatch.
+    Kernel,
+}
+
+impl Detail {
+    /// Parses `"off"`, `"phase"`, or `"kernel"`.
+    pub fn parse(s: &str) -> Result<Detail, String> {
+        match s {
+            "off" => Ok(Detail::Off),
+            "phase" => Ok(Detail::Phase),
+            "kernel" => Ok(Detail::Kernel),
+            other => Err(format!(
+                "unknown profile detail {other:?} (expected off | phase | kernel)"
+            )),
+        }
+    }
+}
+
+/// One begin or end record in a profile's chronological event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (a phase or kernel identifier).
+    pub name: String,
+    /// `true` for a begin event, `false` for the matching end.
+    pub begin: bool,
+    /// Nanoseconds since the profile's start anchor.
+    pub ts_ns: u64,
+}
+
+/// An explicit enter/exit span collector.
+///
+/// The thread-local profiler wraps one of these; it is public so the
+/// nesting discipline (and its panic messages) can be tested directly.
+/// Spans must strictly nest: [`SpanCollector::exit`] panics if the name
+/// does not match the innermost open span.
+#[derive(Debug)]
+pub struct SpanCollector {
+    events: Vec<(&'static str, bool, u64)>,
+    stack: Vec<&'static str>,
+    anchor: Instant,
+}
+
+impl Default for SpanCollector {
+    fn default() -> Self {
+        SpanCollector::new()
+    }
+}
+
+impl SpanCollector {
+    /// An empty collector anchored at the current instant.
+    pub fn new() -> Self {
+        SpanCollector {
+            events: Vec::with_capacity(256),
+            stack: Vec::with_capacity(8),
+            anchor: Instant::now(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a span named `name` nested under the innermost open span.
+    pub fn enter(&mut self, name: &'static str) {
+        let ts = self.now_ns();
+        self.stack.push(name);
+        self.events.push((name, true, ts));
+    }
+
+    /// Closes the innermost open span, which must be named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` does not match the innermost open span, or when
+    /// no span is open — an unbalanced exit is always a caller bug.
+    pub fn exit(&mut self, name: &'static str) {
+        let ts = self.now_ns();
+        match self.stack.pop() {
+            None => panic!("span exit({name:?}) with no open span"),
+            Some(open) if open != name => {
+                panic!("span exit({name:?}) does not match innermost open span {open:?}")
+            }
+            Some(_) => self.events.push((name, false, ts)),
+        }
+    }
+
+    /// Number of currently open spans.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Consumes the collector into a [`Profile`], force-closing any spans
+    /// still open (so a panic or early return still yields a valid,
+    /// properly nested trace).
+    pub fn finish(mut self) -> Profile {
+        let ts = self.now_ns();
+        while let Some(open) = self.stack.pop() {
+            self.events.push((open, false, ts));
+        }
+        Profile {
+            events: self
+                .events
+                .iter()
+                .map(|&(name, begin, ts_ns)| SpanEvent {
+                    name: name.to_owned(),
+                    begin,
+                    ts_ns,
+                })
+                .collect(),
+        }
+    }
+}
+
+struct TlsProfiler {
+    detail: Detail,
+    generation: u64,
+    collector: Option<SpanCollector>,
+}
+
+thread_local! {
+    static PROFILER: RefCell<TlsProfiler> = const {
+        RefCell::new(TlsProfiler {
+            detail: Detail::Off,
+            generation: 0,
+            collector: None,
+        })
+    };
+}
+
+/// Enables profiling on the current thread at the given detail level,
+/// discarding any previously collected spans. `Detail::Off` disables.
+pub fn enable(detail: Detail) {
+    PROFILER.with(|p| {
+        let mut p = p.borrow_mut();
+        p.detail = detail;
+        p.generation += 1;
+        p.collector = if detail == Detail::Off {
+            None
+        } else {
+            Some(SpanCollector::new())
+        };
+    });
+}
+
+/// The current thread's detail level.
+pub fn detail() -> Detail {
+    PROFILER.with(|p| p.borrow().detail)
+}
+
+/// Whether profiling is enabled on the current thread at any level.
+pub fn is_enabled() -> bool {
+    detail() != Detail::Off
+}
+
+/// Disables profiling on the current thread and returns what was
+/// collected (an empty profile if profiling was off).
+pub fn take() -> Profile {
+    PROFILER.with(|p| {
+        let mut p = p.borrow_mut();
+        p.detail = Detail::Off;
+        p.generation += 1;
+        match p.collector.take() {
+            Some(c) => c.finish(),
+            None => Profile { events: Vec::new() },
+        }
+    })
+}
+
+/// RAII guard closing its span on drop (including early returns and
+/// unwinds). Obtained from [`span`] or [`kernel_span`]; inert when the
+/// profiler is disabled or was re-armed since the guard was created.
+#[must_use = "the span closes when this guard drops"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    generation: u64,
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        PROFILER.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.generation != self.generation {
+                return; // profiler re-armed while the guard was open
+            }
+            if let Some(c) = p.collector.as_mut() {
+                c.exit(self.name);
+            }
+        });
+    }
+}
+
+fn open_span(name: &'static str, min_detail: Detail) -> SpanGuard {
+    PROFILER.with(|p| {
+        let mut p = p.borrow_mut();
+        let active = p.detail >= min_detail && p.collector.is_some();
+        if active {
+            p.collector.as_mut().unwrap().enter(name);
+        }
+        SpanGuard {
+            name,
+            generation: p.generation,
+            active,
+        }
+    })
+}
+
+/// Opens a phase-level span (recorded at [`Detail::Phase`] and above).
+pub fn span(name: &'static str) -> SpanGuard {
+    open_span(name, Detail::Phase)
+}
+
+/// Opens a kernel-level span (recorded only at [`Detail::Kernel`]).
+pub fn kernel_span(name: &'static str) -> SpanGuard {
+    open_span(name, Detail::Kernel)
+}
+
+/// One aggregated row of a profile's phase table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Slash-joined path from the root, e.g. `job/epoch/step/forward`.
+    pub path: String,
+    /// The span's own name (last path component).
+    pub name: String,
+    /// Nesting depth (root spans are 0).
+    pub depth: usize,
+    /// Number of times a span with this path was entered.
+    pub calls: u64,
+    /// Total wall time including children, in nanoseconds.
+    pub inclusive_ns: u64,
+    /// Total wall time excluding children, in nanoseconds.
+    pub exclusive_ns: u64,
+    /// Inclusive time as a fraction of total root-span time (0..=100).
+    pub pct_of_root: f64,
+}
+
+/// A recorded span stream plus its aggregations and exports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// Chronological begin/end events.
+    pub events: Vec<SpanEvent>,
+}
+
+impl Profile {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The tree shape — the event stream with timestamps erased. Two
+    /// same-seed runs must produce identical shapes; this is what the
+    /// determinism parity tests compare.
+    pub fn shape(&self) -> Vec<(String, bool)> {
+        self.events
+            .iter()
+            .map(|e| (e.name.clone(), e.begin))
+            .collect()
+    }
+
+    /// Aggregates the event stream into per-path rows (call counts,
+    /// inclusive/exclusive time, % of root), ordered by first occurrence.
+    pub fn phase_table(&self) -> Vec<PhaseRow> {
+        struct Open {
+            path: String,
+            begin_ns: u64,
+            child_ns: u64,
+        }
+        let mut stack: Vec<Open> = Vec::new();
+        let mut order: Vec<String> = Vec::new();
+        let mut rows: std::collections::BTreeMap<String, PhaseRow> =
+            std::collections::BTreeMap::new();
+        let mut root_ns = 0u64;
+        for ev in &self.events {
+            if ev.begin {
+                let path = match stack.last() {
+                    Some(parent) => format!("{}/{}", parent.path, ev.name),
+                    None => ev.name.clone(),
+                };
+                // register rows in first-enter order: parents precede
+                // children, so the rendered table reads as a tree
+                rows.entry(path.clone()).or_insert_with(|| {
+                    order.push(path.clone());
+                    PhaseRow {
+                        path: path.clone(),
+                        name: ev.name.clone(),
+                        depth: stack.len(),
+                        calls: 0,
+                        inclusive_ns: 0,
+                        exclusive_ns: 0,
+                        pct_of_root: 0.0,
+                    }
+                });
+                stack.push(Open {
+                    path,
+                    begin_ns: ev.ts_ns,
+                    child_ns: 0,
+                });
+            } else {
+                let Some(open) = stack.pop() else { continue };
+                let inclusive = ev.ts_ns.saturating_sub(open.begin_ns);
+                let exclusive = inclusive.saturating_sub(open.child_ns);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_ns += inclusive;
+                } else {
+                    root_ns += inclusive;
+                }
+                let row = rows.get_mut(&open.path).unwrap();
+                row.calls += 1;
+                row.inclusive_ns += inclusive;
+                row.exclusive_ns += exclusive;
+            }
+        }
+        let mut out: Vec<PhaseRow> = order
+            .into_iter()
+            .map(|p| rows.remove(&p).unwrap())
+            .collect();
+        for row in &mut out {
+            row.pct_of_root = if root_ns == 0 {
+                0.0
+            } else {
+                row.inclusive_ns as f64 * 100.0 / root_ns as f64
+            };
+        }
+        out
+    }
+
+    /// Renders the phase table as an aligned, indented text table.
+    pub fn render_phase_table(&self) -> String {
+        let rows = self.phase_table();
+        if rows.is_empty() {
+            return "profile: no spans recorded\n".to_owned();
+        }
+        let name_w = rows
+            .iter()
+            .map(|r| 2 * r.depth + r.name.len())
+            .chain(["phase".len()])
+            .max()
+            .unwrap();
+        let mut out = format!(
+            "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>7}\n",
+            "phase", "calls", "incl(ms)", "excl(ms)", "%root"
+        );
+        for r in &rows {
+            let label = format!("{}{}", "  ".repeat(r.depth), r.name);
+            out.push_str(&format!(
+                "{label:<name_w$}  {:>8}  {:>12.3}  {:>12.3}  {:>7.1}\n",
+                r.calls,
+                r.inclusive_ns as f64 * 1e-6,
+                r.exclusive_ns as f64 * 1e-6,
+                r.pct_of_root,
+            ));
+        }
+        out
+    }
+
+    /// The `k` hottest rows by exclusive time, descending (ties broken by
+    /// path for determinism).
+    pub fn top_spans(&self, k: usize) -> Vec<PhaseRow> {
+        let mut rows = self.phase_table();
+        rows.sort_by(|a, b| {
+            b.exclusive_ns
+                .cmp(&a.exclusive_ns)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        rows.truncate(k);
+        rows
+    }
+
+    /// Serializes as Chrome trace-event JSON (`B`/`E` duration events,
+    /// microsecond timestamps), loadable in Perfetto. The output is
+    /// line-oriented — one event object per line — so it can be parsed
+    /// back with the crate's flat-object JSON parser.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 80);
+        out.push_str("{\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            let ph = if ev.begin { "B" } else { "E" };
+            let comma = if i + 1 < self.events.len() { "," } else { "" };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"rex\",\"ph\":\"{}\",\"pid\":1,\"tid\":1,\
+                 \"ts\":{}.{:03}}}{}\n",
+                json::escape(&ev.name),
+                ph,
+                ev.ts_ns / 1000,
+                ev.ts_ns % 1000,
+                comma,
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses a Chrome trace produced by [`Profile::to_chrome_trace`]
+    /// back into a profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn parse_chrome_trace(text: &str) -> Result<Profile, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(first) if first.trim() == "{\"traceEvents\":[" => {}
+            other => {
+                return Err(format!(
+                    "expected {{\"traceEvents\":[ header, got {other:?}"
+                ))
+            }
+        }
+        let mut events = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let line = line.trim().trim_end_matches(',');
+            if line.is_empty() {
+                continue;
+            }
+            if line == "]}" {
+                return Ok(Profile { events });
+            }
+            let obj =
+                json::parse_object(line).map_err(|e| format!("trace event line {}: {e}", i + 2))?;
+            let name = obj
+                .get("name")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("trace event line {}: missing name", i + 2))?
+                .to_owned();
+            let begin = match obj.get("ph").and_then(|v| v.as_str()) {
+                Some("B") => true,
+                Some("E") => false,
+                other => {
+                    return Err(format!(
+                        "trace event line {}: expected ph B or E, got {other:?}",
+                        i + 2
+                    ))
+                }
+            };
+            let ts_us = obj
+                .get("ts")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("trace event line {}: missing ts", i + 2))?;
+            events.push(SpanEvent {
+                name,
+                begin,
+                ts_ns: (ts_us * 1000.0).round() as u64,
+            });
+        }
+        Err("unterminated traceEvents array (missing ]})".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(names: &[(&'static str, bool)]) -> Profile {
+        let mut c = SpanCollector::new();
+        for &(name, begin) in names {
+            if begin {
+                c.enter(name);
+            } else {
+                c.exit(name);
+            }
+        }
+        c.finish()
+    }
+
+    #[test]
+    fn spans_nest_into_a_tree() {
+        let p = collect(&[
+            ("job", true),
+            ("step", true),
+            ("forward", true),
+            ("forward", false),
+            ("backward", true),
+            ("backward", false),
+            ("step", false),
+            ("step", true),
+            ("forward", true),
+            ("forward", false),
+            ("step", false),
+            ("job", false),
+        ]);
+        let rows = p.phase_table();
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        // first-enter order: parents precede children, tree reads top-down
+        assert_eq!(
+            paths,
+            ["job", "job/step", "job/step/forward", "job/step/backward"]
+        );
+        let by_path = |p: &str| rows.iter().find(|r| r.path == p).unwrap();
+        assert_eq!(by_path("job/step").calls, 2);
+        assert_eq!(by_path("job/step/forward").calls, 2);
+        assert_eq!(by_path("job").calls, 1);
+        assert_eq!(by_path("job").depth, 0);
+        assert_eq!(by_path("job/step/forward").depth, 2);
+        assert!((by_path("job").pct_of_root - 100.0).abs() < 1e-9);
+        // inclusive >= exclusive, parents' inclusive >= children's
+        for r in &rows {
+            assert!(r.inclusive_ns >= r.exclusive_ns, "{}", r.path);
+        }
+        assert!(by_path("job").inclusive_ns >= by_path("job/step").inclusive_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match innermost open span")]
+    fn unbalanced_exit_panics_with_the_offending_names() {
+        let mut c = SpanCollector::new();
+        c.enter("job");
+        c.enter("forward");
+        c.exit("job");
+    }
+
+    #[test]
+    #[should_panic(expected = "with no open span")]
+    fn exit_without_enter_panics() {
+        let mut c = SpanCollector::new();
+        c.exit("step");
+    }
+
+    #[test]
+    fn finish_force_closes_open_spans() {
+        let mut c = SpanCollector::new();
+        c.enter("job");
+        c.enter("step");
+        assert_eq!(c.depth(), 2);
+        let p = c.finish();
+        assert_eq!(p.events.len(), 4);
+        assert!(!p.events[2].begin && p.events[2].name == "step");
+        assert!(!p.events[3].begin && p.events[3].name == "job");
+    }
+
+    #[test]
+    fn guard_records_on_early_return() {
+        fn early(n: u32) -> u32 {
+            let _g = span("early");
+            if n < 10 {
+                return n; // guard must still close the span here
+            }
+            n * 2
+        }
+        enable(Detail::Phase);
+        assert_eq!(early(3), 3);
+        let p = take();
+        assert_eq!(
+            p.shape(),
+            [("early".to_owned(), true), ("early".to_owned(), false)]
+        );
+    }
+
+    #[test]
+    fn kernel_spans_respect_detail_level() {
+        enable(Detail::Phase);
+        {
+            let _a = span("phase");
+            let _b = kernel_span("gemm"); // dropped: below detail level
+        }
+        let p = take();
+        assert_eq!(
+            p.shape(),
+            [("phase".to_owned(), true), ("phase".to_owned(), false)]
+        );
+
+        enable(Detail::Kernel);
+        {
+            let _a = span("phase");
+            let _b = kernel_span("gemm");
+        }
+        let p = take();
+        assert_eq!(p.events.len(), 4);
+        assert_eq!(p.events[1].name, "gemm");
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        assert!(!is_enabled());
+        {
+            let _g = span("ignored");
+        }
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_and_is_monotone() {
+        enable(Detail::Phase);
+        {
+            let _job = span("job");
+            for _ in 0..3 {
+                let _step = span("step");
+                let _fwd = span("forward");
+            }
+        }
+        let p = take();
+        let text = p.to_chrome_trace();
+        assert!(text.starts_with("{\"traceEvents\":[\n"));
+        assert!(text.ends_with("]}\n"));
+        let parsed = Profile::parse_chrome_trace(&text).unwrap();
+        assert_eq!(parsed.shape(), p.shape());
+        let mut prev = 0u64;
+        let mut depth = 0i64;
+        for ev in &parsed.events {
+            assert!(ev.ts_ns >= prev, "timestamps must be monotone");
+            prev = ev.ts_ns;
+            depth += if ev.begin { 1 } else { -1 };
+            assert!(depth >= 0, "E before matching B");
+        }
+        assert_eq!(depth, 0, "every B needs a matching E");
+    }
+
+    #[test]
+    fn phase_table_renders_aligned_rows() {
+        let p = collect(&[
+            ("job", true),
+            ("step", true),
+            ("step", false),
+            ("job", false),
+        ]);
+        let table = p.render_phase_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("phase"));
+        assert!(lines[0].contains("%root"));
+        assert!(lines[1].starts_with("job"));
+        assert!(lines[2].starts_with("  step"), "children are indented");
+    }
+
+    #[test]
+    fn top_spans_orders_by_exclusive_time() {
+        let mut c = SpanCollector::new();
+        c.enter("job");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        c.enter("fast");
+        c.exit("fast");
+        c.enter("slow");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        c.exit("slow");
+        c.exit("job");
+        let p = c.finish();
+        let top = p.top_spans(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].exclusive_ns >= top[1].exclusive_ns);
+        assert_eq!(top[0].name, "slow");
+    }
+
+    #[test]
+    fn reenable_discards_stale_guards() {
+        enable(Detail::Phase);
+        let g = span("stale");
+        enable(Detail::Phase); // re-arm while a guard is open
+        drop(g); // must not exit into the new collector
+        {
+            let _h = span("fresh");
+        }
+        let p = take();
+        assert_eq!(
+            p.shape(),
+            [("fresh".to_owned(), true), ("fresh".to_owned(), false)]
+        );
+    }
+}

@@ -98,6 +98,7 @@ pub fn conv2d_forward(
     bias: Option<&Tensor>,
     win: Window,
 ) -> Result<(Tensor, Conv2dSaved), TensorError> {
+    let _sp = rex_telemetry::span::kernel_span("conv2d_fwd");
     let [n, c, h, w] = dims4(input, "conv2d input [N,C,H,W]")?;
     let [o, wc, kh, kw] = dims4(weight, "conv2d weight [O,C,K,K]")?;
     if wc != c || kh != win.kernel || kw != win.kernel {
@@ -229,6 +230,7 @@ fn conv2d_backward_impl(
     saved: &Conv2dSaved,
     want_bias: bool,
 ) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    let _sp = rex_telemetry::span::kernel_span("conv2d_bwd");
     let [n, c, h, w] = saved.in_shape;
     let (oh, ow) = saved.out_hw;
     let ohw = oh * ow;

@@ -138,6 +138,7 @@ pub fn qgemm_nt(
         c.fill(0.0);
         return;
     }
+    let _sp = rex_telemetry::span::kernel_span("qgemm");
     let be = crate::backend::active();
     let threads = num_threads();
     if threads > 1 && m > 64 && m * k * n >= PAR_FLOPS {
@@ -255,6 +256,9 @@ fn gemm_driver(layout: Layout, m: usize, k: usize, n: usize, a: &[f32], b: &[f32
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    // the driver runs on the submitting thread (the pool fans out
+    // internally), so this span covers the whole op including fan-out
+    let _sp = rex_telemetry::span::kernel_span("gemm");
     // resolve the backend once, before sharding: chunk bodies run on pool
     // workers, and the captured reference is what propagates a thread-local
     // `with_backend` override into them
@@ -288,6 +292,7 @@ fn batch_driver(
     if batch == 0 || m == 0 || n == 0 || k == 0 {
         return;
     }
+    let _sp = rex_telemetry::span::kernel_span("gemm_batch");
     let (sa, sb, sc) = (m * k, k * n, m * n);
     let be = crate::backend::active();
     let run_range = move |a: &[f32], b: &[f32], c: &mut [f32], s0: usize, count: usize| {

@@ -67,6 +67,7 @@ fn rowwise_par(
 /// Returns [`TensorError::RankMismatch`] for non-2-D inputs.
 pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
     let (r, c) = as_2d(x)?;
+    let _sp = rex_telemetry::span::kernel_span("softmax");
     let mut out = vec![0.0f32; r * c];
     // backend resolved once so the row closure (which may run on pool
     // workers) uses the caller's backend
@@ -84,6 +85,7 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::RankMismatch`] for non-2-D inputs.
 pub fn log_softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
     let (r, c) = as_2d(x)?;
+    let _sp = rex_telemetry::span::kernel_span("log_softmax");
     let mut out = vec![0.0f32; r * c];
     let be = crate::backend::active();
     rowwise_par(r, c, x.data(), &mut out, |row, orow| {

@@ -5,6 +5,7 @@ use rex_core::{Schedule, ScheduleSpec};
 use rex_data::{augment_hflip, batches, batches_traced};
 use rex_nn::{checkpoint, Module};
 use rex_optim::{clip_grad_norm, global_grad_norm, global_param_norm, Adam, Optimizer, Sgd};
+use rex_telemetry::span::span;
 use rex_telemetry::{Event, Recorder, StepRecord};
 use rex_tensor::{DType, Prng, Tensor, TensorError};
 use std::path::PathBuf;
@@ -385,7 +386,12 @@ impl Trainer {
         let mut mem_snap: Option<TrainState> = None;
         let mut rolled_back_at: Option<u64> = None;
 
+        // profiling spans never touch the Recorder, so the deterministic
+        // trace stays byte-identical with profiling on; the span *tree*
+        // (names and nesting) is itself a pure function of the config
+        let _job_span = span("job");
         'run: while (st.epoch as usize) < cfg.epochs {
+            let _epoch_span = span("epoch");
             let batch_vec = if st.mid_epoch {
                 st.mid_epoch = false;
                 // Rebuild the in-flight epoch's batch order by replaying
@@ -416,6 +422,7 @@ impl Trainer {
                 )
             };
             while (st.batch_in_epoch as usize) < batch_vec.len() {
+                let _step_span = span("step");
                 let batch = &batch_vec[st.batch_in_epoch as usize];
                 let step_start = traced.then(Instant::now);
                 let factor = self.schedule.factor(st.samples_done, total_samples) as f32;
@@ -425,16 +432,20 @@ impl Trainer {
                     opt.set_momentum(m as f32);
                 }
                 opt.zero_grad();
+                let data_span = span("data");
                 let images = if cfg.augment && batch.images.ndim() == 4 {
                     augment_hflip(&batch.images, &mut rng)
                 } else {
                     batch.images.clone()
                 };
+                drop(data_span);
+                let fwd_span = span("forward");
                 let mut g = Graph::new(true);
                 let x = g.constant(images);
                 let logits = model.forward(&mut g, x)?;
                 let loss = g.cross_entropy(logits, &batch.labels)?;
                 let mut batch_loss = g.value(loss).item() as f64;
+                drop(fwd_span);
                 if rex_faults::poison_loss(st.step) {
                     batch_loss = f64::NAN;
                 }
@@ -458,13 +469,16 @@ impl Trainer {
                 }
                 st.epoch_loss += batch_loss;
                 st.epoch_batches += 1;
+                let bwd_span = span("backward");
                 g.backward(loss)?;
+                drop(bwd_span);
                 if let Some(seed_idx) = rex_faults::poison_grad(st.step) {
                     let params = opt.params();
                     if !params.is_empty() {
                         params[seed_idx % params.len()].grad_mut().data_mut()[0] = f32::NAN;
                     }
                 }
+                let opt_span = span("optimizer");
                 let grad_norm = if let Some(max_norm) = cfg.grad_clip {
                     clip_grad_norm(opt.params(), max_norm)
                 } else if traced || guard_on {
@@ -502,6 +516,7 @@ impl Trainer {
                     // a checkpoint serializes them losslessly
                     round_buffers(cfg.dtype, model);
                 }
+                drop(opt_span);
                 st.samples_done += batch.labels.len() as u64;
                 if traced {
                     rec.emit(Event::Step(StepRecord {
@@ -522,6 +537,7 @@ impl Trainer {
 
                 if let Some(every) = ft.checkpoint_every {
                     if st.step.is_multiple_of(every) {
+                        let _ckpt_span = span("checkpoint");
                         let path = ft.checkpoint_path.as_ref().expect("validated upfront");
                         // cursor ordering: the checkpoint line joins the
                         // deterministic stream first, then the flush makes
@@ -557,6 +573,7 @@ impl Trainer {
                 }
             }
             let val_loss = if needs_val {
+                let _val_span = span("validation");
                 let vl = classification_loss(model, test_images, test_labels, cfg.batch_size)?;
                 self.schedule.on_validation(vl);
                 if traced {

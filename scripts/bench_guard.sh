@@ -18,11 +18,17 @@
 #
 # The guard also sanity-checks the committed BENCH_serve.json (schema,
 # >=200 jobs, zero dropped/duplicated ids, sane latency quantiles, a
-# retries histogram that accounts for every job, backend provenance).
+# retries histogram that accounts for every job, backend provenance)
+# and the committed BENCH_profile.json (schema, non-smoke, phase-detail
+# profiler overhead at or below the 3 % acceptance floor, a non-empty
+# phase table, backend provenance).
 #
-#   --serve-only   run just the serve-artifact check (no kernel re-run)
-#   --quant-only   re-run the kernel bench but guard only the
-#                  quantized-matmul cases (skips the GEMM floor)
+#   --serve-only    run just the serve-artifact check (no kernel re-run)
+#   --quant-only    re-run the kernel bench but guard only the
+#                   quantized-matmul cases (skips the GEMM floor)
+#   --profile-only  check the committed profile artifact, then re-run
+#                   profile-bench fresh and enforce the 3 % overhead
+#                   floor on the fresh run too
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,28 +37,40 @@ case "${1:-}" in
   "") ;;
   --serve-only) mode=serve ;;
   --quant-only) mode=quant ;;
+  --profile-only) mode=profile ;;
   *)
-    echo "bench-guard: unknown flag ${1:?} (expected --serve-only | --quant-only)" >&2
+    echo "bench-guard: unknown flag ${1:?} (expected --serve-only | --quant-only | --profile-only)" >&2
     exit 2
     ;;
 esac
 
 committed="BENCH_kernels.json"
 serve_committed="BENCH_serve.json"
-if [ "$mode" != "serve" ] && [ ! -f "$committed" ]; then
-  echo "bench-guard: missing committed $committed" >&2
-  exit 1
+profile_committed="BENCH_profile.json"
+if [ "$mode" = "full" ] || [ "$mode" = "quant" ]; then
+  if [ ! -f "$committed" ]; then
+    echo "bench-guard: missing committed $committed" >&2
+    exit 1
+  fi
 fi
-if [ "$mode" != "quant" ] && [ ! -f "$serve_committed" ]; then
-  echo "bench-guard: missing committed $serve_committed" >&2
-  exit 1
+if [ "$mode" = "full" ] || [ "$mode" = "serve" ]; then
+  if [ ! -f "$serve_committed" ]; then
+    echo "bench-guard: missing committed $serve_committed" >&2
+    exit 1
+  fi
+fi
+if [ "$mode" = "full" ] || [ "$mode" = "profile" ]; then
+  if [ ! -f "$profile_committed" ]; then
+    echo "bench-guard: missing committed $profile_committed" >&2
+    exit 1
+  fi
 fi
 if ! command -v python3 >/dev/null; then
   echo "bench-guard: python3 is required to compare benchmark JSON" >&2
   exit 1
 fi
 
-if [ "$mode" != "quant" ]; then
+if [ "$mode" = "full" ] || [ "$mode" = "serve" ]; then
   python3 - "$serve_committed" <<'EOF'
 import json
 import sys
@@ -104,6 +122,66 @@ fi
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+if [ "$mode" = "full" ] || [ "$mode" = "profile" ]; then
+  # The committed artifact must already satisfy the floor; a fresh run
+  # (min-of-reps, so steal-immune like the kernel guard) must too.
+  profile_reps="${BENCH_GUARD_PROFILE_REPS:-60}"
+  cargo run --release --offline -q -p rex-bench --bin profile-bench -- \
+    --reps "$profile_reps" --out "$tmp/profile.json" >/dev/null
+  python3 - "$profile_committed" "$tmp/profile.json" <<'EOF'
+import json
+import sys
+
+FLOOR_PCT = 3.0
+
+def load(path, committed):
+    with open(path) as f:
+        d = json.load(f)
+    errors = []
+    if d.get("schema") != "rex-profile-bench/v1":
+        sys.exit(f"bench-guard: {path}: expected rex-profile-bench/v1, got {d.get('schema')!r}")
+    if committed and d.get("smoke"):
+        errors.append("committed artifact is a --smoke run")
+    for key in ("backend", "simd_level", "threads", "reps"):
+        if not d.get(key):
+            errors.append(f"missing provenance field {key!r}")
+    if d.get("workload", {}).get("steps", 0) <= 0:
+        errors.append(f"workload ran no optimizer steps: {d.get('workload')}")
+    phases = d.get("phases")
+    if not phases:
+        errors.append("empty phases table")
+    else:
+        names = {p["path"] for p in phases}
+        for want in ("job", "job/epoch/step"):
+            if want not in names:
+                errors.append(f"phase table is missing span {want!r}")
+    overhead = d.get("overhead_phase_pct")
+    if overhead is None:
+        errors.append("missing overhead_phase_pct")
+    elif overhead > FLOOR_PCT:
+        errors.append(
+            f"phase-detail profiler overhead {overhead:.2f}% exceeds the {FLOOR_PCT}% floor"
+        )
+    if errors:
+        for e in errors:
+            print(f"bench-guard: {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    return d
+
+c = load(sys.argv[1], committed=True)
+f = load(sys.argv[2], committed=False)
+print(
+    "bench-guard: profile overhead committed "
+    f"{c['overhead_phase_pct']:.2f}%, fresh {f['overhead_phase_pct']:.2f}%, "
+    f"floor {FLOOR_PCT}% -> OK"
+)
+EOF
+fi
+
+if [ "$mode" = "profile" ]; then
+  exit 0
+fi
 
 reps="${BENCH_GUARD_REPS:-15}"
 cargo run --release --offline -q -p rex-bench --bin kernel-bench -- \

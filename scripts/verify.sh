@@ -169,4 +169,39 @@ cargo run --release --offline -q -p rex-bench --bin serve-bench -- \
 echo "==> bench-guard (GEMM floor + BENCH_serve.json integrity)"
 scripts/bench_guard.sh --serve-only
 
+echo "==> profile (span profiler + rexctl trace tooling)"
+# a profiled run must leave the JSONL trace byte-identical to an
+# unprofiled one (spans never pass through the Recorder), and must write
+# a loadable Chrome trace-event profile
+cargo run --release --offline -p rex-cli --bin rexctl -- \
+  train --setting digits-mlp --budget 100 --schedule rex --seed 7 \
+  --trace "$tmp_dir/prof_run.jsonl" --profile "$tmp_dir/prof.json" \
+  --profile-detail kernel >/dev/null
+cargo run --release --offline -p rex-cli --bin rexctl -- \
+  train --setting digits-mlp --budget 100 --schedule rex --seed 7 \
+  --trace "$tmp_dir/plain_run.jsonl" >/dev/null
+cmp "$tmp_dir/prof_run.jsonl" "$tmp_dir/plain_run.jsonl"
+head -c 16 "$tmp_dir/prof.json" | grep -q '{"traceEvents":'
+# the trace toolbox end to end: summary renders, diff of a trace with
+# itself is silent success, diff of a perturbed copy names the first
+# divergent step and exits 1, profile ranks spans
+cargo run --release --offline -q -p rex-cli --bin rexctl -- \
+  trace summary "$tmp_dir/prof_run.jsonl" | grep -q "64 steps"
+cargo run --release --offline -q -p rex-cli --bin rexctl -- \
+  trace diff "$tmp_dir/prof_run.jsonl" "$tmp_dir/plain_run.jsonl" >/dev/null
+sed 's/"lr":[0-9.eE+-]*/"lr":0.123/' "$tmp_dir/prof_run.jsonl" >"$tmp_dir/perturbed.jsonl"
+rc=0
+cargo run --release --offline -q -p rex-cli --bin rexctl -- \
+  trace diff "$tmp_dir/prof_run.jsonl" "$tmp_dir/perturbed.jsonl" \
+  >"$tmp_dir/diff.out" || rc=$?
+test "$rc" -eq 1
+grep -q "diverges" "$tmp_dir/diff.out"
+cargo run --release --offline -q -p rex-cli --bin rexctl -- \
+  trace profile "$tmp_dir/prof.json" --top 5 | grep -q "job/epoch/step"
+# profiler overhead: smoke numbers to scratch, then the 3 % floor on the
+# committed BENCH_profile.json plus a fresh run
+cargo run --release --offline -q -p rex-bench --bin profile-bench -- \
+  --smoke --out "$tmp_dir/profile_smoke.json" >/dev/null
+scripts/bench_guard.sh --profile-only
+
 echo "verify: OK"

@@ -342,7 +342,13 @@ fn healthz_over_a_raw_socket() {
         .unwrap();
     let resp = rex::serve::client::read_response(&mut BufReader::new(stream)).unwrap();
     assert_eq!(resp.status, 200);
-    assert_eq!(resp.body, b"ok\n");
+    let body = resp.text();
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"queue_depth\":"), "{body}");
+    assert!(
+        resp.header("x-request-id").is_some(),
+        "raw-socket responses must carry a request id too"
+    );
     drop(daemon);
     let _ = std::fs::remove_dir_all(dir);
 }

@@ -221,3 +221,70 @@ fn traced_training_run_is_byte_identical_across_thread_counts() {
         );
     }
 }
+
+#[test]
+fn profiled_run_computes_identical_bytes_at_any_thread_count() {
+    // The span profiler observes the training loop but must never touch
+    // it: with kernel-detail profiling armed, the JSONL trace bytes and
+    // final metric must equal an unprofiled run's, at every pool size —
+    // and the span tree it collects must have a thread-count-invariant
+    // shape (timing varies; structure must not).
+    use rex::telemetry::span::{self, Detail};
+
+    let data = rex::data::images::synth_cifar10(8, 4, 29);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let run = |threads: usize, detail: Option<Detail>| {
+        let path = dir.join(format!("rex_prof_det_{pid}_{threads}.jsonl"));
+        let (err, shape) = rex_pool::with_pool_size(threads, || {
+            if let Some(d) = detail {
+                span::enable(d);
+            }
+            let sink = JsonlSink::create(&path).unwrap();
+            let mut rec = Recorder::new(Box::new(sink));
+            let err = run_image_cell_traced(
+                ImageModel::MicroResNet20,
+                &data,
+                1,
+                8,
+                OptimizerKind::sgdm(),
+                ScheduleSpec::Rex,
+                0.05,
+                29,
+                rex::tensor::DType::F32,
+                &mut rec,
+            )
+            .unwrap();
+            rec.flush();
+            (err, span::take().shape())
+        });
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        (err, bytes, shape)
+    };
+
+    let (plain_err, plain_trace, plain_shape) = run(1, None);
+    assert!(
+        plain_shape.is_empty(),
+        "unprofiled run must record no spans"
+    );
+    let (ref_err, ref_trace, ref_shape) = run(1, Some(Detail::Kernel));
+    assert_eq!(ref_err, plain_err, "profiling changed the final metric");
+    assert_eq!(ref_trace, plain_trace, "profiling changed the trace bytes");
+    assert!(
+        ref_shape.iter().any(|(name, _)| name == "gemm"),
+        "kernel detail must record compute spans"
+    );
+    for &threads in &THREAD_COUNTS[1..] {
+        let (err_t, trace_t, shape_t) = run(threads, Some(Detail::Kernel));
+        assert_eq!(err_t, ref_err, "final metric differs at {threads} threads");
+        assert_eq!(
+            trace_t, ref_trace,
+            "profiled trace bytes differ at {threads} threads"
+        );
+        assert_eq!(
+            shape_t, ref_shape,
+            "span-tree shape differs at {threads} threads"
+        );
+    }
+}
