@@ -87,6 +87,9 @@ fn run_cell() -> u64 {
         guard: GuardPolicy::Off,
         halt_after_step: None,
         stop_flag: None,
+        keep_checkpoints: None,
+        checkpoint_on_halt: false,
+        heartbeat: None,
     };
     let t0 = Instant::now();
     setting

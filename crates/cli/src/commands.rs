@@ -66,8 +66,8 @@ fn recorder_from_flags(flags: &Flags) -> Result<Recorder, String> {
 }
 
 /// Parses the fault-tolerance flags of `rexctl train`:
-/// `--checkpoint PATH --checkpoint-every N --resume PATH
-/// --guard off|abort|skip|rollback --halt-after N`.
+/// `--checkpoint PATH --checkpoint-every N --keep-checkpoints N
+/// --resume PATH --guard off|abort|skip|rollback --halt-after N`.
 fn ft_from_flags(flags: &Flags) -> Result<FtConfig, String> {
     let checkpoint_path = flags.get("checkpoint").map(PathBuf::from);
     let checkpoint_every = match flags.get("checkpoint-every") {
@@ -82,6 +82,16 @@ fn ft_from_flags(flags: &Flags) -> Result<FtConfig, String> {
     }
     if checkpoint_path.is_some() && checkpoint_every.is_none() {
         return Err("--checkpoint requires --checkpoint-every N".into());
+    }
+    let keep_checkpoints = match flags.get("keep-checkpoints") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => return Err(format!("--keep-checkpoints must be >= 1, got {v:?}")),
+        },
+        None => None,
+    };
+    if keep_checkpoints.is_some() && checkpoint_path.is_none() {
+        return Err("--keep-checkpoints requires --checkpoint DIR --checkpoint-every N".into());
     }
     let guard = match flags.get("guard") {
         Some(v) => GuardPolicy::parse(v)?,
@@ -101,7 +111,32 @@ fn ft_from_flags(flags: &Flags) -> Result<FtConfig, String> {
         guard,
         halt_after_step,
         stop_flag: None,
+        keep_checkpoints,
+        checkpoint_on_halt: false,
+        heartbeat: None,
     })
+}
+
+/// Resolves a `--resume DIR` checkpoint lineage to its newest valid
+/// generation before the trace recorder needs the snapshot's line cursor.
+/// Skipped generations are reported to stderr with their named reason;
+/// `ft.resume_from` is rewritten to the resolved generation file.
+fn resolve_resume(ft: &mut FtConfig) -> Result<(), String> {
+    let Some(path) = &ft.resume_from else {
+        return Ok(());
+    };
+    if !path.is_dir() {
+        return Ok(());
+    }
+    let (_, resolved, report) = rex_train::Lineage::resolve(path)
+        .map_err(|e| format!("cannot resume from lineage {}: {e}", path.display()))?;
+    if report.fallbacks() > 0 {
+        eprint!("{report}");
+        eprintln!();
+    }
+    eprintln!("resuming from {}", resolved.display());
+    ft.resume_from = Some(resolved);
+    Ok(())
 }
 
 /// Applies the optional `--profile FILE [--profile-detail phase|kernel]`
@@ -246,7 +281,8 @@ fn train_inner(argv: &[String]) -> Result<(), String> {
     let spec = parse_schedule(flags.get("schedule").unwrap_or("rex"))?;
     let optimizer = parse_optimizer(flags.get("optimizer").unwrap_or("sgdm"))?;
     let dtype = dtype_from_flags(&flags)?;
-    let ft = ft_from_flags(&flags)?;
+    let mut ft = ft_from_flags(&flags)?;
+    resolve_resume(&mut ft)?;
     let profile_path = profile_from_flags(&flags)?;
     let mut rec = recorder_for_train(&flags, &ft)?;
 

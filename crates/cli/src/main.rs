@@ -52,9 +52,9 @@ USAGE:
                [--threads N] [--backend scalar|simd|auto]
                [--dtype f32|f16|bf16]
                [--profile FILE] [--profile-detail phase|kernel]
-               [--checkpoint FILE --checkpoint-every N]
-               [--resume FILE] [--guard off|abort|skip|rollback]
-               [--halt-after STEP]
+               [--checkpoint PATH --checkpoint-every N]
+               [--keep-checkpoints N] [--resume PATH]
+               [--guard off|abort|skip|rollback] [--halt-after STEP]
       Train one budgeted cell and print the final metric. With --trace,
       write a JSONL telemetry trace (one step record per optimizer step)
       to FILE; same-seed runs produce byte-identical traces at any
@@ -133,15 +133,21 @@ BACKEND:
   backends they agree to rounding.
 
 FAULT TOLERANCE (train, image and digits settings):
-  --checkpoint FILE --checkpoint-every N snapshot the full training
+  --checkpoint PATH --checkpoint-every N snapshot the full training
   state (model, optimizer, RNG, schedule progress, trace cursor) every
-  N optimizer steps, crash-consistently. --resume FILE continues an
-  interrupted run from its snapshot; with --trace the finished trace is
-  byte-identical to an uninterrupted run's. --guard picks the response
-  to a non-finite loss/gradient (abort names the step and tensor; skip
-  drops the step but advances the budget; rollback restores the last
-  checkpoint). --halt-after STEP stops cleanly after that step —
-  a deterministic in-process kill for testing resume.
+  N optimizer steps, crash-consistently. With --keep-checkpoints N,
+  PATH is a directory holding the N newest generational snapshots
+  (state.00017.rexstate ...) plus a LATEST pointer; without it, PATH is
+  a single file overwritten in place. --resume PATH continues an
+  interrupted run from its snapshot; pointing it at a lineage directory
+  resumes the newest valid generation, falling back generation by
+  generation past truncated/corrupt snapshots with a named reason per
+  skip. With --trace the finished trace is byte-identical to an
+  uninterrupted run's. --guard picks the response to a non-finite
+  loss/gradient (abort names the step and tensor; skip drops the step
+  but advances the budget; rollback restores the last checkpoint).
+  --halt-after STEP stops cleanly after that step — a deterministic
+  in-process kill for testing resume.
 
 SETTINGS:
   rn20-cifar10 | rn38-cifar10 | wrn-stl10 | vgg16-cifar100 | vae-mnist

@@ -35,6 +35,14 @@
 //!                               write with that label) — a deterministic
 //!                               stand-in for a slow disk, so timeout and
 //!                               slow-backend tests need no real clock luck
+//! corrupt-on-write=LABEL:N:KIND deterministically damage the N-th labelled
+//!                               write *after* it lands: KIND is bit (flip
+//!                               one bit in the middle of the file) or
+//!                               truncate (cut the file to half its bytes).
+//!                               Models silent media corruption of an
+//!                               otherwise-successful durable write, so
+//!                               checkpoint-lineage fallback can be tested
+//!                               without hand-editing files
 //! ```
 //!
 //! Injection is intentionally *not* random: faults are addressed by step
@@ -64,6 +72,15 @@ pub enum WriteStage {
     Post,
 }
 
+/// How a `corrupt-on-write` fault damages the bytes that landed on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Flip one bit in the middle of the file (checksum mismatch).
+    BitFlip,
+    /// Cut the file to half its length (decode hits unexpected EOF).
+    Truncate,
+}
+
 /// A deterministic fault plan. All fields default to "no fault".
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
@@ -82,6 +99,9 @@ pub struct FaultPlan {
     /// Sleep `.2` milliseconds before the `.1`-th write labelled `.0`
     /// starts (ordinal 0 delays every write with the label).
     pub slow_io_on_write: Option<(String, u64, u64)>,
+    /// Damage the `.1`-th write labelled `.0` after it has atomically
+    /// landed, per `.2` — the write itself reports success.
+    pub corrupt_on_write: Option<(String, u64, CorruptKind)>,
 }
 
 impl FaultPlan {
@@ -163,6 +183,25 @@ impl FaultPlan {
                     )?;
                     check_done(parts.next(), clause)?;
                     plan.slow_io_on_write = Some((label.to_owned(), nth, ms));
+                }
+                "corrupt-on-write" => {
+                    let mut parts = value.split(':');
+                    let label = parts
+                        .next()
+                        .filter(|l| !l.is_empty())
+                        .ok_or_else(|| format!("fault clause {clause:?} needs LABEL:N:KIND"))?;
+                    let nth = parse_num(parts.next().unwrap_or(""), clause)?;
+                    let kind = match parts.next() {
+                        Some("bit") => CorruptKind::BitFlip,
+                        Some("truncate") => CorruptKind::Truncate,
+                        other => {
+                            return Err(format!(
+                                "fault clause {clause:?}: kind {other:?} is not bit|truncate"
+                            ))
+                        }
+                    };
+                    check_done(parts.next(), clause)?;
+                    plan.corrupt_on_write = Some((label.to_owned(), nth, kind));
                 }
                 other => return Err(format!("unknown fault kind {other:?}")),
             }
@@ -269,6 +308,41 @@ pub fn crash_point(completed_step: u64) {
     }
 }
 
+/// A crash point for *append* streams — buffered line-oriented writers
+/// like the JSONL trace, whose per-line appends never go through
+/// [`atomic_write`]. Bumps `label`'s write ordinal (appends and atomic
+/// rewrites of the same label share one counter) and evaluates
+/// `kill-on-write`: `pre` dies before any byte of this append lands,
+/// `mid` flushes the first *half* of `bytes` straight to `file` — a torn
+/// trailing line with no newline — and dies, `post` flushes the full
+/// line plus its newline and dies. A no-op without a matching plan;
+/// the other write faults (I/O error, slow-io, corruption) do not apply
+/// to appends, whose callers drop write errors by design.
+pub fn append_crash_point(label: &str, file: Option<&File>, bytes: &[u8]) {
+    let ordinal = bump_write(label);
+    let plan = active_plan();
+    let Some((l, n, stage)) = plan.kill_on_write.clone() else {
+        return;
+    };
+    if l != label || n != ordinal {
+        return;
+    }
+    if let Some(mut f) = file {
+        let half = bytes.len() / 2;
+        let landed: &[u8] = match stage {
+            WriteStage::Pre => &[],
+            WriteStage::Mid => &bytes[..half],
+            WriteStage::Post => bytes,
+        };
+        let _ = f.write_all(landed);
+        if stage == WriteStage::Post {
+            let _ = f.write_all(b"\n");
+        }
+        let _ = f.sync_all();
+    }
+    injected_kill(label, ordinal, stage);
+}
+
 /// Whether the batch loss of optimizer step `step` should be poisoned
 /// with NaN. Honours the plan's fire-count cap.
 pub fn poison_loss(step: u64) -> bool {
@@ -359,16 +433,46 @@ pub fn atomic_write(label: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
     if kill == Some(WriteStage::Pre) {
         injected_kill(label, ordinal, WriteStage::Pre);
     }
+    let corrupt = plan
+        .corrupt_on_write
+        .as_ref()
+        .filter(|(l, n, _)| l == label && *n == ordinal)
+        .map(|(_, _, kind)| *kind);
 
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         fs::create_dir_all(parent)?;
     }
     let tmp = temp_sibling(path);
-    let result = write_temp_and_rename(&tmp, path, bytes, kill);
+    let result = write_temp_and_rename(&tmp, path, bytes, kill, corrupt);
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
     }
     result
+}
+
+/// Damages the landed target in place: the atomic-write protocol completed
+/// (the caller saw success), then the media silently went bad.
+fn apply_corruption(path: &Path, kind: CorruptKind) {
+    let Ok(bytes) = fs::read(path) else { return };
+    if bytes.is_empty() {
+        return;
+    }
+    match kind {
+        CorruptKind::BitFlip => {
+            let mut damaged = bytes;
+            let mid = damaged.len() / 2;
+            damaged[mid] ^= 0x40;
+            let _ = fs::write(path, damaged);
+        }
+        CorruptKind::Truncate => {
+            let keep = bytes.len() / 2;
+            let _ = fs::write(path, &bytes[..keep]);
+        }
+    }
+    eprintln!(
+        "rex-faults: injected {kind:?} corruption of {}",
+        path.display()
+    );
 }
 
 fn write_temp_and_rename(
@@ -376,6 +480,7 @@ fn write_temp_and_rename(
     path: &Path,
     bytes: &[u8],
     kill: Option<WriteStage>,
+    corrupt: Option<CorruptKind>,
 ) -> io::Result<()> {
     let mut f = OpenOptions::new()
         .write(true)
@@ -394,6 +499,11 @@ fn write_temp_and_rename(
     drop(f);
     fs::rename(tmp, path)?;
     fsync_dir(path);
+    if let Some(kind) = corrupt {
+        // corruption lands before a post-kill fires, so a plan pairing the
+        // two models "the last checkpoint before the crash was poisoned"
+        apply_corruption(path, kind);
+    }
     if kill == Some(WriteStage::Post) {
         injected_kill("", 0, WriteStage::Post);
     }
@@ -427,6 +537,138 @@ fn temp_sibling(path: &Path) -> PathBuf {
 /// want their final flush durable.
 pub fn fsync_file(file: &File) {
     let _ = file.sync_all();
+}
+
+/// The four fault families a [`ChaosPlan`] schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChaosKind {
+    /// Process death: `kill-at-step` or a `kill-on-write` stage.
+    Kill,
+    /// An injected I/O error failing a labelled write.
+    IoErr,
+    /// Silent on-disk corruption of a landed write.
+    Corrupt,
+    /// A deterministic slow-disk delay on labelled writes.
+    SlowIo,
+}
+
+/// One restart-to-restart window of a chaos soak: the `REX_FAULTS` clauses
+/// the daemon under test runs with until the plan's kill brings it down
+/// (or, for the final round, until the workload drains cleanly).
+#[derive(Debug, Clone)]
+pub struct ChaosRound {
+    /// The scheduled faults: the family plus the literal clause text.
+    pub faults: Vec<(ChaosKind, String)>,
+}
+
+impl ChaosRound {
+    /// The round's clauses joined into a `REX_FAULTS` value (empty for a
+    /// fault-free round).
+    pub fn spec(&self) -> String {
+        self.faults
+            .iter()
+            .map(|(_, clause)| clause.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// How many scheduled faults belong to `kind`.
+    pub fn count(&self, kind: ChaosKind) -> usize {
+        self.faults.iter().filter(|(k, _)| *k == kind).count()
+    }
+}
+
+/// A seeded, fully deterministic storm schedule for a multi-job soak.
+///
+/// Every storm round carries a process kill (so the round terminates with
+/// a daemon death) plus a deterministic mix of I/O errors, slow-disk
+/// delays, and — on alternating rounds — an on-disk corruption of the very
+/// checkpoint written last before the kill (`corrupt-on-write` and
+/// `kill-on-write=…:post` aimed at the same ordinal), which forces the
+/// poisoned-checkpoint recovery path on restart. The final round is always
+/// fault-free so the workload can drain.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// The seed the schedule was derived from.
+    pub seed: u64,
+    /// Storm rounds followed by one trailing fault-free round.
+    pub rounds: Vec<ChaosRound>,
+}
+
+/// splitmix64: tiny, seedable, and good enough to decorrelate fault
+/// ordinals — the plan must be reproducible from its seed alone.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi]`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+impl ChaosPlan {
+    /// Builds the deterministic schedule: `storm_rounds` fault rounds and
+    /// a trailing clean round. Same seed and count, same plan — always.
+    pub fn generate(seed: u64, storm_rounds: usize) -> ChaosPlan {
+        let mut rng = Mix(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let mut rounds = Vec::with_capacity(storm_rounds + 1);
+        for round in 0..storm_rounds {
+            let mut faults = Vec::new();
+            if round % 2 == 0 {
+                // step-boundary kill with an I/O error earlier in the round
+                let kill_step = rng.range(4, 12);
+                let io_ordinal = rng.range(1, 5);
+                faults.push((ChaosKind::Kill, format!("kill-at-step={kill_step}")));
+                faults.push((
+                    ChaosKind::IoErr,
+                    format!("io-err-on-write=state:{io_ordinal}"),
+                ));
+            } else {
+                // poison the final checkpoint: corrupt the N-th state
+                // write, then die immediately after it lands
+                let ordinal = rng.range(6, 14);
+                let kind = if rng.next().is_multiple_of(2) {
+                    "bit"
+                } else {
+                    "truncate"
+                };
+                faults.push((
+                    ChaosKind::Corrupt,
+                    format!("corrupt-on-write=state:{ordinal}:{kind}"),
+                ));
+                faults.push((
+                    ChaosKind::Kill,
+                    format!("kill-on-write=state:{ordinal}:post"),
+                ));
+            }
+            let lag_ms = rng.range(2, 8);
+            faults.push((
+                ChaosKind::SlowIo,
+                format!("slow-io-on-write=state:0:{lag_ms}"),
+            ));
+            rounds.push(ChaosRound { faults });
+        }
+        rounds.push(ChaosRound { faults: Vec::new() });
+        ChaosPlan { seed, rounds }
+    }
+
+    /// Total scheduled faults of `kind` across all rounds.
+    pub fn count(&self, kind: ChaosKind) -> usize {
+        self.rounds.iter().map(|r| r.count(kind)).sum()
+    }
+
+    /// Total scheduled faults across all rounds.
+    pub fn total_faults(&self) -> usize {
+        self.rounds.iter().map(|r| r.faults.len()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -576,6 +818,89 @@ mod tests {
         // outside the scope no plan is active
         assert!(!poison_loss(3));
         assert_eq!(poison_grad(4), None);
+    }
+
+    #[test]
+    fn parse_corrupt_grammar() {
+        let plan = FaultPlan::parse("corrupt-on-write=state:3:bit").unwrap();
+        assert_eq!(
+            plan.corrupt_on_write,
+            Some(("state".to_owned(), 3, CorruptKind::BitFlip))
+        );
+        let plan = FaultPlan::parse("corrupt-on-write=ckpt:1:truncate").unwrap();
+        assert_eq!(
+            plan.corrupt_on_write,
+            Some(("ckpt".to_owned(), 1, CorruptKind::Truncate))
+        );
+        for bad in [
+            "corrupt-on-write=state",
+            "corrupt-on-write=state:1",
+            "corrupt-on-write=:1:bit",
+            "corrupt-on-write=state:1:shred",
+            "corrupt-on-write=state:1:bit:9",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn corrupt_on_write_damages_only_the_addressed_ordinal() {
+        let path = tmp("corrupt");
+        let payload = vec![0u8; 64];
+        let plan = FaultPlan::parse("corrupt-on-write=media:2:bit").unwrap();
+        with_plan(plan, || {
+            atomic_write("media", &path, &payload).unwrap();
+            assert_eq!(fs::read(&path).unwrap(), payload, "ordinal 1 untouched");
+            atomic_write("media", &path, &payload).unwrap();
+            let damaged = fs::read(&path).unwrap();
+            assert_eq!(damaged.len(), 64);
+            assert_eq!(damaged[32], 0x40, "one bit flipped mid-file");
+            // other labels and later ordinals are unaffected
+            atomic_write("media", &path, &payload).unwrap();
+            assert_eq!(fs::read(&path).unwrap(), payload);
+        });
+        let _ = fs::remove_file(&path);
+
+        let path = tmp("corrupt_trunc");
+        let plan = FaultPlan::parse("corrupt-on-write=media:1:truncate").unwrap();
+        with_plan(plan, || {
+            atomic_write("media", &path, &payload).unwrap();
+            assert_eq!(fs::read(&path).unwrap().len(), 32, "cut to half");
+        });
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_and_covers_all_kinds() {
+        let a = ChaosPlan::generate(42, 8);
+        let b = ChaosPlan::generate(42, 8);
+        assert_eq!(a.rounds.len(), 9, "8 storm rounds + 1 clean round");
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(ra.faults, rb.faults, "same seed, same schedule");
+        }
+        let c = ChaosPlan::generate(43, 8);
+        assert!(
+            a.rounds
+                .iter()
+                .zip(&c.rounds)
+                .any(|(x, y)| x.faults != y.faults),
+            "different seeds diverge"
+        );
+        for kind in [
+            ChaosKind::Kill,
+            ChaosKind::IoErr,
+            ChaosKind::Corrupt,
+            ChaosKind::SlowIo,
+        ] {
+            assert!(a.count(kind) > 0, "{kind:?} never scheduled");
+        }
+        assert_eq!(a.count(ChaosKind::Kill), 8, "every storm round kills");
+        assert!(a.total_faults() >= 20);
+        assert!(a.rounds.last().unwrap().faults.is_empty(), "clean drain");
+        // every clause the generator emits must parse
+        for round in &a.rounds {
+            FaultPlan::parse(&round.spec()).unwrap();
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub const USAGE: &str = "\
 usage: rexctl serve --data-dir DIR [--addr HOST:PORT] [--queue-depth N]
                     [--workers N] [--checkpoint-every STEPS]
                     [--read-timeout-ms MS] [--retry-after-secs S]
+                    [--max-retries N] [--watchdog-secs S]
                     [--threads N] [--backend scalar|simd|auto]
                     [--access-log FILE] [--profile on|off]
                     [--metrics-compat on|off]
@@ -22,6 +23,16 @@ state (manifests, traces, REXSTATE1 checkpoints) lives under --data-dir;
 restarting on the same directory re-enqueues unfinished jobs, which
 resume from their last checkpoint. --addr defaults to 127.0.0.1:0 (an
 ephemeral port, printed on startup).
+
+Supervision: transiently failed jobs (checkpoint/trace I/O, hung runs)
+are re-queued with deterministic full-jitter exponential backoff, up to
+--max-retries attempts per job (jobs may override via the max_retries
+spec field); --watchdog-secs S halts and retries any running job that
+makes no step progress for S seconds (0, the default, disables it).
+SIGTERM drains gracefully: submissions get 503 + Retry-After, /readyz
+flips to 503, running jobs checkpoint at their next step boundary and
+return to the queue on disk, then the process exits 0; a later start on
+the same --data-dir picks every job back up.
 
 Observability: --access-log appends one key=value line per request
 (request id, method, path, status, bytes, duration, job id);
@@ -61,6 +72,8 @@ pub fn config_from_args(argv: &[String]) -> Result<ServeConfig, String> {
         "checkpoint-every",
         "read-timeout-ms",
         "retry-after-secs",
+        "max-retries",
+        "watchdog-secs",
         "threads",
         "backend",
         "access-log",
@@ -113,25 +126,61 @@ pub fn config_from_args(argv: &[String]) -> Result<ServeConfig, String> {
         access_log: flags.get("access-log").map(PathBuf::from),
         profile: switch("profile")?,
         metrics_compat: switch("metrics-compat")?,
+        watchdog_secs: num("watchdog-secs", defaults.watchdog_secs)?,
+        default_max_retries: num("max-retries", defaults.default_max_retries)?,
     };
     Ok(cfg)
 }
 
-/// Runs the server in the foreground until killed. Prints the bound
-/// address on stdout (`rexd listening on http://ADDR`) so harnesses
-/// started on port 0 can find it.
+/// Set by the SIGTERM handler; polled by the foreground loop.
+static TERM_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    TERM_REQUESTED.store(true, std::sync::atomic::Ordering::Release);
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    // Hand-declared to stay zero-dependency; SIGTERM is 15 on every
+    // platform we build for.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// Runs the server in the foreground until killed or drained. Prints the
+/// bound address on stdout (`rexd listening on http://ADDR`) so harnesses
+/// started on port 0 can find it. On SIGTERM the server drains: it stops
+/// admitting (503 + Retry-After), checkpoints running jobs at their next
+/// step boundary, parks them `Queued` on disk, and returns `Ok` so the
+/// process exits 0.
 ///
 /// # Errors
 ///
 /// Flag errors and bind/recovery failures, as a printable message.
 pub fn serve_cmd(argv: &[String]) -> Result<(), String> {
     let cfg = config_from_args(argv)?;
+    install_sigterm_handler();
     let server = Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
     println!("rexd listening on http://{}", server.addr());
     use std::io::Write;
     let _ = std::io::stdout().flush();
-    server.join();
-    Ok(())
+    loop {
+        if TERM_REQUESTED.load(std::sync::atomic::Ordering::Acquire) {
+            eprintln!("rexd: SIGTERM received, draining");
+            server.drain();
+            eprintln!("rexd: drained, exiting");
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
 }
 
 #[cfg(test)]

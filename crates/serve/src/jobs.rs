@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rex_core::ScheduleSpec;
@@ -20,6 +20,10 @@ use rex_telemetry::{FanoutSink, JsonlSink, MetricsRegistry, Recorder, RegistrySi
 use rex_tensor::DType;
 use rex_train::settings::load_setting;
 use rex_train::{FtConfig, GuardPolicy, OptimizerKind, TrainError, TrainState};
+
+/// Retry budget for jobs that do not specify `max_retries` (and for
+/// manifests written before the field existed).
+pub const DEFAULT_MAX_RETRIES: u64 = 3;
 
 /// Parses an optimizer family name (the `rexctl` vocabulary).
 ///
@@ -57,6 +61,10 @@ pub struct JobSpec {
     /// Parameter storage precision (`"f32"` | `"f16"` | `"bf16"`);
     /// defaults to `"f32"`, the legacy bit-exact path.
     pub dtype: String,
+    /// How many times a *transient* failure (checkpoint/trace I/O, hung
+    /// run caught by the watchdog) may be retried before the job is
+    /// marked failed for good.
+    pub max_retries: u64,
 }
 
 impl JobSpec {
@@ -65,7 +73,11 @@ impl JobSpec {
     /// # Errors
     ///
     /// A human-readable message naming the offending field.
-    pub fn parse(body: &str, default_checkpoint_every: u64) -> Result<JobSpec, String> {
+    pub fn parse(
+        body: &str,
+        default_checkpoint_every: u64,
+        default_max_retries: u64,
+    ) -> Result<JobSpec, String> {
         let obj = json::parse_object(body)?;
         let known = [
             "setting",
@@ -76,6 +88,7 @@ impl JobSpec {
             "lr",
             "checkpoint_every",
             "dtype",
+            "max_retries",
         ];
         if let Some(k) = obj.keys().find(|k| !known.contains(&k.as_str())) {
             return Err(format!("unknown field {k:?}"));
@@ -125,6 +138,12 @@ impl JobSpec {
                 })?,
             },
             dtype: str_field("dtype", "f32")?,
+            max_retries: match obj.get("max_retries") {
+                None => default_max_retries,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    "field \"max_retries\" must be a non-negative integer".to_owned()
+                })?,
+            },
         };
         spec.validate()?;
         Ok(spec)
@@ -177,7 +196,7 @@ impl JobSpec {
     fn json_fields(&self) -> String {
         format!(
             "\"setting\":\"{}\",\"budget\":{},\"schedule\":\"{}\",\"optimizer\":\"{}\",\
-             \"seed\":{},\"lr\":{},\"checkpoint_every\":{},\"dtype\":\"{}\"",
+             \"seed\":{},\"lr\":{},\"checkpoint_every\":{},\"dtype\":\"{}\",\"max_retries\":{}",
             json::escape(&self.setting),
             self.budget,
             json::escape(&self.schedule),
@@ -187,6 +206,7 @@ impl JobSpec {
                 .map_or("null".to_owned(), |lr| json::fmt_f64(f64::from(lr))),
             self.checkpoint_every,
             json::escape(&self.dtype),
+            self.max_retries,
         )
     }
 }
@@ -250,12 +270,26 @@ pub struct JobRecord {
     pub error: Option<String>,
     /// Times this job re-entered the queue after a server restart.
     pub resumes: u64,
+    /// Times this job was re-queued after a transient failure. Persisted,
+    /// so the retry budget survives daemon restarts.
+    pub retries: u64,
+    /// Backoff pause (milliseconds) before the next retry attempt, when
+    /// one is scheduled; cleared when the attempt starts.
+    pub retry_after_ms: Option<u64>,
     /// Id of the HTTP request that submitted the job (`c<N>-r<M>`), for
     /// correlating manifests with access-log lines. Deliberately kept out
     /// of the job's trace: traces must stay byte-identical to CLI runs.
     pub request_id: Option<String>,
     /// Cooperative cancel flag, shared with the trainer's `stop_flag`.
+    /// Set by explicit cancels, the watchdog, and graceful drain alike —
+    /// the companion flags below say which it was.
     pub cancel: Arc<AtomicBool>,
+    /// Set only by `DELETE /v1/jobs/:id`: a halt with this flag up is a
+    /// user cancel, never a drain hand-back or a watchdog retry.
+    pub user_cancel: Arc<AtomicBool>,
+    /// Set by the watchdog when the job stopped making step progress; a
+    /// halt with this flag up is classified as a transient failure.
+    pub watchdog_fired: Arc<AtomicBool>,
 }
 
 impl JobRecord {
@@ -263,7 +297,7 @@ impl JobRecord {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"id\":\"{}\",{},\"state\":\"{}\",\"metric\":{},\"error\":{},\"resumes\":{},\
-             \"request_id\":{}}}",
+             \"retries\":{},\"retry_after_ms\":{},\"request_id\":{}}}",
             json::escape(&self.id),
             self.spec.json_fields(),
             self.state.name(),
@@ -272,6 +306,9 @@ impl JobRecord {
                 .as_deref()
                 .map_or("null".to_owned(), |e| format!("\"{}\"", json::escape(e))),
             self.resumes,
+            self.retries,
+            self.retry_after_ms
+                .map_or("null".to_owned(), |ms| ms.to_string()),
             self.request_id
                 .as_deref()
                 .map_or("null".to_owned(), |r| format!("\"{}\"", json::escape(r))),
@@ -315,6 +352,12 @@ impl JobRecord {
                     .map(str::to_owned)
                     .ok_or("job record dtype not a string")?,
             },
+            // manifests written before retry supervision existed get the
+            // default budget
+            max_retries: obj
+                .get("max_retries")
+                .and_then(Value::as_u64)
+                .unwrap_or(DEFAULT_MAX_RETRIES),
         };
         Ok(JobRecord {
             id: get_str("id")?,
@@ -329,12 +372,16 @@ impl JobRecord {
                 Some(v) => v.as_str().map(str::to_owned),
             },
             resumes: obj.get("resumes").and_then(Value::as_u64).unwrap_or(0),
+            retries: obj.get("retries").and_then(Value::as_u64).unwrap_or(0),
+            retry_after_ms: obj.get("retry_after_ms").and_then(Value::as_u64),
             // manifests written before request ids existed have none
             request_id: match obj.get("request_id") {
                 None | Some(Value::Null) => None,
                 Some(v) => v.as_str().map(str::to_owned),
             },
             cancel: Arc::new(AtomicBool::new(false)),
+            user_cancel: Arc::new(AtomicBool::new(false)),
+            watchdog_fired: Arc::new(AtomicBool::new(false)),
         })
     }
 }
@@ -438,8 +485,12 @@ impl Ledger {
             metric: None,
             error: None,
             resumes: 0,
+            retries: 0,
+            retry_after_ms: None,
             request_id,
             cancel: Arc::new(AtomicBool::new(false)),
+            user_cancel: Arc::new(AtomicBool::new(false)),
+            watchdog_fired: Arc::new(AtomicBool::new(false)),
         };
         jobs.insert(record.id.clone(), record.clone());
         record
@@ -507,6 +558,9 @@ impl Ledger {
             return Ok(None);
         };
         record.state = state;
+        if state == JobState::Running {
+            record.retry_after_ms = None;
+        }
         if metric.is_some() {
             record.metric = metric;
         }
@@ -519,10 +573,45 @@ impl Ledger {
         Ok(Some(snapshot))
     }
 
+    /// Books one transient-failure retry: bumps the retry counter, records
+    /// the backoff pause, parks the job back in `Queued`, and clears the
+    /// halt flags so the next attempt is not stillborn. Persisted, so the
+    /// retry budget and pending backoff survive a daemon restart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest-write errors.
+    pub fn record_retry(&self, id: &str, backoff_ms: u64) -> std::io::Result<Option<JobRecord>> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let Some(record) = jobs.get_mut(id) else {
+            return Ok(None);
+        };
+        record.retries += 1;
+        record.retry_after_ms = Some(backoff_ms);
+        record.state = JobState::Queued;
+        record.cancel.store(false, Ordering::Release);
+        record.watchdog_fired.store(false, Ordering::Release);
+        let snapshot = record.clone();
+        drop(jobs);
+        self.persist(&snapshot)?;
+        Ok(Some(snapshot))
+    }
+
     /// Sets the cancel flag of every non-terminal job (server shutdown).
     pub fn cancel_all(&self) {
         for record in self.jobs.lock().unwrap().values() {
             if !record.state.is_terminal() {
+                record.cancel.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Asks every `Running` job to halt at its next step boundary
+    /// (graceful drain: the trainer checkpoints and the job goes back to
+    /// `Queued`, not `Canceled`). Queued jobs are left untouched.
+    pub fn halt_running(&self) {
+        for record in self.jobs.lock().unwrap().values() {
+            if record.state == JobState::Running {
                 record.cancel.store(true, Ordering::Release);
             }
         }
@@ -559,24 +648,73 @@ pub enum RunOutcome {
     Done,
     /// Stopped by its cancel flag.
     Canceled,
-    /// Errored.
+    /// Errored permanently (bad config, non-finite loss, retries spent).
     Failed,
+    /// Failed transiently (checkpoint/trace I/O, watchdog halt); the
+    /// supervisor decides whether to re-queue it with backoff.
+    Retry(String),
+    /// Halted by a graceful drain; parked back in `Queued` with a fresh
+    /// checkpoint so the next daemon life resumes it.
+    Drained,
 }
 
-/// Executes job `id` to a terminal state: builds the trace sink (resuming
-/// both trace and training state from the job's checkpoint when one
-/// exists), runs the cell through the shared setting runner, and persists
-/// the outcome.
+/// Deterministic full-jitter exponential backoff: the ceiling doubles per
+/// attempt from `BASE_MS` up to `CAP_MS`, and the pause is drawn below the
+/// ceiling by a splitmix64 hash of (job id, attempt) — reproducible across
+/// runs, uncorrelated across jobs.
+pub fn backoff_ms(id: &str, attempt: u64) -> u64 {
+    const BASE_MS: u64 = 50;
+    const CAP_MS: u64 = 5_000;
+    let ceiling = (BASE_MS << attempt.saturating_sub(1).min(8)).min(CAP_MS);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h
+        .wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    1 + z % ceiling
+}
+
+/// Whether a training failure is worth retrying: checkpoint/trace I/O can
+/// heal (full disk, fault injection), while config errors, incompatible
+/// resumes, and numeric blowups will fail identically every attempt.
+fn is_transient(e: &TrainError) -> bool {
+    matches!(e, TrainError::Checkpoint { .. })
+}
+
+/// Supervision context for one job execution, threaded in by the worker:
+/// the server-wide drain flag and the heartbeat cell the watchdog reads.
+/// `RunCtx::default()` (no drain, no heartbeat) suits direct callers.
+#[derive(Default)]
+pub struct RunCtx {
+    /// The server's drain flag; a halt while it is up parks the job back
+    /// in `Queued` instead of `Canceled`.
+    pub draining: Option<Arc<AtomicBool>>,
+    /// Last completed step, published by the trainer every step.
+    pub heartbeat: Option<Arc<AtomicU64>>,
+}
+
+/// Executes job `id` to a terminal state or a supervised hand-back:
+/// builds the trace sink (resuming both trace and training state from the
+/// job's checkpoint when one exists — a poisoned checkpoint is
+/// quarantined and the job restarts from scratch), runs the cell through
+/// the shared setting runner, and persists the outcome.
 ///
 /// # Errors
 ///
-/// Only infrastructure failures surface as `Err` (manifest/trace IO);
-/// training failures are recorded on the job and returned as
-/// [`RunOutcome::Failed`].
+/// Only manifest-write failures surface as `Err`; training failures are
+/// classified into [`RunOutcome::Failed`] (permanent) or
+/// [`RunOutcome::Retry`] (transient), and trace-sink I/O failures come
+/// back as `Retry` too.
 pub fn run_job(
     ledger: &Ledger,
     registry: &Arc<MetricsRegistry>,
     id: &str,
+    ctx: &RunCtx,
 ) -> std::io::Result<RunOutcome> {
     let Some(record) = ledger.get(id) else {
         return Ok(RunOutcome::Failed);
@@ -591,13 +729,32 @@ pub fn run_job(
     let spec = &record.spec;
     let trace_path = ledger.trace_path(id);
     let ckpt_path = ledger.ckpt_path(id);
-    let resuming = spec.checkpoint_every > 0 && ckpt_path.is_file();
+    let mut resuming = spec.checkpoint_every > 0 && ckpt_path.is_file();
 
-    let jsonl = if resuming {
-        let cursor = TrainState::load(&ckpt_path)?.trace_events;
-        JsonlSink::resume(&trace_path, cursor)?
-    } else {
-        JsonlSink::create(&trace_path)?
+    let jsonl = (|| -> std::io::Result<JsonlSink> {
+        if resuming {
+            match TrainState::load(&ckpt_path) {
+                Ok(state) => return JsonlSink::resume(&trace_path, state.trace_events),
+                Err(e) => {
+                    // A checkpoint that no longer decodes would fail every
+                    // resume forever: quarantine it and start over.
+                    let quarantined = ckpt_path.with_extension("state.poisoned");
+                    let _ = std::fs::rename(&ckpt_path, &quarantined);
+                    eprintln!(
+                        "rexd: quarantined poisoned checkpoint {} ({e}); \
+                         restarting {id} from scratch",
+                        ckpt_path.display()
+                    );
+                    registry.counter_inc("rex_ckpt_quarantined_total", 1);
+                    resuming = false;
+                }
+            }
+        }
+        JsonlSink::create(&trace_path)
+    })();
+    let jsonl = match jsonl {
+        Ok(sink) => sink,
+        Err(e) => return Ok(RunOutcome::Retry(format!("trace sink: {e}"))),
     };
     let mut rec = Recorder::new(Box::new(FanoutSink::new(vec![
         Box::new(jsonl),
@@ -617,6 +774,10 @@ pub fn run_job(
             guard: GuardPolicy::Off,
             halt_after_step: None,
             stop_flag: Some(Arc::clone(&record.cancel)),
+            keep_checkpoints: None,
+            // a drain-halted job keeps its progress without trace drift
+            checkpoint_on_halt: spec.checkpoint_every > 0,
+            heartbeat: ctx.heartbeat.clone(),
         };
         setting.run_ft(
             spec.budget,
@@ -632,20 +793,43 @@ pub fn run_job(
     rec.flush();
     drop(rec);
 
+    // Counters increment BEFORE the manifest flips terminal: the ledger
+    // is the synchronization point clients poll, so anyone who observes
+    // a terminal state and then scrapes /metrics sees the matching
+    // count. (The reverse order has a window where a job reads "done"
+    // but is not yet counted.)
     match outcome {
         Ok(metric) => {
-            ledger.set_state(id, JobState::Done, Some(metric), None)?;
             registry.counter_inc("rex_jobs_completed_total", 1);
+            ledger.set_state(id, JobState::Done, Some(metric), None)?;
             Ok(RunOutcome::Done)
         }
         Err(TrainError::Halted { .. }) if record.cancel.load(Ordering::Acquire) => {
-            ledger.set_state(id, JobState::Canceled, None, None)?;
-            registry.counter_inc("rex_jobs_canceled_total", 1);
-            Ok(RunOutcome::Canceled)
+            // One flag, three meanings — disambiguate in priority order.
+            if record.user_cancel.load(Ordering::Acquire) {
+                registry.counter_inc("rex_jobs_canceled_total", 1);
+                ledger.set_state(id, JobState::Canceled, None, None)?;
+                Ok(RunOutcome::Canceled)
+            } else if record.watchdog_fired.load(Ordering::Acquire) {
+                Ok(RunOutcome::Retry("watchdog: no step progress".to_owned()))
+            } else if ctx
+                .draining
+                .as_ref()
+                .is_some_and(|d| d.load(Ordering::Acquire))
+            {
+                registry.counter_inc("rex_jobs_drained_total", 1);
+                ledger.set_state(id, JobState::Queued, None, None)?;
+                Ok(RunOutcome::Drained)
+            } else {
+                registry.counter_inc("rex_jobs_canceled_total", 1);
+                ledger.set_state(id, JobState::Canceled, None, None)?;
+                Ok(RunOutcome::Canceled)
+            }
         }
+        Err(e) if is_transient(&e) => Ok(RunOutcome::Retry(e.to_string())),
         Err(e) => {
-            ledger.set_state(id, JobState::Failed, None, Some(e.to_string()))?;
             registry.counter_inc("rex_jobs_failed_total", 1);
+            ledger.set_state(id, JobState::Failed, None, Some(e.to_string()))?;
             Ok(RunOutcome::Failed)
         }
     }
@@ -671,16 +855,18 @@ mod tests {
             lr: None,
             checkpoint_every: 2,
             dtype: "f32".to_owned(),
+            max_retries: DEFAULT_MAX_RETRIES,
         }
     }
 
     #[test]
     fn spec_parses_defaults_and_rejects_garbage() {
-        let s = JobSpec::parse(r#"{"setting":"digits-mlp","budget":25}"#, 5).unwrap();
+        let s = JobSpec::parse(r#"{"setting":"digits-mlp","budget":25}"#, 5, 3).unwrap();
         assert_eq!(s.schedule, "rex");
         assert_eq!(s.optimizer, "sgdm");
         assert_eq!(s.checkpoint_every, 5);
         assert_eq!(s.seed, 0);
+        assert_eq!(s.max_retries, 3);
         assert!(s.lr.is_none());
 
         for bad in [
@@ -696,12 +882,18 @@ mod tests {
             r#"{"setting":"digits-mlp","budget":10,"dtype":"f64"}"#,
             r#"{"setting":"digits-mlp","budget":10,"dtype":"q8_0"}"#,
         ] {
-            assert!(JobSpec::parse(bad, 5).is_err(), "accepted {bad:?}");
+            assert!(JobSpec::parse(bad, 5, 3).is_err(), "accepted {bad:?}");
         }
 
-        let s = JobSpec::parse(r#"{"setting":"digits-mlp","budget":25,"dtype":"f16"}"#, 5).unwrap();
+        let s = JobSpec::parse(
+            r#"{"setting":"digits-mlp","budget":25,"dtype":"f16","max_retries":0}"#,
+            5,
+            3,
+        )
+        .unwrap();
         assert_eq!(s.dtype, "f16");
         assert_eq!(s.parsed_dtype().unwrap(), DType::F16);
+        assert_eq!(s.max_retries, 0);
     }
 
     #[test]
@@ -713,8 +905,12 @@ mod tests {
             metric: Some(12.5),
             error: None,
             resumes: 1,
+            retries: 2,
+            retry_after_ms: Some(150),
             request_id: Some("c3-r1".to_owned()),
             cancel: Arc::new(AtomicBool::new(false)),
+            user_cancel: Arc::new(AtomicBool::new(false)),
+            watchdog_fired: Arc::new(AtomicBool::new(false)),
         };
         let back = JobRecord::from_json(&record.to_json()).unwrap();
         assert_eq!(back.id, record.id);
@@ -722,6 +918,9 @@ mod tests {
         assert_eq!(back.state, record.state);
         assert_eq!(back.metric, record.metric);
         assert_eq!(back.resumes, 1);
+        assert_eq!(back.retries, 2);
+        assert_eq!(back.retry_after_ms, Some(150));
+        assert_eq!(back.spec.max_retries, DEFAULT_MAX_RETRIES);
         assert_eq!(back.request_id.as_deref(), Some("c3-r1"));
 
         // manifests written before request ids existed still parse
@@ -772,7 +971,7 @@ mod tests {
         let job = ledger.create(spec(), None);
         ledger.commit(&job).unwrap();
         assert_eq!(
-            run_job(&ledger, &registry, &job.id).unwrap(),
+            run_job(&ledger, &registry, &job.id, &RunCtx::default()).unwrap(),
             RunOutcome::Done
         );
         let done = ledger.get(&job.id).unwrap();
@@ -786,10 +985,83 @@ mod tests {
         ledger.commit(&job2).unwrap();
         job2.cancel.store(true, Ordering::Release);
         assert_eq!(
-            run_job(&ledger, &registry, &job2.id).unwrap(),
+            run_job(&ledger, &registry, &job2.id, &RunCtx::default()).unwrap(),
             RunOutcome::Canceled
         );
         assert_eq!(ledger.get(&job2.id).unwrap().state, JobState::Canceled);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_jittered() {
+        for attempt in 1..=10u64 {
+            let a = backoff_ms("job-000001", attempt);
+            assert_eq!(a, backoff_ms("job-000001", attempt), "not deterministic");
+            let ceiling = (50u64 << (attempt - 1).min(8)).min(5_000);
+            assert!(
+                (1..=ceiling).contains(&a),
+                "attempt {attempt}: {a} > {ceiling}"
+            );
+        }
+        // different jobs draw different pauses (full jitter, not lockstep)
+        assert_ne!(backoff_ms("job-000001", 3), backoff_ms("job-000002", 3));
+    }
+
+    #[test]
+    fn record_retry_books_backoff_and_clears_halt_flags() {
+        let dir = tmp_dir("retry");
+        let ledger = Ledger::open(&dir).unwrap();
+        let job = ledger.create(spec(), None);
+        ledger.commit(&job).unwrap();
+        ledger
+            .set_state(&job.id, JobState::Running, None, None)
+            .unwrap();
+        job.cancel.store(true, Ordering::Release);
+        job.watchdog_fired.store(true, Ordering::Release);
+
+        let back = ledger.record_retry(&job.id, 250).unwrap().unwrap();
+        assert_eq!(back.state, JobState::Queued);
+        assert_eq!(back.retries, 1);
+        assert_eq!(back.retry_after_ms, Some(250));
+        assert!(!job.cancel.load(Ordering::Acquire));
+        assert!(!job.watchdog_fired.load(Ordering::Acquire));
+
+        // the retry budget survives a daemon restart
+        let ledger = Ledger::open(&dir).unwrap();
+        let revived = ledger.get(&job.id).unwrap();
+        assert_eq!(revived.retries, 1);
+        assert_eq!(revived.retry_after_ms, Some(250));
+        // a fresh attempt clears the advertised backoff
+        ledger
+            .set_state(&job.id, JobState::Running, None, None)
+            .unwrap();
+        assert_eq!(ledger.get(&job.id).unwrap().retry_after_ms, None);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn poisoned_checkpoint_is_quarantined_and_job_restarts_fresh() {
+        let dir = tmp_dir("poison");
+        let ledger = Ledger::open(&dir).unwrap();
+        let registry = MetricsRegistry::shared();
+        let job = ledger.create(spec(), None);
+        ledger.commit(&job).unwrap();
+        std::fs::create_dir_all(ledger.job_dir(&job.id)).unwrap();
+        std::fs::write(
+            ledger.ckpt_path(&job.id),
+            b"REXSTATE1 this is not a checkpoint",
+        )
+        .unwrap();
+
+        assert_eq!(
+            run_job(&ledger, &registry, &job.id, &RunCtx::default()).unwrap(),
+            RunOutcome::Done
+        );
+        assert!(ledger
+            .ckpt_path(&job.id)
+            .with_extension("state.poisoned")
+            .is_file());
+        assert!(registry.counter("rex_ckpt_quarantined_total") >= 1);
         let _ = std::fs::remove_dir_all(dir);
     }
 }

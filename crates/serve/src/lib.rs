@@ -20,16 +20,24 @@
 //!   every non-terminal job, which resumes from its last `REXSTATE1`
 //!   checkpoint and finishes with the same trace bytes an uninterrupted
 //!   run produces.
+//! * **Supervised recovery.** A transiently failed job (checkpoint or
+//!   trace I/O, a poisoned snapshot, a watchdog-detected stall) is
+//!   re-queued with bounded exponential full-jitter backoff up to its
+//!   `max_retries`; retry counters and the next-eligible time survive
+//!   restarts via the manifest. SIGTERM drains gracefully: submissions
+//!   get `503` + `Retry-After`, running jobs checkpoint at the next
+//!   step boundary and park `Queued` on disk, and the process exits 0.
 //!
 //! ## Routes
 //!
 //! | Route | Meaning |
 //! |---|---|
-//! | `GET /healthz` | liveness |
-//! | `POST /v1/jobs` | submit a job (`202`) or hit backpressure (`429`) |
+//! | `GET /healthz` | liveness (`200` even while draining) |
+//! | `GET /readyz` | admission readiness: `200`, or `503` + `Retry-After` while draining or stopped |
+//! | `POST /v1/jobs` | submit a job (`202`), hit backpressure (`429`), or race a drain (`503`) |
 //! | `GET /v1/jobs` | list all jobs, one JSON object per line |
-//! | `GET /v1/jobs/:id` | one job's record |
-//! | `DELETE /v1/jobs/:id` | cancel (queued: immediate; running: cooperative) |
+//! | `GET /v1/jobs/:id` | one job's record (state, metric, `resumes`, `retries`, `retry_after_ms`) |
+//! | `DELETE /v1/jobs/:id` | cancel (queued: immediate; running: cooperative; terminal: idempotent `200`) |
 //! | `GET /v1/jobs/:id/trace` | chunked live JSONL trace stream |
 //! | `GET /metrics` | Prometheus-style text format |
 

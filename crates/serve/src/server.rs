@@ -11,6 +11,7 @@
 //! queue) is the only thing standing between a submission burst and the
 //! trainer.
 
+use std::collections::BTreeMap;
 use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -21,7 +22,7 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use rex_telemetry::MetricsRegistry;
 
 use crate::http::{self, ChunkedWriter, Request};
-use crate::jobs::{run_job, JobSpec, JobState, Ledger};
+use crate::jobs::{backoff_ms, run_job, JobSpec, JobState, Ledger, RunCtx, RunOutcome};
 use crate::queue::BoundedQueue;
 
 /// Server configuration.
@@ -49,6 +50,12 @@ pub struct ServeConfig {
     /// Re-export the legacy `*_min_seconds` / `*_max_seconds` timer
     /// gauges alongside the histogram series (one-release compat shim).
     pub metrics_compat: bool,
+    /// Hung-job watchdog: a running job making no step progress for this
+    /// many seconds is halted and retried as a transient failure. 0
+    /// disables the watchdog.
+    pub watchdog_secs: u64,
+    /// Retry budget for jobs whose spec does not set `max_retries`.
+    pub default_max_retries: u64,
 }
 
 impl Default for ServeConfig {
@@ -64,8 +71,20 @@ impl Default for ServeConfig {
             access_log: None,
             profile: false,
             metrics_compat: false,
+            watchdog_secs: 0,
+            default_max_retries: crate::jobs::DEFAULT_MAX_RETRIES,
         }
     }
+}
+
+/// What the supervisor watches about one running job: the step heartbeat
+/// published by the trainer, and when it last advanced.
+struct WatchEntry {
+    heartbeat: Arc<AtomicU64>,
+    last_step: u64,
+    since: Instant,
+    cancel: Arc<AtomicBool>,
+    watchdog_fired: Arc<AtomicBool>,
 }
 
 struct Shared {
@@ -74,6 +93,14 @@ struct Shared {
     ledger: Ledger,
     metrics: Arc<MetricsRegistry>,
     stop: AtomicBool,
+    /// Graceful drain in progress: admission answers 503, running jobs
+    /// are handed back to `Queued` at their next step boundary.
+    draining: Arc<AtomicBool>,
+    /// Jobs currently on a worker, keyed by id — the watchdog's view.
+    running: Mutex<BTreeMap<String, WatchEntry>>,
+    /// Transiently failed jobs waiting out their backoff, re-queued by
+    /// the supervisor when due.
+    retry_at: Mutex<Vec<(Instant, String)>>,
     /// Open access-log sink (append mode), when enabled.
     access_log: Option<Mutex<std::fs::File>>,
     /// Server start time, for `/healthz` uptime and utilization gauges.
@@ -88,6 +115,7 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -127,6 +155,9 @@ impl Server {
             ledger,
             metrics,
             stop: AtomicBool::new(false),
+            draining: Arc::new(AtomicBool::new(false)),
+            running: Mutex::new(BTreeMap::new()),
+            retry_at: Mutex::new(Vec::new()),
             access_log,
             started: Instant::now(),
             conn_seq: AtomicU64::new(0),
@@ -137,6 +168,10 @@ impl Server {
             let shared = Arc::clone(&shared);
             workers.push(std::thread::spawn(move || worker_loop(&shared)));
         }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervisor_loop(&shared))
+        };
 
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -157,6 +192,7 @@ impl Server {
             shared,
             acceptor: Some(acceptor),
             workers,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -191,7 +227,142 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
     }
+
+    /// Graceful drain (the SIGTERM path): stop admitting (submissions get
+    /// 503 + Retry-After, `/readyz` flips to 503), park queued jobs where
+    /// they are (their manifests stay `Queued`, so the next daemon life
+    /// re-enqueues them), halt running jobs at their next step boundary —
+    /// the trainer writes a final checkpoint, and the job goes back to
+    /// `Queued`, not `Canceled` — then take the listener down. Every
+    /// manifest is flushed before this returns.
+    pub fn drain(mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        // Empty the in-memory queue first so no worker picks up new work;
+        // the jobs stay Queued on disk.
+        while self.shared.queue.remove(|_| true).is_some() {}
+        self.shared.queue.shutdown();
+        // Now halt what is actually running, and wait for the workers to
+        // hand those jobs back.
+        self.shared.ledger.halt_running();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Only now stop answering: readiness said "draining" throughout.
+        self.shared.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+    }
+}
+
+/// The supervisor: re-queues retries whose backoff has elapsed, and fires
+/// the hung-job watchdog. One thread, ~100 ms resolution.
+fn supervisor_loop(shared: &Shared) {
+    let watchdog = Duration::from_secs(shared.cfg.watchdog_secs);
+    while !shared.stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(100));
+        let draining = shared.draining.load(Ordering::Acquire);
+
+        // Backoffs: push due jobs back into the queue. During a drain the
+        // schedule is frozen — the jobs are already Queued on disk and the
+        // next daemon life re-enqueues them.
+        if !draining {
+            let now = Instant::now();
+            let due: Vec<String> = {
+                let mut retry_at = shared.retry_at.lock().unwrap();
+                let mut due = Vec::new();
+                retry_at.retain(|(at, id)| {
+                    if *at <= now {
+                        due.push(id.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                due
+            };
+            for id in due {
+                // bypass the admission bound: the job was already admitted
+                shared.queue.push_unbounded(id);
+                shared
+                    .metrics
+                    .gauge_set("rex_queue_depth", shared.queue.len() as f64);
+            }
+        }
+
+        // Watchdog: a running job whose step counter has not moved for
+        // watchdog_secs gets halted; run_job classifies it as transient.
+        if !watchdog.is_zero() {
+            let now = Instant::now();
+            let mut running = shared.running.lock().unwrap();
+            for (id, entry) in running.iter_mut() {
+                let step = entry.heartbeat.load(Ordering::Acquire);
+                if step != entry.last_step {
+                    entry.last_step = step;
+                    entry.since = now;
+                } else if now.duration_since(entry.since) >= watchdog
+                    && !entry.watchdog_fired.load(Ordering::Acquire)
+                {
+                    eprintln!(
+                        "rexd: watchdog: {id} made no step progress in {}s, halting for retry",
+                        shared.cfg.watchdog_secs
+                    );
+                    entry.watchdog_fired.store(true, Ordering::Release);
+                    entry.cancel.store(true, Ordering::Release);
+                    shared.metrics.counter_inc("rex_jobs_watchdog_total", 1);
+                }
+            }
+        }
+    }
+}
+
+/// Books a transient failure: within budget the job is re-queued after a
+/// deterministic full-jitter backoff; over budget it fails for good.
+fn supervise_retry(shared: &Shared, id: &str, reason: &str) {
+    let Some(record) = shared.ledger.get(id) else {
+        return;
+    };
+    let attempt = record.retries + 1;
+    if attempt > record.spec.max_retries {
+        let _ = shared.ledger.set_state(
+            id,
+            JobState::Failed,
+            None,
+            Some(format!(
+                "giving up after {} retries: {reason}",
+                record.retries
+            )),
+        );
+        shared.metrics.counter_inc("rex_jobs_failed_total", 1);
+        return;
+    }
+    let pause = backoff_ms(id, attempt);
+    eprintln!(
+        "rexd: {id} failed transiently ({reason}); retry {attempt}/{} in {pause}ms",
+        record.spec.max_retries
+    );
+    if shared.ledger.record_retry(id, pause).is_err() {
+        // the manifest itself is unwritable — nothing durable to lean on
+        shared.metrics.counter_inc("rex_jobs_failed_total", 1);
+        return;
+    }
+    shared.metrics.counter_inc("rex_jobs_retried_total", 1);
+    if shared.stop.load(Ordering::Acquire) || shared.draining.load(Ordering::Acquire) {
+        return; // stays Queued on disk; the next daemon life retries it
+    }
+    shared
+        .retry_at
+        .lock()
+        .unwrap()
+        .push((Instant::now() + Duration::from_millis(pause), id.to_owned()));
 }
 
 fn worker_loop(shared: &Shared) {
@@ -207,16 +378,31 @@ fn worker_loop(shared: &Shared) {
         if shared.cfg.profile {
             rex_telemetry::span::enable(rex_telemetry::span::Detail::Phase);
         }
-        // An IO failure (full disk, fault injection) must not kill the
-        // worker; record it on the job if the manifest is still writable.
-        if let Err(e) = run_job(&shared.ledger, &shared.metrics, &id) {
-            let _ = shared.ledger.set_state(
-                &id,
-                JobState::Failed,
-                None,
-                Some(format!("job infrastructure error: {e}")),
+        let heartbeat = Arc::new(AtomicU64::new(0));
+        if let Some(record) = shared.ledger.get(&id) {
+            shared.running.lock().unwrap().insert(
+                id.clone(),
+                WatchEntry {
+                    heartbeat: Arc::clone(&heartbeat),
+                    last_step: 0,
+                    since: Instant::now(),
+                    cancel: Arc::clone(&record.cancel),
+                    watchdog_fired: Arc::clone(&record.watchdog_fired),
+                },
             );
-            shared.metrics.counter_inc("rex_jobs_failed_total", 1);
+        }
+        let ctx = RunCtx {
+            draining: Some(Arc::clone(&shared.draining)),
+            heartbeat: Some(heartbeat),
+        };
+        let result = run_job(&shared.ledger, &shared.metrics, &id, &ctx);
+        shared.running.lock().unwrap().remove(&id);
+        match result {
+            Ok(RunOutcome::Retry(reason)) => supervise_retry(shared, &id, &reason),
+            // An IO failure on the manifest itself must not kill the
+            // worker; retry it like any other transient fault.
+            Err(e) => supervise_retry(shared, &id, &format!("job infrastructure error: {e}")),
+            Ok(_) => {}
         }
         if shared.cfg.profile {
             let profile = rex_telemetry::span::take();
@@ -294,6 +480,11 @@ impl Write for Metered<'_> {
 
 fn handle_conn(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.cfg.read_timeout_ms.max(1),
+    )));
+    // A write deadline too: a stalled peer must not pin a handler thread
+    // (or a drain) forever.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(
         shared.cfg.read_timeout_ms.max(1),
     )));
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -410,6 +601,21 @@ fn route<W: Write>(
             );
             return respond(w, 200, &[], &body).map(|()| None);
         }
+        ("GET", ["readyz"]) => {
+            // Readiness is about admission: a draining (or stopping)
+            // server is still alive but will not take new jobs.
+            if shared.draining.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
+                let retry_after = shared.cfg.retry_after_secs.to_string();
+                return respond(
+                    w,
+                    503,
+                    &[("Retry-After", retry_after.as_str())],
+                    "{\"status\":\"draining\"}\n",
+                )
+                .map(|()| None);
+            }
+            return respond(w, 200, &[], "{\"status\":\"ready\"}\n").map(|()| None);
+        }
         ("POST", ["v1", "jobs"]) => return submit_job(shared, req, w, request_id),
         ("GET", ["v1", "jobs"]) => {
             let mut body = String::new();
@@ -455,7 +661,7 @@ fn route<W: Write>(
             return http::write_response(w, 200, "text/plain; version=0.0.4", &[], body.as_bytes())
                 .map(|()| None);
         }
-        (_, ["healthz" | "metrics"]) | (_, ["v1", "jobs", ..]) => 405,
+        (_, ["healthz" | "readyz" | "metrics"]) | (_, ["v1", "jobs", ..]) => 405,
         _ => 404,
     };
     shared.metrics.counter_inc("rex_http_errors_total", 1);
@@ -472,9 +678,18 @@ fn submit_job<W: Write>(
     w: &mut W,
     request_id: &str,
 ) -> std::io::Result<Option<String>> {
-    if shared.stop.load(Ordering::Acquire) {
+    if shared.stop.load(Ordering::Acquire) || shared.draining.load(Ordering::Acquire) {
+        // Not backpressure (429) but planned unavailability: tell the
+        // client when to come back instead of resetting the connection.
         shared.metrics.counter_inc("rex_http_errors_total", 1);
-        return respond(w, 429, &[], &error_body("server is shutting down")).map(|()| None);
+        let retry_after = shared.cfg.retry_after_secs.to_string();
+        return respond(
+            w,
+            503,
+            &[("Retry-After", retry_after.as_str())],
+            &error_body("server is draining"),
+        )
+        .map(|()| None);
     }
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
@@ -483,7 +698,11 @@ fn submit_job<W: Write>(
             return respond(w, 400, &[], &error_body("body is not UTF-8")).map(|()| None);
         }
     };
-    let spec = match JobSpec::parse(body, shared.cfg.default_checkpoint_every) {
+    let spec = match JobSpec::parse(
+        body,
+        shared.cfg.default_checkpoint_every,
+        shared.cfg.default_max_retries,
+    ) {
         Ok(spec) => spec,
         Err(e) => {
             shared.metrics.counter_inc("rex_http_errors_total", 1);
@@ -548,16 +767,18 @@ fn cancel_job<W: Write>(shared: &Shared, id: &str, w: &mut W) -> std::io::Result
         return respond(w, 404, &[], &error_body(&format!("no such job {id}")));
     };
     if record.state.is_terminal() {
-        shared.metrics.counter_inc("rex_http_errors_total", 1);
+        // Idempotent: canceling a job that can no longer run is success,
+        // so retried DELETEs (lost response, impatient client) are safe.
         return respond(
             w,
-            409,
+            200,
             &[],
-            &error_body(&format!("job {id} is already {}", record.state.name())),
+            &format!("{{\"state\":\"{}\"}}\n", record.state.name()),
         );
     }
-    // set the flag first: if a worker pops the job in this window, it
-    // observes the flag before training starts
+    // set the flags first: if a worker pops the job in this window, it
+    // observes them before training starts
+    record.user_cancel.store(true, Ordering::Release);
     record.cancel.store(true, Ordering::Release);
     if record.state == JobState::Queued && shared.queue.remove(|qid| qid == id).is_some() {
         shared

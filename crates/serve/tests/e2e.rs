@@ -21,13 +21,17 @@ struct Daemon {
     child: Child,
     addr: SocketAddr,
     data_dir: PathBuf,
+    /// Leave the data dir behind on drop (restart-on-same-dir tests).
+    keep_data: bool,
 }
 
 impl Drop for Daemon {
     fn drop(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
-        let _ = std::fs::remove_dir_all(&self.data_dir);
+        if !self.keep_data {
+            let _ = std::fs::remove_dir_all(&self.data_dir);
+        }
     }
 }
 
@@ -36,6 +40,18 @@ impl Drop for Daemon {
 fn start_daemon(tag: &str, extra_args: &[&str], env: &[(&str, &str)]) -> Daemon {
     let data_dir = std::env::temp_dir().join(format!("rex_e2e_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&data_dir);
+    start_daemon_at(&data_dir, false, extra_args, env)
+}
+
+/// Starts `rexd` on an existing (possibly job-laden) data dir, which is
+/// preserved across the daemon's drop so another life can pick it up.
+fn start_daemon_at(
+    data_dir: &Path,
+    keep_data: bool,
+    extra_args: &[&str],
+    env: &[(&str, &str)],
+) -> Daemon {
+    let data_dir = data_dir.to_owned();
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_rexd"));
     cmd.arg("--data-dir")
         .arg(&data_dir)
@@ -62,6 +78,7 @@ fn start_daemon(tag: &str, extra_args: &[&str], env: &[(&str, &str)]) -> Daemon 
         child,
         addr,
         data_dir,
+        keep_data,
     }
 }
 
@@ -256,8 +273,11 @@ fn cancel_queued_and_running_jobs() {
         "expected a partial run, got {steps} steps"
     );
 
-    // canceling a terminal job is a conflict
-    assert_eq!(delete(&daemon, &format!("/v1/jobs/{running}")).status, 409);
+    // canceling a terminal job is idempotent success, not a conflict —
+    // a client retrying a DELETE whose response was lost must not error
+    let resp = delete(&daemon, &format!("/v1/jobs/{running}"));
+    assert_eq!(resp.status, 200);
+    assert_eq!(json_of(&resp)["state"].as_str(), Some("canceled"));
 }
 
 #[test]
@@ -450,4 +470,122 @@ fn rexd_help_prints_usage() {
 #[allow(dead_code)]
 fn job_dir(daemon: &Daemon, id: &str) -> PathBuf {
     Path::new(&daemon.data_dir).join("jobs").join(id)
+}
+
+/// A small checkpointed job for the supervision tests: budget 25 of
+/// digits-mlp is 16 steps, one checkpoint write per step.
+const SUPERVISED_JOB: &str = r#"{"setting":"digits-mlp","budget":25,"schedule":"rex","optimizer":"sgdm","seed":7,"checkpoint_every":1}"#;
+
+/// A transient failure (injected I/O error on the third checkpoint write)
+/// is retried with backoff instead of failing the job: the second attempt
+/// resumes from the surviving checkpoint and completes, with the retry
+/// count surfaced in the manifest and on the wire.
+#[test]
+fn transient_io_failure_is_retried_and_the_job_completes() {
+    let daemon = start_daemon(
+        "retry",
+        &["--workers", "1"],
+        &[("REX_FAULTS", "io-err-on-write=state:3")],
+    );
+    let id = submit(&daemon, SUPERVISED_JOB);
+    let record = wait_terminal(&daemon, &id, Duration::from_secs(60));
+    assert_eq!(record["state"].as_str(), Some("done"), "{record:?}");
+    assert_eq!(record["retries"].as_u64(), Some(1), "{record:?}");
+    assert_eq!(record["max_retries"].as_u64(), Some(3), "{record:?}");
+    let metrics = prometheus_values(&get(&daemon, "/metrics").text());
+    assert_eq!(metrics["rex_jobs_retried_total"], 1.0);
+    assert_eq!(
+        metrics.get("rex_jobs_failed_total").copied().unwrap_or(0.0),
+        0.0
+    );
+}
+
+/// The watchdog halts a job whose step counter stops moving (here: a 4 s
+/// stall injected into one checkpoint write, against a 1 s watchdog) and
+/// the supervisor retries it; the retry resumes and completes.
+#[test]
+fn watchdog_halts_a_stalled_job_and_the_retry_completes() {
+    let daemon = start_daemon(
+        "watchdog",
+        &["--workers", "1", "--watchdog-secs", "1"],
+        &[("REX_FAULTS", "slow-io-on-write=state:4:4000")],
+    );
+    let id = submit(&daemon, SUPERVISED_JOB);
+    let record = wait_terminal(&daemon, &id, Duration::from_secs(60));
+    assert_eq!(record["state"].as_str(), Some("done"), "{record:?}");
+    assert_eq!(record["retries"].as_u64(), Some(1), "{record:?}");
+    let metrics = prometheus_values(&get(&daemon, "/metrics").text());
+    assert_eq!(metrics["rex_jobs_watchdog_total"], 1.0);
+    assert_eq!(metrics["rex_jobs_retried_total"], 1.0);
+}
+
+/// SIGTERM drains gracefully: admission answers 503 + Retry-After (not a
+/// connection reset), `/readyz` flips to 503 while `/healthz` stays 200,
+/// the running job checkpoints and returns to `Queued` on disk, the
+/// process exits 0, and a later daemon life on the same data dir resumes
+/// the job to a trace byte-identical to a never-drained run's.
+#[test]
+fn sigterm_drains_and_a_restart_resumes_with_identical_trace() {
+    let data_dir = std::env::temp_dir().join(format!("rex_e2e_drain_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut daemon = start_daemon_at(
+        &data_dir,
+        true,
+        &["--workers", "1"],
+        // 500 ms per checkpoint write: a wide-open drain window
+        &[("REX_FAULTS", "slow-io-on-write=state:0:500")],
+    );
+    assert_eq!(get(&daemon, "/readyz").status, 200);
+
+    let id = submit(&daemon, SUPERVISED_JOB);
+    wait_state(&daemon, &id, "running", Duration::from_secs(20));
+
+    let pid = daemon.child.id().to_string();
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .unwrap()
+        .success());
+    // Inside the drain window (the current step's 500 ms write must
+    // finish before the trainer can halt), admission is 503 with a
+    // Retry-After, and readiness — unlike liveness — reports draining.
+    std::thread::sleep(Duration::from_millis(150));
+    let rejected = post(&daemon, "/v1/jobs", SUPERVISED_JOB);
+    assert_eq!(rejected.status, 503, "{}", rejected.text());
+    assert!(rejected.header("retry-after").is_some());
+    let ready = get(&daemon, "/readyz");
+    assert_eq!(ready.status, 503);
+    assert!(ready.header("retry-after").is_some());
+    assert_eq!(get(&daemon, "/healthz").status, 200);
+
+    let status = daemon.child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "drain must exit cleanly");
+    drop(daemon);
+
+    // the drained job is parked Queued on disk, not canceled
+    let manifest =
+        std::fs::read_to_string(data_dir.join("jobs").join(&id).join("job.json")).unwrap();
+    assert!(manifest.contains("\"state\":\"queued\""), "{manifest}");
+
+    // a second life resumes it to completion (no fault this time)...
+    let daemon2 = start_daemon_at(&data_dir, true, &["--workers", "1"], &[]);
+    let record = wait_terminal(&daemon2, &id, Duration::from_secs(60));
+    assert_eq!(record["state"].as_str(), Some("done"), "{record:?}");
+    let resumed_trace = std::fs::read(data_dir.join("jobs").join(&id).join("trace.jsonl")).unwrap();
+    drop(daemon2);
+
+    // ...byte-identical to the same spec run without any drain
+    let clean = start_daemon("drain_clean", &[], &[]);
+    let clean_id = submit(&clean, SUPERVISED_JOB);
+    wait_terminal(&clean, &clean_id, Duration::from_secs(60));
+    let clean_trace = std::fs::read(
+        clean
+            .data_dir
+            .join("jobs")
+            .join(&clean_id)
+            .join("trace.jsonl"),
+    )
+    .unwrap();
+    assert_eq!(resumed_trace, clean_trace);
+    let _ = std::fs::remove_dir_all(&data_dir);
 }

@@ -177,6 +177,11 @@ impl JsonlSink {
     ///
     /// [`Recorder::lines_emitted`]: crate::Recorder::lines_emitted
     ///
+    /// A kill mid-append can leave a torn final line (no trailing
+    /// newline); only `\n`-terminated lines count as complete, and a torn
+    /// trailing fragment past the cursor is truncated away with a logged
+    /// warning rather than silently promoted to a complete line.
+    ///
     /// # Errors
     ///
     /// Fails with `InvalidData` when the file holds fewer than
@@ -187,20 +192,28 @@ impl JsonlSink {
         let text = std::fs::read_to_string(path)?;
         let mut kept = String::with_capacity(text.len());
         let mut count = 0u64;
-        for line in text.lines() {
-            if count == keep_lines {
+        // an unterminated tail is a torn append from a mid-write kill,
+        // whether it falls before or after the cursor
+        let torn = !text.is_empty() && !text.ends_with('\n');
+        for line in text.split_inclusive('\n') {
+            if count == keep_lines || !line.ends_with('\n') {
                 break;
             }
             kept.push_str(line);
-            kept.push('\n');
             count += 1;
+        }
+        if torn {
+            eprintln!(
+                "rex-telemetry: dropping torn trailing line of {} (interrupted append)",
+                path.display()
+            );
         }
         if count < keep_lines {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
-                    "trace {} holds {count} lines but the checkpoint cursor is {keep_lines}; \
-                     it does not belong to this checkpoint",
+                    "trace {} holds {count} complete lines but the checkpoint cursor is \
+                     {keep_lines}; it does not belong to this checkpoint",
                     path.display()
                 ),
             ));
@@ -233,6 +246,12 @@ impl JsonlSink {
 impl Sink for JsonlSink {
     fn record(&mut self, event: &Event) {
         if let Some(line) = event.to_jsonl(self.include_timing) {
+            if self.file.is_some() {
+                // a `kill-on-write=trace:N:mid` plan dies here with half
+                // the line on disk — the torn trailing line a real
+                // mid-append kill leaves behind
+                rex_faults::append_crash_point("trace", self.file.as_ref(), line.as_bytes());
+            }
             // Telemetry must not abort training on a full disk; drop the
             // line and keep going.
             let _ = writeln!(self.writer, "{line}");
@@ -326,6 +345,51 @@ mod tests {
         // a cursor beyond the file length is a hard error
         let err = JsonlSink::resume(&path, 99).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn jsonl_resume_truncates_a_torn_trailing_line() {
+        let path = std::env::temp_dir().join(format!("rex_sink_torn_{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            for i in 0..3 {
+                sink.record(&step(i));
+            }
+        }
+        // model a kill mid-append: a trailing fragment with no newline
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"type\":\"step\",\"st").unwrap();
+        }
+        // the torn fragment is dropped; the 3 complete lines resume fine
+        {
+            let mut sink = JsonlSink::resume(&path, 3).unwrap();
+            sink.record(&step(3));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        let events = crate::parse_trace(&text).unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[3].as_step().unwrap().step, 3);
+
+        // a torn fragment must never be promoted to a complete line: a
+        // cursor that would need it is a hard mismatch, not silent reuse
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"type\":\"step\",\"st").unwrap();
+        }
+        let err = JsonlSink::resume(&path, 5).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("4 complete lines"), "{err}");
         let _ = std::fs::remove_file(path);
     }
 

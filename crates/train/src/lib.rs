@@ -22,6 +22,7 @@
 
 mod budget;
 mod error;
+pub mod lineage;
 pub mod range_test;
 pub mod settings;
 pub mod snapshot;
@@ -31,6 +32,7 @@ pub mod trial;
 
 pub use budget::Budget;
 pub use error::TrainError;
+pub use lineage::{Lineage, LoadReport};
 pub use snapshot::TrainState;
 pub use trainer::{
     classification_loss, evaluate_classifier, EpochStats, FtConfig, GuardPolicy, OptimizerKind,

@@ -1,4 +1,5 @@
 use crate::error::TrainError;
+use crate::lineage::Lineage;
 use crate::snapshot::TrainState;
 use rex_autograd::{Graph, Param};
 use rex_core::{Schedule, ScheduleSpec};
@@ -167,6 +168,23 @@ pub struct FtConfig {
     /// thread sets it, the run stops with [`TrainError::Halted`]. The
     /// snapshot on disk (if checkpointing is on) resumes the run.
     pub stop_flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Retain this many snapshot generations instead of one file: with
+    /// this set, `checkpoint_path` names a *directory* and every
+    /// checkpoint writes a fresh `state.NNNNN.rexstate` generation
+    /// through [`Lineage`] (rotating out the oldest). Resume from the
+    /// directory falls back over damaged generations. Requires
+    /// `checkpoint_every`; minimum 1.
+    pub keep_checkpoints: Option<usize>,
+    /// Also snapshot when the run halts (via `halt_after_step` or the
+    /// stop flag) at a step that is not a checkpoint multiple. The
+    /// halt-time snapshot emits *no* trace event — the trace stays
+    /// byte-identical to an uninterrupted run's — it only moves the
+    /// resume point forward so a drain loses no completed steps.
+    pub checkpoint_on_halt: bool,
+    /// Liveness heartbeat: when set, the last completed optimizer step is
+    /// stored here every step. A supervisor can watch it to detect a run
+    /// that stopped making progress (hung I/O, live-locked backend).
+    pub heartbeat: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl FtConfig {
@@ -363,7 +381,14 @@ impl Trainer {
         let mut rng = Prng::new(cfg.seed);
         let mut st = LoopSt::fresh(cfg.lr, cfg.epochs);
         if let Some(resume_path) = &ft.resume_from {
-            let state = TrainState::load(resume_path).map_err(|source| TrainError::Checkpoint {
+            // a directory is a checkpoint lineage: resolve the newest
+            // generation that validates, falling back over damaged ones
+            let state = if resume_path.is_dir() {
+                Lineage::resolve(resume_path).map(|(state, _, _)| state)
+            } else {
+                TrainState::load(resume_path)
+            }
+            .map_err(|source| TrainError::Checkpoint {
                 action: "load",
                 path: resume_path.clone(),
                 source,
@@ -385,6 +410,7 @@ impl Trainer {
         // the on-disk file so restoring needs no I/O
         let mut mem_snap: Option<TrainState> = None;
         let mut rolled_back_at: Option<u64> = None;
+        let mut last_ckpt_step: Option<u64> = None;
 
         // profiling spans never touch the Recorder, so the deterministic
         // trace stays byte-identical with profiling on; the span *tree*
@@ -534,11 +560,13 @@ impl Trainer {
                 }
                 st.batch_in_epoch += 1;
                 st.step += 1;
+                if let Some(hb) = &ft.heartbeat {
+                    hb.store(st.step, std::sync::atomic::Ordering::Release);
+                }
 
                 if let Some(every) = ft.checkpoint_every {
                     if st.step.is_multiple_of(every) {
                         let _ckpt_span = span("checkpoint");
-                        let path = ft.checkpoint_path.as_ref().expect("validated upfront");
                         // cursor ordering: the checkpoint line joins the
                         // deterministic stream first, then the flush makes
                         // the whole prefix durable, then the snapshot
@@ -556,11 +584,8 @@ impl Trainer {
                             total_samples,
                             &self.schedule.name(),
                         );
-                        state.save(path).map_err(|source| TrainError::Checkpoint {
-                            action: "save",
-                            path: path.clone(),
-                            source,
-                        })?;
+                        write_snapshot(&ft, &state)?;
+                        last_ckpt_step = Some(st.step);
                         if ft.guard == GuardPolicy::Rollback {
                             mem_snap = Some(state);
                         }
@@ -568,6 +593,27 @@ impl Trainer {
                 }
                 rex_faults::crash_point(st.step);
                 if ft.halt_after_step == Some(st.step) || ft.stop_requested() {
+                    if ft.checkpoint_on_halt
+                        && ft.checkpoint_every.is_some()
+                        && last_ckpt_step != Some(st.step)
+                    {
+                        // snapshot at the halt boundary with *no* trace
+                        // event: the cursor covers exactly the flushed
+                        // deterministic prefix, so the resumed trace is
+                        // still byte-identical to an uninterrupted run's
+                        rec.flush();
+                        let state = capture_state(
+                            &cfg,
+                            &st,
+                            &rng,
+                            opt.as_ref(),
+                            model,
+                            rec.lines_emitted(),
+                            total_samples,
+                            &self.schedule.name(),
+                        );
+                        write_snapshot(&ft, &state)?;
+                    }
                     rec.flush();
                     return Err(TrainError::Halted { step: st.step });
                 }
@@ -622,6 +668,16 @@ impl Trainer {
         if ft.checkpoint_every.is_some() && ft.checkpoint_path.is_none() {
             return Err(TrainError::Config(
                 "checkpoint_every is set but checkpoint_path is not".to_owned(),
+            ));
+        }
+        if ft.keep_checkpoints == Some(0) {
+            return Err(TrainError::Config(
+                "keep_checkpoints must be at least 1 generation".to_owned(),
+            ));
+        }
+        if ft.keep_checkpoints.is_some() && ft.checkpoint_every.is_none() {
+            return Err(TrainError::Config(
+                "keep_checkpoints is set but checkpoint_every is not".to_owned(),
             ));
         }
         if (ft.checkpoint_every.is_some() || ft.resume_from.is_some()) && self.schedule.stateful() {
@@ -798,6 +854,22 @@ impl LoopSt {
             mid_epoch: false,
         }
     }
+}
+
+/// Routes a captured snapshot to disk: a rotating [`Lineage`] generation
+/// when `keep_checkpoints` is set, the single `checkpoint_path` file
+/// otherwise.
+fn write_snapshot(ft: &FtConfig, state: &TrainState) -> Result<(), TrainError> {
+    let path = ft.checkpoint_path.as_ref().expect("validated upfront");
+    let result = match ft.keep_checkpoints {
+        Some(keep) => Lineage::new(path, keep).save(state).map(|_| ()),
+        None => state.save(path),
+    };
+    result.map_err(|source| TrainError::Checkpoint {
+        action: "save",
+        path: path.clone(),
+        source,
+    })
 }
 
 /// Installs a snapshot into the live training objects (model params,

@@ -21,7 +21,11 @@
 # retries histogram that accounts for every job, backend provenance)
 # and the committed BENCH_profile.json (schema, non-smoke, phase-detail
 # profiler overhead at or below the 3 % acceptance floor, a non-empty
-# phase table, backend provenance).
+# phase table, backend provenance), and the committed BENCH_chaos.json
+# (schema, non-smoke, >=50 jobs and >=20 scheduled faults spanning all
+# four kinds, zero lost/duplicated/failed jobs, every trace identical to
+# its fault-free twin, per-job retries within the retry budget, sane
+# recovery-latency quantiles, backend provenance).
 #
 #   --serve-only    run just the serve-artifact check (no kernel re-run)
 #   --quant-only    re-run the kernel bench but guard only the
@@ -29,6 +33,7 @@
 #   --profile-only  check the committed profile artifact, then re-run
 #                   profile-bench fresh and enforce the 3 % overhead
 #                   floor on the fresh run too
+#   --chaos-only    run just the chaos-soak artifact check (no re-run)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,8 +43,9 @@ case "${1:-}" in
   --serve-only) mode=serve ;;
   --quant-only) mode=quant ;;
   --profile-only) mode=profile ;;
+  --chaos-only) mode=chaos ;;
   *)
-    echo "bench-guard: unknown flag ${1:?} (expected --serve-only | --quant-only | --profile-only)" >&2
+    echo "bench-guard: unknown flag ${1:?} (expected --serve-only | --quant-only | --profile-only | --chaos-only)" >&2
     exit 2
     ;;
 esac
@@ -65,9 +71,83 @@ if [ "$mode" = "full" ] || [ "$mode" = "profile" ]; then
     exit 1
   fi
 fi
+chaos_committed="BENCH_chaos.json"
+if [ "$mode" = "full" ] || [ "$mode" = "chaos" ]; then
+  if [ ! -f "$chaos_committed" ]; then
+    echo "bench-guard: missing committed $chaos_committed" >&2
+    exit 1
+  fi
+fi
 if ! command -v python3 >/dev/null; then
   echo "bench-guard: python3 is required to compare benchmark JSON" >&2
   exit 1
+fi
+
+if [ "$mode" = "full" ] || [ "$mode" = "chaos" ]; then
+  python3 - "$chaos_committed" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    d = json.load(f)
+if d.get("schema") != "rex-chaos-bench/v1":
+    sys.exit(f"bench-guard: {path}: expected rex-chaos-bench/v1, got {d.get('schema')!r}")
+errors = []
+if d.get("smoke"):
+    errors.append("committed artifact is a --smoke run")
+if d.get("jobs", 0) < 50:
+    errors.append(f"jobs {d.get('jobs')} < 50 (committed soak must be a full run)")
+faults = d.get("faults", {})
+if faults.get("total", 0) < 20:
+    errors.append(f"faults.total {faults.get('total')} < 20")
+for kind in ("kill", "io_err", "corrupt", "slow_io"):
+    if faults.get(kind, 0) < 1:
+        errors.append(f"no scheduled {kind} faults: the storm must span all four kinds")
+for key in ("lost", "duplicated", "failed"):
+    if d.get(key) != 0:
+        errors.append(f"{key} {d.get(key)} != 0")
+if d.get("completed", 0) < d.get("jobs", 0):
+    errors.append(f"completed {d.get('completed')} < jobs {d.get('jobs')}")
+if d.get("traces_identical") is not True:
+    errors.append("traces_identical is not true")
+if d.get("traces_checked", 0) < d.get("jobs", 0):
+    errors.append(
+        f"traces_checked {d.get('traces_checked')} < jobs {d.get('jobs')}"
+    )
+budget = d.get("retry_budget", 0)
+if budget <= 0:
+    errors.append("missing retry_budget")
+elif d.get("max_retries_seen", 0) > budget:
+    errors.append(
+        f"max_retries_seen {d.get('max_retries_seen')} over the retry budget {budget}"
+    )
+if d.get("kills_observed", 0) < 1 or d.get("recoveries", 0) < 1:
+    errors.append(
+        f"soak observed {d.get('kills_observed')} kills / {d.get('recoveries')} "
+        "recoveries; a chaos run must actually die and come back"
+    )
+q = d.get("recovery_ms", {})
+p50, p99, mx = q.get("p50", 0), q.get("p99", 0), q.get("max", 0)
+if not (0 < p50 <= p99 <= mx):
+    errors.append(f"recovery_ms: expected 0 < p50 <= p99 <= max, got {q}")
+for key in ("backend", "simd_level"):
+    if not d.get(key):
+        errors.append(f"missing provenance field {key!r}")
+if errors:
+    for e in errors:
+        print(f"bench-guard: {path}: {e}", file=sys.stderr)
+    sys.exit(1)
+print(
+    f"bench-guard: chaos artifact OK ({d['jobs']} jobs, {faults['total']} faults, "
+    f"{d['kills_observed']} kills, recovery p99 {q['p99']} ms, "
+    f"{d['retries_total']} retries, traces identical)"
+)
+EOF
+fi
+
+if [ "$mode" = "chaos" ]; then
+  exit 0
 fi
 
 if [ "$mode" = "full" ] || [ "$mode" = "serve" ]; then
@@ -125,8 +205,12 @@ trap 'rm -rf "$tmp"' EXIT
 
 if [ "$mode" = "full" ] || [ "$mode" = "profile" ]; then
   # The committed artifact must already satisfy the floor; a fresh run
-  # (min-of-reps, so steal-immune like the kernel guard) must too.
+  # (min-of-reps, so steal-immune like the kernel guard) must too. The
+  # overhead ratio divides two small adjacent timings, so a noise dip
+  # earns one re-measurement before the guard gives up — a real
+  # instrumentation regression fails both passes.
   profile_reps="${BENCH_GUARD_PROFILE_REPS:-60}"
+  profile_check() {
   cargo run --release --offline -q -p rex-bench --bin profile-bench -- \
     --reps "$profile_reps" --out "$tmp/profile.json" >/dev/null
   python3 - "$profile_committed" "$tmp/profile.json" <<'EOF'
@@ -177,6 +261,11 @@ print(
     f"floor {FLOOR_PCT}% -> OK"
 )
 EOF
+  }
+  if ! profile_check; then
+    echo "bench-guard: profile floor failed, re-measuring once to rule out scheduler interference" >&2
+    profile_check
+  fi
 fi
 
 if [ "$mode" = "profile" ]; then
@@ -184,10 +273,16 @@ if [ "$mode" = "profile" ]; then
 fi
 
 reps="${BENCH_GUARD_REPS:-15}"
-cargo run --release --offline -q -p rex-bench --bin kernel-bench -- \
-  --reps "$reps" --out "$tmp/bench.json" >/dev/null
 
-python3 - "$committed" "$tmp/bench.json" "$mode" <<'EOF'
+# One measurement + comparison pass. A real kernel regression fails this
+# deterministically; a scheduler-noise dip on a loaded single-core box
+# does not, so a failed pass earns exactly one re-measurement before the
+# guard gives up.
+floor_check() {
+  cargo run --release --offline -q -p rex-bench --bin kernel-bench -- \
+    --reps "$reps" --out "$tmp/bench.json" >/dev/null
+
+  python3 - "$committed" "$tmp/bench.json" "$mode" <<'EOF'
 import json
 import sys
 
@@ -247,3 +342,9 @@ for name, c in sorted(cq.items()):
 
 sys.exit(1 if failed else 0)
 EOF
+}
+
+if ! floor_check; then
+  echo "bench-guard: floor check failed, re-measuring once to rule out scheduler interference" >&2
+  floor_check
+fi

@@ -185,8 +185,11 @@ head -c 16 "$tmp_dir/prof.json" | grep -q '{"traceEvents":'
 # the trace toolbox end to end: summary renders, diff of a trace with
 # itself is silent success, diff of a perturbed copy names the first
 # divergent step and exits 1, profile ranks spans
+# (grep from a file, not a pipe: grep -q exits at first match and a
+# still-writing rexctl would die on EPIPE)
 cargo run --release --offline -q -p rex-cli --bin rexctl -- \
-  trace summary "$tmp_dir/prof_run.jsonl" | grep -q "64 steps"
+  trace summary "$tmp_dir/prof_run.jsonl" >"$tmp_dir/summary.out"
+grep -q "64 steps" "$tmp_dir/summary.out"
 cargo run --release --offline -q -p rex-cli --bin rexctl -- \
   trace diff "$tmp_dir/prof_run.jsonl" "$tmp_dir/plain_run.jsonl" >/dev/null
 sed 's/"lr":[0-9.eE+-]*/"lr":0.123/' "$tmp_dir/prof_run.jsonl" >"$tmp_dir/perturbed.jsonl"
@@ -197,7 +200,38 @@ cargo run --release --offline -q -p rex-cli --bin rexctl -- \
 test "$rc" -eq 1
 grep -q "diverges" "$tmp_dir/diff.out"
 cargo run --release --offline -q -p rex-cli --bin rexctl -- \
-  trace profile "$tmp_dir/prof.json" --top 5 | grep -q "job/epoch/step"
+  trace profile "$tmp_dir/prof.json" --top 5 >"$tmp_dir/profile.out"
+grep -q "job/epoch/step" "$tmp_dir/profile.out"
+
+echo "==> supervised recovery (lineage fallback, torn trace, retry/watchdog/drain)"
+# the lineage e2e suite: bit-flip and truncation of the newest
+# checkpoint generation must fall back with a named reason and finish
+# byte-identical, at 1 and 4 threads; a mid-append kill's torn trace
+# line must be dropped (not fatal) on resume
+cargo test --release --offline -q --test lineage_fallback
+# the serve supervision e2es: a transient checkpoint I/O failure is
+# retried with backoff to completion, the heartbeat watchdog halts and
+# retries a stalled job, and SIGTERM drains (503 + Retry-After at the
+# door, running jobs parked Queued on disk, exit 0) with a restart
+# resuming to byte-identical traces
+cargo test --release --offline -q -p rex-serve --test e2e \
+  transient_io_failure_is_retried_and_the_job_completes
+cargo test --release --offline -q -p rex-serve --test e2e \
+  watchdog_halts_a_stalled_job_and_the_retry_completes
+cargo test --release --offline -q -p rex-serve --test e2e \
+  sigterm_drains_and_a_restart_resumes_with_identical_trace
+
+echo "==> chaos-bench --smoke"
+# a seeded mini-storm (12 short jobs; kill / io-err / corrupt / slow-io
+# rounds with a clean drain): every invariant the full soak enforces,
+# sized for CI. Smoke numbers go to a scratch file so the committed
+# BENCH_chaos.json (generated at >=50 jobs / >=20 faults) is never
+# clobbered
+cargo run --release --offline -q -p rex-bench --bin chaos-bench -- \
+  --smoke --out "$tmp_dir/chaos_smoke.json"
+
+echo "==> bench-guard (BENCH_chaos.json integrity)"
+scripts/bench_guard.sh --chaos-only
 # profiler overhead: smoke numbers to scratch, then the 3 % floor on the
 # committed BENCH_profile.json plus a fresh run
 cargo run --release --offline -q -p rex-bench --bin profile-bench -- \
